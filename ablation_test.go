@@ -1,0 +1,135 @@
+package cosmicdance
+
+// Ablation benches for the design choices DESIGN.md calls out: the 5 km
+// already-decaying cutoff, the happens-closely-after window length, and the
+// 650 km outlier bound. Each sweeps its parameter and reports how the
+// analysis outcome moves.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cosmicdance/internal/core"
+)
+
+// BenchmarkAblationDecayThreshold sweeps the "already decaying" filter the
+// paper sets empirically at 5 km: too tight and healthy satellites are
+// discarded; too loose and pre-event decayers contaminate the associations.
+func BenchmarkAblationDecayThreshold(b *testing.B) {
+	weather, fleet, _ := paperFixture(b)
+	for _, km := range []float64{1, 2, 5, 10, 25} {
+		b.Run(fmt.Sprintf("cutoff=%gkm", km), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.DecayFilterKm = km
+			builder := core.NewBuilder(cfg, weather)
+			builder.AddSamples(fleet.Samples)
+			data, err := builder.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var associations int
+			var maxDev float64
+			for i := 0; i < b.N; i++ {
+				events, err := data.EventsAbovePercentile(95, 1, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				devs := data.Associate(events, 30)
+				associations = len(devs)
+				maxDev = 0
+				for _, dv := range devs {
+					if dv.MaxDevKm > maxDev {
+						maxDev = dv.MaxDevKm
+					}
+				}
+			}
+			b.ReportMetric(float64(associations), "associations")
+			b.ReportMetric(maxDev, "max-dev-km")
+		})
+	}
+}
+
+// BenchmarkAblationAssociationWindow sweeps the happens-closely-after window:
+// short windows miss slow decay onsets; long windows attribute unrelated
+// changes to the event (false positives).
+func BenchmarkAblationAssociationWindow(b *testing.B) {
+	_, _, data := paperFixture(b)
+	for _, days := range []int{7, 15, 30, 60} {
+		b.Run(fmt.Sprintf("window=%dd", days), func(b *testing.B) {
+			b.ResetTimer()
+			var tail float64
+			for i := 0; i < b.N; i++ {
+				events, err := data.EventsAbovePercentile(95, 1, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cdf, err := core.DeviationCDF(data.Associate(events, days))
+				if err != nil {
+					b.Fatal(err)
+				}
+				tail = cdf.TailFraction(10)
+			}
+			b.ReportMetric(tail*100, "tail>10km-%")
+		})
+	}
+}
+
+// BenchmarkAblationOutlierCutoff sweeps the TLE altitude sanity bound the
+// paper sets at 650 km given Starlink's operational range.
+func BenchmarkAblationOutlierCutoff(b *testing.B) {
+	weather, fleet, _ := paperFixture(b)
+	for _, km := range []float64{600, 650, 1000, 45000} {
+		b.Run(fmt.Sprintf("cutoff=%gkm", km), func(b *testing.B) {
+			b.ResetTimer()
+			var gross int
+			var cleanMax float64
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig()
+				cfg.MaxValidAltKm = km
+				builder := core.NewBuilder(cfg, weather)
+				builder.AddSamples(fleet.Samples)
+				data, err := builder.Build()
+				if err != nil {
+					b.Fatal(err)
+				}
+				gross = data.Cleaning().GrossErrors
+				cdf, err := data.CleanAltitudeCDF()
+				if err != nil {
+					b.Fatal(err)
+				}
+				cleanMax = cdf.Max()
+			}
+			b.ReportMetric(float64(gross), "removed")
+			b.ReportMetric(cleanMax, "clean-max-km")
+		})
+	}
+}
+
+// BenchmarkAblationQuietPercentile sweeps the quiet-epoch percentile of
+// Fig 4b/5a: how "quiet" the control must be before shifts vanish.
+func BenchmarkAblationQuietPercentile(b *testing.B) {
+	_, _, data := paperFixture(b)
+	for _, p := range []float64{50, 80, 95} {
+		b.Run(fmt.Sprintf("ptile=%g", p), func(b *testing.B) {
+			b.ResetTimer()
+			var tail float64
+			var epochs int
+			for i := 0; i < b.N; i++ {
+				quiet, err := data.QuietEpochs(p, 15, 20, 14*24*time.Hour)
+				if err != nil {
+					b.Skip("no quiet epochs at this percentile")
+				}
+				epochs = len(quiet)
+				cdf, err := core.DeviationCDF(data.AssociateQuiet(quiet, 15))
+				if err != nil {
+					b.Fatal(err)
+				}
+				tail = cdf.TailFraction(10)
+			}
+			b.ReportMetric(float64(epochs), "epochs")
+			b.ReportMetric(tail*100, "tail>10km-%")
+		})
+	}
+}

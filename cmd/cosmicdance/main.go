@@ -1,0 +1,363 @@
+// Command cosmicdance is the end-to-end CLI: it ingests solar-activity data
+// (a WDC-format file or a built-in synthetic scenario) and satellite
+// trajectory data (a TLE archive file, a live simulated Space-Track service,
+// or a built-in fleet simulation), runs the CosmicDance pipeline, and prints
+// the storm catalog, the cleaning report, and the happens-closely-after
+// analysis.
+//
+// Usage:
+//
+//	cosmicdance storms  [-dst FILE | -scenario paper]
+//	cosmicdance analyze [-dst FILE | -scenario paper]
+//	                    [-tles FILE | -server URL | -fleet paper|small]
+//	                    [-ptile 95] [-window 30] [-top 10]
+//	cosmicdance fetch   -server URL [-cache DIR] [-from RFC3339] [-to RFC3339]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"cosmicdance/internal/constellation"
+	"cosmicdance/internal/core"
+	"cosmicdance/internal/dst"
+	"cosmicdance/internal/report"
+	"cosmicdance/internal/spacetrack"
+	"cosmicdance/internal/spaceweather"
+	"cosmicdance/internal/tle"
+	"cosmicdance/internal/units"
+	"cosmicdance/internal/wdc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cosmicdance: ")
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "storms":
+		err = cmdStorms(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "fetch":
+		err = cmdFetch(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  cosmicdance storms  [-dst FILE | -scenario paper|fiftyyears|may2024]
+  cosmicdance analyze [-dst FILE | -scenario ...] [-tles FILE | -server URL | -fleet paper|small] [-ptile P] [-window D] [-top N]
+  cosmicdance fetch   -server URL [-cache DIR] [-from T] [-to T]`)
+}
+
+// loadWeather reads the Dst index from a WDC-style HTTP service, a WDC file,
+// or a synthetic scenario.
+func loadWeather(dstFile, scenario string) (*dst.Index, error) {
+	if strings.HasPrefix(dstFile, "http://") || strings.HasPrefix(dstFile, "https://") {
+		client, err := wdc.NewClient(dstFile, nil)
+		if err != nil {
+			return nil, err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		defer cancel()
+		// Fetch the service's full archive: the server defaults both bounds
+		// when very wide ones are requested.
+		return client.Fetch(ctx, time.Date(1957, 1, 1, 0, 0, 0, 0, time.UTC), time.Date(2100, 1, 1, 0, 0, 0, 0, time.UTC))
+	}
+	if dstFile != "" {
+		f, err := os.Open(dstFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		records, err := dst.ParseRecords(f)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", dstFile, err)
+		}
+		return dst.ToIndex(records)
+	}
+	var cfg spaceweather.Config
+	switch scenario {
+	case "paper", "":
+		cfg = spaceweather.Paper2020to2024()
+	case "fiftyyears":
+		cfg = spaceweather.FiftyYears()
+	case "may2024":
+		cfg = spaceweather.May2024()
+	default:
+		return nil, fmt.Errorf("unknown scenario %q", scenario)
+	}
+	return spaceweather.Generate(cfg)
+}
+
+func cmdStorms(args []string) error {
+	fs := flag.NewFlagSet("storms", flag.ExitOnError)
+	dstFile := fs.String("dst", "", "WDC-format Dst file (default: synthetic scenario)")
+	scenario := fs.String("scenario", "paper", "synthetic scenario when -dst is absent")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	weather, err := loadWeather(*dstFile, *scenario)
+	if err != nil {
+		return err
+	}
+	if err := report.Fig1(os.Stdout, weather); err != nil {
+		return err
+	}
+	if err := report.Fig2(os.Stdout, weather); err != nil {
+		return err
+	}
+	if err := report.Heading(os.Stdout, "Storm catalog"); err != nil {
+		return err
+	}
+	rows := [][]string{}
+	for _, s := range weather.Storms(units.StormThreshold) {
+		rows = append(rows, []string{
+			s.Start.Format("2006-01-02 15:04"),
+			fmt.Sprintf("%d", s.Hours),
+			fmt.Sprintf("%.0f", float64(s.Peak)),
+			s.Category().String(),
+		})
+	}
+	return report.Table(os.Stdout, []string{"onset", "hours", "peak nT", "category"}, rows)
+}
+
+// loadTrajectories fills the builder from a TLE file, a tracking server, or a
+// built-in fleet simulation.
+func loadTrajectories(b *core.Builder, weather *dst.Index, tleFile, server, fleet string, seed int64) error {
+	switch {
+	case tleFile != "":
+		f, err := os.Open(tleFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sets, err := tle.ReadAll(f)
+		if err != nil {
+			return fmt.Errorf("parsing %s: %w", tleFile, err)
+		}
+		log.Printf("loaded %d element sets from %s", len(sets), tleFile)
+		b.AddTLEs(sets)
+		return nil
+	case server != "":
+		return fetchInto(b, server, weather)
+	default:
+		var cfg constellation.Config
+		switch fleet {
+		case "paper", "":
+			cfg = constellation.PaperFleet(seed)
+		case "small":
+			start := weather.Start()
+			cfg = constellation.ResearchFleet(seed, start, start.AddDate(1, 0, 0), 10)
+		default:
+			return fmt.Errorf("unknown fleet %q", fleet)
+		}
+		res, err := constellation.Run(cfg, weather)
+		if err != nil {
+			return err
+		}
+		log.Printf("simulated %d satellites, %d element sets", len(res.Sats), len(res.Samples))
+		b.AddSamples(res.Samples)
+		return nil
+	}
+}
+
+// fetchInto performs the paper's two-step ingest against a live service:
+// current catalog once for the numbers, then per-object history.
+func fetchInto(b *core.Builder, server string, weather *dst.Index) error {
+	client, err := spacetrack.NewClient(server, nil)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	current, err := client.FetchGroup(ctx, "starlink")
+	if err != nil {
+		return fmt.Errorf("fetching current catalog: %w", err)
+	}
+	nums := spacetrack.CatalogNumbers(current)
+	log.Printf("current catalog: %d satellites", len(nums))
+	from, to := weather.Start(), weather.End()
+	results, err := spacetrack.FetchHistories(ctx, client, nums, from, to, 8)
+	if err != nil {
+		return err
+	}
+	total := 0
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("history for %d: %w", r.Catalog, r.Err)
+		}
+		b.AddTLEs(r.Sets)
+		total += len(r.Sets)
+	}
+	log.Printf("fetched %d historical element sets", total)
+	return nil
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	dstFile := fs.String("dst", "", "WDC-format Dst file (default: synthetic scenario)")
+	scenario := fs.String("scenario", "paper", "synthetic scenario when -dst is absent")
+	tleFile := fs.String("tles", "", "TLE archive file")
+	archiveFile := fs.String("archive", "", "binary COSM archive (tlegen -format binary)")
+	server := fs.String("server", "", "tracking-service base URL (spacetrackd)")
+	fleet := fs.String("fleet", "paper", "built-in fleet when neither -tles nor -server is given")
+	seed := fs.Int64("seed", 42, "simulation seed")
+	ptile := fs.Float64("ptile", 95, "intensity percentile selecting high-intensity events")
+	window := fs.Int("window", 30, "happens-closely-after window (days)")
+	top := fs.Int("top", 10, "how many largest deviations to list")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	weather, err := loadWeather(*dstFile, *scenario)
+	if err != nil {
+		return err
+	}
+	b := core.NewBuilder(core.DefaultConfig(), weather)
+	if *archiveFile != "" {
+		f, err := os.Open(*archiveFile)
+		if err != nil {
+			return err
+		}
+		res, err := constellation.Load(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", *archiveFile, err)
+		}
+		log.Printf("loaded %d satellites, %d samples from %s", len(res.Sats), len(res.Samples), *archiveFile)
+		b.AddSamples(res.Samples)
+	} else if err := loadTrajectories(b, weather, *tleFile, *server, *fleet, *seed); err != nil {
+		return err
+	}
+	d, err := b.Build()
+	if err != nil {
+		return err
+	}
+
+	cl := d.Cleaning()
+	if err := report.Heading(os.Stdout, "Cleaning report"); err != nil {
+		return err
+	}
+	fmt.Printf("observations: %d   gross errors removed: %d   raising points removed: %d   non-operational objects: %d   tracks: %d\n",
+		cl.TotalObservations, cl.GrossErrors, cl.RaisingRemoved, cl.NonOperational, len(d.Tracks()))
+
+	events, err := d.EventsAbovePercentile(*ptile, 1, 0)
+	if err != nil {
+		return err
+	}
+	if err := report.Heading(os.Stdout, fmt.Sprintf("Events above the %.0fth intensity percentile", *ptile)); err != nil {
+		return err
+	}
+	devs := d.Associate(events, *window)
+	fmt.Printf("%d events, %d (event, satellite) associations\n", len(events), len(devs))
+	if len(devs) == 0 {
+		return nil
+	}
+	cdf, err := core.DeviationCDF(devs)
+	if err != nil {
+		return err
+	}
+	if err := report.CDFTable(os.Stdout, "altitude change within the window", "km", cdf, 10); err != nil {
+		return err
+	}
+
+	// Largest shifts: the cosmic dance's tail.
+	if err := report.Heading(os.Stdout, fmt.Sprintf("Top %d orbital shifts", *top)); err != nil {
+		return err
+	}
+	topDevs := append([]core.Deviation(nil), devs...)
+	for i := 0; i < len(topDevs) && i < *top; i++ {
+		for j := i + 1; j < len(topDevs); j++ {
+			if topDevs[j].MaxDevKm > topDevs[i].MaxDevKm {
+				topDevs[i], topDevs[j] = topDevs[j], topDevs[i]
+			}
+		}
+	}
+	if len(topDevs) > *top {
+		topDevs = topDevs[:*top]
+	}
+	rows := [][]string{}
+	for _, dv := range topDevs {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", dv.Catalog),
+			dv.Event.Format("2006-01-02"),
+			fmt.Sprintf("%.1f", dv.MaxDevKm),
+			fmt.Sprintf("%.5f", dv.MaxDrag),
+		})
+	}
+	return report.Table(os.Stdout, []string{"catalog", "event", "max dev km", "max dB*"}, rows)
+}
+
+func cmdFetch(args []string) error {
+	fs := flag.NewFlagSet("fetch", flag.ExitOnError)
+	server := fs.String("server", "", "tracking-service base URL (required)")
+	cache := fs.String("cache", "cosmicdance-cache", "cache directory")
+	fromArg := fs.String("from", "", "history window start (RFC3339; default 1 year ago)")
+	toArg := fs.String("to", "", "history window end (RFC3339; default now)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *server == "" {
+		return fmt.Errorf("fetch: -server is required")
+	}
+	to := time.Now().UTC()
+	from := to.AddDate(-1, 0, 0)
+	var err error
+	if *fromArg != "" {
+		if from, err = time.Parse(time.RFC3339, *fromArg); err != nil {
+			return err
+		}
+	}
+	if *toArg != "" {
+		if to, err = time.Parse(time.RFC3339, *toArg); err != nil {
+			return err
+		}
+	}
+	client, err := spacetrack.NewClient(*server, nil)
+	if err != nil {
+		return err
+	}
+	fetcher, err := spacetrack.NewCachingFetcher(client, *cache)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	current, err := client.FetchGroup(ctx, "starlink")
+	if err != nil {
+		return err
+	}
+	nums := spacetrack.CatalogNumbers(current)
+	log.Printf("fetching %d satellites into %s", len(nums), *cache)
+	results, err := spacetrack.FetchHistories(ctx, fetcher, nums, from, to, 8)
+	if err != nil {
+		return err
+	}
+	total := 0
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("history for %d: %w", r.Catalog, r.Err)
+		}
+		total += len(r.Sets)
+	}
+	log.Printf("cached %d element sets", total)
+	return nil
+}

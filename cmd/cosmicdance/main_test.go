@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cosmicdance/internal/core"
+	"cosmicdance/internal/dst"
+	"cosmicdance/internal/spaceweather"
+)
+
+func TestLoadWeatherScenarios(t *testing.T) {
+	for _, scenario := range []string{"paper", "fiftyyears", "may2024", ""} {
+		x, err := loadWeather("", scenario)
+		if err != nil {
+			t.Fatalf("scenario %q: %v", scenario, err)
+		}
+		if x.Len() == 0 {
+			t.Fatalf("scenario %q: empty index", scenario)
+		}
+	}
+	if _, err := loadWeather("", "marsweather"); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func TestLoadWeatherFromWDCFile(t *testing.T) {
+	// Round-trip: generate a month, write WDC records, load them back.
+	idx, err := spaceweather.Generate(spaceweather.May2024())
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := dst.FromIndex(idx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "dst.wdc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.WriteRecords(f, records); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	loaded, err := loadWeather(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != idx.Len() {
+		t.Fatalf("loaded %d hours, want %d", loaded.Len(), idx.Len())
+	}
+	// The super-storm survives the file round trip (WDC stores integers).
+	min, at := loaded.Min()
+	if min != -412 || !at.Equal(spaceweather.May2024Peak) {
+		t.Errorf("min = %v at %v", min, at)
+	}
+	if _, err := loadWeather(filepath.Join(t.TempDir(), "missing.wdc"), ""); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadTrajectoriesFromTLEFile(t *testing.T) {
+	weather, err := loadWeather("", "may2024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a small archive file via the simulator's TLE writer.
+	b := core.NewBuilder(core.DefaultConfig(), weather)
+	if err := loadTrajectories(b, weather, "", "", "small", 7); err != nil {
+		t.Fatal(err)
+	}
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Tracks()) == 0 {
+		t.Fatal("no tracks from simulated fleet")
+	}
+	if err := loadTrajectories(core.NewBuilder(core.DefaultConfig(), weather), weather, "nonexistent.tle", "", "", 7); err == nil {
+		t.Error("missing TLE file accepted")
+	}
+	if err := loadTrajectories(core.NewBuilder(core.DefaultConfig(), weather), weather, "", "", "megafleet", 7); err == nil {
+		t.Error("unknown fleet accepted")
+	}
+	_ = time.Now
+}

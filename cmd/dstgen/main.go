@@ -1,0 +1,62 @@
+// Command dstgen generates a synthetic Dst dataset in the WDC Kyoto exchange
+// format (one 120-column record per day).
+//
+// Usage:
+//
+//	dstgen [-scenario paper|fiftyyears|may2024] [-seed S] [-out FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"cosmicdance/internal/dst"
+	"cosmicdance/internal/spaceweather"
+)
+
+func main() {
+	scenario := flag.String("scenario", "paper", "scenario preset: paper, fiftyyears or may2024")
+	seed := flag.Int64("seed", 0, "override the preset's seed (0 keeps it)")
+	out := flag.String("out", "", "write to this file instead of stdout")
+	flag.Parse()
+
+	var cfg spaceweather.Config
+	switch *scenario {
+	case "paper":
+		cfg = spaceweather.Paper2020to2024()
+	case "fiftyyears":
+		cfg = spaceweather.FiftyYears()
+	case "may2024":
+		cfg = spaceweather.May2024()
+	default:
+		log.Fatalf("dstgen: unknown scenario %q", *scenario)
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	index, err := spaceweather.Generate(cfg)
+	if err != nil {
+		log.Fatalf("dstgen: %v", err)
+	}
+	records, err := dst.FromIndex(index, 2)
+	if err != nil {
+		log.Fatalf("dstgen: %v", err)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("dstgen: %v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := dst.WriteRecords(w, records); err != nil {
+		log.Fatalf("dstgen: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "dstgen: wrote %d daily records (%s .. %s)\n",
+		len(records), index.Start().Format("2006-01-02"), index.End().Format("2006-01-02"))
+}

@@ -1,0 +1,357 @@
+// Command figures regenerates every figure of the CosmicDance paper from the
+// simulated substrate and prints the plotted series as text tables.
+//
+// Usage:
+//
+//	figures [-figure N] [-seed S] [-out FILE]
+//
+// With no -figure flag all ten figures are produced in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"cosmicdance/internal/conjunction"
+	"cosmicdance/internal/constellation"
+	"cosmicdance/internal/core"
+	"cosmicdance/internal/groundtrack"
+	"cosmicdance/internal/report"
+	"cosmicdance/internal/spaceweather"
+	"cosmicdance/internal/stats"
+)
+
+func main() {
+	figure := flag.Int("figure", 0, "render only this figure (1-10); 0 renders all")
+	extensions := flag.Bool("extensions", false, "also render the §6 extension analyses")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	out := flag.String("out", "", "write to this file instead of stdout")
+	csvDir := flag.String("csv", "", "also write the plotted series as CSV files into this directory")
+	flag.Parse()
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			log.Fatalf("figures: %v", err)
+		}
+	}
+	csvOut = *csvDir
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("figures: %v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := run(w, *figure, *seed); err != nil {
+		log.Fatalf("figures: %v", err)
+	}
+	if *extensions {
+		if err := runExtensions(w, *seed); err != nil {
+			log.Fatalf("figures: %v", err)
+		}
+	}
+}
+
+// csvOut, when non-empty, receives per-figure CSV exports alongside the text
+// rendering.
+var csvOut string
+
+// writeCSVFile writes one CSV export, ignoring the call when -csv is unset.
+func writeCSVFile(name string, fn func(io.Writer) error) error {
+	if csvOut == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(csvOut, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return fn(f)
+}
+
+func run(w io.Writer, figure int, seed int64) error {
+	want := func(n int) bool { return figure == 0 || figure == n }
+
+	// The paper-window substrate is shared by most figures.
+	var (
+		dataset *core.Dataset
+		fleet   *constellation.Result
+	)
+	needPaper := false
+	for _, n := range []int{3, 4, 5, 6, 9, 10} {
+		if want(n) {
+			needPaper = true
+		}
+	}
+	weather, err := spaceweather.Generate(spaceweather.Paper2020to2024())
+	if err != nil {
+		return err
+	}
+	if needPaper {
+		fmt.Fprintln(w, "building the paper-window substrate (4.5 years, ~2,000 satellites)...")
+		fleet, err = constellation.Run(constellation.PaperFleet(seed), weather)
+		if err != nil {
+			return err
+		}
+		b := core.NewBuilder(core.DefaultConfig(), weather)
+		b.AddSamples(fleet.Samples)
+		dataset, err = b.Build()
+		if err != nil {
+			return err
+		}
+	}
+
+	if want(1) {
+		if err := report.Fig1(w, weather); err != nil {
+			return err
+		}
+	}
+	if want(2) {
+		if err := report.Fig2(w, weather); err != nil {
+			return err
+		}
+	}
+	if want(3) {
+		from := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+		to := time.Date(2024, 5, 8, 0, 0, 0, 0, time.UTC)
+		cats := []int{constellation.Fig3SatDragSpike, constellation.Fig3SatQuietDecay, constellation.Fig3SatSharpDrop}
+		if err := report.Fig3(w, dataset, cats, from, to, 20); err != nil {
+			return err
+		}
+		for _, cat := range cats {
+			ts, err := dataset.TimeSeries(cat, from, to)
+			if err != nil {
+				return err
+			}
+			name := fmt.Sprintf("fig03_%d.csv", cat)
+			if err := writeCSVFile(name, func(f io.Writer) error { return report.SatSeriesToCSV(f, ts) }); err != nil {
+				return err
+			}
+		}
+	}
+	if want(4) {
+		wa, err := dataset.Window(spaceweather.Fig4Storm, core.WindowOptions{Days: 30, RequireHumpShape: true, MinPeakKm: 1})
+		if err != nil {
+			return err
+		}
+		if err := report.Fig4(w, "Fig 4(a): altitude variation after a -112 nT event", wa); err != nil {
+			return err
+		}
+		if err := writeCSVFile("fig04a.csv", func(f io.Writer) error { return report.WindowToCSV(f, wa) }); err != nil {
+			return err
+		}
+		quiet, err := dataset.QuietEpochs(80, 15, 1, 24*time.Hour)
+		if err != nil {
+			return err
+		}
+		qa, err := dataset.Window(quiet[0], core.WindowOptions{Days: 15})
+		if err != nil {
+			return err
+		}
+		if err := report.Fig4(w, "Fig 4(b): altitude variation on a quiet epoch", qa); err != nil {
+			return err
+		}
+		if err := writeCSVFile("fig04b.csv", func(f io.Writer) error { return report.WindowToCSV(f, qa) }); err != nil {
+			return err
+		}
+	}
+	if want(5) || want(6) {
+		if err := renderFig56(w, dataset, want); err != nil {
+			return err
+		}
+	}
+	if want(7) {
+		if err := renderFig7(w, seed); err != nil {
+			return err
+		}
+	}
+	if want(8) {
+		fifty, err := spaceweather.Generate(spaceweather.FiftyYears())
+		if err != nil {
+			return err
+		}
+		if err := report.Fig8(w, fifty, spaceweather.NamedHistoricStorms()); err != nil {
+			return err
+		}
+	}
+	if want(9) {
+		// The L1 cohort: the paper follows 43 satellites of the first launch.
+		cats := make([]int, 0, 43)
+		for c := 44713; c < 44713+43; c++ {
+			cats = append(cats, c)
+		}
+		if err := report.Fig9(w, fleet, cats, 54); err != nil {
+			return err
+		}
+	}
+	if want(10) {
+		raw, err := dataset.RawAltitudeCDF()
+		if err != nil {
+			return err
+		}
+		clean, err := dataset.CleanAltitudeCDF()
+		if err != nil {
+			return err
+		}
+		if err := report.Fig10(w, raw, clean); err != nil {
+			return err
+		}
+		if err := writeCSVFile("fig10a.csv", func(f io.Writer) error { return report.CDFToCSV(f, raw, 64) }); err != nil {
+			return err
+		}
+		if err := writeCSVFile("fig10b.csv", func(f io.Writer) error { return report.CDFToCSV(f, clean, 64) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func renderFig56(w io.Writer, dataset *core.Dataset, want func(int) bool) error {
+	quietEpochs, err := dataset.QuietEpochs(80, 15, 20, 14*24*time.Hour)
+	if err != nil {
+		return err
+	}
+	quietCDF, err := core.DeviationCDF(dataset.AssociateQuiet(quietEpochs, 15))
+	if err != nil {
+		return err
+	}
+	if want(5) {
+		events, err := dataset.EventsAbovePercentile(95, 1, 0)
+		if err != nil {
+			return err
+		}
+		devs := dataset.Associate(events, 30)
+		stormCDF, err := core.DeviationCDF(devs)
+		if err != nil {
+			return err
+		}
+		dragCDF, err := core.DragChangeCDF(devs)
+		if err != nil {
+			return err
+		}
+		if err := report.Fig5(w, quietCDF, stormCDF, dragCDF); err != nil {
+			return err
+		}
+		for name, cdf := range map[string]*stats.CDF{
+			"fig05a.csv": quietCDF, "fig05b.csv": stormCDF, "fig05c.csv": dragCDF,
+		} {
+			if err := writeCSVFile(name, func(f io.Writer) error { return report.CDFToCSV(f, cdf, 64) }); err != nil {
+				return err
+			}
+		}
+	}
+	if want(6) {
+		short, err := dataset.EventsAbovePercentile(99, 1, 8)
+		if err != nil {
+			return err
+		}
+		long, err := dataset.EventsAbovePercentile(99, 9, 0)
+		if err != nil {
+			return err
+		}
+		shortCDF, err := core.DeviationCDF(dataset.Associate(short, 30))
+		if err != nil {
+			return err
+		}
+		longDevs := dataset.Associate(long, 30)
+		longCDF, err := core.DeviationCDF(longDevs)
+		if err != nil {
+			return err
+		}
+		dragLong, err := core.DragChangeCDF(longDevs)
+		if err != nil {
+			return err
+		}
+		if err := report.Fig6(w, shortCDF, longCDF, dragLong); err != nil {
+			return err
+		}
+		for name, cdf := range map[string]*stats.CDF{
+			"fig06a.csv": shortCDF, "fig06b.csv": longCDF, "fig06c.csv": dragLong,
+		} {
+			if err := writeCSVFile(name, func(f io.Writer) error { return report.CDFToCSV(f, cdf, 64) }); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func renderFig7(w io.Writer, seed int64) error {
+	weather, err := spaceweather.Generate(spaceweather.May2024())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nbuilding the May 2024 full-scale fleet (5,900 satellites, one month)...")
+	res, err := constellation.Run(constellation.May2024Fleet(seed), weather)
+	if err != nil {
+		return err
+	}
+	b := core.NewBuilder(core.DefaultConfig(), weather)
+	b.AddSamples(res.Samples)
+	d, err := b.Build()
+	if err != nil {
+		return err
+	}
+	rep, err := d.SuperStorm(res.Start.Add(3*24*time.Hour), res.Start.Add(30*24*time.Hour))
+	if err != nil {
+		return err
+	}
+	if err := writeCSVFile("fig07.csv", func(f io.Writer) error { return report.SuperStormToCSV(f, rep) }); err != nil {
+		return err
+	}
+	return report.Fig7(w, rep)
+}
+
+// runExtensions renders the §6 future-work analyses: latitude-band exposure
+// during the May 2024 super-storm and conjunction pressure over the paper
+// window.
+func runExtensions(w io.Writer, seed int64) error {
+	// Latitude exposure at the super-storm peak.
+	weather, err := spaceweather.Generate(spaceweather.May2024())
+	if err != nil {
+		return err
+	}
+	cfg := constellation.May2024Fleet(seed)
+	cfg.InitialFleet = 1000
+	fleet, err := constellation.Run(cfg, weather)
+	if err != nil {
+		return err
+	}
+	peak := spaceweather.May2024Peak
+	sats := groundtrack.FromSamples(fleet.Samples, peak)
+	exposure, err := groundtrack.NewAnalyzer().Analyze(sats, peak, peak.Add(6*time.Hour))
+	if err != nil {
+		return err
+	}
+	if err := report.ExtLatitude(w, exposure); err != nil {
+		return err
+	}
+
+	// Conjunction pressure over the paper window.
+	paperWeather, err := spaceweather.Generate(spaceweather.Paper2020to2024())
+	if err != nil {
+		return err
+	}
+	paperFleet, err := constellation.Run(constellation.PaperFleet(seed), paperWeather)
+	if err != nil {
+		return err
+	}
+	b := core.NewBuilder(core.DefaultConfig(), paperWeather)
+	b.AddSamples(paperFleet.Samples)
+	dataset, err := b.Build()
+	if err != nil {
+		return err
+	}
+	kessler, err := conjunction.NewAnalyzer(constellation.StarlinkShells()).Analyze(dataset.Tracks())
+	if err != nil {
+		return err
+	}
+	return report.ExtKessler(w, kessler)
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWeatherOnlyFigures renders the figures that need no fleet simulation
+// (fast enough for the unit-test tier) and checks their headline content.
+func TestWeatherOnlyFigures(t *testing.T) {
+	cases := []struct {
+		figure int
+		want   []string
+	}{
+		{1, []string{"Fig 1", "G4 (severe)", "3", "p99="}},
+		{2, []string{"Fig 2", "G1 (minor)", "median h"}},
+		{8, []string{"Fig 8", "1989", "-589", "named storms:"}},
+	}
+	for _, c := range cases {
+		var buf bytes.Buffer
+		if err := run(&buf, c.figure, 42); err != nil {
+			t.Fatalf("figure %d: %v", c.figure, err)
+		}
+		out := buf.String()
+		for _, want := range c.want {
+			if !strings.Contains(out, want) {
+				t.Errorf("figure %d output missing %q", c.figure, want)
+			}
+		}
+	}
+}
+
+func TestFullRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full substrate build in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, 0, 42); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for fig := 1; fig <= 10; fig++ {
+		marker := "Fig " + string(rune('0'+fig))
+		if fig == 10 {
+			marker = "Fig 10"
+		}
+		if !strings.Contains(out, marker) {
+			t.Errorf("output missing %q", marker)
+		}
+	}
+	if err := runExtensions(&buf, 42); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "latitude-band exposure") ||
+		!strings.Contains(buf.String(), "conjunction pressure") {
+		t.Error("extension sections missing")
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("substrate build in -short mode")
+	}
+	dir := t.TempDir()
+	csvOut = dir
+	defer func() { csvOut = "" }()
+	var buf bytes.Buffer
+	if err := run(&buf, 4, 42); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig04a.csv", "fig04b.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.HasPrefix(string(data), "day,median_km,p95_km\n") {
+			t.Errorf("%s header: %q", name, string(data[:40]))
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Command spacetrackd serves a simulated CelesTrak/Space-Track tracking API
+// over HTTP, backed by a constellation simulation run at startup.
+//
+// Endpoints:
+//
+//	GET /NORAD/elements/gp.php?GROUP=starlink&FORMAT=3le   current catalog
+//	GET /history?catalog=N&from=RFC3339&to=RFC3339         per-object history
+//	GET /healthz
+//
+// Usage:
+//
+//	spacetrackd [-addr :8044] [-fleet small|paper|may2024] [-seed S] [-rate R]
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"cosmicdance/internal/constellation"
+	"cosmicdance/internal/spacetrack"
+	"cosmicdance/internal/spaceweather"
+	"cosmicdance/internal/wdc"
+)
+
+func main() {
+	addr := flag.String("addr", ":8044", "listen address")
+	fleet := flag.String("fleet", "small", "fleet preset: small, paper or may2024")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	rate := flag.Float64("rate", 20, "rate limit in requests/second (0 disables)")
+	flag.Parse()
+
+	var (
+		cfg constellation.Config
+		wx  spaceweather.Config
+	)
+	switch *fleet {
+	case "paper":
+		cfg = constellation.PaperFleet(*seed)
+		wx = spaceweather.Paper2020to2024()
+	case "may2024":
+		cfg = constellation.May2024Fleet(*seed)
+		wx = spaceweather.May2024()
+	case "small":
+		start := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+		cfg = constellation.ResearchFleet(*seed, start, start.AddDate(1, 0, 0), 10)
+		wx = spaceweather.Paper2020to2024()
+	default:
+		log.Fatalf("spacetrackd: unknown fleet %q", *fleet)
+	}
+
+	log.Printf("spacetrackd: simulating fleet %q ...", *fleet)
+	weather, err := spaceweather.Generate(wx)
+	if err != nil {
+		log.Fatalf("spacetrackd: %v", err)
+	}
+	res, err := constellation.Run(cfg, weather)
+	if err != nil {
+		log.Fatalf("spacetrackd: %v", err)
+	}
+	archive := spacetrack.NewResultArchive("starlink", res)
+	end := res.Start.Add(time.Duration(res.Hours) * time.Hour)
+	srv := spacetrack.NewServer(archive, end)
+	srv.RatePerSec = *rate
+	srv.Burst = *rate * 2
+
+	// The WDC-style Dst endpoint rides alongside the tracking API, so one
+	// process simulates both of CosmicDance's upstream services.
+	mux := http.NewServeMux()
+	mux.Handle("/dst", wdc.NewServer(weather).Handler())
+	mux.Handle("/", srv.Handler())
+
+	log.Printf("spacetrackd: %d satellites, %d element sets (+/dst endpoint), serving on %s",
+		len(res.Sats), len(res.Samples), *addr)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Fatal(httpSrv.ListenAndServe())
+}

@@ -1,0 +1,78 @@
+// Command tlegen runs the constellation simulator against a synthetic solar
+// activity scenario and writes the resulting tracking archive as standard
+// 2LE/3LE text.
+//
+// Usage:
+//
+//	tlegen [-fleet paper|may2024|small] [-seed S] [-names] [-out FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"cosmicdance/internal/constellation"
+	"cosmicdance/internal/spaceweather"
+)
+
+func main() {
+	fleet := flag.String("fleet", "small", "fleet preset: paper (4.5 y, ~2000 sats), may2024 (1 month, 5900 sats) or small (6 months, 40 sats)")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	names := flag.Bool("names", false, "emit 3LE name lines")
+	format := flag.String("format", "tle", "output format: tle (text archive) or binary (compact COSM archive)")
+	out := flag.String("out", "", "write to this file instead of stdout")
+	flag.Parse()
+
+	var (
+		cfg constellation.Config
+		wx  spaceweather.Config
+	)
+	switch *fleet {
+	case "paper":
+		cfg = constellation.PaperFleet(*seed)
+		wx = spaceweather.Paper2020to2024()
+	case "may2024":
+		cfg = constellation.May2024Fleet(*seed)
+		wx = spaceweather.May2024()
+	case "small":
+		start := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+		cfg = constellation.ResearchFleet(*seed, start, start.AddDate(0, 6, 0), 8)
+		wx = spaceweather.Paper2020to2024()
+	default:
+		log.Fatalf("tlegen: unknown fleet %q", *fleet)
+	}
+	weather, err := spaceweather.Generate(wx)
+	if err != nil {
+		log.Fatalf("tlegen: %v", err)
+	}
+	res, err := constellation.Run(cfg, weather)
+	if err != nil {
+		log.Fatalf("tlegen: %v", err)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("tlegen: %v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "tle":
+		if err := res.WriteTLEs(w, *names); err != nil {
+			log.Fatalf("tlegen: %v", err)
+		}
+	case "binary":
+		if err := res.Save(w); err != nil {
+			log.Fatalf("tlegen: %v", err)
+		}
+	default:
+		log.Fatalf("tlegen: unknown format %q", *format)
+	}
+	fmt.Fprintf(os.Stderr, "tlegen: %d satellites, %d element sets\n", len(res.Sats), len(res.Samples))
+}

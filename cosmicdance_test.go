@@ -1,0 +1,86 @@
+package cosmicdance
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the package doc
+// advertises it.
+func TestFacadeEndToEnd(t *testing.T) {
+	weather, err := GenerateWeather(WeatherConfig{
+		Start: time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC),
+		Hours: 120 * 24, Seed: 3,
+		QuietMean: -11, QuietStd: 6, QuietRho: 0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := SimulateConstellation(smallFleet(weather), weather)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataset, err := NewDataset(weather, fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dataset.Tracks()) == 0 {
+		t.Fatal("no tracks")
+	}
+	devs := dataset.Associate(dataset.Events(StormThreshold, 1, 0), 15)
+	_ = devs // quiet weather: associations may be empty; the call must work
+}
+
+// smallFleet is a 20-satellite on-station fleet spanning the weather window.
+func smallFleet(weather *DstIndex) FleetConfig {
+	cfg := DefaultFleetConfig()
+	cfg.Start = weather.Start()
+	cfg.Hours = weather.Len()
+	cfg.InitialFleet = 20
+	return cfg
+}
+
+func TestFacadeTLEParsing(t *testing.T) {
+	tl, err := ParseTLE(
+		"1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927",
+		"2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.CatalogNumber != 25544 {
+		t.Errorf("catalog = %d", tl.CatalogNumber)
+	}
+	if alt := tl.Altitude(); alt < 330 || alt > 370 {
+		t.Errorf("altitude = %v", alt)
+	}
+}
+
+func TestFacadeDefaults(t *testing.T) {
+	cfg := DefaultPipelineConfig()
+	if cfg.MaxValidAltKm != 650 || cfg.DecayFilterKm != 5 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+}
+
+func TestFacadeExtensions(t *testing.T) {
+	engine, err := NewTriggerEngine(StormThreshold, -30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired int
+	engine.Subscribe(func(TriggerEvent) { fired++ })
+	engine.Feed(time.Date(2024, 5, 11, 0, 0, 0, 0, time.UTC), -412)
+	if fired != 1 || !engine.Active() {
+		t.Errorf("fired=%d active=%v", fired, engine.Active())
+	}
+	if NewLatitudeAnalyzer() == nil {
+		t.Error("nil latitude analyzer")
+	}
+	if got := NewConjunctionAnalyzer(StarlinkShells()); got == nil {
+		t.Error("nil conjunction analyzer")
+	}
+	if len(OneWebShells()) != 1 || OneWebShells()[0].AltitudeKm != 1200 {
+		t.Errorf("OneWeb shells = %+v", OneWebShells())
+	}
+}

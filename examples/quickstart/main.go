@@ -1,0 +1,84 @@
+// Quickstart: the smallest end-to-end CosmicDance run.
+//
+// It generates one year of synthetic space weather with a single strong
+// storm, simulates a small constellation flying through it, runs the
+// pipeline, and prints which satellites shifted orbit closely after the
+// event.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cosmicdance/internal/constellation"
+	"cosmicdance/internal/core"
+	"cosmicdance/internal/spaceweather"
+	"cosmicdance/internal/units"
+)
+
+func main() {
+	start := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	// 1. Space weather: a quiet year with one -180 nT storm in June.
+	weather, err := spaceweather.Generate(spaceweather.Config{
+		Start: start, Hours: 365 * 24, Seed: 7,
+		QuietMean: -11, QuietStd: 6, QuietRho: 0.9,
+		Storms: []spaceweather.StormSpec{{
+			Peak:           -180,
+			PeakAt:         start.AddDate(0, 5, 14),
+			MainPhaseHours: 4,
+			RecoveryTau:    12,
+			Commencement:   15,
+		}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. A small fleet: 60 satellites already on station, storm responses on.
+	cfg := constellation.DefaultConfig()
+	cfg.Start = start
+	cfg.Hours = weather.Len()
+	cfg.InitialFleet = 60
+	cfg.SafeModeProbPerStormHour = 0.02 // make the small fleet react visibly
+	cfg.FailProbPerStormHour = 0.002
+	fleet, err := constellation.Run(cfg, weather)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. The pipeline: ingest, clean, associate.
+	builder := core.NewBuilder(core.DefaultConfig(), weather)
+	builder.AddSamples(fleet.Samples)
+	dataset, err := builder.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Storms found in the weather data.
+	events := dataset.Events(units.StormThreshold, 1, 0)
+	fmt.Printf("detected %d storm(s):\n", len(events))
+	for _, ev := range events {
+		fmt.Printf("  %s  peak %v  %v (%d h)\n",
+			ev.Storm.Start.Format("2006-01-02 15:04"), ev.Storm.Peak, ev.Storm.Category(), ev.Storm.Hours)
+	}
+
+	// 5. Happens-closely-after: orbital shifts within 30 days of each storm.
+	devs := dataset.Associate(events, 30)
+	affected := 0
+	for _, dv := range devs {
+		if dv.MaxDevKm > 2 {
+			affected++
+		}
+	}
+	fmt.Printf("\n%d satellites associated, %d shifted by more than 2 km:\n", len(devs), affected)
+	for _, dv := range devs {
+		if dv.MaxDevKm > 2 {
+			fmt.Printf("  #%d  max shift %.1f km  max drag change %.5f 1/ER\n",
+				dv.Catalog, dv.MaxDevKm, dv.MaxDrag)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Shellcrossing: quantify inter-shell trespasses after storms.
+//
+// Starlink's shells are separated by only ~5 km (per the FCC filings) to
+// minimize collision risk — which works only while satellites hold station.
+// The paper observes that storm-driven shifts of tens of kilometres
+// "translate to satellites trespassing multiple adjacent shells". This
+// example measures exactly that: for every high-intensity event in the
+// paper window, how many satellites left their shell's ±5 km envelope, and
+// how many crossed one or more whole shells.
+//
+//	go run ./examples/shellcrossing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cosmicdance/internal/constellation"
+	"cosmicdance/internal/core"
+	"cosmicdance/internal/spaceweather"
+)
+
+func main() {
+	weather, err := spaceweather.Generate(spaceweather.Paper2020to2024())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("shellcrossing: simulating the paper-window fleet (takes a few seconds)...")
+	fleet, err := constellation.Run(constellation.PaperFleet(42), weather)
+	if err != nil {
+		log.Fatal(err)
+	}
+	builder := core.NewBuilder(core.DefaultConfig(), weather)
+	builder.AddSamples(fleet.Samples)
+	dataset, err := builder.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	events, err := dataset.EventsAbovePercentile(95, 1, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	devs := dataset.Associate(events, 30)
+
+	gap := constellation.InterShellGapKm
+	// Shell altitudes span 540-570 km; a deviation of ~10 km can reach the
+	// next shell, ~30 km crosses the whole stack.
+	var leftEnvelope, crossedOne, crossedStack int
+	perEvent := map[string]int{}
+	for _, dv := range devs {
+		switch {
+		case dv.MaxDevKm >= 30:
+			crossedStack++
+			fallthrough
+		case dv.MaxDevKm >= 2*gap:
+			crossedOne++
+			fallthrough
+		case dv.MaxDevKm >= gap:
+			leftEnvelope++
+			perEvent[dv.Event.Format("2006-01-02")]++
+		}
+	}
+
+	fmt.Printf("\n%d high-intensity events, %d (event, satellite) associations\n", len(events), len(devs))
+	fmt.Printf("\ntrespass summary over the 30-day windows after those events:\n")
+	fmt.Printf("  left the ±%.0f km shell envelope: %d\n", gap, leftEnvelope)
+	fmt.Printf("  reached an adjacent shell (>= %.0f km): %d\n", 2*gap, crossedOne)
+	fmt.Printf("  fell through the whole 540-570 km stack (>= 30 km): %d\n", crossedStack)
+
+	fmt.Println("\nevents that produced trespassers:")
+	for _, ev := range events {
+		day := ev.Storm.Start.Format("2006-01-02")
+		if n := perEvent[day]; n > 0 {
+			fmt.Printf("  %s  peak %v  %v -> %d trespassing satellite(s)\n",
+				day, ev.Storm.Peak, ev.Storm.Category(), n)
+		}
+	}
+	fmt.Println("\nevery trespass is a conjunction-screening burden for the operator —")
+	fmt.Println("the Kessler-syndrome pressure the paper flags for future work.")
+}

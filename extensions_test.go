@@ -1,0 +1,194 @@
+package cosmicdance
+
+// Benchmarks for the paper's §6 future-work extensions implemented in this
+// repository: latitude-band exposure during storms (finer granularity) and
+// conjunction/Kessler pressure from storm-driven decays.
+
+import (
+	"testing"
+	"time"
+
+	"cosmicdance/internal/conjunction"
+	"cosmicdance/internal/constellation"
+	"cosmicdance/internal/core"
+	"cosmicdance/internal/coverage"
+	"cosmicdance/internal/groundtrack"
+	"cosmicdance/internal/spaceweather"
+	"cosmicdance/internal/trigger"
+	"cosmicdance/internal/units"
+)
+
+// BenchmarkExtensionLatitudeExposure measures where the fleet is, in
+// latitude, during the May 2024 super-storm peak — the paper's proposed
+// latitude-band-wise refinement.
+func BenchmarkExtensionLatitudeExposure(b *testing.B) {
+	weather, err := spaceweather.Generate(spaceweather.May2024())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := constellation.May2024Fleet(7)
+	cfg.InitialFleet = 1000
+	fleet, err := constellation.Run(cfg, weather)
+	if err != nil {
+		b.Fatal(err)
+	}
+	peak := spaceweather.May2024Peak
+	sats := groundtrack.FromSamples(fleet.Samples, peak)
+	analyzer := groundtrack.NewAnalyzer()
+	b.ResetTimer()
+	var auroral float64
+	for i := 0; i < b.N; i++ {
+		rep, err := analyzer.Analyze(sats, peak, peak.Add(6*time.Hour))
+		if err != nil {
+			b.Fatal(err)
+		}
+		auroral = rep.AuroralFraction
+	}
+	b.ReportMetric(auroral*100, "auroral-exposure-%")
+	b.ReportMetric(float64(len(sats)), "satellites")
+}
+
+// BenchmarkExtensionKesslerPressure measures the conjunction-screening
+// pressure created by storm-driven decays over the paper window: dwell time
+// in foreign shells and the kinetic-gas expected-encounter figure.
+func BenchmarkExtensionKesslerPressure(b *testing.B) {
+	_, _, data := paperFixture(b)
+	analyzer := conjunction.NewAnalyzer(constellation.StarlinkShells())
+	b.ResetTimer()
+	var crossings int
+	var dwell, expected float64
+	for i := 0; i < b.N; i++ {
+		rep, err := analyzer.Analyze(data.Tracks())
+		if err != nil {
+			b.Fatal(err)
+		}
+		crossings, dwell, expected = len(rep.Crossings), rep.DwellSatHours, rep.ExpectedConjunctions
+	}
+	b.ReportMetric(float64(crossings), "crossings")
+	b.ReportMetric(dwell, "dwell-sat-hours")
+	b.ReportMetric(expected, "expected-conjunctions")
+}
+
+// BenchmarkExtensionTriggerReplay measures the trigger engine over the full
+// paper window: how many campaigns a LEOScope integration would schedule.
+func BenchmarkExtensionTriggerReplay(b *testing.B) {
+	weather, _, _ := paperFixture(b)
+	b.ResetTimer()
+	var onsets, escalations int
+	for i := 0; i < b.N; i++ {
+		engine, err := trigger.New(units.StormThreshold, -35)
+		if err != nil {
+			b.Fatal(err)
+		}
+		engine.MinGap = 12 * time.Hour
+		onsets, escalations = 0, 0
+		for _, ev := range engine.Replay(weather) {
+			switch ev.Kind {
+			case trigger.Onset:
+				onsets++
+			case trigger.Escalation:
+				escalations++
+			}
+		}
+	}
+	b.ReportMetric(float64(onsets), "onsets")
+	b.ReportMetric(float64(escalations), "escalations")
+}
+
+// BenchmarkExtensionIntensityResponse computes the per-event correlation
+// between storm intensity and fleet response — a single-number summary of
+// Fig 5's ordering ("deeper storms move satellites more").
+func BenchmarkExtensionIntensityResponse(b *testing.B) {
+	_, _, data := paperFixture(b)
+	b.ResetTimer()
+	var r float64
+	var events int
+	for i := 0; i < b.N; i++ {
+		evs, err := data.EventsAbovePercentile(90, 1, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _, corr, err := data.IntensityResponse(evs, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, events = corr, len(evs)
+	}
+	b.ReportMetric(r, "pearson-r")
+	b.ReportMetric(float64(events), "events")
+}
+
+// BenchmarkExtensionManeuverRate measures station-keeping/avoidance maneuver
+// frequency — the confounder the paper's Limitations section flags.
+func BenchmarkExtensionManeuverRate(b *testing.B) {
+	_, _, data := paperFixture(b)
+	b.ResetTimer()
+	var rate float64
+	var count int
+	for i := 0; i < b.N; i++ {
+		events := data.Maneuvers(1.5, 48*time.Hour)
+		count = len(events)
+		rate = data.ManeuverRate(1.5, 48*time.Hour)
+	}
+	b.ReportMetric(float64(count), "maneuvers")
+	b.ReportMetric(rate, "per-sat-per-30d")
+}
+
+// BenchmarkExtensionDecayAttribution runs the automated decay-onset detector
+// over the paper window and reports the happens-closely-after lift: how much
+// more often permanent decays begin inside post-storm windows than uniform
+// chance would place them. Lift 1.0 = no association.
+func BenchmarkExtensionDecayAttribution(b *testing.B) {
+	_, _, data := paperFixture(b)
+	b.ResetTimer()
+	var att core.Attribution
+	for i := 0; i < b.N; i++ {
+		events, err := data.EventsAbovePercentile(99, 1, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		att = data.AttributeDecayOnsets(events, 7*24*time.Hour, 20)
+	}
+	b.ReportMetric(float64(att.Onsets), "onsets")
+	b.ReportMetric(float64(att.CloselyAfter), "closely-after")
+	b.ReportMetric(att.Coverage*100, "window-coverage-%")
+	b.ReportMetric(att.Lift, "lift")
+}
+
+// BenchmarkExtensionServiceHoles measures the paper's motivating "service
+// holes" scenario with the coverage model: the same May 2024 fleet with and
+// without a simulated mass-decay of a third of one shell.
+func BenchmarkExtensionServiceHoles(b *testing.B) {
+	weather, err := spaceweather.Generate(spaceweather.May2024())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := constellation.May2024Fleet(7)
+	cfg.InitialFleet = 900
+	fleet, err := constellation.Run(cfg, weather)
+	if err != nil {
+		b.Fatal(err)
+	}
+	at := spaceweather.May2024Peak
+	sats := groundtrack.FromSamplesFresh(fleet.Samples, at, 3*24*time.Hour)
+	analyzer := coverage.NewAnalyzer()
+	b.ResetTimer()
+	var before, after float64
+	var holesBefore, holesAfter int
+	for i := 0; i < b.N; i++ {
+		full, err := analyzer.Snapshot(sats, at)
+		if err != nil {
+			b.Fatal(err)
+		}
+		degraded, err := analyzer.Snapshot(sats[:len(sats)*2/3], at)
+		if err != nil {
+			b.Fatal(err)
+		}
+		before, after = full.GlobalCovered, degraded.GlobalCovered
+		holesBefore, holesAfter = full.Holes, degraded.Holes
+	}
+	b.ReportMetric(before*100, "covered-%")
+	b.ReportMetric(after*100, "covered-after-decay-%")
+	b.ReportMetric(float64(holesBefore), "holes")
+	b.ReportMetric(float64(holesAfter), "holes-after-decay")
+}

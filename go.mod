@@ -1,0 +1,3 @@
+module cosmicdance
+
+go 1.22

@@ -1,0 +1,131 @@
+package atmosphere
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cosmicdance/internal/units"
+)
+
+func TestEnhancementQuiet(t *testing.T) {
+	m := Standard()
+	for _, d := range []units.NanoTesla{0, -10, -29, -30} {
+		if got := m.Enhancement(d); got != 1 {
+			t.Errorf("Enhancement(%v) = %v, want 1", d, got)
+		}
+	}
+}
+
+func TestEnhancementSuperStorm(t *testing.T) {
+	m := Standard()
+	// The May 2024 super-storm (−412 nT) produced ~5× drag per Starlink's
+	// FCC comment; the model is calibrated to match.
+	got := m.Enhancement(-412)
+	if got < 4.5 || got > 5.5 {
+		t.Errorf("Enhancement(-412) = %v, want ~5", got)
+	}
+	// A mild storm produces a modest increase.
+	mild := m.Enhancement(-63)
+	if mild < 1.1 || mild > 1.8 {
+		t.Errorf("Enhancement(-63) = %v, want ~1.35", mild)
+	}
+}
+
+func TestEnhancementMonotone(t *testing.T) {
+	m := Standard()
+	f := func(a, b int16) bool {
+		lo, hi := units.NanoTesla(-math.Abs(float64(a))), units.NanoTesla(-math.Abs(float64(b)))
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		// lo is more negative (more intense): must not have smaller factor.
+		return m.Enhancement(lo) >= m.Enhancement(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDensityProfile(t *testing.T) {
+	m := Standard()
+	// Density at the reference altitude under quiet conditions equals the
+	// reference density.
+	if got := m.Density(550, 0); math.Abs(got-m.RefDensity)/m.RefDensity > 1e-12 {
+		t.Errorf("Density(550, quiet) = %v, want %v", got, m.RefDensity)
+	}
+	// One scale height lower, density is e times higher.
+	ratio := m.Density(550-units.Kilometers(m.ScaleHeightKm), 0) / m.Density(550, 0)
+	if math.Abs(ratio-math.E) > 1e-9 {
+		t.Errorf("one-scale-height ratio = %v, want e", ratio)
+	}
+	// The staging orbit (~350 km) is much denser than the operational shell.
+	if m.Density(350, 0) < 10*m.Density(550, 0) {
+		t.Error("staging orbit should see >10x the drag of the operational shell")
+	}
+}
+
+func TestDecayRateShape(t *testing.T) {
+	m := Standard()
+	quiet550 := m.DecayRate(550, 0)
+	if quiet550 < 0.05 || quiet550 > 0.5 {
+		t.Errorf("quiet decay at 550 km = %v km/day, want ~0.15", quiet550)
+	}
+	// Storms accelerate decay.
+	storm550 := m.DecayRate(550, -412)
+	if storm550 < 4*quiet550 {
+		t.Errorf("super-storm decay = %v, want >= 4x quiet (%v)", storm550, quiet550)
+	}
+	// Lower orbits decay faster (this is what makes decay self-accelerating).
+	if m.DecayRate(350, 0) <= m.DecayRate(550, 0) {
+		t.Error("decay must accelerate at lower altitude")
+	}
+	// Staging-orbit decay is a few km/day — the regime that deorbited the
+	// Feb 2022 batch within days once drag spiked.
+	staging := m.DecayRate(350, -66)
+	if staging < 1 || staging > 15 {
+		t.Errorf("staging decay under moderate storm = %v km/day", staging)
+	}
+	if got := m.DecayRate(0, 0); got != 0 {
+		t.Errorf("decay at zero altitude = %v, want 0 (degenerate)", got)
+	}
+}
+
+func TestDecayRateMonotoneInIntensity(t *testing.T) {
+	m := Standard()
+	prev := 0.0
+	for i := 0; i <= 500; i += 25 {
+		rate := m.DecayRate(550, units.NanoTesla(-i))
+		if rate < prev {
+			t.Errorf("decay rate decreased at -%d nT: %v < %v", i, rate, prev)
+		}
+		prev = rate
+	}
+}
+
+func TestBStar(t *testing.T) {
+	m := Standard()
+	quiet := m.BStar(550, 0, 1)
+	if math.Abs(quiet-m.BaseBStar)/m.BaseBStar > 1e-12 {
+		t.Errorf("quiet B* = %v, want %v", quiet, m.BaseBStar)
+	}
+	// Storm B* scales with the density enhancement (Fig 7's 5x).
+	storm := m.BStar(550, -412, 1)
+	if storm < 4*quiet || storm > 6*quiet {
+		t.Errorf("super-storm B* = %v, want ~5x %v", storm, quiet)
+	}
+	// Satellite-specific drag factor scales linearly.
+	if got := m.BStar(550, 0, 2); math.Abs(got-2*quiet) > 1e-15 {
+		t.Errorf("satFactor=2 B* = %v, want %v", got, 2*quiet)
+	}
+}
+
+func TestVelocityDecreasesWithAltitude(t *testing.T) {
+	if velocity(350) <= velocity(550) {
+		t.Error("orbital velocity must decrease with altitude")
+	}
+	// ~7.6 km/s at 550 km.
+	if v := velocity(550); v < 7.5 || v > 7.7 {
+		t.Errorf("velocity(550) = %v", v)
+	}
+}

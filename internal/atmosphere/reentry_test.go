@@ -1,0 +1,81 @@
+package atmosphere
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimeToReentryControlledDeorbit(t *testing.T) {
+	m := Standard()
+	// A controlled 4 km/day decommission from 550 km: roughly (550-180)/4+
+	// drag acceleration ≈ 2-3 months.
+	est := m.TimeToReentry(550, -10, 1, 4)
+	if !est.Reenters {
+		t.Fatal("controlled deorbit did not re-enter")
+	}
+	days := est.Duration.Hours() / 24
+	if days < 40 || days > 95 {
+		t.Errorf("controlled deorbit took %.0f days, want ~2-3 months", days)
+	}
+}
+
+func TestTimeToReentryUncontrolledFromStaging(t *testing.T) {
+	m := Standard()
+	// Uncontrolled decay from the 210 km insertion of the Feb 2022 incident:
+	// days, not months — the regime that doomed the batch.
+	est := m.TimeToReentry(210, -66, 2.5, 0)
+	if !est.Reenters {
+		t.Fatal("low staging orbit did not re-enter")
+	}
+	if d := est.Duration.Hours() / 24; d < 0.5 || d > 14 {
+		t.Errorf("staging re-entry took %.1f days, want days", d)
+	}
+}
+
+func TestTimeToReentryOperationalAltitudeIsSlow(t *testing.T) {
+	m := Standard()
+	// An uncontrolled but otherwise nominal object at 550 km decays in
+	// years: much slower than any controlled descent.
+	est := m.TimeToReentry(550, -10, 1, 0)
+	controlled := m.TimeToReentry(550, -10, 1, 4)
+	if est.Reenters && controlled.Reenters && est.Duration < 4*controlled.Duration {
+		t.Errorf("uncontrolled (%v) not much slower than controlled (%v)", est.Duration, controlled.Duration)
+	}
+	if !est.Reenters && est.FinalAltKm >= 550 {
+		t.Errorf("no decay at all: final altitude %v", est.FinalAltKm)
+	}
+}
+
+func TestTimeToReentryStormAccelerates(t *testing.T) {
+	m := Standard()
+	quiet := m.TimeToReentry(400, -10, 1.5, 0)
+	storm := m.TimeToReentry(400, -412, 1.5, 0)
+	if !quiet.Reenters || !storm.Reenters {
+		t.Fatal("400 km objects must re-enter within the horizon")
+	}
+	if storm.Duration >= quiet.Duration {
+		t.Errorf("storm (%v) not faster than quiet (%v)", storm.Duration, quiet.Duration)
+	}
+}
+
+func TestTimeToReentryEdgeCases(t *testing.T) {
+	m := Standard()
+	est := m.TimeToReentry(100, -10, 1, 0)
+	if !est.Reenters || est.Duration != 0 {
+		t.Errorf("already below the line: %+v", est)
+	}
+	// Zero drag factor defaults to 1 rather than freezing the object.
+	est = m.TimeToReentry(300, -10, 0, 0)
+	if !est.Reenters {
+		t.Error("drag factor 0 froze the integration")
+	}
+	// Very high orbit: survives the horizon.
+	est = m.TimeToReentry(1200, -10, 1, 0)
+	if est.Reenters {
+		t.Errorf("1200 km object re-entered within 10 years: %v", est.Duration)
+	}
+	if est.FinalAltKm <= 0 || est.FinalAltKm > 1200 {
+		t.Errorf("final altitude = %v", est.FinalAltKm)
+	}
+	_ = time.Hour
+}

@@ -1,0 +1,196 @@
+// Package conjunction implements the paper's §6 Kessler-syndrome extension:
+// quantifying the collision-screening pressure that storm-driven orbital
+// decay creates. A satellite that decays out of its shell falls through
+// every shell beneath it; while inside a foreign shell's altitude band it
+// accumulates conjunction exposure against that shell's residents. The
+// package detects such crossings in cleaned CosmicDance tracks and converts
+// dwell time into an expected-encounter figure with a kinetic-gas model —
+// the standard first-order estimate used in debris-environment studies.
+package conjunction
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"cosmicdance/internal/constellation"
+	"cosmicdance/internal/core"
+	"cosmicdance/internal/units"
+)
+
+// Crossing is one satellite's transit of a foreign shell's altitude band.
+type Crossing struct {
+	Catalog    int
+	Shell      string
+	Entered    time.Time
+	Exited     time.Time
+	DwellHours float64
+}
+
+// ShellOccupancy is a shell and its resident population.
+type ShellOccupancy struct {
+	Shell constellation.Shell
+	Count int
+}
+
+// Report summarizes the conjunction pressure over an analysis.
+type Report struct {
+	Occupancy []ShellOccupancy
+	Crossings []Crossing
+	// DwellSatHours sums the time crossers spent inside foreign bands.
+	DwellSatHours float64
+	// ExpectedConjunctions is the kinetic-gas estimate of close approaches
+	// within ScreeningRadiusKm accumulated over all crossings.
+	ExpectedConjunctions float64
+}
+
+// Analyzer detects shell crossings and scores them.
+type Analyzer struct {
+	Shells []constellation.Shell
+	// HalfWidthKm is the half-width of each shell's altitude band. The
+	// default is half the ~5 km inter-shell gap, so bands tile the stack
+	// without overlapping.
+	HalfWidthKm float64
+	// ScreeningRadiusKm is the close-approach distance that counts as a
+	// conjunction (operators screen at kilometre scale).
+	ScreeningRadiusKm float64
+	// RelVelocityKmS is the typical relative speed of a crosser against
+	// shell residents (crossing geometries approach orbital speed).
+	RelVelocityKmS float64
+	// OwnShellToleranceKm matches a track to its home shell.
+	OwnShellToleranceKm float64
+}
+
+// NewAnalyzer returns an analyzer over the given shells with standard
+// screening parameters. Shells sharing an altitude (Starlink's two 560 km
+// shells) are merged into one band so crossings are not double-counted.
+func NewAnalyzer(shells []constellation.Shell) *Analyzer {
+	merged := make([]constellation.Shell, 0, len(shells))
+	byAlt := make(map[float64]int)
+	for _, sh := range shells {
+		if i, ok := byAlt[sh.AltitudeKm]; ok {
+			merged[i].Name = merged[i].Name + "+" + sh.Name
+			merged[i].Planes += sh.Planes
+			merged[i].SatsPerPlane = 0 // mixed; per-plane count is no longer meaningful
+			continue
+		}
+		byAlt[sh.AltitudeKm] = len(merged)
+		merged = append(merged, sh)
+	}
+	return &Analyzer{
+		Shells:              merged,
+		HalfWidthKm:         constellation.InterShellGapKm / 2,
+		ScreeningRadiusKm:   1,
+		RelVelocityKmS:      10,
+		OwnShellToleranceKm: 10,
+	}
+}
+
+// homeShell returns the index of the shell a track belongs to, or -1.
+func (a *Analyzer) homeShell(opAltKm float64) int {
+	best, bestDiff := -1, a.OwnShellToleranceKm
+	for i, sh := range a.Shells {
+		if d := math.Abs(sh.AltitudeKm - opAltKm); d <= bestDiff {
+			best, bestDiff = i, d
+		}
+	}
+	return best
+}
+
+// isResidentBand reports whether a shell band overlaps the track's own
+// station-keeping envelope — such bands are home territory, not crossings.
+// This matters when two shells share an altitude (Starlink's 560 km shells):
+// residents of one must not be counted as perpetual crossers of the other.
+func (a *Analyzer) isResidentBand(opAltKm float64, sh constellation.Shell) bool {
+	return math.Abs(sh.AltitudeKm-opAltKm) <= a.HalfWidthKm+3
+}
+
+// Analyze scans the tracks for foreign-shell crossings and scores the
+// aggregate conjunction pressure. Occupancy is derived from the tracks
+// themselves (their home shells).
+func (a *Analyzer) Analyze(tracks []*core.Track) (*Report, error) {
+	if len(a.Shells) == 0 {
+		return nil, fmt.Errorf("conjunction: no shells configured")
+	}
+	if len(tracks) == 0 {
+		return nil, fmt.Errorf("conjunction: no tracks")
+	}
+	rep := &Report{}
+	counts := make([]int, len(a.Shells))
+	for _, tr := range tracks {
+		if home := a.homeShell(tr.OperationalAltKm); home >= 0 {
+			counts[home]++
+		}
+	}
+	for i, sh := range a.Shells {
+		rep.Occupancy = append(rep.Occupancy, ShellOccupancy{Shell: sh, Count: counts[i]})
+	}
+
+	for _, tr := range tracks {
+		for shellIdx, sh := range a.Shells {
+			if a.isResidentBand(tr.OperationalAltKm, sh) {
+				continue
+			}
+			for _, c := range a.crossings(tr, sh) {
+				rep.Crossings = append(rep.Crossings, c)
+				rep.DwellSatHours += c.DwellHours
+				rep.ExpectedConjunctions += a.expectedEncounters(sh, counts[shellIdx], c.DwellHours)
+			}
+		}
+	}
+	sort.Slice(rep.Crossings, func(i, j int) bool {
+		return rep.Crossings[i].Entered.Before(rep.Crossings[j].Entered)
+	})
+	return rep, nil
+}
+
+// crossings extracts the maximal in-band intervals of one track against one
+// shell band. Dwell is measured between consecutive observations whose
+// altitudes are inside the band (the TLE cadence bounds the resolution,
+// exactly as it does for the paper's analyses).
+func (a *Analyzer) crossings(tr *core.Track, sh constellation.Shell) []Crossing {
+	lo, hi := sh.AltitudeKm-a.HalfWidthKm, sh.AltitudeKm+a.HalfWidthKm
+	var out []Crossing
+	var open *Crossing
+	for _, p := range tr.Points {
+		in := float64(p.AltKm) >= lo && float64(p.AltKm) < hi
+		switch {
+		case in && open == nil:
+			open = &Crossing{Catalog: tr.Catalog, Shell: sh.Name, Entered: p.Time(), Exited: p.Time()}
+		case in:
+			open.Exited = p.Time()
+		case !in && open != nil:
+			open.DwellHours = open.Exited.Sub(open.Entered).Hours()
+			// A single in-band observation still represents a transit: count
+			// the sampling interval floor of one hour.
+			if open.DwellHours < 1 {
+				open.DwellHours = 1
+			}
+			out = append(out, *open)
+			open = nil
+		}
+	}
+	if open != nil {
+		open.DwellHours = open.Exited.Sub(open.Entered).Hours()
+		if open.DwellHours < 1 {
+			open.DwellHours = 1
+		}
+		out = append(out, *open)
+	}
+	return out
+}
+
+// expectedEncounters is the kinetic-gas estimate: λ = n·σ·v·T with the
+// resident spatial density n over the band volume, screening cross-section
+// σ = π·R², relative speed v, and dwell time T.
+func (a *Analyzer) expectedEncounters(sh constellation.Shell, residents int, dwellHours float64) float64 {
+	if residents == 0 || dwellHours <= 0 {
+		return 0
+	}
+	r := units.EarthRadiusKm + sh.AltitudeKm
+	volume := 4 * math.Pi * r * r * (2 * a.HalfWidthKm) // km³
+	density := float64(residents) / volume              // 1/km³
+	sigma := math.Pi * a.ScreeningRadiusKm * a.ScreeningRadiusKm
+	return density * sigma * a.RelVelocityKmS * dwellHours * 3600
+}

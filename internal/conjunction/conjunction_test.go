@@ -1,0 +1,216 @@
+package conjunction
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cosmicdance/internal/constellation"
+	"cosmicdance/internal/core"
+)
+
+var cj0 = time.Date(2023, 3, 1, 0, 0, 0, 0, time.UTC)
+
+// track builds a core.Track from (hour, altitude) pairs.
+func track(catalog int, opAlt float64, points [][2]float64) *core.Track {
+	tr := &core.Track{Catalog: catalog, OperationalAltKm: opAlt}
+	for _, p := range points {
+		tr.Points = append(tr.Points, core.TrackPoint{
+			Epoch: cj0.Add(time.Duration(p[0]) * time.Hour).Unix(),
+			AltKm: float32(p[1]),
+		})
+	}
+	return tr
+}
+
+// steady returns a resident track that never leaves its shell.
+func steady(catalog int, alt float64, hours int) *core.Track {
+	var pts [][2]float64
+	for h := 0; h < hours; h += 12 {
+		pts = append(pts, [2]float64{float64(h), alt})
+	}
+	return track(catalog, alt, pts)
+}
+
+// decayer returns a track decaying from startAlt at rate km/h after onsetHour.
+func decayer(catalog int, startAlt, ratePerHour float64, onsetHour, totalHours int) *core.Track {
+	var pts [][2]float64
+	for h := 0; h < totalHours; h += 6 {
+		alt := startAlt
+		if h > onsetHour {
+			alt = startAlt - ratePerHour*float64(h-onsetHour)
+		}
+		if alt < 180 {
+			break
+		}
+		pts = append(pts, [2]float64{float64(h), alt})
+	}
+	return track(catalog, startAlt, pts)
+}
+
+func shells() []constellation.Shell {
+	return []constellation.Shell{
+		{Name: "s570", AltitudeKm: 570},
+		{Name: "s550", AltitudeKm: 550},
+		{Name: "s540", AltitudeKm: 540},
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	a := NewAnalyzer(nil)
+	if _, err := a.Analyze([]*core.Track{steady(1, 550, 100)}); err == nil {
+		t.Error("no shells accepted")
+	}
+	a = NewAnalyzer(shells())
+	if _, err := a.Analyze(nil); err == nil {
+		t.Error("no tracks accepted")
+	}
+}
+
+func TestOccupancyAssignment(t *testing.T) {
+	a := NewAnalyzer(shells())
+	rep, err := a.Analyze([]*core.Track{
+		steady(1, 550, 100), steady(2, 549, 100), steady(3, 570, 100),
+		steady(4, 300, 100), // no home shell
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int{}
+	for _, o := range rep.Occupancy {
+		byName[o.Shell.Name] = o.Count
+	}
+	if byName["s550"] != 2 || byName["s570"] != 1 || byName["s540"] != 0 {
+		t.Errorf("occupancy = %v", byName)
+	}
+}
+
+func TestResidentsProduceNoCrossings(t *testing.T) {
+	a := NewAnalyzer(shells())
+	rep, err := a.Analyze([]*core.Track{steady(1, 550, 500), steady(2, 570, 500)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Crossings) != 0 {
+		t.Errorf("crossings = %+v, want none", rep.Crossings)
+	}
+	if rep.ExpectedConjunctions != 0 {
+		t.Errorf("expected conjunctions = %v", rep.ExpectedConjunctions)
+	}
+}
+
+func TestDecayerCrossesLowerShells(t *testing.T) {
+	a := NewAnalyzer(shells())
+	// 0.2 km/h ≈ 4.8 km/day: each 5 km band takes ~25 h to cross.
+	tracks := []*core.Track{
+		steady(1, 550, 2000), steady(2, 550, 2000), steady(3, 540, 2000),
+		decayer(9, 570, 0.2, 240, 2000),
+	}
+	rep, err := a.Analyze(tracks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossed := map[string]bool{}
+	for _, c := range rep.Crossings {
+		if c.Catalog != 9 {
+			t.Errorf("unexpected crosser %d", c.Catalog)
+		}
+		crossed[c.Shell] = true
+		if c.DwellHours < 10 || c.DwellHours > 40 {
+			t.Errorf("dwell in %s = %v h, want ~25", c.Shell, c.DwellHours)
+		}
+	}
+	if !crossed["s550"] || !crossed["s540"] {
+		t.Errorf("crossed = %v, want both lower shells", crossed)
+	}
+	if crossed["s570"] {
+		t.Error("home shell counted as crossing")
+	}
+	if rep.ExpectedConjunctions <= 0 {
+		t.Error("no conjunction pressure from a decayer through populated shells")
+	}
+}
+
+func TestPressureScalesWithOccupancy(t *testing.T) {
+	build := func(residents int) float64 {
+		tracks := []*core.Track{decayer(99, 570, 0.2, 0, 2000)}
+		for i := 0; i < residents; i++ {
+			tracks = append(tracks, steady(i+1, 550, 2000))
+		}
+		rep, err := NewAnalyzer(shells()).Analyze(tracks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.ExpectedConjunctions
+	}
+	p10, p100 := build(10), build(100)
+	if p100 <= p10 {
+		t.Fatalf("pressure did not grow with occupancy: %v vs %v", p10, p100)
+	}
+	ratio := p100 / p10
+	if ratio < 8 || ratio > 12 {
+		t.Errorf("pressure ratio = %v, want ~10 (linear in density)", ratio)
+	}
+}
+
+func TestExpectedEncountersMagnitude(t *testing.T) {
+	a := NewAnalyzer(shells())
+	// 500 residents, 30 h dwell: the kinetic-gas estimate lands at the
+	// fraction-of-an-event scale — the screening-burden regime, not certain
+	// collision.
+	got := a.expectedEncounters(shells()[1], 500, 30)
+	if got < 0.05 || got > 5 {
+		t.Errorf("expected encounters = %v, want O(0.1-1)", got)
+	}
+	if a.expectedEncounters(shells()[1], 0, 30) != 0 {
+		t.Error("zero residents must mean zero pressure")
+	}
+	if a.expectedEncounters(shells()[1], 500, 0) != 0 {
+		t.Error("zero dwell must mean zero pressure")
+	}
+}
+
+func TestSingleObservationTransitCountsFloor(t *testing.T) {
+	a := NewAnalyzer(shells())
+	// A fast decayer sampled once inside the 540 band.
+	tr := track(7, 570, [][2]float64{
+		{0, 570}, {12, 570}, {24, 552}, {36, 541}, {48, 500},
+	})
+	rep, err := a.Analyze([]*core.Track{tr, steady(1, 540, 100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range rep.Crossings {
+		if c.Shell == "s540" {
+			found = true
+			if c.DwellHours < 1 {
+				t.Errorf("dwell floor not applied: %v", c.DwellHours)
+			}
+		}
+	}
+	if !found {
+		t.Error("single-sample transit not detected")
+	}
+}
+
+func TestCrossingsOrdered(t *testing.T) {
+	a := NewAnalyzer(shells())
+	tracks := []*core.Track{
+		decayer(9, 570, 0.2, 0, 2000),
+		decayer(8, 570, 0.2, 480, 2000),
+		steady(1, 550, 2000),
+	}
+	rep, err := a.Analyze(tracks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rep.Crossings); i++ {
+		if rep.Crossings[i].Entered.Before(rep.Crossings[i-1].Entered) {
+			t.Fatal("crossings not time-ordered")
+		}
+	}
+	if math.IsNaN(rep.DwellSatHours) || rep.DwellSatHours <= 0 {
+		t.Errorf("dwell total = %v", rep.DwellSatHours)
+	}
+}

@@ -1,0 +1,78 @@
+package conjunction
+
+import (
+	"fmt"
+	"time"
+
+	"cosmicdance/internal/orbit"
+)
+
+// CloseApproach is the minimum separation found between two objects over a
+// screening window.
+type CloseApproach struct {
+	At          time.Time
+	MissKm      float64
+	RelSpeedKmS float64
+}
+
+// ScreenPair propagates two element sets across [from, to] and returns their
+// closest approach: a coarse scan at step followed by a fine scan around the
+// coarse minimum. This is the pair-level refinement of the kinetic-gas
+// estimate — what an operator's conjunction-screening run computes for each
+// (decayer, resident) pair flagged by the band analysis.
+func ScreenPair(epochA time.Time, a orbit.Elements, epochB time.Time, b orbit.Elements, from, to time.Time, step time.Duration) (CloseApproach, error) {
+	if !to.After(from) {
+		return CloseApproach{}, fmt.Errorf("conjunction: empty screening window")
+	}
+	if step <= 0 {
+		return CloseApproach{}, fmt.Errorf("conjunction: step must be positive")
+	}
+	pa, err := orbit.NewPropagator(epochA, a)
+	if err != nil {
+		return CloseApproach{}, fmt.Errorf("conjunction: object A: %w", err)
+	}
+	pb, err := orbit.NewPropagator(epochB, b)
+	if err != nil {
+		return CloseApproach{}, fmt.Errorf("conjunction: object B: %w", err)
+	}
+
+	sep := func(t time.Time) float64 {
+		return pa.StateAt(t).Distance(pb.StateAt(t))
+	}
+
+	// Coarse scan.
+	best := from
+	bestD := sep(from)
+	for t := from.Add(step); !t.After(to); t = t.Add(step) {
+		if d := sep(t); d < bestD {
+			best, bestD = t, d
+		}
+	}
+	// Fine scan around the coarse minimum, shrinking the step to one second.
+	lo, hi := best.Add(-step), best.Add(step)
+	if lo.Before(from) {
+		lo = from
+	}
+	if hi.After(to) {
+		hi = to
+	}
+	for fine := step / 8; fine >= time.Second; fine /= 8 {
+		for t := lo; !t.After(hi); t = t.Add(fine) {
+			if d := sep(t); d < bestD {
+				best, bestD = t, d
+			}
+		}
+		lo, hi = best.Add(-fine), best.Add(fine)
+		if lo.Before(from) {
+			lo = from
+		}
+		if hi.After(to) {
+			hi = to
+		}
+	}
+
+	sa, sb := pa.StateAt(best), pb.StateAt(best)
+	dvx, dvy, dvz := sa.VX-sb.VX, sa.VY-sb.VY, sa.VZ-sb.VZ
+	rel := orbit.StateVector{VX: dvx, VY: dvy, VZ: dvz}.Speed()
+	return CloseApproach{At: best, MissKm: bestD, RelSpeedKmS: rel}, nil
+}

@@ -1,0 +1,110 @@
+package conjunction
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cosmicdance/internal/orbit"
+	"cosmicdance/internal/units"
+)
+
+var sc0 = time.Date(2023, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func circular(alt float64, inc, raan, ma units.Degrees) orbit.Elements {
+	mm, err := orbit.MeanMotionFromAltitude(units.Kilometers(alt))
+	if err != nil {
+		panic(err)
+	}
+	return orbit.Elements{
+		Eccentricity: 0.0001,
+		MeanMotion:   mm,
+		Inclination:  inc,
+		RAAN:         raan,
+		ArgPerigee:   0,
+		MeanAnomaly:  ma,
+	}
+}
+
+func TestScreenPairValidation(t *testing.T) {
+	e := circular(550, 53, 0, 0)
+	if _, err := ScreenPair(sc0, e, sc0, e, sc0, sc0, time.Minute); err == nil {
+		t.Error("empty window accepted")
+	}
+	if _, err := ScreenPair(sc0, e, sc0, e, sc0, sc0.Add(time.Hour), 0); err == nil {
+		t.Error("zero step accepted")
+	}
+	bad := e
+	bad.MeanMotion = 0
+	if _, err := ScreenPair(sc0, bad, sc0, e, sc0, sc0.Add(time.Hour), time.Minute); err == nil {
+		t.Error("invalid elements accepted")
+	}
+}
+
+func TestScreenPairIdenticalOrbits(t *testing.T) {
+	e := circular(550, 53, 10, 20)
+	ca, err := ScreenPair(sc0, e, sc0, e, sc0, sc0.Add(2*time.Hour), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca.MissKm > 0.001 {
+		t.Errorf("identical orbits separated by %v km", ca.MissKm)
+	}
+	if ca.RelSpeedKmS > 0.001 {
+		t.Errorf("identical orbits with relative speed %v", ca.RelSpeedKmS)
+	}
+}
+
+func TestScreenPairInTrainSeparation(t *testing.T) {
+	// Same orbit, mean anomaly offset δ: the chord distance stays constant
+	// at 2 r sin(δ/2) — the classic in-train geometry of a Starlink plane.
+	const deltaDeg = 2.0
+	a := circular(550, 53, 10, 0)
+	b := circular(550, 53, 10, deltaDeg)
+	ca, err := ScreenPair(sc0, a, sc0, b, sc0, sc0.Add(3*time.Hour), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := 550 + units.EarthRadiusKm
+	want := 2 * r * math.Sin(deltaDeg/2*math.Pi/180)
+	if math.Abs(ca.MissKm-want) > want*0.02 {
+		t.Errorf("in-train separation = %v km, want ~%v", ca.MissKm, want)
+	}
+}
+
+func TestScreenPairCrossingPlanes(t *testing.T) {
+	// Two differently inclined orbits sharing their ascending node, both at
+	// the node at the epoch: a genuine conjunction at t=0 with a
+	// crossing-scale relative speed. (Same-period orbits keep constant
+	// phase, so the node passage must be synchronized by construction.)
+	a := circular(550, 53, 0, 0)
+	b := circular(550, 97.6, 0, 0)
+	ca, err := ScreenPair(sc0, a, sc0, b, sc0.Add(-time.Hour), sc0.Add(time.Hour), 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca.MissKm > 1 {
+		t.Errorf("synchronized node crossing missed by %v km, want ~0", ca.MissKm)
+	}
+	// Relative speed for a 44.6-degree plane change at 7.6 km/s is
+	// 2 v sin(Δi/2) ≈ 5.8 km/s.
+	if ca.RelSpeedKmS < 4 || ca.RelSpeedKmS > 8 {
+		t.Errorf("crossing relative speed = %v km/s, want ~5.8", ca.RelSpeedKmS)
+	}
+	if d := ca.At.Sub(sc0); d > time.Minute || d < -time.Minute {
+		t.Errorf("approach at %v, want near the epoch", ca.At)
+	}
+}
+
+func TestScreenPairAltitudeSeparationIsFloor(t *testing.T) {
+	// 10 km of altitude separation bounds the miss distance from below.
+	a := circular(550, 53, 0, 0)
+	b := circular(560, 53, 0, 180)
+	ca, err := ScreenPair(sc0, a, sc0, b, sc0, sc0.Add(6*time.Hour), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca.MissKm < 9.9 {
+		t.Errorf("miss %v km below the 10 km shell separation", ca.MissKm)
+	}
+}

@@ -1,0 +1,260 @@
+package constellation
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// Binary archive persistence. Full paper-window simulations cost seconds and
+// produce millions of samples; persisting a Result lets the figure harness,
+// the CLI and notebooks share one run. The format is a small versioned
+// little-endian layout (not gob) so it stays readable across Go versions and
+// from other languages.
+
+// archiveMagic identifies the file format; bump archiveVersion on layout
+// changes.
+const (
+	archiveMagic   = 0x434f534d // "COSM"
+	archiveVersion = 1
+)
+
+// Save writes the result to w.
+func (r *Result) Save(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	le := binary.LittleEndian
+
+	writeU32 := func(v uint32) error { return binary.Write(bw, le, v) }
+	writeU64 := func(v uint64) error { return binary.Write(bw, le, v) }
+	writeF32 := func(v float32) error { return binary.Write(bw, le, v) }
+	writeStr := func(s string) error {
+		if err := writeU32(uint32(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+
+	if err := writeU32(archiveMagic); err != nil {
+		return err
+	}
+	if err := writeU32(archiveVersion); err != nil {
+		return err
+	}
+	if err := writeU64(uint64(r.Start.Unix())); err != nil {
+		return err
+	}
+	if err := writeU32(uint32(r.Hours)); err != nil {
+		return err
+	}
+
+	if err := writeU32(uint32(len(r.Sats))); err != nil {
+		return err
+	}
+	for i := range r.Sats {
+		s := &r.Sats[i]
+		if err := writeU32(uint32(s.Catalog)); err != nil {
+			return err
+		}
+		if err := writeStr(s.Name); err != nil {
+			return err
+		}
+		if err := writeU32(uint32(s.Shell)); err != nil {
+			return err
+		}
+		if err := writeU64(uint64(s.LaunchedAt.Unix())); err != nil {
+			return err
+		}
+		if err := writeF32(float32(s.StagingAltKm)); err != nil {
+			return err
+		}
+		if err := writeF32(float32(s.TargetAltKm)); err != nil {
+			return err
+		}
+		if err := writeF32(float32(s.DragFactor)); err != nil {
+			return err
+		}
+		if err := writeU32(uint32(s.Fate)); err != nil {
+			return err
+		}
+		fateAt := int64(0)
+		if !s.FateAt.IsZero() {
+			fateAt = s.FateAt.Unix()
+		}
+		if err := writeU64(uint64(fateAt)); err != nil {
+			return err
+		}
+	}
+
+	if err := writeU64(uint64(len(r.Samples))); err != nil {
+		return err
+	}
+	// Samples are fixed-size; write them as one packed stream.
+	for i := range r.Samples {
+		s := &r.Samples[i]
+		if err := writeU32(uint32(s.Catalog)); err != nil {
+			return err
+		}
+		if err := writeU64(uint64(s.Epoch)); err != nil {
+			return err
+		}
+		for _, f := range [7]float32{s.AltKm, s.BStar, s.Inclination, s.RAAN, s.Eccentricity, s.ArgPerigee, s.MeanAnomaly} {
+			if err := writeF32(f); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a result previously written by Save.
+func Load(r io.Reader) (*Result, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	le := binary.LittleEndian
+
+	readU32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, le, &v)
+		return v, err
+	}
+	readU64 := func() (uint64, error) {
+		var v uint64
+		err := binary.Read(br, le, &v)
+		return v, err
+	}
+	readF32 := func() (float32, error) {
+		var v float32
+		err := binary.Read(br, le, &v)
+		return v, err
+	}
+	readStr := func() (string, error) {
+		n, err := readU32()
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("constellation: unreasonable string length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+
+	magic, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("constellation: reading archive header: %w", err)
+	}
+	if magic != archiveMagic {
+		return nil, fmt.Errorf("constellation: not a COSM archive (magic %#x)", magic)
+	}
+	version, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if version != archiveVersion {
+		return nil, fmt.Errorf("constellation: unsupported archive version %d", version)
+	}
+	startUnix, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	hours, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Start: time.Unix(int64(startUnix), 0).UTC(), Hours: int(hours)}
+
+	nSats, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if nSats > 1<<24 {
+		return nil, fmt.Errorf("constellation: unreasonable satellite count %d", nSats)
+	}
+	out.Sats = make([]SatInfo, nSats)
+	for i := range out.Sats {
+		s := &out.Sats[i]
+		cat, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		s.Catalog = int(cat)
+		if s.Name, err = readStr(); err != nil {
+			return nil, err
+		}
+		shell, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		s.Shell = int(shell)
+		launched, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		s.LaunchedAt = time.Unix(int64(launched), 0).UTC()
+		staging, err := readF32()
+		if err != nil {
+			return nil, err
+		}
+		target, err := readF32()
+		if err != nil {
+			return nil, err
+		}
+		drag, err := readF32()
+		if err != nil {
+			return nil, err
+		}
+		s.StagingAltKm, s.TargetAltKm, s.DragFactor = float64(staging), float64(target), float64(drag)
+		fate, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		s.Fate = Phase(fate)
+		fateAt, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		if fateAt != 0 {
+			s.FateAt = time.Unix(int64(fateAt), 0).UTC()
+		}
+	}
+
+	nSamples, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	if nSamples > 1<<31 {
+		return nil, fmt.Errorf("constellation: unreasonable sample count %d", nSamples)
+	}
+	out.Samples = make([]Sample, nSamples)
+	for i := range out.Samples {
+		s := &out.Samples[i]
+		cat, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("constellation: truncated archive at sample %d: %w", i, err)
+		}
+		s.Catalog = int32(cat)
+		epoch, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		s.Epoch = int64(epoch)
+		var fs [7]float32
+		for k := range fs {
+			if fs[k], err = readF32(); err != nil {
+				return nil, err
+			}
+			if math.IsNaN(float64(fs[k])) {
+				return nil, fmt.Errorf("constellation: NaN field in sample %d", i)
+			}
+		}
+		s.AltKm, s.BStar, s.Inclination, s.RAAN, s.Eccentricity, s.ArgPerigee, s.MeanAnomaly =
+			fs[0], fs[1], fs[2], fs[3], fs[4], fs[5], fs[6]
+	}
+	return out, nil
+}

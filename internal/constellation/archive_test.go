@@ -1,0 +1,93 @@
+package constellation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestArchiveSaveLoadRoundTrip(t *testing.T) {
+	cfg := smallConfig(24 * 120)
+	first := cfg.FirstCatalog
+	cfg.Scripted = []ScriptedEvent{{Catalog: first, At: simStart.Add(60 * 24 * 3600e9), Action: ScriptFail}}
+	res, err := Run(cfg, quietIndex(cfg.Hours))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Start.Equal(res.Start) || back.Hours != res.Hours {
+		t.Errorf("header: %v/%d vs %v/%d", back.Start, back.Hours, res.Start, res.Hours)
+	}
+	if len(back.Sats) != len(res.Sats) {
+		t.Fatalf("sats: %d vs %d", len(back.Sats), len(res.Sats))
+	}
+	for i := range res.Sats {
+		a, b := res.Sats[i], back.Sats[i]
+		if a.Catalog != b.Catalog || a.Name != b.Name || a.Shell != b.Shell ||
+			a.Fate != b.Fate || !a.LaunchedAt.Equal(b.LaunchedAt) {
+			t.Fatalf("sat %d: %+v vs %+v", i, a, b)
+		}
+		if a.FateAt.IsZero() != b.FateAt.IsZero() || (!a.FateAt.IsZero() && !a.FateAt.Equal(b.FateAt)) {
+			t.Fatalf("sat %d FateAt: %v vs %v", i, a.FateAt, b.FateAt)
+		}
+	}
+	if len(back.Samples) != len(res.Samples) {
+		t.Fatalf("samples: %d vs %d", len(back.Samples), len(res.Samples))
+	}
+	for i := range res.Samples {
+		if res.Samples[i] != back.Samples[i] {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, res.Samples[i], back.Samples[i])
+		}
+	}
+}
+
+func TestArchiveLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not an archive at all")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestArchiveLoadRejectsTruncation(t *testing.T) {
+	cfg := smallConfig(24 * 30)
+	res, err := Run(cfg, quietIndex(cfg.Hours))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{len(full) / 4, len(full) / 2, len(full) - 3} {
+		if _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestArchiveLoadRejectsWrongVersion(t *testing.T) {
+	cfg := smallConfig(24 * 10)
+	res, err := Run(cfg, quietIndex(cfg.Hours))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99 // bump the version field
+	if _, err := Load(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("wrong version err = %v", err)
+	}
+}

@@ -1,0 +1,148 @@
+package constellation
+
+import (
+	"time"
+)
+
+// Landmark satellites and events used by the paper's Fig 3 narrative. The
+// catalog numbers are the NORAD identifiers the paper cherry-picks; the
+// presets arrange the launch schedule so those numbers exist and script the
+// dated incidents onto them.
+const (
+	// Fig3SatDragSpike (#45766): significantly higher drag after the
+	// 24 Mar 2023 moderate storm, followed by decay onset.
+	Fig3SatDragSpike = 45766
+	// Fig3SatQuietDecay (#45400): decay onset after the same storm without a
+	// significant drag change.
+	Fig3SatQuietDecay = 45400
+	// Fig3SatSharpDrop (#44943): ~150 km altitude drop over the weeks after
+	// the 3 Mar 2024 moderate storm.
+	Fig3SatSharpDrop = 44943
+)
+
+// Paper-era launch landmarks.
+var (
+	// L1LaunchTime is Starlink's first operational launch (60 satellites,
+	// 11 Nov 2019) — the cohort Fig 9 follows.
+	L1LaunchTime = time.Date(2019, 11, 11, 0, 0, 0, 0, time.UTC)
+	// Feb2022LaunchTime is the launch whose batch was caught at a low
+	// staging orbit by the 3 Feb 2022 moderate storm (38 of 49 lost).
+	Feb2022LaunchTime = time.Date(2022, 2, 1, 0, 0, 0, 0, time.UTC)
+	// Feb2022IncidentTime is when the storm doomed the batch.
+	Feb2022IncidentTime = time.Date(2022, 2, 4, 0, 0, 0, 0, time.UTC)
+	// Fig3StormATime matches spaceweather.Fig3StormA.
+	Fig3StormATime = time.Date(2023, 3, 24, 12, 0, 0, 0, time.UTC)
+	// Fig3StormBTime matches spaceweather.Fig3StormB.
+	Fig3StormBTime = time.Date(2024, 3, 3, 18, 0, 0, 0, time.UTC)
+)
+
+// PaperFleet returns the configuration reproducing the paper's measurement
+// setting over the full Jan 2020 – May 2024 window: the L1 launch of Nov 2019
+// (Fig 9's cohort), a steady launch cadence thereafter, the Feb 2022
+// staging-orbit incident, and the Fig 3 scripted satellites. The fleet is a
+// ~1:3 scale model of the real deployment (≈2,000 satellites by May 2024
+// instead of 6,000) so the archive stays laptop-sized; every per-satellite
+// statistic the paper reports is scale-free.
+func PaperFleet(seed int64) Config {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.Start = L1LaunchTime
+	end := time.Date(2024, 5, 8, 0, 0, 0, 0, time.UTC)
+	cfg.Hours = int(end.Sub(L1LaunchTime) / time.Hour)
+
+	// L1: 60 satellites to the 550 km shell from a ~360 km staging orbit.
+	cfg.Launches = append(cfg.Launches, Launch{At: L1LaunchTime, Shell: 0, Count: 60, StagingAltKm: 360})
+
+	// Regular cadence: a batch every 10 days from mid-January 2020,
+	// round-robin across shells with the 53° shells carrying most of the
+	// fleet (as in the real deployment).
+	shellPattern := []int{0, 1, 0, 1, 0, 2, 0, 1, 3, 0, 1, 4}
+	at := time.Date(2020, 1, 15, 0, 0, 0, 0, time.UTC)
+	for i := 0; at.Before(end); i++ {
+		if !at.Equal(Feb2022LaunchTime) {
+			cfg.Launches = append(cfg.Launches, Launch{
+				At: at, Shell: shellPattern[i%len(shellPattern)], Count: 12,
+			})
+		}
+		at = at.AddDate(0, 0, 10)
+	}
+
+	// The Feb 2022 incident batch: 49 satellites inserted at an unusually
+	// low 210 km staging orbit days before a moderate storm.
+	feb2022First := firstCatalogAt(cfg, Feb2022LaunchTime)
+	// Survivors of the incident raised orbit promptly (a 210 km parking
+	// orbit is not tenable for a 60-day checkout), hence the short staging.
+	cfg.Launches = append(cfg.Launches, Launch{
+		At: Feb2022LaunchTime, Shell: 0, Count: 49, StagingAltKm: 210, StagingDays: 7,
+	})
+	// 38 of the 49 never recover: the storm's drag overwhelms them and they
+	// re-enter over the following days. The 11 survivors are protected so the
+	// incident's outcome is exactly the recorded one.
+	for i := 0; i < 49; i++ {
+		ev := ScriptedEvent{Catalog: feb2022First + i, At: Feb2022IncidentTime, Action: ScriptProtect}
+		if i < 38 {
+			ev.Action = ScriptFail
+			ev.DragFactor = 1.5
+		}
+		cfg.Scripted = append(cfg.Scripted, ev)
+	}
+
+	// Fig 3's cherry-picked satellites.
+	cfg.Scripted = append(cfg.Scripted,
+		// #45766: big drag response, then permanent decay.
+		ScriptedEvent{Catalog: Fig3SatDragSpike, At: Fig3StormATime.Add(6 * time.Hour), Action: ScriptFail, DragFactor: 1.3},
+		// #45400: decay onset with modest drag change.
+		ScriptedEvent{Catalog: Fig3SatQuietDecay, At: Fig3StormATime.Add(30 * time.Hour), Action: ScriptFail, DragFactor: 0.8},
+		// #44943: the ~150 km drop over the weeks after 3 Mar 2024.
+		ScriptedEvent{Catalog: Fig3SatSharpDrop, At: Fig3StormBTime.Add(12 * time.Hour), Action: ScriptFail, DragFactor: 1.25},
+	)
+	return cfg
+}
+
+// firstCatalogAt predicts the catalog number the next launched satellite will
+// receive given the launches already scheduled before at. It mirrors the
+// simulator's sequential numbering (initial fleet first, then launches in
+// time order).
+func firstCatalogAt(cfg Config, at time.Time) int {
+	first := cfg.FirstCatalog
+	if first == 0 {
+		first = 44713
+	}
+	n := cfg.InitialFleet
+	for _, l := range cfg.Launches {
+		if l.At.Before(at) {
+			n += l.Count
+		}
+	}
+	return first + n
+}
+
+// May2024Fleet returns a full-scale (≈6,000 satellite) one-month
+// configuration for Fig 7: the fleet is seeded directly on station and the
+// proactive drag-mitigation response is enabled, as Starlink described in its
+// FCC comment on the May 2024 storm.
+func May2024Fleet(seed int64) Config {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.Start = time.Date(2024, 5, 1, 0, 0, 0, 0, time.UTC)
+	cfg.Hours = 31 * 24
+	cfg.InitialFleet = 5900
+	cfg.ProactiveDragMitigation = true
+	// A month is too short for random decommissioning to matter; disable it
+	// so tracked-count changes are attributable to the storm alone.
+	cfg.DecommissionPerYear = 0
+	return cfg
+}
+
+// ResearchFleet returns a reduced configuration for tests and examples:
+// batches of size batch every 20 days over the window, no scripted events.
+func ResearchFleet(seed int64, start, end time.Time, batch int) Config {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.Start = start
+	cfg.Hours = int(end.Sub(start) / time.Hour)
+	for at := start; at.Before(end); at = at.AddDate(0, 0, 20) {
+		cfg.Launches = append(cfg.Launches, Launch{At: at, Shell: 0, Count: batch})
+	}
+	return cfg
+}

@@ -1,0 +1,107 @@
+package constellation
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Property-style invariants over randomized configurations: whatever the
+// weather and fleet shape, the archive must stay internally consistent.
+
+func TestArchiveInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 8; trial++ {
+		days := 60 + rng.Intn(200)
+		peak := -50 - rng.Float64()*350
+		weather := stormIndex(days*24, rng.Intn(days*24), peak)
+
+		cfg := DefaultConfig()
+		cfg.Seed = int64(trial + 1)
+		cfg.Start = simStart
+		cfg.Hours = days * 24
+		cfg.InitialFleet = 5 + rng.Intn(40)
+		if rng.Intn(2) == 0 {
+			cfg.Launches = []Launch{{At: simStart.Add(time.Duration(rng.Intn(days)) * 24 * time.Hour), Shell: rng.Intn(len(cfg.Shells)), Count: 1 + rng.Intn(20)}}
+		}
+		cfg.SafeModeProbPerStormHour = rng.Float64() * 0.05
+		cfg.FailProbPerStormHour = rng.Float64() * 0.005
+
+		res, err := Run(cfg, weather)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		// 1. Every series is strictly epoch-ascending.
+		for _, ss := range res.GroupByCatalog() {
+			for i := 1; i < len(ss.Samples); i++ {
+				if ss.Samples[i].Epoch < ss.Samples[i-1].Epoch {
+					t.Fatalf("trial %d: catalog %d epochs regress", trial, ss.Catalog)
+				}
+			}
+		}
+
+		// 2. No sample has a non-physical altitude (gross errors are capped
+		// at 40,000 km; genuine tracks stay above the re-entry line).
+		for _, s := range res.Samples {
+			if s.AltKm < 150 || s.AltKm > 41000 {
+				t.Fatalf("trial %d: sample altitude %v", trial, s.AltKm)
+			}
+		}
+
+		// 3. No satellite is sampled after its re-entry.
+		for _, info := range res.Sats {
+			if info.Fate != PhaseReentered {
+				continue
+			}
+			for _, s := range res.Series(info.Catalog) {
+				if s.EpochTime().After(info.FateAt) {
+					t.Fatalf("trial %d: catalog %d sampled %v after re-entry %v",
+						trial, info.Catalog, s.EpochTime(), info.FateAt)
+				}
+			}
+		}
+
+		// 4. Catalog numbers are unique and within the issued range.
+		seen := make(map[int]bool, len(res.Sats))
+		for _, info := range res.Sats {
+			if seen[info.Catalog] {
+				t.Fatalf("trial %d: duplicate catalog %d", trial, info.Catalog)
+			}
+			seen[info.Catalog] = true
+		}
+
+		// 5. TrackedCount is monotone before the first possible loss and
+		// never exceeds the fleet size.
+		total := len(res.Sats)
+		for day := 0; day < days; day += 7 {
+			n := res.TrackedCount(simStart.Add(time.Duration(day) * 24 * time.Hour))
+			if n < 0 || n > total {
+				t.Fatalf("trial %d: tracked %d of %d", trial, n, total)
+			}
+		}
+	}
+}
+
+func TestGroupByCatalogPreservesSamples(t *testing.T) {
+	cfg := smallConfig(24 * 120)
+	res, err := Run(cfg, quietIndex(cfg.Hours))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped := res.GroupByCatalog()
+	n := 0
+	for _, ss := range grouped {
+		n += len(ss.Samples)
+	}
+	if n != len(res.Samples) {
+		t.Fatalf("grouping lost samples: %d vs %d", n, len(res.Samples))
+	}
+	// Series() agrees with GroupByCatalog for every satellite.
+	for _, ss := range grouped {
+		direct := res.Series(ss.Catalog)
+		if len(direct) != len(ss.Samples) {
+			t.Fatalf("catalog %d: Series %d vs grouped %d", ss.Catalog, len(direct), len(ss.Samples))
+		}
+	}
+}

@@ -1,0 +1,517 @@
+package constellation
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"cosmicdance/internal/atmosphere"
+	"cosmicdance/internal/dst"
+	"cosmicdance/internal/orbit"
+	"cosmicdance/internal/units"
+)
+
+// Config parameterizes a constellation run. Start from DefaultConfig.
+type Config struct {
+	Start time.Time
+	Hours int
+	Seed  int64
+
+	Shells       []Shell
+	Launches     []Launch
+	InitialFleet int // satellites pre-seeded operational at Start
+	FirstCatalog int
+
+	Atmosphere atmosphere.Model
+
+	// Orbit raising and station keeping.
+	StagingAltKm      float64
+	StagingDays       float64 // checkout time before raising begins
+	RaiseRateKmPerDay float64
+	DeadbandKm        float64 // station-keeping tolerance below target
+	BoostKmPerDay     float64 // station-keeping thrust capacity
+	DeorbitKmPerDay   float64 // controlled decommission descent rate
+
+	// Storm response. Probabilities are per storm hour at 100 nT intensity
+	// and scale with (intensity/100)².
+	SafeModeProbPerStormHour float64
+	FailProbPerStormHour     float64
+	SafeModeMinDays          float64
+	SafeModeMaxDays          float64
+	SafeModeDragFactor       float64 // tumbling-attitude drag multiplier
+
+	// Fleet turnover.
+	DecommissionPerYear float64 // random early-decommission rate
+	LifespanYears       float64
+
+	// Tracking model.
+	MeanTLEIntervalHours float64
+	MaxTLEIntervalHours  float64
+	AltNoiseKm           float64
+	GrossErrorProb       float64 // probability a TLE carries a wild altitude
+
+	// ProactiveDragMitigation models the operator response Starlink
+	// described for May 2024: during extreme storms satellites duck into a
+	// low-drag attitude, operations stay attentive, and no storm failures
+	// are sampled.
+	ProactiveDragMitigation bool
+
+	Scripted []ScriptedEvent
+}
+
+// DefaultConfig returns the calibrated baseline configuration (Starlink-like
+// fleet physics, paper-era tracking cadence).
+func DefaultConfig() Config {
+	return Config{
+		Seed:                     1,
+		Shells:                   StarlinkShells(),
+		FirstCatalog:             44713,
+		Atmosphere:               atmosphere.Standard(),
+		StagingAltKm:             350,
+		StagingDays:              60,
+		RaiseRateKmPerDay:        5,
+		DeadbandKm:               1.5,
+		BoostKmPerDay:            0.8,
+		DeorbitKmPerDay:          4,
+		SafeModeProbPerStormHour: 0.002,
+		FailProbPerStormHour:     2e-5,
+		SafeModeMinDays:          4,
+		SafeModeMaxDays:          32,
+		SafeModeDragFactor:       2.5,
+		DecommissionPerYear:      0.012,
+		LifespanYears:            5,
+		MeanTLEIntervalHours:     12,
+		MaxTLEIntervalHours:      154,
+		AltNoiseKm:               0.05,
+		GrossErrorProb:           1.5e-4,
+	}
+}
+
+// Result is the outcome of a run: the tracking archive plus ground truth.
+type Result struct {
+	Start   time.Time
+	Hours   int
+	Samples []Sample  // epoch-ordered tracking observations
+	Sats    []SatInfo // one per satellite ever launched
+}
+
+// Run simulates the constellation over cfg.Hours hourly steps, driven by the
+// Dst index (hours outside the index are treated as quiet).
+func Run(cfg Config, weather *dst.Index) (*Result, error) {
+	if cfg.Hours <= 0 {
+		return nil, fmt.Errorf("constellation: Hours must be positive, got %d", cfg.Hours)
+	}
+	if len(cfg.Shells) == 0 {
+		return nil, fmt.Errorf("constellation: no shells configured")
+	}
+	if cfg.MeanTLEIntervalHours <= 0 {
+		return nil, fmt.Errorf("constellation: MeanTLEIntervalHours must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	start := cfg.Start.UTC().Truncate(time.Hour)
+
+	launches := append([]Launch(nil), cfg.Launches...)
+	sort.SliceStable(launches, func(i, j int) bool { return launches[i].At.Before(launches[j].At) })
+
+	scripts := make(map[int][]ScriptedEvent)
+	for _, ev := range cfg.Scripted {
+		scripts[ev.Catalog] = append(scripts[ev.Catalog], ev)
+	}
+	for _, evs := range scripts {
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].At.Before(evs[j].At) })
+	}
+
+	st := &simState{
+		cfg:     cfg,
+		rng:     rng,
+		start:   start,
+		scripts: scripts,
+		result:  &Result{Start: start, Hours: cfg.Hours},
+	}
+	st.nextCatalog = cfg.FirstCatalog
+	if st.nextCatalog == 0 {
+		st.nextCatalog = 44713
+	}
+	st.seedInitialFleet()
+
+	launchIdx := 0
+	for h := 0; h < cfg.Hours; h++ {
+		now := start.Add(time.Duration(h) * time.Hour)
+		d := units.NanoTesla(-10) // quiet default outside the index
+		if v, ok := weather.At(now); ok {
+			d = v
+		}
+		for launchIdx < len(launches) && !launches[launchIdx].At.After(now) {
+			st.launch(launches[launchIdx], now)
+			launchIdx++
+		}
+		st.step(now, d)
+	}
+	st.finalize()
+	return st.result, nil
+}
+
+// simState carries the mutable run state.
+type simState struct {
+	cfg         Config
+	rng         *rand.Rand
+	start       time.Time
+	scripts     map[int][]ScriptedEvent
+	sats        []*sat
+	nextCatalog int
+	result      *Result
+}
+
+// seedInitialFleet creates cfg.InitialFleet satellites already on station.
+func (st *simState) seedInitialFleet() {
+	for i := 0; i < st.cfg.InitialFleet; i++ {
+		shellIdx := i % len(st.cfg.Shells)
+		shell := st.cfg.Shells[shellIdx]
+		// Stagger ages so decommissioning is spread out.
+		age := time.Duration(st.rng.Float64() * 3 * 365 * 24 * float64(time.Hour))
+		s := st.newSat(shellIdx, st.start.Add(-age), st.cfg.StagingAltKm)
+		s.phase = PhaseOperational
+		s.altKm = shell.AltitudeKm - st.rng.Float64()*st.cfg.DeadbandKm
+		s.nextSample = st.start.Add(time.Duration(st.rng.Float64()*st.cfg.MeanTLEIntervalHours) * time.Hour)
+		st.sats = append(st.sats, s)
+	}
+}
+
+// launch inserts one batch at the staging orbit.
+func (st *simState) launch(l Launch, now time.Time) {
+	stagingAlt := l.StagingAltKm
+	if stagingAlt == 0 {
+		stagingAlt = st.cfg.StagingAltKm
+	}
+	shellIdx := l.Shell
+	if shellIdx < 0 || shellIdx >= len(st.cfg.Shells) {
+		shellIdx = 0
+	}
+	stagingDays := l.StagingDays
+	if stagingDays == 0 {
+		stagingDays = st.cfg.StagingDays
+	}
+	for i := 0; i < l.Count; i++ {
+		s := st.newSat(shellIdx, now, stagingAlt)
+		s.phase = PhaseStaging
+		s.altKm = stagingAlt
+		s.stagedUntil = now.Add(time.Duration(stagingDays*24) * time.Hour)
+		s.nextSample = now.Add(time.Duration(st.rng.Float64()*st.cfg.MeanTLEIntervalHours) * time.Hour)
+		st.sats = append(st.sats, s)
+	}
+}
+
+// newSat builds a satellite with randomized plane geometry and drag factor.
+func (st *simState) newSat(shellIdx int, launchedAt time.Time, stagingAlt float64) *sat {
+	shell := st.cfg.Shells[shellIdx]
+	cat := st.nextCatalog
+	st.nextCatalog++
+	info := SatInfo{
+		Catalog:      cat,
+		Name:         fmt.Sprintf("STARSIM-%d", cat),
+		Shell:        shellIdx,
+		LaunchedAt:   launchedAt,
+		StagingAltKm: stagingAlt,
+		TargetAltKm:  shell.AltitudeKm,
+		// Log-normal-ish heterogeneity in ballistic response.
+		DragFactor: 0.8 + st.rng.Float64()*0.5,
+	}
+	return &sat{
+		info:        info,
+		scripts:     st.scripts[cat],
+		lifespanEnd: launchedAt.Add(time.Duration(st.cfg.LifespanYears*365.25*24) * time.Hour),
+		incl:        float64(shell.Inclination) + st.rng.NormFloat64()*0.02,
+		raan:        st.rng.Float64() * 360,
+		argp:        st.rng.Float64() * 360,
+		meanAnomaly: st.rng.Float64() * 360,
+		ecc:         0.0001 + st.rng.Float64()*0.0002,
+	}
+}
+
+// step advances every satellite by one hour under Dst reading d.
+func (st *simState) step(now time.Time, d units.NanoTesla) {
+	cfg := &st.cfg
+	atm := cfg.Atmosphere
+	enh := atm.Enhancement(d)
+	stormActive := d <= units.StormThreshold
+	// With proactive mitigation the operator suppresses storm casualties
+	// entirely (attentive response), and satellites duck into the low-drag
+	// attitude once the storm is extreme.
+	duck := cfg.ProactiveDragMitigation && enh >= 3
+	intensityScale := 0.0
+	if stormActive {
+		i := -float64(d) / 100
+		intensityScale = i * i
+	}
+
+	for _, s := range st.sats {
+		if s.phase == PhaseReentered {
+			continue
+		}
+		if s.scriptCursor < len(s.scripts) {
+			st.applyScripts(s, now)
+		}
+
+		// Uncompensated drag decay for this hour.
+		drag := s.info.DragFactor
+		if s.phase == PhaseSafeMode {
+			drag *= s.episodeDrag
+		}
+		if duck {
+			// Knife-edge "duck" attitude sheds drag during extreme storms.
+			drag *= 0.6
+		}
+		decay := atm.DecayRate(units.Kilometers(s.altKm), d) / 24 * drag
+
+		switch s.phase {
+		case PhaseStaging:
+			// Checkout thrusting compensates quiet-time staging drag but has
+			// limited authority: the quiet-time rate is the budget.
+			budget := atm.DecayRate(units.Kilometers(s.info.StagingAltKm), 0) / 24 * s.info.DragFactor
+			net := decay - budget
+			if net > 0 {
+				s.altKm -= net
+			}
+			if s.altKm < s.info.StagingAltKm-12 {
+				// Drag has won; the batch is written off (Feb 2022 pattern).
+				st.beginDeorbit(s, now)
+				break
+			}
+			if now.After(s.stagedUntil) {
+				s.phase = PhaseRaising
+			}
+			st.maybeStormEvent(s, now, stormActive && !cfg.ProactiveDragMitigation && len(s.scripts) == 0, intensityScale)
+		case PhaseRaising:
+			s.altKm += (cfg.RaiseRateKmPerDay)/24 - decay
+			if s.altKm >= s.info.TargetAltKm {
+				s.altKm = s.info.TargetAltKm
+				s.phase = PhaseOperational
+			}
+			st.maybeStormEvent(s, now, stormActive && !cfg.ProactiveDragMitigation && len(s.scripts) == 0, intensityScale)
+		case PhaseOperational:
+			s.altKm -= decay
+			deficit := s.info.TargetAltKm - s.altKm
+			if deficit > cfg.DeadbandKm {
+				boost := cfg.BoostKmPerDay / 24
+				if duck {
+					boost *= 2 // attentive operational response
+				}
+				if boost > deficit {
+					boost = deficit
+				}
+				s.altKm += boost
+			}
+			if now.After(s.lifespanEnd) {
+				st.beginDeorbit(s, now)
+				break
+			}
+			if s.decommissionDue(st, now) {
+				st.beginDeorbit(s, now)
+				break
+			}
+			st.maybeStormEvent(s, now, stormActive && !cfg.ProactiveDragMitigation && len(s.scripts) == 0, intensityScale)
+		case PhaseSafeMode:
+			s.altKm -= decay
+			if now.After(s.safeUntil) {
+				// Recovery: far below the shell (the storm hit during orbit
+				// raising) the ion thrusters resume the raise at full
+				// authority; a station-keeping-scale excursion recovers at
+				// normal boost rates, which is what keeps the tail of Fig 4a
+				// elevated for weeks.
+				if s.altKm < s.info.TargetAltKm-30 {
+					s.phase = PhaseRaising
+				} else {
+					s.phase = PhaseOperational
+				}
+			}
+		case PhaseDeorbiting:
+			s.altKm -= s.deorbitKmDay/24 + decay
+		}
+
+		// Universal re-entry floor: whatever the phase, an orbit this low is
+		// gone within hours and tracking stops.
+		if s.altKm <= atmosphere.ReentryAltitudeKm {
+			s.phase = PhaseReentered
+			s.info.Fate = PhaseReentered
+			s.info.FateAt = now
+			continue
+		}
+
+		// Plane geometry: J2 nodal regression and mean-anomaly advance.
+		s.raan += s.raanRatePerHour()
+		if s.raan < 0 {
+			s.raan += 360
+		} else if s.raan >= 360 {
+			s.raan -= 360
+		}
+		s.meanAnomaly += s.maRatePerHour()
+		for s.meanAnomaly >= 360 {
+			s.meanAnomaly -= 360
+		}
+
+		if !now.Before(s.nextSample) {
+			st.emitSample(s, now, d)
+		}
+	}
+}
+
+// decommissionDue samples the random early-decommission process. Satellites
+// with scripted fates are exempt so presets stay deterministic.
+func (s *sat) decommissionDue(st *simState, now time.Time) bool {
+	if st.cfg.DecommissionPerYear <= 0 {
+		return false
+	}
+	if len(s.scripts) > 0 {
+		return false
+	}
+	// Sampled lazily at low rate; one uniform draw per satellite-hour would
+	// dominate the run, so the per-hour probability is only evaluated on a
+	// 1-in-24 hour stride (daily), scaled accordingly.
+	if now.Hour() != int(uint(s.info.Catalog)%24) {
+		return false
+	}
+	return st.rng.Float64() < st.cfg.DecommissionPerYear/365.25
+}
+
+// maybeStormEvent samples safe-mode entry or permanent failure during storms.
+func (st *simState) maybeStormEvent(s *sat, now time.Time, active bool, intensityScale float64) {
+	if !active || intensityScale == 0 {
+		return
+	}
+	r := st.rng.Float64()
+	pSafe := st.cfg.SafeModeProbPerStormHour * intensityScale
+	pFail := st.cfg.FailProbPerStormHour * intensityScale
+	switch {
+	case r < pFail:
+		st.beginUncontrolledDecay(s, now)
+	case r < pFail+pSafe:
+		st.enterSafeMode(s, now, st.cfg.SafeModeMinDays+st.rng.Float64()*(st.cfg.SafeModeMaxDays-st.cfg.SafeModeMinDays), 0)
+	}
+}
+
+func (st *simState) enterSafeMode(s *sat, now time.Time, days float64, dragFactor float64) {
+	s.phase = PhaseSafeMode
+	s.safeUntil = now.Add(time.Duration(days * 24 * float64(time.Hour)))
+	if dragFactor > 0 {
+		s.episodeDrag = dragFactor
+	} else {
+		s.episodeDrag = st.cfg.SafeModeDragFactor * (0.75 + 0.5*st.rng.Float64())
+	}
+}
+
+// beginDeorbit starts a controlled decommission descent.
+func (st *simState) beginDeorbit(s *sat, now time.Time) {
+	s.phase = PhaseDeorbiting
+	s.deorbitKmDay = st.cfg.DeorbitKmPerDay
+	s.info.Fate = PhaseDeorbiting
+	s.info.FateAt = now
+}
+
+// beginUncontrolledDecay marks a storm-failed satellite. The descent uses the
+// same controlled rate: operators deorbit unrecoverable satellites promptly
+// (Starlink's stated policy), and tumbling drag dominates either way.
+func (st *simState) beginUncontrolledDecay(s *sat, now time.Time) {
+	s.phase = PhaseDeorbiting
+	s.deorbitKmDay = st.cfg.DeorbitKmPerDay * (0.75 + 0.5*st.rng.Float64())
+	s.info.Fate = PhaseDeorbiting
+	s.info.FateAt = now
+}
+
+// applyScripts fires any scripted events due for this satellite.
+func (st *simState) applyScripts(s *sat, now time.Time) {
+	evs := s.scripts
+	for s.scriptCursor < len(evs) && !evs[s.scriptCursor].At.After(now) {
+		ev := evs[s.scriptCursor]
+		s.scriptCursor++
+		switch ev.Action {
+		case ScriptSafeMode:
+			days := ev.DurationDays
+			if days <= 0 {
+				days = st.cfg.SafeModeMinDays
+			}
+			st.enterSafeMode(s, now, days, ev.DragFactor)
+		case ScriptFail:
+			st.beginUncontrolledDecay(s, now)
+			if ev.DragFactor > 0 {
+				s.deorbitKmDay = st.cfg.DeorbitKmPerDay * ev.DragFactor
+			}
+		case ScriptDeorbit:
+			st.beginDeorbit(s, now)
+		case ScriptProtect:
+			// Deliberate no-op; see ScriptProtect.
+		}
+	}
+}
+
+// raanRatePerHour returns the J2 regression rate. The rate varies weakly with
+// altitude over a satellite's life, so it is computed from the target shell.
+func (s *sat) raanRatePerHour() float64 {
+	if s.raanRate == 0 {
+		s.raanRate = orbit.RAANRateDegPerDay(units.Kilometers(s.info.TargetAltKm), units.Degrees(s.incl), s.ecc) / 24
+	}
+	return s.raanRate
+}
+
+// maRatePerHour returns the mean-anomaly advance per hour at the target
+// altitude (≈225°/hour for the 550 km shell).
+func (s *sat) maRatePerHour() float64 {
+	if s.maRate == 0 {
+		n, err := orbit.MeanMotionFromAltitude(units.Kilometers(s.info.TargetAltKm))
+		if err != nil {
+			return 0
+		}
+		s.maRate = float64(n) * 360 / 24
+	}
+	return s.maRate
+}
+
+// emitSample records one tracking observation and schedules the next.
+func (st *simState) emitSample(s *sat, now time.Time, d units.NanoTesla) {
+	cfg := &st.cfg
+	alt := s.altKm + st.rng.NormFloat64()*cfg.AltNoiseKm
+	if cfg.GrossErrorProb > 0 && st.rng.Float64() < cfg.GrossErrorProb {
+		// Tracking mis-fit: a wildly wrong altitude, log-uniform up to the
+		// 40,000 km tail the paper observed (Fig 10a).
+		lo, hi := 700.0, 40000.0
+		alt = lo * math.Pow(hi/lo, st.rng.Float64())
+	}
+	drag := s.info.DragFactor
+	if s.phase == PhaseSafeMode || s.phase == PhaseDeorbiting {
+		drag *= 2.2
+	}
+	st.result.Samples = append(st.result.Samples, Sample{
+		Catalog:      int32(s.info.Catalog),
+		Epoch:        now.Unix(),
+		AltKm:        float32(alt),
+		BStar:        float32(cfg.Atmosphere.BStar(units.Kilometers(s.altKm), d, drag)),
+		Inclination:  float32(s.incl + st.rng.NormFloat64()*0.003),
+		RAAN:         float32(s.raan),
+		Eccentricity: float32(s.ecc + st.rng.Float64()*1e-5),
+		ArgPerigee:   float32(s.argp),
+		MeanAnomaly:  float32(s.meanAnomaly),
+	})
+	// Refresh cadence: exponential around the mean, clamped to the observed
+	// <1 h .. 154 h range.
+	iv := st.rng.ExpFloat64() * cfg.MeanTLEIntervalHours
+	if iv < 0.5 {
+		iv = 0.5
+	}
+	if iv > cfg.MaxTLEIntervalHours {
+		iv = cfg.MaxTLEIntervalHours
+	}
+	s.nextSample = now.Add(time.Duration(iv * float64(time.Hour)))
+}
+
+// finalize copies terminal ground truth into the result.
+func (st *simState) finalize() {
+	st.result.Sats = make([]SatInfo, len(st.sats))
+	for i, s := range st.sats {
+		info := s.info
+		if info.FateAt.IsZero() {
+			info.Fate = s.phase
+		}
+		st.result.Sats[i] = info
+	}
+}

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"cosmicdance/internal/dst"
+	"cosmicdance/internal/stats"
+	"cosmicdance/internal/units"
+)
+
+// Event is a solar event the pipeline associates trajectory changes with.
+type Event struct {
+	Storm dst.Storm
+}
+
+// Epoch is the reference instant for happens-closely-after windows: the
+// storm's onset.
+func (e Event) Epoch() time.Time { return e.Storm.Start }
+
+// Events returns the storms in the dataset with peak intensity at or below
+// maxPeak (i.e. |peak| >= |maxPeak|) and duration within [minHours,
+// maxHours] (maxHours <= 0 means unbounded) — the event-selection knobs Figs
+// 5 and 6 sweep.
+func (d *Dataset) Events(maxPeak units.NanoTesla, minHours, maxHours int) []Event {
+	var out []Event
+	for _, s := range d.weather.Storms(units.StormThreshold) {
+		if s.Peak > maxPeak {
+			continue
+		}
+		if s.Hours < minHours {
+			continue
+		}
+		if maxHours > 0 && s.Hours > maxHours {
+			continue
+		}
+		out = append(out, Event{Storm: s})
+	}
+	return out
+}
+
+// EventsAbovePercentile selects storms whose peak intensity exceeds the
+// dataset's p-th intensity percentile (e.g. 95 for Fig 5b, 99 for Fig 6).
+func (d *Dataset) EventsAbovePercentile(p float64, minHours, maxHours int) ([]Event, error) {
+	threshold, err := d.weather.IntensityPercentile(p)
+	if err != nil {
+		return nil, err
+	}
+	if threshold > units.StormThreshold {
+		threshold = units.StormThreshold
+	}
+	return d.Events(threshold, minHours, maxHours), nil
+}
+
+// QuietEpochs returns up to count instants, spaced at least spacing apart,
+// such that no hour within the following windowDays exceeds the p-th
+// intensity percentile — the "no major storm observed" control epochs of
+// Fig 4(b) and Fig 5(a).
+func (d *Dataset) QuietEpochs(p float64, windowDays, count int, spacing time.Duration) ([]time.Time, error) {
+	threshold, err := d.weather.IntensityPercentile(p)
+	if err != nil {
+		return nil, err
+	}
+	var out []time.Time
+	hourly := d.weather.Hourly()
+	window := windowDays * 24
+	var lastPicked time.Time
+	// Precompute a running "next loud hour" scan for O(n) selection.
+	loudAfter := make([]int, hourly.Len()+1)
+	loudAfter[hourly.Len()] = math.MaxInt
+	for i := hourly.Len() - 1; i >= 0; i-- {
+		// An hour is "loud" only when strictly more intense than the
+		// threshold; an hour exactly at the p-th percentile is not above it.
+		if units.NanoTesla(hourly.Values()[i]) < threshold {
+			loudAfter[i] = i
+		} else {
+			loudAfter[i] = loudAfter[i+1]
+		}
+	}
+	for i := 0; i+window <= hourly.Len(); i++ {
+		if loudAfter[i] < i+window {
+			continue
+		}
+		t := hourly.TimeAt(i)
+		if !lastPicked.IsZero() && t.Sub(lastPicked) < spacing {
+			continue
+		}
+		out = append(out, t)
+		lastPicked = t
+		if count > 0 && len(out) >= count {
+			break
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: no quiet epochs below the %.0fth intensity percentile with a %d-day window", p, windowDays)
+	}
+	return out, nil
+}
+
+// SatCurve is one satellite's deviation-vs-time curve after an event.
+type SatCurve struct {
+	Catalog int
+	// DevKm[i] is the deviation from the satellite's long-term operational
+	// altitude (positive = below it) on day i after the event; NaN where no
+	// observation exists.
+	DevKm []float64
+}
+
+// WindowAnalysis is the Fig 4 product: per-day deviation aggregates across
+// the affected satellites in the days after an event.
+type WindowAnalysis struct {
+	Event    time.Time
+	Days     int
+	Curves   []SatCurve
+	MedianKm []float64 // per-day median across satellites
+	P95Km    []float64 // per-day 95th percentile
+	// Skipped counts satellites excluded per the paper's rules.
+	SkippedDecaying int // already decaying at the event (5 km rule)
+	SkippedStale    int // no fresh observation immediately before the event
+	SkippedShape    int // hump-shape selection (Fig 4a) not satisfied
+}
+
+// WindowOptions tunes a window analysis.
+type WindowOptions struct {
+	Days int
+	// RequireHumpShape applies Fig 4(a)'s selection: the median deviation
+	// over the window must exceed both the deviation immediately after the
+	// event and the deviation at the end of the window (this also excludes
+	// satellites that decay permanently).
+	RequireHumpShape bool
+	// MinPeakKm, when positive, drops satellites whose largest deviation in
+	// the window stays below this floor — station-keeping jitter would
+	// otherwise swamp the genuinely affected population.
+	MinPeakKm float64
+}
+
+// Window computes the deviation curves for the days following an event epoch.
+func (d *Dataset) Window(event time.Time, opts WindowOptions) (*WindowAnalysis, error) {
+	if opts.Days <= 0 {
+		return nil, fmt.Errorf("core: window days must be positive")
+	}
+	wa := &WindowAnalysis{Event: event, Days: opts.Days}
+	end := event.Add(time.Duration(opts.Days) * 24 * time.Hour)
+
+	for _, tr := range d.tracks {
+		base, ok := tr.At(event)
+		if !ok || event.Sub(base.Time()) > d.cfg.BaselineStaleness {
+			wa.SkippedStale++
+			continue
+		}
+		// The paper's already-decaying filter.
+		if math.Abs(float64(base.AltKm)-tr.OperationalAltKm) > d.cfg.DecayFilterKm {
+			wa.SkippedDecaying++
+			continue
+		}
+		pts := tr.Window(event, end)
+		if len(pts) == 0 {
+			wa.SkippedStale++
+			continue
+		}
+		dev := make([]float64, opts.Days)
+		for i := range dev {
+			dev[i] = math.NaN()
+		}
+		for _, p := range pts {
+			day := int(p.Epoch-event.Unix()) / 86400
+			if day < 0 || day >= opts.Days {
+				continue
+			}
+			v := tr.OperationalAltKm - float64(p.AltKm)
+			if math.IsNaN(dev[day]) || math.Abs(v) > math.Abs(dev[day]) {
+				dev[day] = v
+			}
+		}
+		if opts.MinPeakKm > 0 && peakAbs(dev) < opts.MinPeakKm {
+			wa.SkippedShape++
+			continue
+		}
+		if opts.RequireHumpShape && !humpShaped(dev) {
+			wa.SkippedShape++
+			continue
+		}
+		wa.Curves = append(wa.Curves, SatCurve{Catalog: tr.Catalog, DevKm: dev})
+	}
+
+	wa.MedianKm = make([]float64, opts.Days)
+	wa.P95Km = make([]float64, opts.Days)
+	var scratch []float64
+	for day := 0; day < opts.Days; day++ {
+		scratch = scratch[:0]
+		for _, c := range wa.Curves {
+			if !math.IsNaN(c.DevKm[day]) {
+				scratch = append(scratch, math.Abs(c.DevKm[day]))
+			}
+		}
+		if len(scratch) == 0 {
+			wa.MedianKm[day] = math.NaN()
+			wa.P95Km[day] = math.NaN()
+			continue
+		}
+		med, _ := stats.Percentile(scratch, 50)
+		p95, _ := stats.Percentile(scratch, 95)
+		wa.MedianKm[day] = med
+		wa.P95Km[day] = p95
+	}
+	return wa, nil
+}
+
+// peakAbs returns the largest |deviation| in the curve (0 if all NaN).
+func peakAbs(dev []float64) float64 {
+	peak := 0.0
+	for _, v := range dev {
+		if !math.IsNaN(v) && math.Abs(v) > peak {
+			peak = math.Abs(v)
+		}
+	}
+	return peak
+}
+
+// humpShaped reports whether the deviation curve rises and then falls: the
+// window median must exceed both the deviation right after the event and the
+// deviation at the end (the paper's Fig 4a selection).
+func humpShaped(dev []float64) bool {
+	first, last := math.NaN(), math.NaN()
+	var present []float64
+	for _, v := range dev {
+		if math.IsNaN(v) {
+			continue
+		}
+		if math.IsNaN(first) {
+			first = v
+		}
+		last = v
+		present = append(present, math.Abs(v))
+	}
+	if len(present) < 3 {
+		return false
+	}
+	med, err := stats.Percentile(present, 50)
+	if err != nil {
+		return false
+	}
+	return med > math.Abs(first) && med > math.Abs(last)
+}
+
+// Deviation is one (event, satellite) association outcome.
+type Deviation struct {
+	Event    time.Time
+	Catalog  int
+	MaxDevKm float64 // largest altitude change within the window (km)
+	MaxDrag  float64 // largest B* increase within the window (1/ER)
+}
+
+// Associate computes, for every given event and every eligible satellite,
+// the maximum altitude deviation and drag increase within the
+// happens-closely-after window — the raw material of Figs 5 and 6.
+func (d *Dataset) Associate(events []Event, windowDays int) []Deviation {
+	var out []Deviation
+	for _, ev := range events {
+		epoch := ev.Epoch()
+		end := epoch.Add(time.Duration(windowDays) * 24 * time.Hour)
+		for _, tr := range d.tracks {
+			base, ok := tr.At(epoch)
+			if !ok || epoch.Sub(base.Time()) > d.cfg.BaselineStaleness {
+				continue
+			}
+			if math.Abs(float64(base.AltKm)-tr.OperationalAltKm) > d.cfg.DecayFilterKm {
+				continue // already decaying before the event
+			}
+			pts := tr.Window(epoch, end)
+			if len(pts) == 0 {
+				continue
+			}
+			maxDev, maxDrag := 0.0, 0.0
+			for _, p := range pts {
+				dev := math.Abs(float64(base.AltKm) - float64(p.AltKm))
+				if dev > maxDev {
+					maxDev = dev
+				}
+				drag := float64(p.BStar) - float64(base.BStar)
+				if drag > maxDrag {
+					maxDrag = drag
+				}
+			}
+			out = append(out, Deviation{Event: epoch, Catalog: tr.Catalog, MaxDevKm: maxDev, MaxDrag: maxDrag})
+		}
+	}
+	return out
+}
+
+// AssociateQuiet runs the same association against quiet control epochs
+// (Fig 5a's "epoch set with no storms around").
+func (d *Dataset) AssociateQuiet(epochs []time.Time, windowDays int) []Deviation {
+	events := make([]Event, len(epochs))
+	for i, t := range epochs {
+		events[i] = Event{Storm: dst.Storm{Start: t}}
+	}
+	return d.Associate(events, windowDays)
+}
+
+// DeviationCDF folds associations into the altitude-change CDF of Fig 5/6.
+func DeviationCDF(devs []Deviation) (*stats.CDF, error) {
+	vals := make([]float64, len(devs))
+	for i, dv := range devs {
+		vals[i] = dv.MaxDevKm
+	}
+	return stats.NewCDF(vals)
+}
+
+// DragChangeCDF folds associations into the drag-change CDF of Fig 5c/6c.
+func DragChangeCDF(devs []Deviation) (*stats.CDF, error) {
+	vals := make([]float64, len(devs))
+	for i, dv := range devs {
+		vals[i] = dv.MaxDrag
+	}
+	return stats.NewCDF(vals)
+}
+
+// MergeCloseEvents folds events whose happens-closely-after windows would
+// overlap: an event starting within gap of the previous kept event is merged
+// into it, keeping the deeper peak and extending the duration bookkeeping.
+// Without this, a storm with a ragged tail (several threshold crossings in a
+// few days) would associate the same satellite response several times over.
+// Events must be time-ordered, as Events returns them.
+func MergeCloseEvents(events []Event, gap time.Duration) []Event {
+	if len(events) == 0 {
+		return nil
+	}
+	out := []Event{events[0]}
+	for _, ev := range events[1:] {
+		last := &out[len(out)-1]
+		if ev.Storm.Start.Sub(last.Storm.Start) < gap {
+			// Extend the kept event's span and keep the deeper peak.
+			if ev.Storm.Peak < last.Storm.Peak {
+				last.Storm.Peak = ev.Storm.Peak
+				last.Storm.PeakAt = ev.Storm.PeakAt
+			}
+			if end := ev.Storm.End(); end.After(last.Storm.End()) {
+				last.Storm.Hours = int(end.Sub(last.Storm.Start) / time.Hour)
+			}
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"cosmicdance/internal/constellation"
+	"cosmicdance/internal/dst"
+	"cosmicdance/internal/stats"
+	"cosmicdance/internal/tle"
+)
+
+// CleaningStats records what the data-cleaning stage removed, mirroring the
+// paper's §3 "Cleaning the data" discussion and Fig 10.
+type CleaningStats struct {
+	TotalObservations int
+	GrossErrors       int // altitude outside [MinValidAltKm, MaxValidAltKm]
+	RaisingRemoved    int // orbit-raising prefix points
+	NonOperational    int // tracks that never reached an operational shell
+}
+
+// Dataset is the merged, cleaned, time-ordered representation CosmicDance
+// analyses: the hourly Dst index plus one cleaned Track per satellite.
+type Dataset struct {
+	cfg     Config
+	weather *dst.Index
+	tracks  []*Track
+	byCat   map[int]*Track
+	// rawAlts holds every ingested altitude before cleaning (Fig 10a);
+	// cleanAlts holds the altitudes that survived (Fig 10b).
+	rawAlts   []float64
+	cleanAlts []float64
+	stats     CleaningStats
+}
+
+// observation is the ingest-format-independent record.
+type observation struct {
+	catalog int
+	epoch   int64
+	altKm   float64
+	bstar   float64
+	incl    float64
+}
+
+// Builder accumulates observations before cleaning.
+type Builder struct {
+	cfg     Config
+	weather *dst.Index
+	obs     []observation
+}
+
+// NewBuilder starts a dataset build with the given parameters and solar
+// activity index.
+func NewBuilder(cfg Config, weather *dst.Index) *Builder {
+	return &Builder{cfg: cfg, weather: weather}
+}
+
+// AddTLEs ingests parsed element sets (the live-data path).
+func (b *Builder) AddTLEs(sets []*tle.TLE) {
+	for _, t := range sets {
+		b.obs = append(b.obs, observation{
+			catalog: t.CatalogNumber,
+			epoch:   t.Epoch.Unix(),
+			altKm:   float64(t.Altitude()),
+			bstar:   t.BStar,
+			incl:    float64(t.Inclination),
+		})
+	}
+}
+
+// AddSamples ingests simulator samples (the compact path for large archives;
+// identical semantics to AddTLEs).
+func (b *Builder) AddSamples(samples []constellation.Sample) {
+	for _, s := range samples {
+		b.obs = append(b.obs, observation{
+			catalog: int(s.Catalog),
+			epoch:   s.Epoch,
+			altKm:   float64(s.AltKm),
+			bstar:   float64(s.BStar),
+			incl:    float64(s.Inclination),
+		})
+	}
+}
+
+// Build cleans the archive and assembles the dataset:
+//
+//  1. altitude sanity cut (tracking errors, Fig 10a→10b),
+//  2. per-satellite orbit-raising prefix removal,
+//  3. operational-altitude estimation (tracks that never reach a shell are
+//     excluded from storm analyses).
+//
+// The already-decaying filter is applied per event during analysis, not here,
+// because it depends on the event time.
+func (b *Builder) Build() (*Dataset, error) {
+	if b.weather == nil || b.weather.Len() == 0 {
+		return nil, fmt.Errorf("core: no solar activity data")
+	}
+	if len(b.obs) == 0 {
+		return nil, fmt.Errorf("core: no trajectory observations")
+	}
+	d := &Dataset{
+		cfg:     b.cfg,
+		weather: b.weather,
+		byCat:   make(map[int]*Track),
+	}
+	d.stats.TotalObservations = len(b.obs)
+	d.rawAlts = make([]float64, 0, len(b.obs))
+
+	// Group by catalog.
+	byCat := make(map[int][]observation)
+	for _, o := range b.obs {
+		d.rawAlts = append(d.rawAlts, o.altKm)
+		if o.altKm > b.cfg.MaxValidAltKm || o.altKm < b.cfg.MinValidAltKm {
+			d.stats.GrossErrors++
+			continue
+		}
+		byCat[o.catalog] = append(byCat[o.catalog], o)
+	}
+
+	cats := make([]int, 0, len(byCat))
+	for c := range byCat {
+		cats = append(cats, c)
+	}
+	sort.Ints(cats)
+
+	for _, cat := range cats {
+		obs := byCat[cat]
+		sort.Slice(obs, func(i, j int) bool { return obs[i].epoch < obs[j].epoch })
+		points := make([]TrackPoint, len(obs))
+		for i, o := range obs {
+			points[i] = TrackPoint{Epoch: o.epoch, AltKm: float32(o.altKm), BStar: float32(o.bstar), Incl: float32(o.incl)}
+		}
+		opAlt := operationalAltitude(points, 10)
+		if opAlt < b.cfg.MinOperationalAltKm {
+			// Never reached a shell (lost during staging, or launch debris).
+			d.stats.NonOperational++
+			continue
+		}
+		// Remove the orbit-raising prefix: everything before the first point
+		// within RaisingMarginKm of the operational altitude.
+		cut := 0
+		for cut < len(points) && float64(points[cut].AltKm) < opAlt-b.cfg.RaisingMarginKm {
+			cut++
+		}
+		if cut == len(points) {
+			d.stats.NonOperational++
+			continue
+		}
+		d.stats.RaisingRemoved += cut
+		tr := &Track{
+			Catalog:          cat,
+			Points:           points[cut:],
+			OperationalAltKm: opAlt,
+			RaisingRemoved:   cut,
+		}
+		d.tracks = append(d.tracks, tr)
+		d.byCat[cat] = tr
+		for _, p := range tr.Points {
+			d.cleanAlts = append(d.cleanAlts, float64(p.AltKm))
+		}
+	}
+	if len(d.tracks) == 0 {
+		return nil, fmt.Errorf("core: no operational tracks survived cleaning")
+	}
+	return d, nil
+}
+
+// Weather returns the Dst index.
+func (d *Dataset) Weather() *dst.Index { return d.weather }
+
+// Config returns the pipeline parameters.
+func (d *Dataset) Config() Config { return d.cfg }
+
+// Tracks returns the cleaned per-satellite tracks (catalog-ascending).
+func (d *Dataset) Tracks() []*Track { return d.tracks }
+
+// Track returns one satellite's track, or nil.
+func (d *Dataset) Track(catalog int) *Track { return d.byCat[catalog] }
+
+// Cleaning returns what the cleaning stage removed.
+func (d *Dataset) Cleaning() CleaningStats { return d.stats }
+
+// RawAltitudeCDF is Fig 10(a): the altitude distribution across all ingested
+// TLEs before cleaning, long error tail included.
+func (d *Dataset) RawAltitudeCDF() (*stats.CDF, error) { return stats.NewCDF(d.rawAlts) }
+
+// CleanAltitudeCDF is Fig 10(b): after removing tracking errors and
+// orbit-raising windows.
+func (d *Dataset) CleanAltitudeCDF() (*stats.CDF, error) { return stats.NewCDF(d.cleanAlts) }

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cosmicdance/internal/constellation"
+	"cosmicdance/internal/spaceweather"
+)
+
+// buildPaperDataset runs the full paper scenario once per test binary.
+var paperDataset *Dataset
+
+func getPaperDataset(t *testing.T) *Dataset {
+	t.Helper()
+	if paperDataset != nil {
+		return paperDataset
+	}
+	weather, err := spaceweather.Generate(spaceweather.Paper2020to2024())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := constellation.Run(constellation.PaperFleet(42), weather)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(DefaultConfig(), weather)
+	b.AddSamples(res.Samples)
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	paperDataset = d
+	return d
+}
+
+func TestEndToEndFig10Cleaning(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-window pipeline in -short mode")
+	}
+	d := getPaperDataset(t)
+
+	raw, err := d.RawAltitudeCDF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig 10a: a long error tail reaching tens of thousands of km.
+	if raw.Max() < 10000 {
+		t.Errorf("raw max altitude = %v, want an error tail into the tens of thousands", raw.Max())
+	}
+	if tail := raw.TailFraction(650); tail <= 0 || tail > 0.01 {
+		t.Errorf("raw tail beyond 650 km = %v, want small but nonzero", tail)
+	}
+
+	clean, err := d.CleanAltitudeCDF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig 10b: everything within the operational range, the majority near
+	// 550 km, and a deorbiting tail below 500 km.
+	if clean.Max() > 650 {
+		t.Errorf("clean max = %v", clean.Max())
+	}
+	nominal := clean.At(575) - clean.At(525)
+	if nominal < 0.5 {
+		t.Errorf("mass near the 550 km shell = %v, want the majority", nominal)
+	}
+	deorbiting := clean.At(500)
+	if deorbiting <= 0 || deorbiting > 0.2 {
+		t.Errorf("deorbiting tail below 500 km = %v, want small but nonzero", deorbiting)
+	}
+}
+
+func TestEndToEndFig4StormVsQuiet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-window pipeline in -short mode")
+	}
+	d := getPaperDataset(t)
+
+	// Fig 4a: the -112 nT event.
+	wa, err := d.Window(spaceweather.Fig4Storm, WindowOptions{Days: 30, RequireHumpShape: true, MinPeakKm: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wa.Curves) < 5 {
+		t.Fatalf("affected satellites = %d, want a visible population", len(wa.Curves))
+	}
+	peakMedian, peakDay := 0.0, 0
+	for day, v := range wa.MedianKm {
+		if !math.IsNaN(v) && v > peakMedian {
+			peakMedian, peakDay = v, day
+		}
+	}
+	// Paper: median altitude variation goes up to ~5 km within 10-15 days.
+	if peakMedian < 2 || peakMedian > 12 {
+		t.Errorf("peak median deviation = %.2f km, want ~5", peakMedian)
+	}
+	if peakDay < 4 || peakDay > 25 {
+		t.Errorf("median peaks on day %d, want mid-window", peakDay)
+	}
+	// Paper: the 95th-ptile remains elevated (~10 km) at the window end.
+	endP95 := wa.P95Km[len(wa.P95Km)-1]
+	if math.IsNaN(endP95) || endP95 < 2 || endP95 > 30 {
+		t.Errorf("day-30 95th-ptile = %.2f km, want elevated (~10)", endP95)
+	}
+
+	// Fig 4b: a quiet epoch shows no comparable shift.
+	quiet, err := d.QuietEpochs(80, 15, 1, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qa, err := d.Window(quiet[0], WindowOptions{Days: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxQuietMedian := 0.0
+	for _, v := range qa.MedianKm {
+		if !math.IsNaN(v) && v > maxQuietMedian {
+			maxQuietMedian = v
+		}
+	}
+	if maxQuietMedian >= peakMedian {
+		t.Errorf("quiet median deviation %.2f not below storm median %.2f", maxQuietMedian, peakMedian)
+	}
+	if maxQuietMedian > 3 {
+		t.Errorf("quiet median deviation = %.2f km, want noise-level", maxQuietMedian)
+	}
+}
+
+func TestEndToEndFig5IntensityCDFs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-window pipeline in -short mode")
+	}
+	d := getPaperDataset(t)
+
+	// Fig 5b: events above the 95th intensity percentile.
+	events, err := d.EventsAbovePercentile(95, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 5 {
+		t.Fatalf("high-intensity events = %d", len(events))
+	}
+	stormDevs := d.Associate(events, 30)
+	stormCDF, err := DeviationCDF(stormDevs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fig 5a: quiet epochs.
+	quiet, err := d.QuietEpochs(80, 15, 20, 14*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quietCDF, err := DeviationCDF(d.AssociateQuiet(quiet, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Quiet variations stay below 10 km essentially always.
+	if tail := quietCDF.TailFraction(10); tail > 0.02 {
+		t.Errorf("quiet tail beyond 10 km = %v", tail)
+	}
+	// Storm case: a small tail (at most a few %) reaches tens of km, with a
+	// maximum beyond 100 km (paper: up to ~163 km).
+	stormTail := stormCDF.TailFraction(10)
+	if stormTail <= quietCDF.TailFraction(10) {
+		t.Error("storm tail not heavier than quiet tail")
+	}
+	if stormTail > 0.05 {
+		t.Errorf("storm tail beyond 10 km = %v, want at most a few percent", stormTail)
+	}
+	if stormCDF.Max() < 80 || stormCDF.Max() > 400 {
+		t.Errorf("storm max deviation = %v km, want ~163", stormCDF.Max())
+	}
+
+	// Fig 5c: drag changes are larger after storms.
+	stormDrag, err := DragChangeCDF(stormDevs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quietDrag, err := DragChangeCDF(d.AssociateQuiet(quiet, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stormDrag.Quantile(0.95) <= quietDrag.Quantile(0.95) {
+		t.Error("storm drag distribution not heavier than quiet")
+	}
+}
+
+func TestEndToEndFig6DurationSplit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-window pipeline in -short mode")
+	}
+	d := getPaperDataset(t)
+
+	short, err := d.EventsAbovePercentile(99, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := d.EventsAbovePercentile(99, 9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(short) == 0 || len(long) == 0 {
+		t.Fatalf("events: %d short, %d long — need both", len(short), len(long))
+	}
+	shortCDF, err := DeviationCDF(d.Associate(short, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	longCDF, err := DeviationCDF(d.Associate(long, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: longer storms produce a longer, denser deviation tail.
+	if longCDF.TailFraction(5) <= shortCDF.TailFraction(5) {
+		t.Errorf("long-storm tail (%v) not denser than short-storm tail (%v)",
+			longCDF.TailFraction(5), shortCDF.TailFraction(5))
+	}
+}
+
+func TestEndToEndFig7SuperStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fleet run in -short mode")
+	}
+	weather, err := spaceweather.Generate(spaceweather.May2024())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := constellation.Run(constellation.May2024Fleet(7), weather)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(DefaultConfig(), weather)
+	b.AddSamples(res.Samples)
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.SuperStorm(res.Start.Add(3*24*time.Hour), res.Start.Add(30*24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper/Starlink: drag up to five times the usual level.
+	if rep.PeakDragRatio < 3 || rep.PeakDragRatio > 8 {
+		t.Errorf("peak drag ratio = %.2f, want ~5", rep.PeakDragRatio)
+	}
+	// No visible satellite loss.
+	if rep.MinTrackedRatio < 0.995 {
+		t.Errorf("tracked ratio dipped to %.4f, want ~1 (no loss)", rep.MinTrackedRatio)
+	}
+}
+
+func TestEndToEndFig3TimeSeries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-window pipeline in -short mode")
+	}
+	d := getPaperDataset(t)
+
+	// #44943: the ~150 km drop after the 3 Mar 2024 storm.
+	ts, err := d.TimeSeries(constellation.Fig3SatSharpDrop,
+		spaceweather.Fig3StormB.Add(-30*24*time.Hour),
+		spaceweather.Fig3StormB.Add(45*24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before, after, maxBStarAfter float64
+	for _, p := range ts.Points {
+		if p.At.Before(spaceweather.Fig3StormB) {
+			before = p.AltKm
+		} else {
+			after = p.AltKm
+			if p.BStar > maxBStarAfter {
+				maxBStarAfter = p.BStar
+			}
+		}
+	}
+	drop := before - after
+	if drop < 100 || drop > 250 {
+		t.Errorf("#44943 drop = %.0f km, want ~150", drop)
+	}
+	if maxBStarAfter < 1e-3 {
+		t.Errorf("#44943 post-storm B* = %v, want a strong drag signature", maxBStarAfter)
+	}
+}
+
+// TestOneWebGenerality exercises the paper's claim that CosmicDance works
+// for any constellation without major code changes: a OneWeb-like fleet at
+// 1,200 km runs through the same simulator and pipeline with only
+// configuration edits — and, physically, barely feels the storms that move
+// Starlink (drag falls off exponentially with altitude).
+func TestOneWebGenerality(t *testing.T) {
+	weather, err := spaceweather.Generate(spaceweather.Paper2020to2024())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := constellation.DefaultConfig()
+	cfg.Shells = constellation.OneWebShells()
+	cfg.Start = weather.Start()
+	cfg.Hours = 365 * 24
+	cfg.InitialFleet = 60
+	cfg.GrossErrorProb = 0
+	cfg.DecommissionPerYear = 0
+	fleet, err := constellation.Run(cfg, weather)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pipeline configuration is the only change: the sanity cut and the
+	// operational floor move with the constellation's altitude.
+	pc := DefaultConfig()
+	pc.MaxValidAltKm = 1300
+	pc.MinOperationalAltKm = 1000
+	b := NewBuilder(pc, weather)
+	b.AddSamples(fleet.Samples)
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Tracks()) != 60 {
+		t.Fatalf("tracks = %d, want 60", len(d.Tracks()))
+	}
+	for _, tr := range d.Tracks() {
+		if tr.OperationalAltKm < 1190 || tr.OperationalAltKm > 1210 {
+			t.Fatalf("operational altitude = %v, want ~1200", tr.OperationalAltKm)
+		}
+	}
+	// Storm response at 1,200 km: negligible altitude shifts.
+	events, err := d.EventsAbovePercentile(95, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restrict to events inside the simulated year.
+	var inWindow []Event
+	for _, ev := range events {
+		if ev.Epoch().Before(weather.Start().Add(330 * 24 * time.Hour)) {
+			inWindow = append(inWindow, ev)
+		}
+	}
+	if len(inWindow) == 0 {
+		t.Skip("no high-intensity events in the first simulated year")
+	}
+	cdf, err := DeviationCDF(d.Associate(inWindow, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cdf.Quantile(0.99) > 3 {
+		t.Errorf("p99 deviation at 1200 km = %v km; high orbits should barely move", cdf.Quantile(0.99))
+	}
+}

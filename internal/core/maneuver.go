@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cosmicdance/internal/stats"
+)
+
+// Maneuver is a detected altitude-raising event: a station-keeping boost or
+// a collision-avoidance burn. The paper's Limitations section notes that
+// trajectory changes "may also change to avoid collisions in space" — this
+// detector surfaces those candidate confounders so an analyst can inspect
+// how many potential false positives a happens-closely-after window holds.
+type Maneuver struct {
+	Catalog int
+	At      time.Time // epoch of the observation that revealed the raise
+	DeltaKm float64   // altitude gained since the previous observation
+}
+
+// Maneuvers scans every track for altitude increases of at least minDeltaKm
+// between consecutive observations no further than maxGap apart. Small
+// values of minDeltaKm pick up routine station-keeping cycles; larger ones
+// isolate avoidance-scale burns.
+func (d *Dataset) Maneuvers(minDeltaKm float64, maxGap time.Duration) []Maneuver {
+	var out []Maneuver
+	for _, tr := range d.tracks {
+		for i := 1; i < len(tr.Points); i++ {
+			prev, cur := tr.Points[i-1], tr.Points[i]
+			if time.Duration(cur.Epoch-prev.Epoch)*time.Second > maxGap {
+				continue
+			}
+			delta := float64(cur.AltKm) - float64(prev.AltKm)
+			if delta >= minDeltaKm {
+				out = append(out, Maneuver{Catalog: tr.Catalog, At: cur.Time(), DeltaKm: delta})
+			}
+		}
+	}
+	return out
+}
+
+// ManeuverRate returns maneuvers per satellite per 30 days — the "frequent
+// orbit corrections" context of the paper's §2.
+func (d *Dataset) ManeuverRate(minDeltaKm float64, maxGap time.Duration) float64 {
+	if len(d.tracks) == 0 {
+		return 0
+	}
+	events := d.Maneuvers(minDeltaKm, maxGap)
+	var satDays float64
+	for _, tr := range d.tracks {
+		first, last, ok := tr.Span()
+		if !ok {
+			continue
+		}
+		satDays += last.Sub(first).Hours() / 24
+	}
+	if satDays == 0 {
+		return 0
+	}
+	return float64(len(events)) / satDays * 30
+}
+
+// IntensityResponse computes, for each event, the fleet's response (the
+// 95th percentile of its per-satellite deviations) against the event's peak
+// intensity, and the Pearson correlation between the two — a single-number
+// summary of Fig 5's "deeper storms move satellites more".
+func (d *Dataset) IntensityResponse(events []Event, windowDays int) (intensity, response []float64, r float64, err error) {
+	if len(events) < 2 {
+		return nil, nil, 0, fmt.Errorf("core: need at least two events for a correlation")
+	}
+	for _, ev := range events {
+		devs := d.Associate([]Event{ev}, windowDays)
+		if len(devs) == 0 {
+			continue
+		}
+		vals := make([]float64, len(devs))
+		for i, dv := range devs {
+			vals[i] = dv.MaxDevKm
+		}
+		p95, err := stats.Percentile(vals, 95)
+		if err != nil {
+			continue
+		}
+		intensity = append(intensity, -float64(ev.Storm.Peak))
+		response = append(response, p95)
+	}
+	if len(intensity) < 2 {
+		return nil, nil, 0, fmt.Errorf("core: fewer than two events had associated satellites")
+	}
+	r, err = stats.Correlation(intensity, response)
+	if err != nil {
+		return intensity, response, 0, err
+	}
+	return intensity, response, r, nil
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cosmicdance/internal/dst"
+)
+
+func TestManeuversDetectsBoosts(t *testing.T) {
+	b := NewBuilder(DefaultConfig(), quietWeather(60))
+	// A satellite that sinks slowly and boosts 2 km every 10 days.
+	at := c0
+	alt := 550.0
+	for day := 0; day < 60; day++ {
+		alt -= 0.2
+		if day%10 == 9 {
+			alt += 2
+		}
+		addObs(b, 1, at, alt, 4e-4)
+		at = at.Add(24 * time.Hour)
+	}
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	boosts := d.Maneuvers(1.5, 48*time.Hour)
+	if len(boosts) < 4 || len(boosts) > 7 {
+		t.Fatalf("boosts = %d, want ~6", len(boosts))
+	}
+	for _, m := range boosts {
+		if m.Catalog != 1 || m.DeltaKm < 1.5 {
+			t.Errorf("boost = %+v", m)
+		}
+	}
+	// A tighter threshold finds nothing.
+	if got := d.Maneuvers(5, 48*time.Hour); len(got) != 0 {
+		t.Errorf("5 km threshold matched %d", len(got))
+	}
+	// Rate: ~3 boosts per 30 days.
+	rate := d.ManeuverRate(1.5, 48*time.Hour)
+	if rate < 2 || rate > 4 {
+		t.Errorf("maneuver rate = %v per sat per 30 d, want ~3", rate)
+	}
+}
+
+func TestManeuversRespectsMaxGap(t *testing.T) {
+	b := NewBuilder(DefaultConfig(), quietWeather(60))
+	// Two observations 10 days apart with a 3 km rise: too stale to call a
+	// single maneuver.
+	steadyTrack(b, 1, c0, 20, 550)
+	addObs(b, 1, c0.Add(30*24*time.Hour), 553, 4e-4)
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Maneuvers(1.5, 48*time.Hour); len(got) != 0 {
+		t.Errorf("stale-gap rise detected as maneuver: %+v", got)
+	}
+}
+
+func TestIntensityResponseCorrelation(t *testing.T) {
+	// Three storms of increasing depth; one satellite responds
+	// proportionally to each.
+	days := 200
+	vals := make([]float64, days*24)
+	for i := range vals {
+		vals[i] = -10
+	}
+	stormDays := []int{40, 100, 160}
+	depths := []float64{-60, -120, -240}
+	for k, sd := range stormDays {
+		for h := 0; h < 6; h++ {
+			vals[sd*24+h] = depths[k]
+		}
+	}
+	weather := dst.FromValues(c0, vals)
+	b := NewBuilder(DefaultConfig(), weather)
+	steadyTrack(b, 1, c0, days, 550) // control
+	// The responder dips proportionally to |depth| after each storm and
+	// recovers before the next.
+	at := c0
+	alt := 550.0
+	for day := 0; day < days; day++ {
+		dip := 0.0
+		for k, sd := range stormDays {
+			if day > sd && day <= sd+10 {
+				dip = -depths[k] / 20 * float64(day-sd) / 10
+			}
+			if day > sd+10 && day <= sd+20 {
+				dip = -depths[k] / 20 * float64(sd+20-day) / 10
+			}
+		}
+		addObs(b, 2, at, alt-dip, 4e-4)
+		at = at.Add(24 * time.Hour)
+	}
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := d.Events(-50, 1, 0)
+	if len(events) != 3 {
+		t.Fatalf("events = %d", len(events))
+	}
+	intensity, response, r, err := d.IntensityResponse(events, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(intensity) != 3 || len(response) != 3 {
+		t.Fatalf("pairs = %d/%d", len(intensity), len(response))
+	}
+	if r < 0.9 {
+		t.Errorf("correlation = %v, want strongly positive", r)
+	}
+	if math.IsNaN(r) {
+		t.Error("NaN correlation")
+	}
+}
+
+func TestIntensityResponseErrors(t *testing.T) {
+	d, _ := buildStormDataset(t)
+	if _, _, _, err := d.IntensityResponse(nil, 30); err == nil {
+		t.Error("no events accepted")
+	}
+	if _, _, _, err := d.IntensityResponse(d.Events(-50, 1, 0), 30); err == nil {
+		t.Error("single event accepted")
+	}
+}

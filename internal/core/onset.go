@@ -1,0 +1,129 @@
+package core
+
+import (
+	"time"
+)
+
+// DecayOnset is the detected start of a satellite's permanent orbital decay.
+type DecayOnset struct {
+	Catalog int
+	// At is the last observation at which the satellite was still on
+	// station; the decline begins immediately after.
+	At time.Time
+	// RateKmPerDay is the mean descent rate over the observed decline.
+	RateKmPerDay float64
+	// DropKm is the total observed altitude loss.
+	DropKm float64
+}
+
+// DecayOnsets scans every track for a permanent decay: a terminal decline
+// that reaches at least minDropKm below the operational altitude and never
+// recovers to within the decay-filter band again. Safe-mode excursions that
+// re-boost are thereby excluded — only the paper's "permanent orbital decay"
+// cases remain. The detection is fully automatic (no scripted knowledge),
+// which is what lets the attribution below argue causality statistically.
+func (d *Dataset) DecayOnsets(minDropKm float64) []DecayOnset {
+	var out []DecayOnset
+	for _, tr := range d.tracks {
+		onStation := tr.OperationalAltKm - d.cfg.DecayFilterKm
+		// Find the last point still on station.
+		last := -1
+		for i, p := range tr.Points {
+			if float64(p.AltKm) >= onStation {
+				last = i
+			}
+		}
+		if last < 0 || last == len(tr.Points)-1 {
+			continue // never on station, or never left it
+		}
+		tail := tr.Points[last:]
+		final := tail[len(tail)-1]
+		drop := tr.OperationalAltKm - float64(final.AltKm)
+		if drop < minDropKm {
+			continue // station-keeping scale wobble, not a decay
+		}
+		days := float64(final.Epoch-tail[0].Epoch) / 86400
+		if days <= 0 {
+			continue
+		}
+		out = append(out, DecayOnset{
+			Catalog:      tr.Catalog,
+			At:           tail[0].Time(),
+			RateKmPerDay: drop / days,
+			DropKm:       drop,
+		})
+	}
+	return out
+}
+
+// Attribution quantifies the happens-closely-after relationship between
+// storms and decay onsets: how many onsets fall inside post-event windows
+// versus how many would land there by chance if onsets were uniform in time.
+type Attribution struct {
+	Onsets       int
+	CloselyAfter int
+	// Coverage is the fraction of the observation span inside any
+	// post-event window.
+	Coverage float64
+	// Lift is (CloselyAfter/Onsets) / Coverage: 1.0 means no association,
+	// larger means decay onsets concentrate after storms. This is the
+	// statistical form of the paper's circumstantial-evidence argument.
+	Lift float64
+}
+
+// AttributeDecayOnsets computes the attribution of decay onsets to the given
+// events over the weather span.
+func (d *Dataset) AttributeDecayOnsets(events []Event, window time.Duration, minDropKm float64) Attribution {
+	onsets := d.DecayOnsets(minDropKm)
+	att := Attribution{Onsets: len(onsets)}
+	if len(onsets) == 0 || len(events) == 0 {
+		return att
+	}
+
+	// Merge the post-event windows into disjoint intervals.
+	type interval struct{ from, to time.Time }
+	var intervals []interval
+	for _, ev := range events {
+		from := ev.Epoch()
+		to := from.Add(window)
+		if n := len(intervals); n > 0 && !from.After(intervals[n-1].to) {
+			if to.After(intervals[n-1].to) {
+				intervals[n-1].to = to
+			}
+			continue
+		}
+		intervals = append(intervals, interval{from, to})
+	}
+
+	// Coverage over the weather span.
+	span := d.weather.End().Sub(d.weather.Start())
+	var covered time.Duration
+	for _, iv := range intervals {
+		from, to := iv.from, iv.to
+		if from.Before(d.weather.Start()) {
+			from = d.weather.Start()
+		}
+		if to.After(d.weather.End()) {
+			to = d.weather.End()
+		}
+		if to.After(from) {
+			covered += to.Sub(from)
+		}
+	}
+	if span > 0 {
+		att.Coverage = float64(covered) / float64(span)
+	}
+
+	for _, on := range onsets {
+		for _, iv := range intervals {
+			if !on.At.Before(iv.from) && !on.At.After(iv.to) {
+				att.CloselyAfter++
+				break
+			}
+		}
+	}
+	if att.Coverage > 0 && att.Onsets > 0 {
+		att.Lift = (float64(att.CloselyAfter) / float64(att.Onsets)) / att.Coverage
+	}
+	return att
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cosmicdance/internal/units"
+)
+
+func TestDecayOnsetsDetection(t *testing.T) {
+	d, event := buildStormDataset(t)
+	onsets := d.DecayOnsets(20)
+	// Sats 4 (decays after the event) and 5 (decaying before it) are the
+	// permanent decayers; the dippers (2, 3) recover and must not appear.
+	byCat := map[int]DecayOnset{}
+	for _, on := range onsets {
+		byCat[on.Catalog] = on
+	}
+	if len(onsets) != 2 {
+		t.Fatalf("onsets = %+v, want sats 4 and 5", onsets)
+	}
+	if _, ok := byCat[4]; !ok {
+		t.Error("sat 4 onset missed")
+	}
+	if _, ok := byCat[5]; !ok {
+		t.Error("sat 5 onset missed")
+	}
+	// Sat 4's onset lands at (or just before) the storm.
+	gap := byCat[4].At.Sub(event)
+	if gap > 24*time.Hour || gap < -48*time.Hour {
+		t.Errorf("sat 4 onset at %v, event at %v", byCat[4].At, event)
+	}
+	// Rates are the synthetic 5 km/day within tolerance.
+	if math.Abs(byCat[4].RateKmPerDay-5) > 1.5 {
+		t.Errorf("sat 4 rate = %v, want ~5", byCat[4].RateKmPerDay)
+	}
+	if byCat[4].DropKm < 100 {
+		t.Errorf("sat 4 drop = %v", byCat[4].DropKm)
+	}
+}
+
+func TestDecayOnsetsIgnoresRecoveredDips(t *testing.T) {
+	b := NewBuilder(DefaultConfig(), quietWeather(120))
+	dippingTrack(b, 9, 120, 550, 30, 40) // a deep dip that fully recovers
+	steadyTrack(b, 1, c0, 120, 550)
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onsets := d.DecayOnsets(20); len(onsets) != 0 {
+		t.Errorf("recovered dip flagged as decay: %+v", onsets)
+	}
+}
+
+func TestAttributeDecayOnsetsLift(t *testing.T) {
+	d, _ := buildStormDataset(t)
+	events := d.Events(units.StormThreshold, 1, 0)
+	att := d.AttributeDecayOnsets(events, 5*24*time.Hour, 20)
+	if att.Onsets != 2 {
+		t.Fatalf("onsets = %d", att.Onsets)
+	}
+	// Sat 4's onset is within 5 days after the storm; sat 5 started before
+	// it (background decay).
+	if att.CloselyAfter != 1 {
+		t.Errorf("closely after = %d, want 1", att.CloselyAfter)
+	}
+	// The window covers ~5/120 of the span, so one of two onsets inside it
+	// is a strong concentration.
+	if att.Coverage <= 0 || att.Coverage > 0.1 {
+		t.Errorf("coverage = %v", att.Coverage)
+	}
+	if att.Lift < 5 {
+		t.Errorf("lift = %v, want strong association", att.Lift)
+	}
+}
+
+func TestAttributeDecayOnsetsEmptyInputs(t *testing.T) {
+	d, _ := buildStormDataset(t)
+	if att := d.AttributeDecayOnsets(nil, 24*time.Hour, 20); att.Lift != 0 || att.CloselyAfter != 0 {
+		t.Errorf("no events: %+v", att)
+	}
+	if att := d.AttributeDecayOnsets(d.Events(units.StormThreshold, 1, 0), 24*time.Hour, 1e9); att.Onsets != 0 {
+		t.Errorf("impossible drop threshold found onsets: %+v", att)
+	}
+}
+
+func TestAttributeDecayOnsetsMergesOverlappingWindows(t *testing.T) {
+	// Two events one hour apart must not double count coverage or onsets.
+	d, _ := buildStormDataset(t)
+	ev := d.Events(units.StormThreshold, 1, 0)[0]
+	ev2 := ev
+	ev2.Storm.Start = ev.Storm.Start.Add(time.Hour)
+	att1 := d.AttributeDecayOnsets([]Event{ev}, 5*24*time.Hour, 20)
+	att2 := d.AttributeDecayOnsets([]Event{ev, ev2}, 5*24*time.Hour, 20)
+	if att2.CloselyAfter != att1.CloselyAfter {
+		t.Errorf("duplicate events changed the count: %d vs %d", att2.CloselyAfter, att1.CloselyAfter)
+	}
+	if att2.Coverage > att1.Coverage*1.05 {
+		t.Errorf("overlapping windows inflated coverage: %v vs %v", att2.Coverage, att1.Coverage)
+	}
+}

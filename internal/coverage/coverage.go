@@ -1,0 +1,175 @@
+// Package coverage estimates broadband service coverage from a fleet's
+// instantaneous geometry — the paper's motivating concern that premature
+// orbital decay "could lead to service holes in such globally spanning
+// connectivity infrastructure". Given the element sets in effect at an
+// instant, it computes, per latitude band, the fraction of user locations
+// with at least one satellite above the elevation mask and the bent-pipe
+// round-trip-time floor to the best satellite.
+package coverage
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"cosmicdance/internal/groundtrack"
+	"cosmicdance/internal/orbit"
+	"cosmicdance/internal/units"
+)
+
+// SpeedOfLightKmPerMs is c in km per millisecond.
+const SpeedOfLightKmPerMs = 299.792458
+
+// Analyzer computes coverage snapshots. The zero value is unusable; start
+// from NewAnalyzer.
+type Analyzer struct {
+	// ElevationMaskDeg is the minimum elevation for service (Starlink's
+	// terminals use ~25°).
+	ElevationMaskDeg float64
+	// LatStepDeg is the latitude grid resolution.
+	LatStepDeg float64
+	// LonSamples is the number of longitudes sampled per latitude row.
+	LonSamples int
+	// MaxUserLatDeg bounds the populated latitudes considered.
+	MaxUserLatDeg float64
+}
+
+// NewAnalyzer returns the standard configuration: 25° mask, 5° latitude
+// rows, 36 longitude samples, users up to ±70°.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{
+		ElevationMaskDeg: 25,
+		LatStepDeg:       5,
+		LonSamples:       36,
+		MaxUserLatDeg:    70,
+	}
+}
+
+// LatBand is one latitude row of a snapshot.
+type LatBand struct {
+	LatDeg float64
+	// Covered is the fraction of sampled longitudes with at least one
+	// satellite above the mask.
+	Covered float64
+	// MeanVisible is the mean number of satellites above the mask.
+	MeanVisible float64
+	// BestRTTms is the minimum bent-pipe RTT across covered samples
+	// (user → satellite → nearby gateway and back); 0 when uncovered.
+	BestRTTms float64
+}
+
+// Snapshot is the coverage state of the fleet at an instant.
+type Snapshot struct {
+	At    time.Time
+	Bands []LatBand
+	// GlobalCovered is the area-weighted covered fraction across bands
+	// (cosine-of-latitude weighting).
+	GlobalCovered float64
+	// Holes counts (band, longitude) samples with no service.
+	Holes int
+}
+
+// Snapshot computes the coverage of the given fleet at time at.
+func (a *Analyzer) Snapshot(sats []groundtrack.SatElements, at time.Time) (*Snapshot, error) {
+	if len(sats) == 0 {
+		return nil, fmt.Errorf("coverage: no satellites")
+	}
+	if a.LatStepDeg <= 0 || a.LonSamples <= 0 {
+		return nil, fmt.Errorf("coverage: bad grid (%v°, %d lons)", a.LatStepDeg, a.LonSamples)
+	}
+
+	// Propagate every satellite once.
+	type satPos struct {
+		lat, lon float64 // radians
+		altKm    float64
+	}
+	positions := make([]satPos, 0, len(sats))
+	for _, s := range sats {
+		p, err := orbit.NewPropagator(s.Epoch, s.Elements)
+		if err != nil {
+			continue
+		}
+		sp := p.SubPointAt(at)
+		positions = append(positions, satPos{
+			lat:   sp.Lat.Radians(),
+			lon:   sp.Lon.Radians(),
+			altKm: float64(sp.Alt),
+		})
+	}
+	if len(positions) == 0 {
+		return nil, fmt.Errorf("coverage: no propagatable satellites")
+	}
+
+	maskRad := a.ElevationMaskDeg * math.Pi / 180
+	out := &Snapshot{At: at}
+	var weightedCovered, weightSum float64
+
+	for lat := -a.MaxUserLatDeg; lat <= a.MaxUserLatDeg; lat += a.LatStepDeg {
+		userLat := lat * math.Pi / 180
+		covered := 0
+		visibleSum := 0
+		bestRTT := math.Inf(1)
+		for k := 0; k < a.LonSamples; k++ {
+			userLon := (float64(k)/float64(a.LonSamples))*2*math.Pi - math.Pi
+			visible := 0
+			for _, sp := range positions {
+				el, slant := elevationAndRange(userLat, userLon, sp.lat, sp.lon, sp.altKm)
+				if el < maskRad {
+					continue
+				}
+				visible++
+				// Bent pipe: user→satellite→gateway (near the user) and
+				// back: four slant-range legs.
+				if rtt := 4 * slant / SpeedOfLightKmPerMs; rtt < bestRTT {
+					bestRTT = rtt
+				}
+			}
+			if visible > 0 {
+				covered++
+			} else {
+				out.Holes++
+			}
+			visibleSum += visible
+		}
+		band := LatBand{
+			LatDeg:      lat,
+			Covered:     float64(covered) / float64(a.LonSamples),
+			MeanVisible: float64(visibleSum) / float64(a.LonSamples),
+		}
+		if !math.IsInf(bestRTT, 1) {
+			band.BestRTTms = bestRTT
+		}
+		out.Bands = append(out.Bands, band)
+		w := math.Cos(userLat)
+		weightedCovered += band.Covered * w
+		weightSum += w
+	}
+	if weightSum > 0 {
+		out.GlobalCovered = weightedCovered / weightSum
+	}
+	return out, nil
+}
+
+// elevationAndRange returns the elevation angle (radians) and slant range
+// (km) from a ground user to a satellite, spherical Earth.
+func elevationAndRange(userLat, userLon, satLat, satLon, altKm float64) (float64, float64) {
+	// Central angle via the spherical law of cosines.
+	cosGamma := math.Sin(userLat)*math.Sin(satLat) +
+		math.Cos(userLat)*math.Cos(satLat)*math.Cos(userLon-satLon)
+	cosGamma = math.Max(-1, math.Min(1, cosGamma))
+	gamma := math.Acos(cosGamma)
+
+	re := units.EarthRadiusKm
+	rs := re + altKm
+	slant := math.Sqrt(re*re + rs*rs - 2*re*rs*cosGamma)
+	if slant == 0 {
+		return math.Pi / 2, altKm
+	}
+	sinGamma := math.Sin(gamma)
+	// Elevation from the geometry: tan(el) = (cos γ − Re/Rs) / sin γ.
+	if sinGamma == 0 {
+		return math.Pi / 2, altKm
+	}
+	el := math.Atan2(cosGamma-re/rs, sinGamma)
+	return el, slant
+}

@@ -1,0 +1,170 @@
+package coverage
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cosmicdance/internal/groundtrack"
+	"cosmicdance/internal/orbit"
+	"cosmicdance/internal/units"
+)
+
+var cv0 = time.Date(2024, 5, 11, 0, 0, 0, 0, time.UTC)
+
+func shellSats(n int, alt float64, inc units.Degrees) []groundtrack.SatElements {
+	mm, err := orbit.MeanMotionFromAltitude(units.Kilometers(alt))
+	if err != nil {
+		panic(err)
+	}
+	out := make([]groundtrack.SatElements, n)
+	for i := range out {
+		out[i] = groundtrack.SatElements{
+			Catalog: i + 1,
+			Epoch:   cv0,
+			Elements: orbit.Elements{
+				Eccentricity: 0.0001,
+				MeanMotion:   mm,
+				Inclination:  inc,
+				RAAN:         units.Degrees(float64(i) * 360 / float64(n) * 7).Normalize360(),
+				MeanAnomaly:  units.Degrees(float64(i) * 360 / float64(n) * 13).Normalize360(),
+			},
+		}
+	}
+	return out
+}
+
+func TestElevationGeometry(t *testing.T) {
+	// Satellite directly overhead: elevation 90°, slant range = altitude.
+	el, slant := elevationAndRange(0.5, 1.0, 0.5, 1.0, 550)
+	if math.Abs(el-math.Pi/2) > 1e-6 {
+		t.Errorf("overhead elevation = %v rad", el)
+	}
+	if math.Abs(slant-550) > 1 {
+		t.Errorf("overhead slant = %v km", slant)
+	}
+	// Satellite on the opposite side of the Earth: deeply negative
+	// elevation.
+	el, _ = elevationAndRange(0, 0, 0, math.Pi, 550)
+	if el > -math.Pi/4 {
+		t.Errorf("antipodal elevation = %v rad, want strongly negative", el)
+	}
+	// ~10° of ground separation at 550 km: low but positive elevation.
+	el, slant = elevationAndRange(0, 0, 0, 10*math.Pi/180, 550)
+	if el < 0 || el > 30*math.Pi/180 {
+		t.Errorf("10-degree separation elevation = %v rad", el)
+	}
+	if slant <= 550 {
+		t.Errorf("off-nadir slant = %v km, want > altitude", slant)
+	}
+}
+
+func TestSnapshotValidation(t *testing.T) {
+	a := NewAnalyzer()
+	if _, err := a.Snapshot(nil, cv0); err == nil {
+		t.Error("no satellites accepted")
+	}
+	a.LatStepDeg = 0
+	if _, err := a.Snapshot(shellSats(1, 550, 53), cv0); err == nil {
+		t.Error("bad grid accepted")
+	}
+}
+
+func TestSingleSatelliteCoversItsFootprintOnly(t *testing.T) {
+	a := NewAnalyzer()
+	snap, err := a.Snapshot(shellSats(1, 550, 53), cv0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One satellite's 25°-mask footprint is ~1,000 km across: a sliver of
+	// the planet.
+	if snap.GlobalCovered > 0.05 {
+		t.Errorf("single-satellite coverage = %v, want tiny", snap.GlobalCovered)
+	}
+	if snap.Holes == 0 {
+		t.Error("no holes with a single satellite")
+	}
+}
+
+func TestCoverageGrowsWithFleet(t *testing.T) {
+	a := NewAnalyzer()
+	small, err := a.Snapshot(shellSats(50, 550, 53), cv0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := a.Snapshot(shellSats(800, 550, 53), cv0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.GlobalCovered <= small.GlobalCovered {
+		t.Errorf("coverage did not grow: %v vs %v", large.GlobalCovered, small.GlobalCovered)
+	}
+	// A Starlink-scale 53° shell blankets the mid-latitudes.
+	if large.GlobalCovered < 0.7 {
+		t.Errorf("800-satellite coverage = %v, want most of the band", large.GlobalCovered)
+	}
+}
+
+func TestInclinationLimitsPolarCoverage(t *testing.T) {
+	a := NewAnalyzer()
+	a.MaxUserLatDeg = 85
+	snap, err := a.Snapshot(shellSats(400, 550, 53), cv0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mid, polar float64
+	var midN, polarN int
+	for _, b := range snap.Bands {
+		switch l := math.Abs(b.LatDeg); {
+		case l <= 45:
+			mid += b.Covered
+			midN++
+		case l >= 75:
+			polar += b.Covered
+			polarN++
+		}
+	}
+	if mid/float64(midN) <= polar/float64(polarN) {
+		t.Errorf("53-degree shell covers poles (%v) as well as mid-latitudes (%v)",
+			polar/float64(polarN), mid/float64(midN))
+	}
+}
+
+func TestRTTFloor(t *testing.T) {
+	a := NewAnalyzer()
+	snap, err := a.Snapshot(shellSats(800, 550, 53), cv0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bent-pipe floor for a 550 km overhead pass is 4×550/c ≈ 7.3 ms;
+	// off-nadir geometry raises it, the mask bounds it.
+	for _, b := range snap.Bands {
+		if b.Covered == 0 {
+			continue
+		}
+		if b.BestRTTms < 7 || b.BestRTTms > 25 {
+			t.Errorf("band %v best RTT = %v ms", b.LatDeg, b.BestRTTms)
+		}
+	}
+}
+
+func TestServiceHolesFromDecay(t *testing.T) {
+	// Removing a third of a sparse shell opens service holes: the hole count
+	// must rise.
+	a := NewAnalyzer()
+	full := shellSats(120, 550, 53)
+	before, err := a.Snapshot(full, cv0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := a.Snapshot(full[:80], cv0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Holes <= before.Holes {
+		t.Errorf("holes before=%d after=%d; decay must open holes", before.Holes, after.Holes)
+	}
+	if after.GlobalCovered >= before.GlobalCovered {
+		t.Errorf("coverage before=%v after=%v", before.GlobalCovered, after.GlobalCovered)
+	}
+}

@@ -1,0 +1,32 @@
+package dst
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseRecord hammers the WDC record parser: no panics, and accepted
+// records must re-encode to parseable lines.
+func FuzzParseRecord(f *testing.F) {
+	good, err := (&Record{Year: 2024, Month: 5, Day: 11, Version: 2}).Format()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(strings.Repeat("9", 120))
+	f.Add("DST" + strings.Repeat(" ", 117))
+	f.Add("")
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := ParseRecord(line)
+		if err != nil {
+			return
+		}
+		out, err := rec.Format()
+		if err != nil {
+			return
+		}
+		if _, err := ParseRecord(out); err != nil {
+			t.Fatalf("re-parse of own output failed: %v\n%q", err, out)
+		}
+	})
+}

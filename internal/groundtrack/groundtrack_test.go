@@ -1,0 +1,181 @@
+package groundtrack
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cosmicdance/internal/constellation"
+	"cosmicdance/internal/orbit"
+	"cosmicdance/internal/units"
+)
+
+var gt0 = time.Date(2024, 5, 10, 0, 0, 0, 0, time.UTC)
+
+func starlinkSat(cat int, incl float64, raanOffset float64) SatElements {
+	return SatElements{
+		Catalog: cat,
+		Epoch:   gt0,
+		Elements: orbit.Elements{
+			Eccentricity: 0.0001,
+			MeanMotion:   15.05,
+			Inclination:  units.Degrees(incl),
+			RAAN:         units.Degrees(raanOffset),
+			ArgPerigee:   0,
+			MeanAnomaly:  units.Degrees(raanOffset * 2),
+		},
+	}
+}
+
+func TestBandContains(t *testing.T) {
+	b := Band{40, 60}
+	cases := []struct {
+		lat  units.Degrees
+		want bool
+	}{
+		{45, true}, {-45, true}, {39.9, false}, {60, false}, {59.9, true}, {0, false},
+	}
+	for _, c := range cases {
+		if got := b.Contains(c.lat); got != c.want {
+			t.Errorf("Contains(%v) = %v", c.lat, got)
+		}
+	}
+	if b.String() != "40-60°" {
+		t.Errorf("String = %q", b.String())
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	a := NewAnalyzer()
+	sats := []SatElements{starlinkSat(1, 53, 0)}
+	if _, err := a.Analyze(nil, gt0, gt0.Add(time.Hour)); err == nil {
+		t.Error("no satellites accepted")
+	}
+	if _, err := a.Analyze(sats, gt0, gt0); err == nil {
+		t.Error("empty window accepted")
+	}
+	a.Step = 0
+	if _, err := a.Analyze(sats, gt0, gt0.Add(time.Hour)); err == nil {
+		t.Error("zero step accepted")
+	}
+}
+
+func TestExposurePartition(t *testing.T) {
+	a := NewAnalyzer()
+	sats := []SatElements{
+		starlinkSat(1, 53, 0),
+		starlinkSat(2, 53, 120),
+		starlinkSat(3, 97.6, 240),
+	}
+	rep, err := a.Analyze(sats, gt0, gt0.Add(6*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fractions sum to 1 (bands cover 0-90).
+	sum := 0.0
+	for _, e := range rep.Bands {
+		sum += e.Fraction
+		if e.Fraction < 0 || e.Fraction > 1 {
+			t.Errorf("band %v fraction = %v", e.Band, e.Fraction)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("fractions sum to %v", sum)
+	}
+	if rep.Satellites != 3 {
+		t.Errorf("satellites = %d", rep.Satellites)
+	}
+	// 3 satellites over 6 hours = 18 satellite-hours.
+	if math.Abs(rep.TotalSatHours-18) > 0.5 {
+		t.Errorf("total sat-hours = %v, want ~18", rep.TotalSatHours)
+	}
+}
+
+func TestInclinationControlsAuroralExposure(t *testing.T) {
+	a := NewAnalyzer()
+	// A 53-degree fleet barely grazes the auroral zone; a polar fleet lives
+	// in it for a large share of every orbit.
+	low, err := a.Analyze([]SatElements{starlinkSat(1, 53, 0)}, gt0, gt0.Add(12*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := a.Analyze([]SatElements{starlinkSat(2, 97.6, 0)}, gt0, gt0.Add(12*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.AuroralFraction <= low.AuroralFraction {
+		t.Errorf("polar auroral fraction (%v) not above 53-deg fraction (%v)",
+			high.AuroralFraction, low.AuroralFraction)
+	}
+	if low.AuroralFraction > 0.2 {
+		t.Errorf("53-degree fleet auroral fraction = %v, want small", low.AuroralFraction)
+	}
+	if high.AuroralFraction < 0.3 {
+		t.Errorf("polar fleet auroral fraction = %v, want large", high.AuroralFraction)
+	}
+}
+
+func TestEquatorialOrbitStaysLow(t *testing.T) {
+	a := NewAnalyzer()
+	rep, err := a.Analyze([]SatElements{starlinkSat(1, 5, 0)}, gt0, gt0.Add(6*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bands[0].Fraction < 0.99 {
+		t.Errorf("5-degree orbit equatorial fraction = %v, want ~1", rep.Bands[0].Fraction)
+	}
+	if rep.AuroralFraction != 0 {
+		t.Errorf("5-degree orbit auroral fraction = %v", rep.AuroralFraction)
+	}
+}
+
+func TestFromSamples(t *testing.T) {
+	mk := func(cat int32, at time.Time, alt float32) constellation.Sample {
+		return constellation.Sample{
+			Catalog: cat, Epoch: at.Unix(), AltKm: alt,
+			Inclination: 53, RAAN: 10, ArgPerigee: 20, MeanAnomaly: 30, Eccentricity: 0.0001,
+		}
+	}
+	samples := []constellation.Sample{
+		mk(1, gt0.Add(-24*time.Hour), 550),
+		mk(1, gt0.Add(-2*time.Hour), 549), // latest before cutoff
+		mk(1, gt0.Add(2*time.Hour), 548),  // after cutoff: ignored
+		mk(2, gt0.Add(-1*time.Hour), 540),
+		mk(3, gt0.Add(5*time.Hour), 550), // only after cutoff: excluded
+	}
+	sats := FromSamples(samples, gt0)
+	if len(sats) != 2 {
+		t.Fatalf("sats = %d, want 2", len(sats))
+	}
+	if sats[0].Catalog != 1 || sats[1].Catalog != 2 {
+		t.Errorf("catalogs = %d, %d", sats[0].Catalog, sats[1].Catalog)
+	}
+	if !sats[0].Epoch.Equal(gt0.Add(-2 * time.Hour)) {
+		t.Errorf("sat 1 epoch = %v, want the latest pre-cutoff sample", sats[0].Epoch)
+	}
+	// Altitude survives through mean motion.
+	if alt := sats[0].Elements.Altitude(); alt < 548 || alt > 550 {
+		t.Errorf("sat 1 altitude = %v", alt)
+	}
+}
+
+func TestFromSamplesFresh(t *testing.T) {
+	mkSample := func(cat int32, at time.Time) constellation.Sample {
+		return constellation.Sample{
+			Catalog: cat, Epoch: at.Unix(), AltKm: 550,
+			Inclination: 53, Eccentricity: 0.0001,
+		}
+	}
+	samples := []constellation.Sample{
+		mkSample(1, gt0.Add(-2*time.Hour)),     // fresh
+		mkSample(2, gt0.Add(-10*24*time.Hour)), // stale: re-entered weeks ago
+	}
+	all := FromSamplesFresh(samples, gt0, 0)
+	if len(all) != 2 {
+		t.Fatalf("unbounded = %d sats", len(all))
+	}
+	fresh := FromSamplesFresh(samples, gt0, 3*24*time.Hour)
+	if len(fresh) != 1 || fresh[0].Catalog != 1 {
+		t.Fatalf("fresh = %+v, want only catalog 1", fresh)
+	}
+}

@@ -1,0 +1,185 @@
+package orbit
+
+import (
+	"math"
+	"time"
+
+	"cosmicdance/internal/units"
+)
+
+// SubPoint is a satellite's ground position at an instant.
+type SubPoint struct {
+	Lat units.Degrees // geodetic latitude, [-90, 90]
+	Lon units.Degrees // east longitude, [-180, 180)
+	Alt units.Kilometers
+}
+
+// Propagator advances a (near-circular) element set through time: mean
+// anomaly at the mean motion, RAAN under J2 regression, altitude held at the
+// epoch value. It is deliberately simpler than SGP4 — CosmicDance derives all
+// its measurements from the elements themselves — but accurate enough for
+// the paper's §6 "finer granularity" extension: placing satellites in
+// latitude bands during storm hours.
+type Propagator struct {
+	epoch    time.Time
+	elements Elements
+	raanRate float64 // deg/day
+	altKm    units.Kilometers
+}
+
+// NewPropagator builds a propagator from an element set at its epoch.
+func NewPropagator(epoch time.Time, e Elements) (*Propagator, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return &Propagator{
+		epoch:    epoch,
+		elements: e,
+		raanRate: RAANRateDegPerDay(e.Altitude(), e.Inclination, e.Eccentricity),
+		altKm:    e.Altitude(),
+	}, nil
+}
+
+// ElementsAt returns the propagated element set at time t.
+func (p *Propagator) ElementsAt(t time.Time) Elements {
+	days := t.Sub(p.epoch).Seconds() / units.SecondsPerDay
+	e := p.elements
+	e.MeanAnomaly = MeanAnomalyAt(p.elements.MeanAnomaly, p.elements.MeanMotion, days)
+	e.RAAN = (p.elements.RAAN + units.Degrees(p.raanRate*days)).Normalize360()
+	return e
+}
+
+// SubPointAt returns the satellite's ground position at time t. The model is
+// a circular orbit: the argument of latitude is ARGP + M, and longitude
+// accounts for Earth rotation via GMST.
+func (p *Propagator) SubPointAt(t time.Time) SubPoint {
+	e := p.ElementsAt(t)
+	// Argument of latitude (circular orbit: true anomaly ≈ mean anomaly).
+	u := (e.ArgPerigee + e.MeanAnomaly).Normalize360().Radians()
+	inc := e.Inclination.Radians()
+
+	sinLat := math.Sin(inc) * math.Sin(u)
+	lat := math.Asin(clamp(sinLat, -1, 1))
+
+	// Longitude of the sub-point in the inertial frame, then rotate by GMST.
+	lonInertial := math.Atan2(math.Cos(inc)*math.Sin(u), math.Cos(u)) + e.RAAN.Radians()
+	lon := lonInertial - GMST(t)
+	lon = math.Mod(lon, 2*math.Pi)
+	if lon >= math.Pi {
+		lon -= 2 * math.Pi
+	}
+	if lon < -math.Pi {
+		lon += 2 * math.Pi
+	}
+	return SubPoint{
+		Lat: units.DegreesFromRadians(lat),
+		Lon: units.DegreesFromRadians(lon),
+		Alt: p.altKm,
+	}
+}
+
+// GroundTrack samples the sub-point every step over [from, to].
+func (p *Propagator) GroundTrack(from, to time.Time, step time.Duration) []SubPoint {
+	if step <= 0 || to.Before(from) {
+		return nil
+	}
+	var out []SubPoint
+	for t := from; !t.After(to); t = t.Add(step) {
+		out = append(out, p.SubPointAt(t))
+	}
+	return out
+}
+
+// GMST returns the Greenwich Mean Sidereal Time angle (radians) at t, using
+// the standard IAU 1982 polynomial truncated to the terms that matter at
+// ground-track accuracy.
+func GMST(t time.Time) float64 {
+	// Julian date (UTC ≈ UT1 at this accuracy).
+	jd := julianDate(t.UTC())
+	d := jd - 2451545.0 // days since J2000
+	// GMST in degrees.
+	gmst := 280.46061837 + 360.98564736629*d
+	gmst = math.Mod(gmst, 360)
+	if gmst < 0 {
+		gmst += 360
+	}
+	return gmst * math.Pi / 180
+}
+
+// julianDate converts a time to its Julian date.
+func julianDate(t time.Time) float64 {
+	y, m, day := t.Year(), int(t.Month()), t.Day()
+	if m <= 2 {
+		y--
+		m += 12
+	}
+	a := y / 100
+	b := 2 - a + a/4
+	jd0 := math.Floor(365.25*float64(y+4716)) + math.Floor(30.6001*float64(m+1)) + float64(day) + float64(b) - 1524.5
+	secs := float64(t.Hour())*3600 + float64(t.Minute())*60 + float64(t.Second()) + float64(t.Nanosecond())/1e9
+	return jd0 + secs/86400
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// StateVector is an inertial (TEME-like) position/velocity at an instant.
+type StateVector struct {
+	// Position in km.
+	X, Y, Z float64
+	// Velocity in km/s.
+	VX, VY, VZ float64
+}
+
+// Radius returns the position magnitude (km).
+func (s StateVector) Radius() float64 {
+	return math.Sqrt(s.X*s.X + s.Y*s.Y + s.Z*s.Z)
+}
+
+// Speed returns the velocity magnitude (km/s).
+func (s StateVector) Speed() float64 {
+	return math.Sqrt(s.VX*s.VX + s.VY*s.VY + s.VZ*s.VZ)
+}
+
+// Distance returns the separation between two states (km).
+func (s StateVector) Distance(o StateVector) float64 {
+	dx, dy, dz := s.X-o.X, s.Y-o.Y, s.Z-o.Z
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+// StateAt returns the inertial position and velocity at time t under the
+// circular-orbit model: the satellite moves on a circle of radius
+// (R⊕ + altitude) in the plane defined by inclination and RAAN, at the
+// argument of latitude ARGP + M.
+func (p *Propagator) StateAt(t time.Time) StateVector {
+	e := p.ElementsAt(t)
+	r := float64(p.altKm) + units.EarthRadiusKm
+	u := (e.ArgPerigee + e.MeanAnomaly).Normalize360().Radians()
+	inc := e.Inclination.Radians()
+	raan := e.RAAN.Radians()
+
+	cosU, sinU := math.Cos(u), math.Sin(u)
+	cosI, sinI := math.Cos(inc), math.Sin(inc)
+	cosO, sinO := math.Cos(raan), math.Sin(raan)
+
+	// Position: rotate the in-plane point (r cos u, r sin u, 0) by
+	// inclination about X, then RAAN about Z.
+	x := r * (cosO*cosU - sinO*sinU*cosI)
+	y := r * (sinO*cosU + cosO*sinU*cosI)
+	z := r * (sinU * sinI)
+
+	// Velocity: d/du of the position scaled by the angular rate.
+	n := 2 * math.Pi * float64(e.MeanMotion) / units.SecondsPerDay // rad/s
+	vx := r * n * (-cosO*sinU - sinO*cosU*cosI)
+	vy := r * n * (-sinO*sinU + cosO*cosU*cosI)
+	vz := r * n * (cosU * sinI)
+
+	return StateVector{X: x, Y: y, Z: z, VX: vx, VY: vy, VZ: vz}
+}

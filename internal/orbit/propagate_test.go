@@ -1,0 +1,223 @@
+package orbit
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cosmicdance/internal/units"
+)
+
+func starlinkElements() Elements {
+	return Elements{
+		Eccentricity: 0.0001,
+		MeanMotion:   15.05,
+		Inclination:  53,
+		RAAN:         120,
+		ArgPerigee:   90,
+		MeanAnomaly:  0,
+	}
+}
+
+var epoch = time.Date(2023, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func TestNewPropagatorValidates(t *testing.T) {
+	bad := starlinkElements()
+	bad.MeanMotion = 0
+	if _, err := NewPropagator(epoch, bad); err == nil {
+		t.Error("invalid elements accepted")
+	}
+}
+
+func TestLatitudeBoundedByInclination(t *testing.T) {
+	p, err := NewPropagator(epoch, starlinkElements())
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLat := 0.0
+	for _, sp := range p.GroundTrack(epoch, epoch.Add(3*time.Hour), time.Minute) {
+		if l := math.Abs(float64(sp.Lat)); l > maxLat {
+			maxLat = l
+		}
+		if sp.Lon < -180 || sp.Lon >= 180 {
+			t.Fatalf("longitude %v outside [-180,180)", sp.Lon)
+		}
+	}
+	// A 53-degree orbit reaches exactly ±53 degrees of latitude.
+	if maxLat > 53.01 {
+		t.Errorf("max |lat| = %v, want <= 53", maxLat)
+	}
+	if maxLat < 52.5 {
+		t.Errorf("max |lat| = %v, want to reach ~53 within 2 orbits", maxLat)
+	}
+}
+
+func TestPolarOrbitReachesPoles(t *testing.T) {
+	e := starlinkElements()
+	e.Inclination = 97.6 // sun-synchronous-like retrograde
+	p, err := NewPropagator(epoch, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLat := 0.0
+	for _, sp := range p.GroundTrack(epoch, epoch.Add(2*time.Hour), 30*time.Second) {
+		if l := math.Abs(float64(sp.Lat)); l > maxLat {
+			maxLat = l
+		}
+	}
+	if maxLat < 80 {
+		t.Errorf("retrograde polar orbit max |lat| = %v, want > 80", maxLat)
+	}
+}
+
+func TestOrbitalPeriodicityInLatitude(t *testing.T) {
+	p, err := NewPropagator(epoch, starlinkElements())
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := units.RevsPerDay(15.05).Period()
+	a := p.SubPointAt(epoch)
+	b := p.SubPointAt(epoch.Add(period))
+	// After one orbital period the latitude repeats (longitude does not —
+	// the Earth rotated underneath).
+	if math.Abs(float64(a.Lat-b.Lat)) > 0.2 {
+		t.Errorf("latitude after one period: %v vs %v", a.Lat, b.Lat)
+	}
+	if math.Abs(float64(a.Lon-b.Lon)) < 1 {
+		t.Errorf("longitude did not drift over one period: %v vs %v", a.Lon, b.Lon)
+	}
+}
+
+func TestElementsAtAdvancesAnomalyAndRAAN(t *testing.T) {
+	p, err := NewPropagator(epoch, starlinkElements())
+	if err != nil {
+		t.Fatal(err)
+	}
+	later := p.ElementsAt(epoch.Add(24 * time.Hour))
+	// RAAN regresses westward roughly 5 degrees/day at 550 km, 53 deg.
+	drift := float64(later.RAAN - 120)
+	for drift > 180 {
+		drift -= 360
+	}
+	if drift > -3 || drift < -7 {
+		t.Errorf("RAAN drift per day = %v, want ~-5", drift)
+	}
+	// Mean anomaly is wrapped into [0, 360).
+	if later.MeanAnomaly < 0 || later.MeanAnomaly >= 360 {
+		t.Errorf("mean anomaly = %v", later.MeanAnomaly)
+	}
+	// Everything else is untouched.
+	if later.Inclination != 53 || later.MeanMotion != 15.05 {
+		t.Errorf("unexpected element change: %+v", later)
+	}
+}
+
+func TestGroundTrackDegenerateInputs(t *testing.T) {
+	p, err := NewPropagator(epoch, starlinkElements())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.GroundTrack(epoch, epoch.Add(-time.Hour), time.Minute); got != nil {
+		t.Error("inverted window returned points")
+	}
+	if got := p.GroundTrack(epoch, epoch.Add(time.Hour), 0); got != nil {
+		t.Error("zero step returned points")
+	}
+}
+
+func TestGMSTKnownValue(t *testing.T) {
+	// At J2000.0 (2000-01-01 12:00 UTC) GMST is ~280.46 degrees.
+	g := GMST(time.Date(2000, 1, 1, 12, 0, 0, 0, time.UTC)) * 180 / math.Pi
+	if math.Abs(g-280.46) > 0.01 {
+		t.Errorf("GMST(J2000) = %v deg, want ~280.46", g)
+	}
+	// GMST advances ~360.9856 degrees per day: one sidereal lap plus ~1 deg.
+	g2 := GMST(time.Date(2000, 1, 2, 12, 0, 0, 0, time.UTC)) * 180 / math.Pi
+	adv := math.Mod(g2-g+360, 360)
+	if math.Abs(adv-0.9856) > 0.01 {
+		t.Errorf("daily GMST advance = %v deg, want ~0.9856 (mod 360)", adv)
+	}
+}
+
+func TestJulianDateKnownValue(t *testing.T) {
+	// 2000-01-01 12:00 UTC is JD 2451545.0 by definition of J2000.
+	jd := julianDate(time.Date(2000, 1, 1, 12, 0, 0, 0, time.UTC))
+	if math.Abs(jd-2451545.0) > 1e-6 {
+		t.Errorf("JD(J2000) = %v", jd)
+	}
+	// 1957-10-04 19:26:24 UTC (Sputnik launch) is JD 2436116.31.
+	jd = julianDate(time.Date(1957, 10, 4, 19, 26, 24, 0, time.UTC))
+	if math.Abs(jd-2436116.31) > 0.01 {
+		t.Errorf("JD(Sputnik) = %v", jd)
+	}
+}
+
+func TestSubPointLongitudeWestwardDrift(t *testing.T) {
+	// Successive ascending-node crossings drift westward by roughly
+	// 360 * (period/sidereal day) ≈ 24 degrees for Starlink.
+	p, err := NewPropagator(epoch, starlinkElements())
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := units.RevsPerDay(15.05).Period()
+	lon1 := float64(p.SubPointAt(epoch).Lon)
+	lon2 := float64(p.SubPointAt(epoch.Add(period)).Lon)
+	drift := math.Mod(lon2-lon1+540, 360) - 180
+	if drift > -20 || drift < -28 {
+		t.Errorf("per-orbit longitude drift = %v deg, want ~-24", drift)
+	}
+}
+
+func TestStateVectorGeometry(t *testing.T) {
+	p, err := NewPropagator(epoch, starlinkElements())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 12; k++ {
+		at := epoch.Add(time.Duration(k) * 17 * time.Minute)
+		s := p.StateAt(at)
+		// Radius equals R⊕ + altitude throughout the circular orbit.
+		wantR := float64(starlinkElements().Altitude()) + units.EarthRadiusKm
+		if math.Abs(s.Radius()-wantR) > 1 {
+			t.Fatalf("radius at +%d = %v, want %v", k, s.Radius(), wantR)
+		}
+		// Speed equals the circular orbital velocity (~7.6 km/s).
+		if s.Speed() < 7.5 || s.Speed() > 7.7 {
+			t.Fatalf("speed = %v", s.Speed())
+		}
+		// Velocity is perpendicular to position (circular orbit).
+		dot := s.X*s.VX + s.Y*s.VY + s.Z*s.VZ
+		if math.Abs(dot) > 1 {
+			t.Fatalf("r·v = %v, want ~0", dot)
+		}
+	}
+}
+
+func TestStateVectorDistance(t *testing.T) {
+	a := StateVector{X: 7000}
+	b := StateVector{X: 7000, Y: 30}
+	if d := a.Distance(b); math.Abs(d-30) > 1e-9 {
+		t.Errorf("distance = %v", d)
+	}
+	if d := a.Distance(a); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+}
+
+func TestStateVectorLatitudeConsistency(t *testing.T) {
+	// The Z component must agree with the sub-point latitude:
+	// sin(lat) = z / r.
+	p, err := NewPropagator(epoch, starlinkElements())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 8; k++ {
+		at := epoch.Add(time.Duration(k) * 13 * time.Minute)
+		s := p.StateAt(at)
+		sp := p.SubPointAt(at)
+		latFromZ := math.Asin(s.Z/s.Radius()) * 180 / math.Pi
+		if math.Abs(latFromZ-float64(sp.Lat)) > 0.01 {
+			t.Fatalf("lat mismatch at +%d: %v vs %v", k, latFromZ, sp.Lat)
+		}
+	}
+}

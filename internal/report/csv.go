@@ -1,0 +1,89 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+
+	"cosmicdance/internal/core"
+	"cosmicdance/internal/stats"
+)
+
+// CSV writers: the same series the text renderers print, in a form gnuplot /
+// pandas / matplotlib consume directly. Every writer emits a header row.
+
+// WriteCSV writes one header + rows.
+func WriteCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CDFToCSV emits (x, F(x)) pairs at n evenly spaced abscissae.
+func CDFToCSV(w io.Writer, c *stats.CDF, n int) error {
+	rows := make([][]string, 0, n)
+	for _, p := range c.Points(n) {
+		rows = append(rows, []string{
+			fmt.Sprintf("%g", p.X),
+			fmt.Sprintf("%g", p.Y),
+		})
+	}
+	return WriteCSV(w, []string{"x", "cdf"}, rows)
+}
+
+// WindowToCSV emits the per-day aggregates of a window analysis (Fig 4).
+func WindowToCSV(w io.Writer, wa *core.WindowAnalysis) error {
+	rows := make([][]string, 0, wa.Days)
+	for day := 0; day < wa.Days; day++ {
+		med, p95 := wa.MedianKm[day], wa.P95Km[day]
+		if math.IsNaN(med) {
+			continue
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", day),
+			fmt.Sprintf("%g", med),
+			fmt.Sprintf("%g", p95),
+		})
+	}
+	return WriteCSV(w, []string{"day", "median_km", "p95_km"}, rows)
+}
+
+// SuperStormToCSV emits Fig 7's daily drag and tracked-count series.
+func SuperStormToCSV(w io.Writer, rep *core.SuperStormReport) error {
+	rows := make([][]string, 0, len(rep.Drag))
+	for i, dd := range rep.Drag {
+		tracked := ""
+		if i < len(rep.Tracked) {
+			tracked = fmt.Sprintf("%g", rep.Tracked[i].Value)
+		}
+		rows = append(rows, []string{
+			dd.Day.Format("2006-01-02"),
+			fmt.Sprintf("%g", dd.Median),
+			fmt.Sprintf("%g", dd.Mean),
+			fmt.Sprintf("%g", dd.P95),
+			tracked,
+		})
+	}
+	return WriteCSV(w, []string{"date", "bstar_median", "bstar_mean", "bstar_p95", "tracked"}, rows)
+}
+
+// SatSeriesToCSV emits one satellite's merged Fig 3 panel.
+func SatSeriesToCSV(w io.Writer, ts *core.SatTimeSeries) error {
+	rows := make([][]string, 0, len(ts.Points))
+	for _, p := range ts.Points {
+		rows = append(rows, []string{
+			p.At.Format("2006-01-02T15:04:05Z"),
+			fmt.Sprintf("%g", float64(p.Dst)),
+			fmt.Sprintf("%g", p.BStar),
+			fmt.Sprintf("%g", p.AltKm),
+		})
+	}
+	return WriteCSV(w, []string{"time", "dst_nt", "bstar", "alt_km"}, rows)
+}

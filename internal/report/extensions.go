@@ -1,0 +1,58 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"cosmicdance/internal/conjunction"
+	"cosmicdance/internal/groundtrack"
+)
+
+// ExtLatitude renders the latitude-band exposure analysis (the paper's §6
+// "finer granularity" extension).
+func ExtLatitude(w io.Writer, rep *groundtrack.Report) error {
+	if err := Heading(w, "Extension: latitude-band exposure during the storm window"); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "window: %s .. %s   satellites: %d   step: %s\n",
+		rep.From.Format("2006-01-02 15:04"), rep.To.Format("2006-01-02 15:04"),
+		rep.Satellites, rep.Step)
+	rows := [][]string{}
+	for _, e := range rep.Bands {
+		rows = append(rows, []string{
+			e.Band.String(),
+			fmt.Sprintf("%.1f", e.SatHours),
+			fmt.Sprintf("%.1f%%", e.Fraction*100),
+		})
+	}
+	if err := Table(w, []string{"latitude band", "sat-hours", "share"}, rows); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "auroral exposure (|lat| >= %.0f°): %.1f%% of satellite-time\n",
+		groundtrack.AuroralLatitudeDeg, rep.AuroralFraction*100)
+	return err
+}
+
+// ExtKessler renders the conjunction-pressure analysis (the paper's §6
+// Kessler-syndrome extension).
+func ExtKessler(w io.Writer, rep *conjunction.Report) error {
+	if err := Heading(w, "Extension: conjunction pressure from storm-driven decay"); err != nil {
+		return err
+	}
+	rows := [][]string{}
+	for _, o := range rep.Occupancy {
+		rows = append(rows, []string{
+			o.Shell.Name,
+			fmt.Sprintf("%.0f km", o.Shell.AltitudeKm),
+			fmt.Sprintf("%.1f°", float64(o.Shell.Inclination)),
+			fmt.Sprintf("%d", o.Count),
+		})
+	}
+	if err := Table(w, []string{"shell", "altitude", "inclination", "residents"}, rows); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w,
+		"foreign-shell crossings: %d   dwell: %.0f sat-hours   expected conjunctions (<=1 km): %.1f\n",
+		len(rep.Crossings), rep.DwellSatHours, rep.ExpectedConjunctions)
+	return err
+}

@@ -1,0 +1,131 @@
+// Package report renders CosmicDance analyses as the textual equivalents of
+// the paper's figures: the same series and rows each plot shows, printed as
+// aligned tables (plus compact sparklines for terminal viewing). cmd/figures
+// and the benchmark harness share these renderers so "regenerating a figure"
+// means one call.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"cosmicdance/internal/stats"
+)
+
+// sparkRunes are the eight levels of a terminal sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a compact bar string. NaNs render as spaces.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return strings.Repeat(" ", len(values))
+	}
+	var b strings.Builder
+	for _, v := range values {
+		if math.IsNaN(v) {
+			b.WriteByte(' ')
+			continue
+		}
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// Downsample reduces values to at most n points by striding (for sparklines
+// of long hourly series).
+func Downsample(values []float64, n int) []float64 {
+	if n <= 0 || len(values) <= n {
+		return values
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = values[i*len(values)/n]
+	}
+	return out
+}
+
+// Table writes an aligned two-dimensional table: a header row then data rows.
+func Table(w io.Writer, header []string, rows [][]string) error {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(header)); err != nil {
+		return err
+	}
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, line(sep)); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CDFTable writes a CDF as (x, F(x)) rows at n evenly spaced abscissae plus
+// headline quantiles — the textual form of the paper's CDF plots.
+func CDFTable(w io.Writer, title, unit string, c *stats.CDF, n int) error {
+	if _, err := fmt.Fprintf(w, "%s  (n=%d)\n", title, c.N()); err != nil {
+		return err
+	}
+	rows := make([][]string, 0, n)
+	for _, p := range c.Points(n) {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.3g %s", p.X, unit),
+			fmt.Sprintf("%.4f", p.Y),
+		})
+	}
+	if err := Table(w, []string{"x", "F(x)"}, rows); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "median=%.3g %s  p95=%.3g %s  p99=%.3g %s  max=%.3g %s\n",
+		c.Quantile(0.5), unit, c.Quantile(0.95), unit, c.Quantile(0.99), unit, c.Max(), unit)
+	return err
+}
+
+// Heading writes an underlined section heading.
+func Heading(w io.Writer, text string) error {
+	_, err := fmt.Fprintf(w, "\n%s\n%s\n", text, strings.Repeat("=", len(text)))
+	return err
+}

@@ -1,0 +1,189 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"cosmicdance/internal/core"
+	"cosmicdance/internal/dst"
+	"cosmicdance/internal/stats"
+)
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("len = %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("endpoints = %q", s)
+	}
+	// Flat input renders at the floor, not a panic.
+	if got := Sparkline([]float64{5, 5, 5}); got != "▁▁▁" {
+		t.Errorf("flat = %q", got)
+	}
+	if got := Sparkline(nil); got != "" {
+		t.Errorf("empty = %q", got)
+	}
+	// NaNs are blanks.
+	got := Sparkline([]float64{0, math.NaN(), 1})
+	if []rune(got)[1] != ' ' {
+		t.Errorf("NaN rendering = %q", got)
+	}
+	if got := Sparkline([]float64{math.NaN()}); got != " " {
+		t.Errorf("all-NaN = %q", got)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	in := make([]float64, 100)
+	for i := range in {
+		in[i] = float64(i)
+	}
+	out := Downsample(in, 10)
+	if len(out) != 10 {
+		t.Fatalf("len = %d", len(out))
+	}
+	if out[0] != 0 || out[9] != 90 {
+		t.Errorf("out = %v", out)
+	}
+	// Short input unchanged.
+	if got := Downsample(in[:5], 10); len(got) != 5 {
+		t.Errorf("short input resampled: %v", got)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	err := Table(&buf, []string{"a", "long-header"}, [][]string{
+		{"wide-cell", "1"},
+		{"x", "22"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "a        ") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---------") {
+		t.Errorf("separator = %q", lines[1])
+	}
+}
+
+func TestCDFTable(t *testing.T) {
+	c, err := stats.NewCDF([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := CDFTable(&buf, "demo", "km", c, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "(n=5)", "F(x)", "median=3 km", "max=5 km"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig1Fig2Render(t *testing.T) {
+	t0 := time.Date(2023, 4, 24, 0, 0, 0, 0, time.UTC)
+	vals := make([]float64, 96)
+	for i := range vals {
+		vals[i] = -10
+	}
+	vals[40], vals[41], vals[42] = -209, -213, -208
+	vals[60] = -70
+	x := dst.FromValues(t0, vals)
+
+	var buf bytes.Buffer
+	if err := Fig1(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig 1", "G4 (severe)", "min=-213 nT"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig1 missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	if err := Fig2(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if !strings.Contains(out, "G4 (severe)") || !strings.Contains(out, "3") {
+		t.Errorf("Fig2 output:\n%s", out)
+	}
+}
+
+func TestHeading(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Heading(&buf, "abc"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "abc\n===") {
+		t.Errorf("heading = %q", buf.String())
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteCSV(&buf, []string{"a", "b"}, [][]string{{"1", "x,y"}, {"2", "z"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != `1,"x,y"` {
+		t.Errorf("quoting broken: %q", lines[1])
+	}
+}
+
+func TestCDFToCSV(t *testing.T) {
+	c, err := stats.NewCDF([]float64{0, 1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := CDFToCSV(&buf, c, 5); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 6 || lines[0] != "x,cdf" {
+		t.Fatalf("csv:\n%s", buf.String())
+	}
+	if lines[5] != "4,1" {
+		t.Errorf("last row = %q", lines[5])
+	}
+}
+
+func TestSatSeriesToCSV(t *testing.T) {
+	ts := &core.SatTimeSeries{
+		Catalog: 7,
+		Points: []core.SatTimePoint{
+			{At: time.Date(2023, 3, 24, 12, 0, 0, 0, time.UTC), Dst: -163, AltKm: 550.5, BStar: 0.0004},
+		},
+	}
+	var buf bytes.Buffer
+	if err := SatSeriesToCSV(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "2023-03-24T12:00:00Z,-163,0.0004,550.5") {
+		t.Errorf("csv:\n%s", out)
+	}
+}

@@ -1,0 +1,99 @@
+// Package spacetrack simulates the two public tracking services CosmicDance
+// ingests from — CelesTrak (current catalog by group) and Space-Track
+// (historical element sets per object) — as an in-process HTTP service plus a
+// production-grade client (rate-limit aware, context-driven, incrementally
+// caching). The paper's pipeline fetches current TLEs to learn catalog
+// numbers once, then pulls per-object history incrementally; the client here
+// exposes exactly that workflow.
+package spacetrack
+
+import (
+	"sort"
+	"time"
+
+	"cosmicdance/internal/constellation"
+	"cosmicdance/internal/tle"
+)
+
+// Archive is the data source a Server publishes.
+type Archive interface {
+	// Groups lists the constellation group names served.
+	Groups() []string
+	// GroupLatest returns the latest element set of every object in the
+	// group as of time at (objects with no observations yet are omitted).
+	GroupLatest(group string, at time.Time) []*tle.TLE
+	// History returns the element sets of one object with epochs in
+	// [from, to], ascending.
+	History(catalog int, from, to time.Time) []*tle.TLE
+}
+
+// ResultArchive adapts a constellation simulation result into an Archive.
+type ResultArchive struct {
+	group  string
+	names  map[int]string
+	series map[int][]constellation.Sample // ascending epochs
+	cats   []int
+}
+
+// NewResultArchive indexes a simulation result under the given group name
+// (e.g. "starlink").
+func NewResultArchive(group string, res *constellation.Result) *ResultArchive {
+	a := &ResultArchive{
+		group:  group,
+		names:  make(map[int]string, len(res.Sats)),
+		series: make(map[int][]constellation.Sample),
+	}
+	for i := range res.Sats {
+		a.names[res.Sats[i].Catalog] = res.Sats[i].Name
+	}
+	for _, ss := range res.GroupByCatalog() {
+		a.series[ss.Catalog] = ss.Samples
+		a.cats = append(a.cats, ss.Catalog)
+	}
+	sort.Ints(a.cats)
+	return a
+}
+
+// Groups implements Archive.
+func (a *ResultArchive) Groups() []string { return []string{a.group} }
+
+// GroupLatest implements Archive.
+func (a *ResultArchive) GroupLatest(group string, at time.Time) []*tle.TLE {
+	if group != a.group {
+		return nil
+	}
+	cutoff := at.Unix()
+	out := make([]*tle.TLE, 0, len(a.cats))
+	for _, cat := range a.cats {
+		samples := a.series[cat]
+		i := sort.Search(len(samples), func(i int) bool { return samples[i].Epoch > cutoff })
+		if i == 0 {
+			continue
+		}
+		t, err := samples[i-1].TLE(a.names[cat])
+		if err != nil {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// History implements Archive.
+func (a *ResultArchive) History(catalog int, from, to time.Time) []*tle.TLE {
+	samples := a.series[catalog]
+	lo := sort.Search(len(samples), func(i int) bool { return samples[i].Epoch >= from.Unix() })
+	hi := sort.Search(len(samples), func(i int) bool { return samples[i].Epoch > to.Unix() })
+	if lo >= hi {
+		return nil
+	}
+	out := make([]*tle.TLE, 0, hi-lo)
+	for _, s := range samples[lo:hi] {
+		t, err := s.TLE(a.names[catalog])
+		if err != nil {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}

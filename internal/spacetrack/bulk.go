@@ -1,0 +1,70 @@
+package spacetrack
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"cosmicdance/internal/tle"
+)
+
+// HistorySource is anything that can serve one object's history — the plain
+// Client and the CachingFetcher both qualify.
+type HistorySource interface {
+	History(ctx context.Context, catalog int, from, to time.Time) ([]*tle.TLE, error)
+}
+
+// History lets the bare Client satisfy HistorySource.
+func (c *Client) History(ctx context.Context, catalog int, from, to time.Time) ([]*tle.TLE, error) {
+	return c.FetchHistory(ctx, catalog, from, to)
+}
+
+// BulkResult is one object's outcome in a bulk fetch.
+type BulkResult struct {
+	Catalog int
+	Sets    []*tle.TLE
+	Err     error
+}
+
+// FetchHistories pulls the histories of all catalogs concurrently with at
+// most workers in flight — the shape a real multi-thousand-satellite ingest
+// needs against a rate-limited service (the client's 429 handling composes
+// with the bounded parallelism). Results are returned in the order of the
+// input catalogs; the first context error aborts the remainder.
+func FetchHistories(ctx context.Context, src HistorySource, catalogs []int, from, to time.Time, workers int) ([]BulkResult, error) {
+	if workers <= 0 {
+		workers = 4
+	}
+	if len(catalogs) == 0 {
+		return nil, nil
+	}
+	results := make([]BulkResult, len(catalogs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				cat := catalogs[i]
+				sets, err := src.History(ctx, cat, from, to)
+				results[i] = BulkResult{Catalog: cat, Sets: sets, Err: err}
+			}
+		}()
+	}
+feed:
+	for i := range catalogs {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return results, fmt.Errorf("spacetrack: bulk fetch aborted: %w", err)
+	}
+	return results, nil
+}

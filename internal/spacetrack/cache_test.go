@@ -1,0 +1,138 @@
+package spacetrack
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// cacheTestHarness starts a counting server and fetcher over dir.
+func cacheTestHarness(t *testing.T, dir string) (*CachingFetcher, *int32) {
+	t.Helper()
+	archive, _, end := buildArchive(t, 20)
+	srv := NewServer(archive, end)
+	var hits int32
+	counting := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&hits, 1)
+		srv.Handler().ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(counting)
+	t.Cleanup(ts.Close)
+	client, err := NewClient(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetcher, err := NewCachingFetcher(client, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fetcher, &hits
+}
+
+func TestCacheCorruptMetaIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	fetcher, hits := cacheTestHarness(t, dir)
+	ctx := context.Background()
+	window := 10 * 24 * time.Hour
+
+	if _, err := fetcher.History(ctx, 44713, stStart, stStart.Add(window)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the metadata sidecar: the next fetch must fall back to the
+	// server, not fail.
+	if err := os.WriteFile(filepath.Join(dir, "44713.meta"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before := atomic.LoadInt32(hits)
+	sets, err := fetcher.History(ctx, 44713, stStart, stStart.Add(window))
+	if err != nil {
+		t.Fatalf("corrupt meta surfaced an error: %v", err)
+	}
+	if len(sets) == 0 {
+		t.Fatal("no sets after corrupt-meta recovery")
+	}
+	if atomic.LoadInt32(hits) == before {
+		t.Error("corrupt meta should have forced a refetch")
+	}
+}
+
+func TestCacheBadTimestampsAreMiss(t *testing.T) {
+	dir := t.TempDir()
+	fetcher, _ := cacheTestHarness(t, dir)
+	ctx := context.Background()
+	if _, err := fetcher.History(ctx, 44713, stStart, stStart.Add(24*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "44713.meta"), []byte("not-a-time\nalso-not\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fetcher.History(ctx, 44713, stStart, stStart.Add(24*time.Hour)); err != nil {
+		t.Fatalf("bad timestamps surfaced an error: %v", err)
+	}
+}
+
+func TestCacheMissingDataFileIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	fetcher, hits := cacheTestHarness(t, dir)
+	ctx := context.Background()
+	if _, err := fetcher.History(ctx, 44713, stStart, stStart.Add(24*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "44713.tle")); err != nil {
+		t.Fatal(err)
+	}
+	before := atomic.LoadInt32(hits)
+	sets, err := fetcher.History(ctx, 44713, stStart, stStart.Add(24*time.Hour))
+	if err != nil {
+		t.Fatalf("missing data file surfaced an error: %v", err)
+	}
+	if len(sets) == 0 || atomic.LoadInt32(hits) == before {
+		t.Error("missing data file should have forced a refetch")
+	}
+}
+
+func TestNewCachingFetcherBadDir(t *testing.T) {
+	client, err := NewClient("http://localhost:1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A path under a regular file cannot be created as a directory.
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCachingFetcher(client, filepath.Join(file, "sub")); err == nil {
+		t.Error("cache dir under a file accepted")
+	}
+}
+
+func TestClientSurvivesCorruptServerBody(t *testing.T) {
+	// A server that emits garbage instead of TLE text: the non-strict reader
+	// skips the junk and returns what parses (possibly nothing) — no panic,
+	// no hang.
+	garbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("1 THIS IS NOT\nA VALID TLE STREAM\n###\n"))
+	}))
+	defer garbage.Close()
+	client, err := NewClient(garbage.URL, garbage.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets, err := client.FetchGroup(context.Background(), "starlink")
+	if err != nil {
+		t.Fatalf("corrupt body: %v", err)
+	}
+	if len(sets) != 0 {
+		t.Errorf("parsed %d sets from garbage", len(sets))
+	}
+	// The JSON path must surface a decode error instead.
+	client.UseJSON = true
+	if _, err := client.FetchGroup(context.Background(), "starlink"); err == nil {
+		t.Error("garbage JSON accepted")
+	}
+}

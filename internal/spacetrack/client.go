@@ -1,0 +1,171 @@
+package spacetrack
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"cosmicdance/internal/tle"
+)
+
+// StatusError is returned for non-2xx responses.
+type StatusError struct {
+	Code int
+	Body string
+}
+
+// Error implements the error interface.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("spacetrack: server returned %d: %s", e.Code, e.Body)
+}
+
+// ErrTooManyRetries is returned when the server keeps rate-limiting past the
+// client's retry budget.
+var ErrTooManyRetries = errors.New("spacetrack: rate-limit retries exhausted")
+
+// Client fetches TLE data from a tracking service. The zero value is not
+// usable; construct with NewClient.
+type Client struct {
+	base       *url.URL
+	httpClient *http.Client
+	// MaxRetries bounds 429 retries per request.
+	MaxRetries int
+	// UseJSON switches transfers to the Space-Track OMM JSON format instead
+	// of classic TLE text.
+	UseJSON bool
+	// sleep is swappable for tests.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// NewClient targets the service at baseURL. httpClient may be nil for
+// http.DefaultClient semantics with a sane timeout.
+func NewClient(baseURL string, httpClient *http.Client) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("spacetrack: bad base URL: %w", err)
+	}
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Client{
+		base:       u,
+		httpClient: httpClient,
+		MaxRetries: 5,
+		sleep:      sleepCtx,
+	}, nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// get performs one rate-limit-aware GET and returns the body.
+func (c *Client) get(ctx context.Context, path string, query url.Values) (io.ReadCloser, error) {
+	u := *c.base
+	u.Path = path
+	u.RawQuery = query.Encode()
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.httpClient.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			return resp.Body, nil
+		case resp.StatusCode == http.StatusTooManyRequests:
+			resp.Body.Close()
+			if attempt >= c.MaxRetries {
+				return nil, ErrTooManyRetries
+			}
+			delay := retryAfter(resp, time.Duration(attempt+1)*200*time.Millisecond)
+			if err := c.sleep(ctx, delay); err != nil {
+				return nil, err
+			}
+		default:
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			return nil, &StatusError{Code: resp.StatusCode, Body: string(body)}
+		}
+	}
+}
+
+func retryAfter(resp *http.Response, fallback time.Duration) time.Duration {
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return fallback
+}
+
+// FetchGroup downloads the current catalog of a constellation group — the
+// CelesTrak step CosmicDance performs once to learn the catalog numbers.
+func (c *Client) FetchGroup(ctx context.Context, group string) ([]*tle.TLE, error) {
+	format := "3le"
+	if c.UseJSON {
+		format = "json"
+	}
+	q := url.Values{"GROUP": {group}, "FORMAT": {format}}
+	body, err := c.get(ctx, "/NORAD/elements/gp.php", q)
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close()
+	if c.UseJSON {
+		return tle.ReadOMM(body)
+	}
+	return tle.ReadAll(body)
+}
+
+// CatalogNumbers extracts the sorted distinct catalog numbers from a fetch.
+func CatalogNumbers(sets []*tle.TLE) []int {
+	return tle.NewCatalog(sets).Numbers()
+}
+
+// FetchHistory downloads the element sets of one object in [from, to] — the
+// Space-Track step.
+func (c *Client) FetchHistory(ctx context.Context, catalog int, from, to time.Time) ([]*tle.TLE, error) {
+	q := url.Values{
+		"catalog": {strconv.Itoa(catalog)},
+		"from":    {from.UTC().Format(time.RFC3339)},
+		"to":      {to.UTC().Format(time.RFC3339)},
+	}
+	if c.UseJSON {
+		q.Set("format", "json")
+	}
+	body, err := c.get(ctx, "/history", q)
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close()
+	if c.UseJSON {
+		return tle.ReadOMM(body)
+	}
+	return tle.ReadAll(body)
+}
+
+// Health probes the service.
+func (c *Client) Health(ctx context.Context) error {
+	body, err := c.get(ctx, "/healthz", nil)
+	if err != nil {
+		return err
+	}
+	body.Close()
+	return nil
+}

@@ -1,0 +1,195 @@
+package spacetrack
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cosmicdance/internal/tle"
+)
+
+// Server publishes an Archive over HTTP with CelesTrak- and Space-Track-
+// shaped endpoints:
+//
+//	GET /NORAD/elements/gp.php?GROUP=<group>&FORMAT=tle
+//	GET /history?catalog=<id>&from=<RFC3339>&to=<RFC3339>
+//	GET /healthz
+//
+// A token-bucket rate limiter guards the endpoints: exceeding it returns
+// 429 with a Retry-After header, which the Client honours.
+type Server struct {
+	archive Archive
+	// Now reports the service's current time (the frontier of the archive);
+	// it is a field so tests and replay servers can pin it.
+	Now func() time.Time
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+	// RatePerSec and Burst configure the limiter; zero RatePerSec disables
+	// limiting.
+	RatePerSec float64
+	Burst      float64
+}
+
+// NewServer wraps an archive. now pins the service clock (use the end of the
+// simulation window); pass the zero time to use wall clock.
+func NewServer(archive Archive, now time.Time) *Server {
+	s := &Server{archive: archive}
+	if now.IsZero() {
+		s.Now = time.Now
+	} else {
+		s.Now = func() time.Time { return now }
+	}
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/NORAD/elements/gp.php", s.handleGroup)
+	mux.HandleFunc("/history", s.handleHistory)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// allow implements a token bucket over wall-clock time.
+func (s *Server) allow() bool {
+	if s.RatePerSec <= 0 {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	if s.last.IsZero() {
+		s.last = now
+		s.tokens = s.Burst
+	}
+	s.tokens += now.Sub(s.last).Seconds() * s.RatePerSec
+	if s.tokens > s.Burst {
+		s.tokens = s.Burst
+	}
+	s.last = now
+	if s.tokens < 1 {
+		return false
+	}
+	s.tokens--
+	return true
+}
+
+func (s *Server) limited(w http.ResponseWriter) bool {
+	if s.allow() {
+		return false
+	}
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+	return true
+}
+
+// handleGroup serves the CelesTrak-style current catalog.
+func (s *Server) handleGroup(w http.ResponseWriter, r *http.Request) {
+	if s.limited(w) {
+		return
+	}
+	group := r.URL.Query().Get("GROUP")
+	if group == "" {
+		http.Error(w, "missing GROUP", http.StatusBadRequest)
+		return
+	}
+	format := r.URL.Query().Get("FORMAT")
+	if format != "" && format != "tle" && format != "3le" && format != "json" {
+		http.Error(w, fmt.Sprintf("unsupported FORMAT %q", format), http.StatusBadRequest)
+		return
+	}
+	known := false
+	for _, g := range s.archive.Groups() {
+		if g == group {
+			known = true
+			break
+		}
+	}
+	if !known {
+		http.Error(w, fmt.Sprintf("unknown group %q", group), http.StatusNotFound)
+		return
+	}
+	sets := s.archive.GroupLatest(group, s.Now())
+	if format == "json" {
+		// Space-Track's OMM JSON shape.
+		w.Header().Set("Content-Type", "application/json")
+		if err := tle.WriteOMM(w, sets); err != nil {
+			return
+		}
+		return
+	}
+	if format == "tle" {
+		// 2LE: strip names.
+		sets = stripNames(sets)
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := tle.Write(w, sets); err != nil {
+		// Too late for a status change; the client will see a short read.
+		return
+	}
+}
+
+// handleHistory serves the Space-Track-style windowed history.
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	if s.limited(w) {
+		return
+	}
+	q := r.URL.Query()
+	catalog, err := strconv.Atoi(q.Get("catalog"))
+	if err != nil {
+		http.Error(w, "bad catalog", http.StatusBadRequest)
+		return
+	}
+	from, err := parseTimeParam(q.Get("from"), time.Time{})
+	if err != nil {
+		http.Error(w, "bad from: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	to, err := parseTimeParam(q.Get("to"), s.Now())
+	if err != nil {
+		http.Error(w, "bad to: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if to.Before(from) {
+		http.Error(w, "to precedes from", http.StatusBadRequest)
+		return
+	}
+	sets := s.archive.History(catalog, from, to)
+	if q.Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		if err := tle.WriteOMM(w, sets); err != nil {
+			return
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := tle.Write(w, stripNames(sets)); err != nil {
+		return
+	}
+}
+
+func parseTimeParam(v string, def time.Time) (time.Time, error) {
+	if strings.TrimSpace(v) == "" {
+		return def, nil
+	}
+	return time.Parse(time.RFC3339, v)
+}
+
+// stripNames returns copies without the 3LE name line.
+func stripNames(sets []*tle.TLE) []*tle.TLE {
+	out := make([]*tle.TLE, len(sets))
+	for i, t := range sets {
+		c := *t
+		c.Name = ""
+		out[i] = &c
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package tle
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse hammers the TLE parser with mutated lines: it must never panic,
+// and anything it accepts must re-encode to lines it accepts again.
+func FuzzParse(f *testing.F) {
+	f.Add(issLine1, issLine2)
+	f.Add(strings.Repeat("1", 69), strings.Repeat("2", 69))
+	f.Add("1 00001U 20001A   20001.00000000  .00000000  00000-0  00000-0 0    07",
+		"2 00001  53.0000 000.0000 0000000 000.0000 000.0000 15.05000000    07")
+	f.Add("", "")
+	f.Fuzz(func(t *testing.T, l1, l2 string) {
+		parsed, err := Parse(l1, l2)
+		if err != nil {
+			return
+		}
+		// Accepted input must survive a format/parse cycle (when the values
+		// are representable in the fixed-width fields).
+		o1, o2, err := parsed.Format()
+		if err != nil {
+			return
+		}
+		if _, err := Parse(o1, o2); err != nil {
+			t.Fatalf("re-parse of own output failed: %v\n%q\n%q", err, o1, o2)
+		}
+	})
+}
+
+// FuzzReader feeds arbitrary text through the non-strict stream reader: it
+// must terminate without panicking regardless of input shape.
+func FuzzReader(f *testing.F) {
+	f.Add("STARLINK-1\n" + issLine1 + "\n" + issLine2 + "\n")
+	f.Add("garbage\nmore garbage\n1 partial")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		sets, err := ReadAll(strings.NewReader(input))
+		if err != nil && sets == nil && len(input) == 0 {
+			t.Fatalf("empty input errored: %v", err)
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package tle
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"cosmicdance/internal/units"
+)
+
+// OMM is the Orbit Mean-Elements Message, the CCSDS-standard JSON record
+// Space-Track serves alongside classic TLE text (gp/gp_history with
+// format/json). Field names follow the Space-Track JSON schema so archives
+// downloaded from the real service parse unchanged.
+type OMM struct {
+	ObjectName   string  `json:"OBJECT_NAME"`
+	ObjectID     string  `json:"OBJECT_ID"` // international designator
+	Epoch        string  `json:"EPOCH"`     // ISO 8601
+	MeanMotion   float64 `json:"MEAN_MOTION"`
+	Eccentricity float64 `json:"ECCENTRICITY"`
+	Inclination  float64 `json:"INCLINATION"`
+	RAAN         float64 `json:"RA_OF_ASC_NODE"`
+	ArgPerigee   float64 `json:"ARG_OF_PERICENTER"`
+	MeanAnomaly  float64 `json:"MEAN_ANOMALY"`
+	// Identification and drag.
+	NoradCatID     int     `json:"NORAD_CAT_ID"`
+	ElementSetNo   int     `json:"ELEMENT_SET_NO"`
+	RevAtEpoch     int     `json:"REV_AT_EPOCH"`
+	BStar          float64 `json:"BSTAR"`
+	MeanMotionDot  float64 `json:"MEAN_MOTION_DOT"`
+	MeanMotionDDot float64 `json:"MEAN_MOTION_DDOT"`
+	Classification string  `json:"CLASSIFICATION_TYPE"`
+}
+
+// ommEpochLayouts are the timestamp spellings seen in Space-Track exports.
+var ommEpochLayouts = []string{
+	"2006-01-02T15:04:05.999999",
+	"2006-01-02T15:04:05.999999Z07:00",
+	time.RFC3339Nano,
+}
+
+// ToOMM converts an element set into its OMM representation.
+func (t *TLE) ToOMM() OMM {
+	cls := string(t.Classification)
+	if t.Classification == 0 {
+		cls = "U"
+	}
+	return OMM{
+		ObjectName:     t.Name,
+		ObjectID:       t.IntlDesignator,
+		Epoch:          t.Epoch.UTC().Format("2006-01-02T15:04:05.999999"),
+		MeanMotion:     float64(t.MeanMotion),
+		Eccentricity:   t.Eccentricity,
+		Inclination:    float64(t.Inclination),
+		RAAN:           float64(t.RAAN),
+		ArgPerigee:     float64(t.ArgPerigee),
+		MeanAnomaly:    float64(t.MeanAnomaly),
+		NoradCatID:     t.CatalogNumber,
+		ElementSetNo:   t.ElementSet,
+		RevAtEpoch:     t.RevNumber,
+		BStar:          t.BStar,
+		MeanMotionDot:  t.MeanMotionDot,
+		MeanMotionDDot: t.MeanMotionDDot,
+		Classification: cls,
+	}
+}
+
+// ToTLE converts the message back into an element set.
+func (o OMM) ToTLE() (*TLE, error) {
+	var epoch time.Time
+	var err error
+	for _, layout := range ommEpochLayouts {
+		if epoch, err = time.Parse(layout, o.Epoch); err == nil {
+			break
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("tle: bad OMM epoch %q: %w", o.Epoch, err)
+	}
+	cls := byte('U')
+	if o.Classification != "" {
+		cls = o.Classification[0]
+	}
+	t := &TLE{
+		Name:           o.ObjectName,
+		CatalogNumber:  o.NoradCatID,
+		Classification: cls,
+		IntlDesignator: o.ObjectID,
+		Epoch:          epoch.UTC(),
+		MeanMotionDot:  o.MeanMotionDot,
+		MeanMotionDDot: o.MeanMotionDDot,
+		BStar:          o.BStar,
+		ElementSet:     o.ElementSetNo,
+		Inclination:    units.Degrees(o.Inclination),
+		RAAN:           units.Degrees(o.RAAN),
+		Eccentricity:   o.Eccentricity,
+		ArgPerigee:     units.Degrees(o.ArgPerigee),
+		MeanAnomaly:    units.Degrees(o.MeanAnomaly),
+		MeanMotion:     units.RevsPerDay(o.MeanMotion),
+		RevNumber:      o.RevAtEpoch,
+	}
+	if err := t.Elements().Validate(); err != nil {
+		return nil, fmt.Errorf("tle: OMM for %d: %w", o.NoradCatID, err)
+	}
+	return t, nil
+}
+
+// WriteOMM encodes element sets as a JSON array of OMM records (Space-Track's
+// format/json shape).
+func WriteOMM(w io.Writer, sets []*TLE) error {
+	records := make([]OMM, len(sets))
+	for i, t := range sets {
+		records[i] = t.ToOMM()
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(records)
+}
+
+// ReadOMM decodes a JSON array of OMM records into element sets.
+func ReadOMM(r io.Reader) ([]*TLE, error) {
+	var records []OMM
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&records); err != nil {
+		return nil, fmt.Errorf("tle: decoding OMM: %w", err)
+	}
+	out := make([]*TLE, 0, len(records))
+	for _, o := range records {
+		t, err := o.ToTLE()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

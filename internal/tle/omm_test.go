@@ -1,0 +1,157 @@
+package tle
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestOMMRoundTrip(t *testing.T) {
+	in, err := Parse(issLine1, issLine2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Name = "ISS (ZARYA)"
+	out, err := in.ToOMM().ToTLE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != in.Name || out.CatalogNumber != in.CatalogNumber ||
+		out.IntlDesignator != in.IntlDesignator || out.Classification != in.Classification {
+		t.Errorf("identity fields: %+v vs %+v", out, in)
+	}
+	if out.MeanMotion != in.MeanMotion || out.Eccentricity != in.Eccentricity ||
+		out.Inclination != in.Inclination || out.RAAN != in.RAAN ||
+		out.ArgPerigee != in.ArgPerigee || out.MeanAnomaly != in.MeanAnomaly {
+		t.Errorf("elements: %+v vs %+v", out, in)
+	}
+	if out.BStar != in.BStar || out.MeanMotionDot != in.MeanMotionDot {
+		t.Errorf("drag fields: %v/%v vs %v/%v", out.BStar, out.MeanMotionDot, in.BStar, in.MeanMotionDot)
+	}
+	if d := out.Epoch.Sub(in.Epoch); d > time.Microsecond || d < -time.Microsecond {
+		t.Errorf("epoch drifted %v", d)
+	}
+	if out.RevNumber != in.RevNumber || out.ElementSet != in.ElementSet {
+		t.Errorf("counters: %d/%d vs %d/%d", out.RevNumber, out.ElementSet, in.RevNumber, in.ElementSet)
+	}
+}
+
+func TestOMMJSONShape(t *testing.T) {
+	in, err := Parse(issLine1, issLine2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteOMM(&buf, []*TLE{in}); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	// Space-Track schema field names must appear verbatim.
+	for _, field := range []string{
+		`"NORAD_CAT_ID":25544`, `"MEAN_MOTION":15.72125391`, `"RA_OF_ASC_NODE":247.4627`,
+		`"OBJECT_ID":"98067A"`, `"EPOCH":"2008-09-20T`, `"CLASSIFICATION_TYPE":"U"`,
+	} {
+		if !strings.Contains(s, field) {
+			t.Errorf("JSON missing %s:\n%s", field, s)
+		}
+	}
+}
+
+func TestReadOMM(t *testing.T) {
+	payload := `[{
+		"OBJECT_NAME": "STARLINK-1007",
+		"OBJECT_ID": "19074A",
+		"EPOCH": "2023-03-24T12:00:00.000000",
+		"MEAN_MOTION": 15.05,
+		"ECCENTRICITY": 0.0001,
+		"INCLINATION": 53.0,
+		"RA_OF_ASC_NODE": 120.5,
+		"ARG_OF_PERICENTER": 90.0,
+		"MEAN_ANOMALY": 45.0,
+		"NORAD_CAT_ID": 44713,
+		"ELEMENT_SET_NO": 999,
+		"REV_AT_EPOCH": 12345,
+		"BSTAR": 0.0004,
+		"MEAN_MOTION_DOT": 0.00001,
+		"MEAN_MOTION_DDOT": 0,
+		"CLASSIFICATION_TYPE": "U"
+	}]`
+	sets, err := ReadOMM(strings.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 1 {
+		t.Fatalf("sets = %d", len(sets))
+	}
+	s := sets[0]
+	if s.CatalogNumber != 44713 || s.Name != "STARLINK-1007" {
+		t.Errorf("identity = %+v", s)
+	}
+	if math.Abs(float64(s.Altitude())-550) > 10 {
+		t.Errorf("altitude = %v", s.Altitude())
+	}
+	if s.Epoch != time.Date(2023, 3, 24, 12, 0, 0, 0, time.UTC) {
+		t.Errorf("epoch = %v", s.Epoch)
+	}
+}
+
+func TestReadOMMErrors(t *testing.T) {
+	if _, err := ReadOMM(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	// Bad epoch.
+	if _, err := ReadOMM(strings.NewReader(`[{"EPOCH":"yesterday","MEAN_MOTION":15,"NORAD_CAT_ID":1}]`)); err == nil {
+		t.Error("bad epoch accepted")
+	}
+	// Unphysical elements.
+	if _, err := ReadOMM(strings.NewReader(`[{"EPOCH":"2023-03-24T12:00:00.000000","MEAN_MOTION":0,"NORAD_CAT_ID":1}]`)); err == nil {
+		t.Error("zero mean motion accepted")
+	}
+}
+
+func TestOMMEpochLayouts(t *testing.T) {
+	for _, epoch := range []string{
+		"2023-03-24T12:00:00.000000",
+		"2023-03-24T12:00:00Z",
+		"2023-03-24T12:00:00.5+00:00",
+	} {
+		o := OMM{Epoch: epoch, MeanMotion: 15.05, Inclination: 53, NoradCatID: 1}
+		if _, err := o.ToTLE(); err != nil {
+			t.Errorf("epoch %q rejected: %v", epoch, err)
+		}
+	}
+}
+
+func TestWriteReadOMMBulk(t *testing.T) {
+	var sets []*TLE
+	base := time.Date(2023, 3, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 50; i++ {
+		sets = append(sets, &TLE{
+			CatalogNumber:  44713 + i,
+			IntlDesignator: "19074A",
+			Epoch:          base.Add(time.Duration(i) * time.Hour),
+			MeanMotion:     15.05,
+			Inclination:    53,
+			Eccentricity:   0.0001,
+			BStar:          4e-4,
+		})
+	}
+	var buf bytes.Buffer
+	if err := WriteOMM(&buf, sets); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadOMM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 50 {
+		t.Fatalf("round trip = %d sets", len(back))
+	}
+	for i := range back {
+		if back[i].CatalogNumber != sets[i].CatalogNumber || !back[i].Epoch.Equal(sets[i].Epoch) {
+			t.Fatalf("set %d mismatch", i)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Package units holds the physical constants and typed quantities shared by
+// every CosmicDance subsystem. Types are thin named floats so arithmetic stays
+// cheap while signatures stay self-documenting.
+package units
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Physical constants. Values follow the WGS-72 / NORAD conventions used by
+// the TLE ecosystem so altitudes derived from mean motion line up with the
+// figures operators publish.
+const (
+	// MuEarth is the Earth's standard gravitational parameter in km^3/s^2.
+	MuEarth = 398600.4418
+	// EarthRadiusKm is the mean Earth radius used to convert semi-major axis
+	// to altitude.
+	EarthRadiusKm = 6371.0
+	// EarthEquatorialRadiusKm is used by the J2 nodal-regression model.
+	EarthEquatorialRadiusKm = 6378.137
+	// J2 is the Earth's second zonal harmonic (oblateness).
+	J2 = 1.08262668e-3
+	// SecondsPerDay is the length of the TLE "day" (solar day).
+	SecondsPerDay = 86400.0
+	// SiderealDaySeconds is the Earth's rotation period.
+	SiderealDaySeconds = 86164.0905
+)
+
+// Kilometers is a distance or altitude in kilometres.
+type Kilometers float64
+
+// Meters converts to metres.
+func (k Kilometers) Meters() float64 { return float64(k) * 1000 }
+
+// String implements fmt.Stringer.
+func (k Kilometers) String() string { return fmt.Sprintf("%.3f km", float64(k)) }
+
+// NanoTesla is a geomagnetic field disturbance in nanotesla. Dst values are
+// negative during storms; more negative means more intense.
+type NanoTesla float64
+
+// String implements fmt.Stringer.
+func (n NanoTesla) String() string { return fmt.Sprintf("%.0f nT", float64(n)) }
+
+// RevsPerDay is an orbital mean motion in revolutions per (solar) day.
+type RevsPerDay float64
+
+// Period returns the orbital period implied by the mean motion.
+func (r RevsPerDay) Period() time.Duration {
+	if r <= 0 {
+		return 0
+	}
+	return time.Duration(SecondsPerDay / float64(r) * float64(time.Second))
+}
+
+// Degrees is an angle in degrees.
+type Degrees float64
+
+// Radians converts to radians.
+func (d Degrees) Radians() float64 { return float64(d) * math.Pi / 180 }
+
+// DegreesFromRadians converts radians to Degrees.
+func DegreesFromRadians(rad float64) Degrees { return Degrees(rad * 180 / math.Pi) }
+
+// Normalize360 maps the angle into [0, 360).
+func (d Degrees) Normalize360() Degrees {
+	v := math.Mod(float64(d), 360)
+	if v < 0 {
+		v += 360
+	}
+	return Degrees(v)
+}
+
+// GScale is NOAA's geomagnetic storm classification.
+type GScale int
+
+// NOAA G-scale categories. GQuiet means the hour is below storm threshold.
+const (
+	GQuiet GScale = iota
+	G1Minor
+	G2Moderate
+	G3Strong
+	G4Severe
+	G5Extreme
+)
+
+// String implements fmt.Stringer.
+func (g GScale) String() string {
+	switch g {
+	case GQuiet:
+		return "quiet"
+	case G1Minor:
+		return "G1 (minor)"
+	case G2Moderate:
+		return "G2 (moderate)"
+	case G3Strong:
+		return "G3 (strong)"
+	case G4Severe:
+		return "G4 (severe)"
+	case G5Extreme:
+		return "G5 (extreme)"
+	default:
+		return fmt.Sprintf("GScale(%d)", int(g))
+	}
+}
+
+// ClassifyDst maps a Dst reading onto the G-scale bands the paper operates
+// with: G1 (mild) −100..−50 nT, G2 (moderate) −200..−100 nT, G4 (severe)
+// −350..−200 nT, and G5 (extreme) below −350 nT. The NOAA scale wedges
+// G3 (strong) "around −200 nT" between moderate and severe; the paper itself
+// classifies the −209/−213/−208 nT hours of 24 Apr 2023 as severe, so this
+// function folds the strong band into severe at the −200 nT boundary and
+// never returns G3Strong (the constant exists for NOAA completeness).
+func ClassifyDst(v NanoTesla) GScale {
+	switch {
+	case v > -50:
+		return GQuiet
+	case v > -100:
+		return G1Minor
+	case v > -200:
+		return G2Moderate
+	case v > -350:
+		return G4Severe
+	default:
+		return G5Extreme
+	}
+}
+
+// StormThreshold is the Dst level below which geomagnetic activity is
+// considered a storm (WDC/AER convention, also the paper's G1 lower bound).
+const StormThreshold NanoTesla = -50

@@ -1,0 +1,141 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClassifyDst(t *testing.T) {
+	cases := []struct {
+		v    NanoTesla
+		want GScale
+	}{
+		{0, GQuiet},
+		{-49.9, GQuiet},
+		{-50, G1Minor},
+		{-63, G1Minor},
+		{-99.9, G1Minor},
+		{-100, G2Moderate},
+		{-112, G2Moderate},
+		{-199, G2Moderate},
+		{-200, G4Severe},
+		{-209, G4Severe},
+		{-213, G4Severe},
+		{-250, G4Severe},
+		{-349, G4Severe},
+		{-350, G5Extreme},
+		{-412, G5Extreme},
+		{-1800, G5Extreme},
+	}
+	for _, c := range cases {
+		if got := ClassifyDst(c.v); got != c.want {
+			t.Errorf("ClassifyDst(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestGScaleString(t *testing.T) {
+	want := map[GScale]string{
+		GQuiet:     "quiet",
+		G1Minor:    "G1 (minor)",
+		G2Moderate: "G2 (moderate)",
+		G3Strong:   "G3 (strong)",
+		G4Severe:   "G4 (severe)",
+		G5Extreme:  "G5 (extreme)",
+		GScale(42): "GScale(42)",
+	}
+	for g, s := range want {
+		if g.String() != s {
+			t.Errorf("GScale(%d).String() = %q, want %q", int(g), g.String(), s)
+		}
+	}
+}
+
+func TestRevsPerDayPeriod(t *testing.T) {
+	// A satellite at ~550 km completes ~15.05 revolutions per day, so the
+	// period should be roughly 95.7 minutes.
+	p := RevsPerDay(15.05).Period()
+	if p < 95*time.Minute || p > 97*time.Minute {
+		t.Errorf("period of 15.05 rev/day = %v, want ~95.7 min", p)
+	}
+	if got := RevsPerDay(0).Period(); got != 0 {
+		t.Errorf("period of 0 rev/day = %v, want 0", got)
+	}
+	if got := RevsPerDay(-1).Period(); got != 0 {
+		t.Errorf("period of negative mean motion = %v, want 0", got)
+	}
+}
+
+func TestDegreesNormalize360(t *testing.T) {
+	cases := []struct{ in, want Degrees }{
+		{0, 0},
+		{359.9, 359.9},
+		{360, 0},
+		{361, 1},
+		{-1, 359},
+		{-721, 359},
+		{720.5, 0.5},
+	}
+	for _, c := range cases {
+		if got := c.in.Normalize360(); math.Abs(float64(got-c.want)) > 1e-9 {
+			t.Errorf("Normalize360(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalize360Property(t *testing.T) {
+	f := func(d float64) bool {
+		if math.IsNaN(d) || math.IsInf(d, 0) || math.Abs(d) > 1e12 {
+			return true // skip degenerate inputs
+		}
+		got := Degrees(d).Normalize360()
+		return got >= 0 && got < 360
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassifyDstMonotonic(t *testing.T) {
+	// More negative Dst must never map to a *less* severe class.
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := NanoTesla(math.Min(a, b)), NanoTesla(math.Max(a, b))
+		return ClassifyDst(lo) >= ClassifyDst(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKilometersMeters(t *testing.T) {
+	if got := Kilometers(1.5).Meters(); got != 1500 {
+		t.Errorf("1.5 km = %v m, want 1500", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if s := Kilometers(550).String(); s != "550.000 km" {
+		t.Errorf("Kilometers string = %q", s)
+	}
+	if s := NanoTesla(-63).String(); s != "-63 nT" {
+		t.Errorf("NanoTesla string = %q", s)
+	}
+}
+
+func TestDegreesRadiansRoundTrip(t *testing.T) {
+	f := func(d float64) bool {
+		if math.IsNaN(d) || math.IsInf(d, 0) || math.Abs(d) > 1e9 {
+			return true
+		}
+		back := DegreesFromRadians(Degrees(d).Radians())
+		return math.Abs(float64(back)-d) <= 1e-9*math.Max(1, math.Abs(d))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

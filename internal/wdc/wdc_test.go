@@ -1,0 +1,150 @@
+package wdc
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cosmicdance/internal/spaceweather"
+)
+
+func newWDCServer(t *testing.T) (*Client, time.Time, time.Time) {
+	t.Helper()
+	index, err := spaceweather.Generate(spaceweather.May2024())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(index).Handler())
+	t.Cleanup(ts.Close)
+	client, err := NewClient(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client, index.Start(), index.End()
+}
+
+func TestFetchRange(t *testing.T) {
+	client, start, _ := newWDCServer(t)
+	ctx := context.Background()
+	got, err := client.Fetch(ctx, start, start.AddDate(0, 0, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 12*24 {
+		t.Fatalf("hours = %d, want %d", got.Len(), 12*24)
+	}
+	// The super-storm peak is inside the first 12 days of May 2024.
+	min, at := got.Min()
+	if min != -412 || !at.Equal(spaceweather.May2024Peak) {
+		t.Errorf("min = %v at %v", min, at)
+	}
+}
+
+func TestFetchFullSpanDefaults(t *testing.T) {
+	client, start, end := newWDCServer(t)
+	got, err := client.Fetch(context.Background(), start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != int(end.Sub(start)/time.Hour) {
+		t.Fatalf("hours = %d", got.Len())
+	}
+}
+
+func TestFetchErrors(t *testing.T) {
+	client, start, _ := newWDCServer(t)
+	ctx := context.Background()
+	// Inverted range.
+	if _, err := client.Fetch(ctx, start.AddDate(0, 0, 5), start); err == nil {
+		t.Error("inverted range accepted")
+	}
+	// Out-of-archive range.
+	if _, err := client.Fetch(ctx, start.AddDate(-1, 0, 0), start.AddDate(-1, 0, 10)); err == nil {
+		t.Error("pre-archive range accepted")
+	}
+}
+
+func TestServerBadParams(t *testing.T) {
+	index, err := spaceweather.Generate(spaceweather.May2024())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(index).Handler())
+	defer ts.Close()
+	for _, q := range []string{"?from=yesterday", "?to=later", "?from=2024-05-10&to=2024-05-01"} {
+		resp, err := http.Get(ts.URL + "/dst" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s -> %d", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestRecordsAreRealWDCFormat(t *testing.T) {
+	index, err := spaceweather.Generate(spaceweather.May2024())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(index).Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/dst?from=2024-05-11&to=2024-05-12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimRight(string(data), "\n")
+	if len(line) != 120 || !strings.HasPrefix(line, "DST2405*11") {
+		t.Errorf("record = %q (len %d)", line, len(line))
+	}
+}
+
+func TestFetchIncremental(t *testing.T) {
+	client, start, _ := newWDCServer(t)
+	ctx := context.Background()
+
+	// First increment: 5 days from nil.
+	local, err := client.FetchIncremental(ctx, nil, start, start.AddDate(0, 0, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.Len() != 5*24 {
+		t.Fatalf("first increment = %d hours", local.Len())
+	}
+	// Second increment: extends to day 12 (covers the storm).
+	local, err = client.FetchIncremental(ctx, local, start, start.AddDate(0, 0, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.Len() != 12*24 {
+		t.Fatalf("after extension = %d hours", local.Len())
+	}
+	min, _ := local.Min()
+	if min != -412 {
+		t.Errorf("stitched min = %v", min)
+	}
+	// No-op increment.
+	same, err := client.FetchIncremental(ctx, local, start, start.AddDate(0, 0, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Len() != local.Len() {
+		t.Errorf("no-op increment changed length to %d", same.Len())
+	}
+}
+
+func TestNewClientBadURL(t *testing.T) {
+	if _, err := NewClient("://x", nil); err == nil {
+		t.Error("bad URL accepted")
+	}
+}
