@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: build test test-short race vet fuzz verify verify-short golden
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Refresh the pinned figure renderings after an intentional output change.
+golden:
+	$(GO) test ./cmd/figures -run Golden -update
+
+fuzz:
+	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=10s ./internal/tle
+	$(GO) test -run='^$$' -fuzz='^FuzzReader$$' -fuzztime=10s ./internal/tle
+	$(GO) test -run='^$$' -fuzz='^FuzzRoundTrip$$' -fuzztime=10s ./internal/tle
+	$(GO) test -run='^$$' -fuzz='^FuzzParseRecord$$' -fuzztime=10s ./internal/dst
+	$(GO) test -run='^$$' -fuzz='^FuzzIndexRoundTrip$$' -fuzztime=10s ./internal/wdc
+
+# The full verification gate: vet + build + race-tested suite + fuzz seeds.
+verify:
+	./verify.sh
+
+verify-short:
+	./verify.sh -short

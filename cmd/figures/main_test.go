@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"cosmicdance/internal/testkit"
 )
 
 // TestWeatherOnlyFigures renders the figures that need no fleet simulation
@@ -80,4 +82,41 @@ func TestCSVExport(t *testing.T) {
 			t.Errorf("%s header: %q", name, string(data[:40]))
 		}
 	}
+}
+
+// TestFiguresGolden pins the complete seed-42 rendering of Figures 1-10
+// byte-for-byte. Regenerate after an intentional output change with:
+//
+//	go test ./cmd/figures -run TestFiguresGolden -update
+func TestFiguresGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full substrate build in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, 0, 42); err != nil {
+		t.Fatal(err)
+	}
+	testkit.Golden(t, "figures_seed42.golden", buf.Bytes())
+
+	// The rendering must also be deterministic run-to-run, or the golden
+	// pin would flake rather than catch regressions.
+	var again bytes.Buffer
+	if err := run(&again, 0, 42); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("two seed-42 runs diverged")
+	}
+}
+
+// TestWeatherFiguresGolden pins the weather-only figures in the fast tier,
+// so byte-level regressions surface even under -short.
+func TestWeatherFiguresGolden(t *testing.T) {
+	var buf bytes.Buffer
+	for _, fig := range []int{1, 2, 8} {
+		if err := run(&buf, fig, 42); err != nil {
+			t.Fatal(err)
+		}
+	}
+	testkit.Golden(t, "figures_weather_seed42.golden", buf.Bytes())
 }

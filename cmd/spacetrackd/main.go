@@ -9,27 +9,58 @@
 //
 // Usage:
 //
-//	spacetrackd [-addr :8044] [-fleet small|paper|may2024] [-seed S] [-rate R]
+//	spacetrackd [-addr :8044] [-fleet small|paper|may2024] [-seed S] [-rate R] [-faults SCHED]
+//
+// -faults injects deterministic network faults (see internal/faultline) into
+// every endpoint, e.g. -faults '429:3/7,503:1/5,truncate:1/6' — the harness
+// for exercising client fault tolerance against a degraded service.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
+	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"cosmicdance/internal/constellation"
+	"cosmicdance/internal/faultline"
 	"cosmicdance/internal/spacetrack"
 	"cosmicdance/internal/spaceweather"
 	"cosmicdance/internal/wdc"
 )
 
 func main() {
-	addr := flag.String("addr", ":8044", "listen address")
-	fleet := flag.String("fleet", "small", "fleet preset: small, paper or may2024")
-	seed := flag.Int64("seed", 42, "simulation seed")
-	rate := flag.Float64("rate", 20, "rate limit in requests/second (0 disables)")
-	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], nil); err != nil {
+		log.Fatalf("spacetrackd: %v", err)
+	}
+}
+
+// run builds and serves the simulated services until ctx is cancelled, then
+// shuts down gracefully. If ready is non-nil it receives the bound listen
+// address once the server is accepting connections (tests bind :0).
+func run(ctx context.Context, args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("spacetrackd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8044", "listen address")
+	fleet := fs.String("fleet", "small", "fleet preset: small, paper or may2024")
+	seed := fs.Int64("seed", 42, "simulation seed")
+	rate := fs.Float64("rate", 20, "rate limit in requests/second (0 disables)")
+	faults := fs.String("faults", "", "fault schedule, e.g. '429:3/7,truncate:1/6' (see internal/faultline)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sched, err := faultline.ParseSchedule(*faults)
+	if err != nil {
+		return err
+	}
 
 	var (
 		cfg constellation.Config
@@ -47,17 +78,17 @@ func main() {
 		cfg = constellation.ResearchFleet(*seed, start, start.AddDate(1, 0, 0), 10)
 		wx = spaceweather.Paper2020to2024()
 	default:
-		log.Fatalf("spacetrackd: unknown fleet %q", *fleet)
+		return fmt.Errorf("unknown fleet %q", *fleet)
 	}
 
 	log.Printf("spacetrackd: simulating fleet %q ...", *fleet)
 	weather, err := spaceweather.Generate(wx)
 	if err != nil {
-		log.Fatalf("spacetrackd: %v", err)
+		return err
 	}
 	res, err := constellation.Run(cfg, weather)
 	if err != nil {
-		log.Fatalf("spacetrackd: %v", err)
+		return err
 	}
 	archive := spacetrack.NewResultArchive("starlink", res)
 	end := res.Start.Add(time.Duration(res.Hours) * time.Hour)
@@ -71,12 +102,47 @@ func main() {
 	mux.Handle("/dst", wdc.NewServer(weather).Handler())
 	mux.Handle("/", srv.Handler())
 
+	var handler http.Handler = mux
+	var injector *faultline.Injector
+	if len(sched.Rules) > 0 {
+		injector = faultline.New(mux, sched, *seed)
+		handler = injector
+		log.Printf("spacetrackd: injecting faults: %s (survivable with %d retries)",
+			sched, sched.MaxConsecutiveFaults())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
 	log.Printf("spacetrackd: %d satellites, %d element sets (+/dst endpoint), serving on %s",
-		len(res.Sats), len(res.Samples), *addr)
+		len(res.Sats), len(res.Samples), ln.Addr())
 	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           mux,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Fatal(httpSrv.ListenAndServe())
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("spacetrackd: shutting down")
+	if injector != nil {
+		log.Printf("spacetrackd: fault summary: %s", injector.Summary())
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
 }

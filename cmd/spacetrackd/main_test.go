@@ -1,0 +1,119 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"cosmicdance/internal/spacetrack"
+)
+
+// startDaemon runs the daemon on a loopback port and returns its base URL
+// plus the channel run's error will arrive on after cancellation.
+func startDaemon(t *testing.T, ctx context.Context, extra ...string) (string, <-chan error) {
+	t.Helper()
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-fleet", "small", "-rate", "0"}, extra...)
+	go func() { errc <- run(ctx, args, ready) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, errc
+	case err := <-errc:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(2 * time.Minute):
+		t.Fatal("daemon never became ready")
+	}
+	return "", nil
+}
+
+func TestDaemonServesAndShutsDownCleanly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a year-long fleet")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, errc := startDaemon(t, ctx)
+
+	client, err := spacetrack.NewClient(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Health(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	sets, err := client.FetchGroup(ctx, "starlink")
+	if err != nil {
+		t.Fatalf("group fetch: %v", err)
+	}
+	if len(sets) == 0 {
+		t.Fatal("daemon served an empty catalog")
+	}
+	cats := spacetrack.CatalogNumbers(sets)
+	hist, err := client.FetchHistory(ctx, cats[0], sets[0].Epoch.AddDate(0, -1, 0), sets[0].Epoch)
+	if err != nil {
+		t.Fatalf("history fetch: %v", err)
+	}
+	if len(hist) == 0 {
+		t.Fatal("daemon served an empty history")
+	}
+	// The Dst endpoint rides alongside.
+	resp, err := http.Get(base + "/dst?format=wdc")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("dst endpoint: %v %v", resp, err)
+	}
+	resp.Body.Close()
+
+	// Context cancellation (the SIGTERM path) must shut the server down
+	// cleanly, not leak it or surface ErrServerClosed.
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown returned %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down after cancellation")
+	}
+}
+
+func TestDaemonFaultsFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a year-long fleet")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Every other request fails with 503: a default client still succeeds
+	// because its retry budget outlasts the schedule.
+	base, errc := startDaemon(t, ctx, "-faults", "503:1/2")
+
+	client, err := spacetrack.NewClient(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.Sleep = func(ctx context.Context, d time.Duration) error { return ctx.Err() }
+	sets, err := client.FetchGroup(ctx, "starlink")
+	if err != nil {
+		t.Fatalf("fetch through faults: %v", err)
+	}
+	if len(sets) == 0 {
+		t.Fatal("no sets through fault layer")
+	}
+	cancel()
+	if err := <-errc; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+func TestDaemonRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-fleet", "bogus"},
+		{"-faults", "nonsense:1/2"},
+		{"-faults", "429:9/3"},
+	} {
+		if err := run(context.Background(), args, nil); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}

@@ -14,24 +14,39 @@
 //  4. build the pipeline and print the happens-closely-after analysis.
 //
 //     go run ./examples/liveingest
+//
+// Pass -faults to degrade the tracking service with a deterministic fault
+// schedule (see internal/faultline) and watch the same ingest succeed anyway:
+//
+//	go run ./examples/liveingest -faults '429:2/5,503:1/7,truncate:1/6,corrupt:1/9'
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"time"
 
 	"cosmicdance/internal/constellation"
 	"cosmicdance/internal/core"
+	"cosmicdance/internal/faultline"
 	"cosmicdance/internal/spacetrack"
 	"cosmicdance/internal/spaceweather"
 	"cosmicdance/internal/wdc"
 )
 
 func main() {
+	faults := flag.String("faults", "", "fault schedule for the tracking service, e.g. '429:2/5,truncate:1/6'")
+	flag.Parse()
+	sched, err := faultline.ParseSchedule(*faults)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
 
@@ -49,8 +64,16 @@ func main() {
 	wdcServer := httptest.NewServer(wdc.NewServer(weather).Handler())
 	defer wdcServer.Close()
 	end := fleet.Start.Add(time.Duration(fleet.Hours) * time.Hour)
-	trackServer := httptest.NewServer(spacetrack.NewServer(
-		spacetrack.NewResultArchive("starlink", fleet), end).Handler())
+	var trackHandler http.Handler = spacetrack.NewServer(
+		spacetrack.NewResultArchive("starlink", fleet), end).Handler()
+	var injector *faultline.Injector
+	if len(sched.Rules) > 0 {
+		injector = faultline.New(trackHandler, sched, 42)
+		trackHandler = injector
+		fmt.Printf("liveingest: degrading tracking service with %s (worst case %d consecutive faults)\n",
+			sched, sched.MaxConsecutiveFaults())
+	}
+	trackServer := httptest.NewServer(trackHandler)
 	defer trackServer.Close()
 
 	// --- The "local" side: CosmicDance's ingest, exactly as deployed. ----
@@ -75,6 +98,13 @@ func main() {
 	stClient, err := spacetrack.NewClient(trackServer.URL, trackServer.Client())
 	if err != nil {
 		log.Fatal(err)
+	}
+	if injector != nil {
+		// Give the retry loop room to outlast the worst burst the schedule
+		// can produce, with margin for back-to-back rule overlaps.
+		if budget := 2*sched.MaxConsecutiveFaults() + 2; budget > stClient.MaxRetries {
+			stClient.MaxRetries = budget
+		}
 	}
 	current, err := stClient.FetchGroup(ctx, "starlink")
 	if err != nil {
@@ -125,4 +155,7 @@ func main() {
 		cdf.Quantile(0.5), cdf.Quantile(0.99), cdf.Max())
 	min, at := local.Min()
 	fmt.Printf("driving event: %v at %s\n", min, at.Format("2006-01-02 15:04"))
+	if injector != nil {
+		fmt.Printf("faults survived: %s over %d requests\n", injector.Summary(), injector.Requests())
+	}
 }

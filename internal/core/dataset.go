@@ -17,6 +17,7 @@ type CleaningStats struct {
 	GrossErrors       int // altitude outside [MinValidAltKm, MaxValidAltKm]
 	RaisingRemoved    int // orbit-raising prefix points
 	NonOperational    int // tracks that never reached an operational shell
+	Duplicates        int // repeated (catalog, epoch) observations dropped
 }
 
 // Dataset is the merged, cleaned, time-ordered representation CosmicDance
@@ -125,10 +126,17 @@ func (b *Builder) Build() (*Dataset, error) {
 
 	for _, cat := range cats {
 		obs := byCat[cat]
-		sort.Slice(obs, func(i, j int) bool { return obs[i].epoch < obs[j].epoch })
-		points := make([]TrackPoint, len(obs))
+		// Stable sort + drop repeated epochs (keep first): flaky archives
+		// replay element sets, and a duplicated observation must not change
+		// the analysis relative to a clean ingest of the same data.
+		sort.SliceStable(obs, func(i, j int) bool { return obs[i].epoch < obs[j].epoch })
+		points := make([]TrackPoint, 0, len(obs))
 		for i, o := range obs {
-			points[i] = TrackPoint{Epoch: o.epoch, AltKm: float32(o.altKm), BStar: float32(o.bstar), Incl: float32(o.incl)}
+			if i > 0 && o.epoch == obs[i-1].epoch {
+				d.stats.Duplicates++
+				continue
+			}
+			points = append(points, TrackPoint{Epoch: o.epoch, AltKm: float32(o.altKm), BStar: float32(o.bstar), Incl: float32(o.incl)})
 		}
 		opAlt := operationalAltitude(points, 10)
 		if opAlt < b.cfg.MinOperationalAltKm {
@@ -163,6 +171,15 @@ func (b *Builder) Build() (*Dataset, error) {
 		return nil, fmt.Errorf("core: no operational tracks survived cleaning")
 	}
 	return d, nil
+}
+
+// NewDatasetFromTLEs is the one-call live-data ingest: it cleans and
+// assembles a dataset directly from parsed element sets (the shape a
+// FetchHistories bulk result flattens into).
+func NewDatasetFromTLEs(cfg Config, weather *dst.Index, sets []*tle.TLE) (*Dataset, error) {
+	b := NewBuilder(cfg, weather)
+	b.AddTLEs(sets)
+	return b.Build()
 }
 
 // Weather returns the Dst index.

@@ -288,3 +288,58 @@ func TestCleaningInvariants(t *testing.T) {
 		}
 	}
 }
+
+func TestDuplicateObservationsDropped(t *testing.T) {
+	// A clean build and a build with every observation duplicated (a flaky
+	// archive replaying element sets) must produce identical tracks.
+	clean := NewBuilder(DefaultConfig(), quietWeather(30))
+	steadyTrack(clean, 1, c0, 30, 550)
+	want, err := clean.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := NewBuilder(DefaultConfig(), quietWeather(30))
+	steadyTrack(dup, 1, c0, 30, 550)
+	steadyTrack(dup, 1, c0, 30, 550)
+	got, err := dup.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cleaning().Duplicates != 60 {
+		t.Fatalf("Duplicates = %d, want 60", got.Cleaning().Duplicates)
+	}
+	wt, gt := want.Tracks(), got.Tracks()
+	if len(wt) != 1 || len(gt) != 1 || len(wt[0].Points) != len(gt[0].Points) {
+		t.Fatalf("tracks: want %d pts, got %d pts", len(wt[0].Points), len(gt[0].Points))
+	}
+	for i := range wt[0].Points {
+		if wt[0].Points[i] != gt[0].Points[i] {
+			t.Fatalf("point %d differs: %+v vs %+v", i, wt[0].Points[i], gt[0].Points[i])
+		}
+	}
+	if want.Cleaning().Duplicates != 0 {
+		t.Fatalf("clean build counted %d duplicates", want.Cleaning().Duplicates)
+	}
+}
+
+func TestNewDatasetFromTLEs(t *testing.T) {
+	var sets []*tle.TLE
+	for i := 0; i < 60; i++ {
+		s := constellation.Sample{
+			Catalog: 44713, Epoch: c0.Add(time.Duration(i) * 12 * time.Hour).Unix(),
+			AltKm: 550, BStar: 4e-4, Inclination: 53,
+		}
+		set, err := s.TLE("STARLINK-TEST")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets = append(sets, set)
+	}
+	d, err := NewDatasetFromTLEs(DefaultConfig(), quietWeather(30), sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Tracks()) != 1 || d.Tracks()[0].Catalog != 44713 {
+		t.Fatalf("tracks = %+v", d.Tracks())
+	}
+}

@@ -1,0 +1,74 @@
+package faultline
+
+import (
+	"sync/atomic"
+	"time"
+
+	"cosmicdance/internal/spacetrack"
+	"cosmicdance/internal/tle"
+)
+
+// FaultArchive wraps a spacetrack.Archive and injects archive-level faults:
+// duplicated element sets in History results and stale GroupLatest snapshots.
+// It targets the data plane only — HTTP-level faults (status codes, resets,
+// truncation) belong to the Injector, which wraps the server instead.
+//
+// Duplicate and Stale rules from the schedule apply; other kinds are ignored
+// because they have no archive-level meaning. Each method keeps its own
+// request counter, so the same schedule exercises both paths.
+type FaultArchive struct {
+	inner spacetrack.Archive
+	sched *Schedule
+	// StaleBy is how far into the past a stale GroupLatest snapshot looks
+	// (default one hour).
+	StaleBy time.Duration
+
+	latestN  atomic.Int64
+	historyN atomic.Int64
+}
+
+// Wrap builds a FaultArchive over inner.
+func Wrap(inner spacetrack.Archive, sched *Schedule) *FaultArchive {
+	if sched == nil {
+		sched = &Schedule{}
+	}
+	return &FaultArchive{inner: inner, sched: sched, StaleBy: time.Hour}
+}
+
+func (a *FaultArchive) fires(kind Kind, n int64) bool {
+	for _, r := range a.sched.Rules {
+		if r.Kind == kind && r.applies(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// Groups implements spacetrack.Archive.
+func (a *FaultArchive) Groups() []string { return a.inner.Groups() }
+
+// GroupLatest implements spacetrack.Archive. On Stale ticks the snapshot is
+// taken StaleBy earlier than requested — the shape of a lagging catalog
+// mirror.
+func (a *FaultArchive) GroupLatest(group string, at time.Time) []*tle.TLE {
+	n := a.latestN.Add(1) - 1
+	if a.fires(Stale, n) {
+		at = at.Add(-a.StaleBy)
+	}
+	return a.inner.GroupLatest(group, at)
+}
+
+// History implements spacetrack.Archive. On Duplicate ticks every element
+// set appears twice, exactly as archives replaying records deliver them.
+func (a *FaultArchive) History(catalog int, from, to time.Time) []*tle.TLE {
+	n := a.historyN.Add(1) - 1
+	sets := a.inner.History(catalog, from, to)
+	if !a.fires(Duplicate, n) || len(sets) == 0 {
+		return sets
+	}
+	out := make([]*tle.TLE, 0, 2*len(sets))
+	for _, s := range sets {
+		out = append(out, s, s)
+	}
+	return out
+}

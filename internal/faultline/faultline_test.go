@@ -1,0 +1,354 @@
+package faultline
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cosmicdance/internal/tle"
+)
+
+func TestParseScheduleRoundTrip(t *testing.T) {
+	cases := []string{
+		"latency:2/5:50ms",
+		"429:3/5",
+		"429!:3/7",
+		"500:1/5,503:2/7",
+		"reset:1/4,truncate:1/6,corrupt:1/9,dup:1/4,stale:1/3",
+		"latency:1/5:1ms,429:1/7,503:1/11,reset:1/13,truncate:1/17,corrupt:1/19,dup:1/23,stale:1/29",
+	}
+	for _, in := range cases {
+		sched, err := ParseSchedule(in)
+		if err != nil {
+			t.Fatalf("ParseSchedule(%q): %v", in, err)
+		}
+		if got := sched.String(); got != in {
+			t.Errorf("round trip %q -> %q", in, got)
+		}
+	}
+}
+
+func TestParseScheduleEmpty(t *testing.T) {
+	for _, in := range []string{"", "  ", ","} {
+		sched, err := ParseSchedule(in)
+		if err != nil || len(sched.Rules) != 0 {
+			t.Errorf("ParseSchedule(%q) = %v, %v; want empty schedule", in, sched, err)
+		}
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	cases := []string{
+		"bogus:1/2",       // unknown kind
+		"429",             // missing count/period
+		"429:3",           // missing period
+		"429:x/5",         // bad count
+		"429:3/0",         // zero period
+		"429:5/5",         // nothing ever succeeds
+		"429:7/5",         // count > period
+		"latency:1/5",     // latency without duration
+		"latency:1/5:fast", // bad duration
+		"500:1/5:2ms",     // argument on non-latency rule
+		"500!:1/5",        // ! on non-429
+	}
+	for _, in := range cases {
+		if _, err := ParseSchedule(in); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted", in)
+		}
+	}
+}
+
+func TestRuleApplies(t *testing.T) {
+	r := Rule{Kind: RateLimit, Count: 3, Period: 5}
+	want := []bool{true, true, true, false, false, true, true, true, false, false}
+	for n, w := range want {
+		if got := r.applies(int64(n)); got != w {
+			t.Errorf("applies(%d) = %v, want %v", n, got, w)
+		}
+	}
+}
+
+func TestMaxConsecutiveFaults(t *testing.T) {
+	cases := []struct {
+		sched string
+		want  int
+	}{
+		{"429:3/7", 3},
+		{"latency:4/5:1ms", 0}, // latency is not a failure
+		{"500:1/5,503:2/7", 3}, // n=35,36 hit 503 and n=35 hits 500
+		{"", 0},
+	}
+	for _, c := range cases {
+		sched, err := ParseSchedule(c.sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sched.MaxConsecutiveFaults(); got != c.want {
+			t.Errorf("MaxConsecutiveFaults(%q) = %d, want %d", c.sched, got, c.want)
+		}
+	}
+	// Every builtin schedule must be survivable within the client's default
+	// retry budget of 5.
+	for name, sched := range Builtin() {
+		if got := sched.MaxConsecutiveFaults(); got > 5 {
+			t.Errorf("builtin %q needs %d consecutive retries, budget is 5", name, got)
+		}
+	}
+}
+
+// echoBody serves a fixed body for every request.
+func echoBody(body string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	})
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte, error) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp, body, err
+}
+
+func TestInjectorRateLimit(t *testing.T) {
+	sched, _ := ParseSchedule("429:2/4")
+	in := New(echoBody("data"), sched, 1)
+	ts := httptest.NewServer(in)
+	defer ts.Close()
+	codes := make([]int, 0, 8)
+	for i := 0; i < 8; i++ {
+		resp, _, err := get(t, ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		codes = append(codes, resp.StatusCode)
+		if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") != "0" {
+			t.Errorf("request %d: 429 without Retry-After: 0", i)
+		}
+	}
+	want := []int{429, 429, 200, 200, 429, 429, 200, 200}
+	for i := range want {
+		if codes[i] != want[i] {
+			t.Fatalf("codes = %v, want %v", codes, want)
+		}
+	}
+	if in.Stats()[RateLimit] != 4 {
+		t.Errorf("RateLimit stat = %d, want 4", in.Stats()[RateLimit])
+	}
+}
+
+func TestInjectorMuteRateLimitOmitsRetryAfter(t *testing.T) {
+	sched, _ := ParseSchedule("429!:1/2")
+	ts := httptest.NewServer(New(echoBody("data"), sched, 1))
+	defer ts.Close()
+	resp, _, err := get(t, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if _, ok := resp.Header["Retry-After"]; ok {
+		t.Error("muted 429 still sent Retry-After")
+	}
+}
+
+func TestInjector5xx(t *testing.T) {
+	sched, _ := ParseSchedule("500:1/3,503:1/2")
+	ts := httptest.NewServer(New(echoBody("data"), sched, 1))
+	defer ts.Close()
+	// n=0: both apply, 500 wins by rule order; n=2/n=4: 503 (even);
+	// n=3: 500; n=1/n=5: clean.
+	want := []int{500, 200, 503, 500, 503, 200}
+	for i, w := range want {
+		resp, _, err := get(t, ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != w {
+			t.Fatalf("request %d: status %d, want %d", i, resp.StatusCode, w)
+		}
+	}
+}
+
+func TestInjectorReset(t *testing.T) {
+	sched, _ := ParseSchedule("reset:1/2")
+	ts := httptest.NewServer(New(echoBody("data"), sched, 1))
+	defer ts.Close()
+	if _, _, err := get(t, ts.URL); err == nil {
+		t.Fatal("reset request returned a response")
+	}
+	resp, body, err := get(t, ts.URL)
+	if err != nil || resp.StatusCode != 200 || string(body) != "data" {
+		t.Fatalf("post-reset request: %v %v %q", resp, err, body)
+	}
+}
+
+func TestInjectorTruncate(t *testing.T) {
+	full := strings.Repeat("ELEMENT SET LINE\n", 64)
+	sched, _ := ParseSchedule("truncate:1/2")
+	ts := httptest.NewServer(New(echoBody(full), sched, 1))
+	defer ts.Close()
+	// The truncated response declares the full length but sends half: the
+	// body read must fail, never succeed with a silently shorter payload.
+	_, _, err := get(t, ts.URL)
+	if err == nil {
+		t.Fatal("truncated body read succeeded")
+	}
+	_, body, err := get(t, ts.URL)
+	if err != nil || string(body) != full {
+		t.Fatalf("clean request after truncation: %v (len %d)", err, len(body))
+	}
+}
+
+func TestInjectorCorruptDeterministic(t *testing.T) {
+	full := strings.Repeat("1 44713U 19074A  23001.00000000\n", 16)
+	fetch := func(seed int64) []byte {
+		sched, _ := ParseSchedule("corrupt:1/2")
+		ts := httptest.NewServer(New(echoBody(full), sched, seed))
+		defer ts.Close()
+		_, body, err := get(t, ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+	a, b := fetch(42), fetch(42)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different corruption")
+	}
+	diffs := 0
+	for i := range a {
+		if a[i] != full[i] {
+			diffs++
+		}
+	}
+	if diffs != 1 {
+		t.Fatalf("corruption flipped %d bytes, want exactly 1", diffs)
+	}
+	if c := fetch(43); bytes.Equal(a, c) {
+		t.Error("different seeds corrupted the same byte")
+	}
+}
+
+func TestInjectorDuplicate(t *testing.T) {
+	sched, _ := ParseSchedule("dup:1/2")
+	ts := httptest.NewServer(New(echoBody("SET A\nSET B\n"), sched, 1))
+	defer ts.Close()
+	_, body, err := get(t, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != "SET A\nSET B\nSET A\nSET B\n" {
+		t.Fatalf("duplicated body = %q", body)
+	}
+}
+
+func TestInjectorDuplicateSkipsJSON(t *testing.T) {
+	sched, _ := ParseSchedule("dup:1/1")
+	// dup:1/1 is rejected by ParseSchedule (count < period), so build directly:
+	// this test wants every request duplicated.
+	sched = &Schedule{Rules: []Rule{{Kind: Duplicate, Count: 1, Period: 1}}}
+	ts := httptest.NewServer(New(echoBody(`[{"OBJECT_NAME":"X"}]`), sched, 1))
+	defer ts.Close()
+	_, body, err := get(t, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != `[{"OBJECT_NAME":"X"}]` {
+		t.Fatalf("JSON body mutated: %q", body)
+	}
+}
+
+func TestInjectorStaleReplays(t *testing.T) {
+	n := 0
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n++
+		io.WriteString(w, strings.Repeat("x", n)) // response changes every hit
+	})
+	sched := &Schedule{Rules: []Rule{{Kind: Stale, Count: 1, Period: 1}}}
+	ts := httptest.NewServer(New(inner, sched, 1))
+	defer ts.Close()
+	for i := 0; i < 3; i++ {
+		_, body, err := get(t, ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(body) != "x" {
+			t.Fatalf("request %d: got %q, want the first response replayed", i, body)
+		}
+	}
+}
+
+func TestInjectorLatencyComposes(t *testing.T) {
+	sched, _ := ParseSchedule("latency:1/1:1ms,429:1/2")
+	ts := httptest.NewServer(New(echoBody("data"), sched, 1))
+	defer ts.Close()
+	resp, _, err := get(t, ts.URL)
+	if err != nil || resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("first request: %v %v, want delayed 429", resp, err)
+	}
+	in := ts.Config.Handler.(*Injector)
+	if in.Stats()[Latency] != 1 || in.Stats()[RateLimit] != 1 {
+		t.Fatalf("stats = %v, want latency and 429 both counted", in.Stats())
+	}
+	if !strings.Contains(in.Summary(), "latency=1") {
+		t.Errorf("Summary() = %q", in.Summary())
+	}
+}
+
+// staticArchive implements spacetrack.Archive over fixed data for
+// FaultArchive tests.
+type staticArchive struct {
+	sets   []*tle.TLE
+	latest []time.Time // records the `at` of every GroupLatest call
+}
+
+func (a *staticArchive) Groups() []string { return []string{"test"} }
+
+func (a *staticArchive) GroupLatest(group string, at time.Time) []*tle.TLE {
+	a.latest = append(a.latest, at)
+	return a.sets
+}
+
+func (a *staticArchive) History(catalog int, from, to time.Time) []*tle.TLE {
+	return a.sets
+}
+
+func TestFaultArchiveDuplicatesHistory(t *testing.T) {
+	inner := &staticArchive{sets: []*tle.TLE{{CatalogNumber: 1}, {CatalogNumber: 2}}}
+	sched, _ := ParseSchedule("dup:1/2")
+	fa := Wrap(inner, sched)
+	if got := fa.History(1, time.Time{}, time.Time{}); len(got) != 4 {
+		t.Fatalf("dup tick: %d sets, want 4", len(got))
+	}
+	if got := fa.History(1, time.Time{}, time.Time{}); len(got) != 2 {
+		t.Fatalf("clean tick: %d sets, want 2", len(got))
+	}
+}
+
+func TestFaultArchiveStaleGroupLatest(t *testing.T) {
+	inner := &staticArchive{}
+	sched, _ := ParseSchedule("stale:1/2")
+	fa := Wrap(inner, sched)
+	at := time.Date(2023, 3, 1, 12, 0, 0, 0, time.UTC)
+	fa.GroupLatest("test", at) // stale tick
+	fa.GroupLatest("test", at) // clean tick
+	if len(inner.latest) != 2 {
+		t.Fatal("inner archive not called")
+	}
+	if !inner.latest[0].Equal(at.Add(-time.Hour)) {
+		t.Errorf("stale tick saw %v, want one hour earlier", inner.latest[0])
+	}
+	if !inner.latest[1].Equal(at) {
+		t.Errorf("clean tick saw %v, want the requested time", inner.latest[1])
+	}
+}

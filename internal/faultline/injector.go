@@ -1,0 +1,268 @@
+package faultline
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Injector wraps an http.Handler and injects the scheduled faults. It is
+// safe for concurrent use; the request counter is global across paths so a
+// schedule describes the service's overall weather, not per-endpoint state.
+type Injector struct {
+	inner http.Handler
+	sched *Schedule
+	seed  int64
+	n     atomic.Int64
+
+	mu     sync.Mutex
+	replay map[string]*recorded // first-seen response per URL (Stale)
+	stats  map[Kind]int64
+}
+
+// recorded is a captured inner response.
+type recorded struct {
+	code   int
+	header http.Header
+	body   []byte
+}
+
+// New wraps inner with the schedule. seed feeds the deterministic byte
+// choice of Corrupt faults; two injectors with equal schedule and seed
+// mutate identical requests identically.
+func New(inner http.Handler, sched *Schedule, seed int64) *Injector {
+	if sched == nil {
+		sched = &Schedule{}
+	}
+	return &Injector{
+		inner:  inner,
+		sched:  sched,
+		seed:   seed,
+		replay: make(map[string]*recorded),
+		stats:  make(map[Kind]int64),
+	}
+}
+
+// Requests reports how many requests the injector has seen.
+func (in *Injector) Requests() int64 { return in.n.Load() }
+
+// Stats returns how often each fault kind fired.
+func (in *Injector) Stats() map[Kind]int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[Kind]int64, len(in.stats))
+	for k, v := range in.stats {
+		out[k] = v
+	}
+	return out
+}
+
+func (in *Injector) count(k Kind) {
+	in.mu.Lock()
+	in.stats[k]++
+	in.mu.Unlock()
+}
+
+// ServeHTTP implements http.Handler.
+func (in *Injector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := in.n.Add(1) - 1
+
+	// Latency rules compose with everything else.
+	for _, rule := range in.sched.Rules {
+		if rule.Kind == Latency && rule.applies(n) {
+			in.count(Latency)
+			time.Sleep(rule.Delay)
+		}
+	}
+
+	// The first applicable non-latency rule decides the response fate.
+	for _, rule := range in.sched.Rules {
+		if rule.Kind == Latency || !rule.applies(n) {
+			continue
+		}
+		in.count(rule.Kind)
+		switch rule.Kind {
+		case RateLimit:
+			if !rule.NoRetryAfter {
+				w.Header().Set("Retry-After", "0")
+			}
+			http.Error(w, "faultline: rate limit storm", http.StatusTooManyRequests)
+		case Error500:
+			http.Error(w, "faultline: internal error", http.StatusInternalServerError)
+		case Error503:
+			http.Error(w, "faultline: service unavailable", http.StatusServiceUnavailable)
+		case Reset:
+			in.reset(w)
+		case Truncate:
+			in.mutateBody(w, r, in.truncate)
+		case Corrupt:
+			in.mutateBody(w, r, func(body []byte, n int64) []byte { return in.corrupt(body, n) })
+		case Duplicate:
+			in.mutateBody(w, r, duplicate)
+		case Stale:
+			in.stale(w, r)
+		}
+		return
+	}
+	in.inner.ServeHTTP(w, r)
+}
+
+// reset kills the TCP connection without an HTTP response — the client sees
+// a connection reset / unexpected EOF at the transport layer.
+func (in *Injector) reset(w http.ResponseWriter) {
+	if hj, ok := w.(http.Hijacker); ok {
+		if conn, _, err := hj.Hijack(); err == nil {
+			conn.Close()
+			return
+		}
+	}
+	// No hijacking support (e.g. recorded responses in tests): abort the
+	// handler, which the server turns into a torn connection.
+	panic(http.ErrAbortHandler)
+}
+
+// record runs the inner handler against an in-memory response.
+func (in *Injector) record(r *http.Request) *recorded {
+	rec := &recorded{code: http.StatusOK, header: make(http.Header)}
+	in.inner.ServeHTTP(&recordWriter{rec: rec}, r)
+	return rec
+}
+
+// recordWriter is the minimal ResponseWriter capturing into a recorded.
+type recordWriter struct {
+	rec   *recorded
+	wrote bool
+}
+
+func (w *recordWriter) Header() http.Header { return w.rec.header }
+
+func (w *recordWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.rec.code = code
+		w.wrote = true
+	}
+}
+
+func (w *recordWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	w.rec.body = append(w.rec.body, p...)
+	return len(p), nil
+}
+
+// mutateBody serves the inner response with its body transformed. Non-200
+// inner responses pass through untouched: body faults model data-plane
+// damage, not control-plane failures.
+func (in *Injector) mutateBody(w http.ResponseWriter, r *http.Request, mutate func([]byte, int64) []byte) {
+	rec := in.record(r)
+	if rec.code != http.StatusOK {
+		writeRecorded(w, rec, rec.body, len(rec.body))
+		return
+	}
+	n := in.n.Load()
+	body := mutate(rec.body, n)
+	// Truncation serves fewer bytes than it declares; the others declare
+	// what they serve.
+	declared := len(body)
+	if len(body) < len(rec.body) {
+		declared = len(rec.body)
+	}
+	writeRecorded(w, rec, body, declared)
+}
+
+func writeRecorded(w http.ResponseWriter, rec *recorded, body []byte, declaredLen int) {
+	for k, vs := range rec.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(declaredLen))
+	w.WriteHeader(rec.code)
+	w.Write(body)
+}
+
+// truncate cuts the body roughly in half. The declared Content-Length stays
+// at the full size, so the client observes a short read, never a
+// well-formed-looking partial archive.
+func (in *Injector) truncate(body []byte, _ int64) []byte {
+	if len(body) < 2 {
+		return body[:0]
+	}
+	return body[:len(body)/2]
+}
+
+// corrupt flips one deterministically-chosen byte. The inverted byte can
+// never be a digit, so a hit inside an element line always breaks parsing
+// or the checksum — corruption is detectable, not silent.
+func (in *Injector) corrupt(body []byte, n int64) []byte {
+	if len(body) == 0 {
+		return body
+	}
+	out := append([]byte(nil), body...)
+	h := uint64(in.seed)*0x9E3779B97F4A7C15 + uint64(n)
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	out[h%uint64(len(out))] ^= 0xFF
+	return out
+}
+
+// duplicate appends the body to itself: every element set arrives twice,
+// the shape of an archive replaying records. JSON bodies pass through
+// because concatenated JSON would be corruption, not duplication.
+func duplicate(body []byte, _ int64) []byte {
+	if looksJSON(body) {
+		return body
+	}
+	out := make([]byte, 0, 2*len(body))
+	out = append(out, body...)
+	if len(body) > 0 && body[len(body)-1] != '\n' {
+		out = append(out, '\n')
+	}
+	return append(out, body...)
+}
+
+func looksJSON(body []byte) bool {
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	return len(trimmed) > 0 && (trimmed[0] == '{' || trimmed[0] == '[')
+}
+
+// stale replays the first response the injector ever saw for this exact
+// URL — a cache serving outdated data. The first hit records and serves the
+// live response.
+func (in *Injector) stale(w http.ResponseWriter, r *http.Request) {
+	key := r.Method + " " + r.URL.String()
+	in.mu.Lock()
+	rec := in.replay[key]
+	in.mu.Unlock()
+	if rec == nil {
+		rec = in.record(r)
+		in.mu.Lock()
+		if prior := in.replay[key]; prior != nil {
+			rec = prior
+		} else {
+			in.replay[key] = rec
+		}
+		in.mu.Unlock()
+	}
+	writeRecorded(w, rec, rec.body, len(rec.body))
+}
+
+// Summary renders the fault counters compactly for logs.
+func (in *Injector) Summary() string {
+	stats := in.Stats()
+	if len(stats) == 0 {
+		return "no faults injected"
+	}
+	parts := make([]string, 0, len(stats))
+	for _, k := range []Kind{Latency, RateLimit, Error500, Error503, Reset, Truncate, Corrupt, Duplicate, Stale} {
+		if v := stats[k]; v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, v))
+		}
+	}
+	return strings.Join(parts, " ")
+}

@@ -3,6 +3,7 @@ package spacetrack
 import (
 	"context"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -106,9 +107,22 @@ func (f *CachingFetcher) load(catalog int) (from, to time.Time, sets []*tle.TLE,
 		return time.Time{}, time.Time{}, nil, err
 	}
 	defer file.Close()
-	sets, err = tle.ReadAll(file)
-	if err != nil {
-		return time.Time{}, time.Time{}, nil, fmt.Errorf("spacetrack: corrupt cache for %d: %w", catalog, err)
+	r := tle.NewReader(file)
+	for {
+		t, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Unreadable cache file: self-heal by treating it as a miss.
+			return time.Time{}, time.Time{}, nil, nil
+		}
+		sets = append(sets, t)
+	}
+	if r.Skipped() > 0 {
+		// Corrupt records on disk (partial write, bit rot): a silent skip here
+		// would permanently lose those epochs, so discard and refetch instead.
+		return time.Time{}, time.Time{}, nil, nil
 	}
 	return from, to, sets, nil
 }

@@ -2,6 +2,7 @@ package spacetrack
 
 import (
 	"context"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -111,10 +112,10 @@ func TestNewCachingFetcherBadDir(t *testing.T) {
 	}
 }
 
-func TestClientSurvivesCorruptServerBody(t *testing.T) {
-	// A server that emits garbage instead of TLE text: the non-strict reader
-	// skips the junk and returns what parses (possibly nothing) — no panic,
-	// no hang.
+func TestClientRejectsCorruptServerBody(t *testing.T) {
+	// A server that persistently emits garbage instead of TLE text: the
+	// client must retry and then surface a typed corruption error — never
+	// silently return a shrunken archive.
 	garbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("1 THIS IS NOT\nA VALID TLE STREAM\n###\n"))
 	}))
@@ -123,16 +124,25 @@ func TestClientSurvivesCorruptServerBody(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	client.MaxRetries = 2
+	client.Sleep = func(ctx context.Context, d time.Duration) error { return nil }
+	_, err = client.FetchGroup(context.Background(), "starlink")
+	if !errors.Is(err, ErrCorruptBody) || !errors.Is(err, ErrTooManyRetries) {
+		t.Fatalf("corrupt body err = %v, want ErrCorruptBody wrapped in ErrTooManyRetries", err)
+	}
+	// The JSON path must surface the same typed error.
+	client.UseJSON = true
+	if _, err := client.FetchGroup(context.Background(), "starlink"); !errors.Is(err, ErrCorruptBody) {
+		t.Errorf("garbage JSON err = %v, want ErrCorruptBody", err)
+	}
+	// With tolerance raised, a mostly-garbage body is accepted as empty.
+	client.UseJSON = false
+	client.CorruptTolerance = 10
 	sets, err := client.FetchGroup(context.Background(), "starlink")
 	if err != nil {
-		t.Fatalf("corrupt body: %v", err)
+		t.Fatalf("tolerant fetch: %v", err)
 	}
 	if len(sets) != 0 {
 		t.Errorf("parsed %d sets from garbage", len(sets))
-	}
-	// The JSON path must surface a decode error instead.
-	client.UseJSON = true
-	if _, err := client.FetchGroup(context.Background(), "starlink"); err == nil {
-		t.Error("garbage JSON accepted")
 	}
 }

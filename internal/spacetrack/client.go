@@ -1,6 +1,7 @@
 package spacetrack
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"cosmicdance/internal/tle"
@@ -24,22 +26,65 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("spacetrack: server returned %d: %s", e.Code, e.Body)
 }
 
-// ErrTooManyRetries is returned when the server keeps rate-limiting past the
-// client's retry budget.
-var ErrTooManyRetries = errors.New("spacetrack: rate-limit retries exhausted")
+// ErrTooManyRetries is returned when a request keeps failing past the
+// client's retry budget, whatever the fault class.
+var ErrTooManyRetries = errors.New("spacetrack: retries exhausted")
 
-// Client fetches TLE data from a tracking service. The zero value is not
-// usable; construct with NewClient.
+// ErrTruncatedBody marks a response body that ended before the server's
+// declared length — the short-read shape a dying connection produces.
+var ErrTruncatedBody = errors.New("spacetrack: truncated response body")
+
+// ErrCorruptBody marks a response that arrived complete but failed to decode
+// (bit flips, garbled element sets, malformed JSON).
+var ErrCorruptBody = errors.New("spacetrack: corrupt response body")
+
+// RetryError reports an exhausted retry budget. It wraps ErrTooManyRetries
+// and the last underlying failure, so both errors.Is(err, ErrTooManyRetries)
+// and inspection of the final fault work.
+type RetryError struct {
+	URL      string
+	Attempts int
+	Last     error
+}
+
+// Error implements the error interface.
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("spacetrack: %s: giving up after %d attempts: %v", e.URL, e.Attempts, e.Last)
+}
+
+// Unwrap exposes both the budget sentinel and the final fault.
+func (e *RetryError) Unwrap() []error { return []error{ErrTooManyRetries, e.Last} }
+
+// Client fetches TLE data from a tracking service. It survives the fault
+// classes a long crawl against a public service meets: 429 storms (with or
+// without Retry-After), 5xx bursts, transport errors and connection resets,
+// truncated bodies, and corrupt element sets — all retried within one
+// bounded budget, with exponential backoff and deterministic jitter.
+// The zero value is not usable; construct with NewClient.
 type Client struct {
 	base       *url.URL
 	httpClient *http.Client
-	// MaxRetries bounds 429 retries per request.
+	// MaxRetries bounds retries per request across every retryable fault
+	// class: rate limiting, 5xx, transport errors, truncation, corruption.
 	MaxRetries int
 	// UseJSON switches transfers to the Space-Track OMM JSON format instead
 	// of classic TLE text.
 	UseJSON bool
-	// sleep is swappable for tests.
-	sleep func(ctx context.Context, d time.Duration) error
+	// BackoffBase scales the exponential backoff for retries that carry no
+	// server-provided delay. Zero means 100ms.
+	BackoffBase time.Duration
+	// Seed drives the deterministic retry jitter: two clients with the same
+	// seed issuing the same request sequence back off identically.
+	Seed int64
+	// CorruptTolerance allows up to this many unparseable element sets per
+	// response before the body is declared corrupt and refetched. Real
+	// archives contain a few genuinely bad records; the default 0 is exact.
+	CorruptTolerance int
+	// Sleep is the delay hook; tests swap in a deterministic clock
+	// (testkit.Clock.Sleep). Nil sleeps in real time.
+	Sleep func(ctx context.Context, d time.Duration) error
+
+	reqs atomic.Int64 // per-client request counter, part of the jitter input
 }
 
 // NewClient targets the service at baseURL. httpClient may be nil for
@@ -56,7 +101,7 @@ func NewClient(baseURL string, httpClient *http.Client) (*Client, error) {
 		base:       u,
 		httpClient: httpClient,
 		MaxRetries: 5,
-		sleep:      sleepCtx,
+		Sleep:      sleepCtx,
 	}, nil
 }
 
@@ -71,47 +116,196 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// get performs one rate-limit-aware GET and returns the body.
-func (c *Client) get(ctx context.Context, path string, query url.Values) (io.ReadCloser, error) {
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if c.Sleep == nil {
+		return sleepCtx(ctx, d)
+	}
+	return c.Sleep(ctx, d)
+}
+
+// backoff computes the delay before retry number attempt (1-based) of
+// request reqID: exponential growth capped at 5s, plus deterministic jitter
+// derived from (Seed, reqID, attempt) so repeated runs are identical while
+// concurrent requests still decorrelate.
+func (c *Client) backoff(reqID int64, attempt int) time.Duration {
+	base := c.BackoffBase
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= 5*time.Second {
+			d = 5 * time.Second
+			break
+		}
+	}
+	// splitmix64-style mix: stable across runs, spread across requests.
+	h := uint64(c.Seed)*0x9E3779B97F4A7C15 + uint64(reqID)<<16 + uint64(attempt)
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	jitter := time.Duration(h % uint64(base))
+	return d + jitter
+}
+
+// get performs a bounded-retry GET and returns the full response body.
+// verify, when non-nil, validates the body; validation failures count as
+// retryable corruption (the "re-read on truncation/corruption" path).
+func (c *Client) get(ctx context.Context, path string, query url.Values, verify func([]byte) error) ([]byte, error) {
 	u := *c.base
 	u.Path = path
 	u.RawQuery = query.Encode()
-	for attempt := 0; ; attempt++ {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
-		if err != nil {
-			return nil, err
-		}
-		resp, err := c.httpClient.Do(req)
-		if err != nil {
-			return nil, err
-		}
-		switch {
-		case resp.StatusCode == http.StatusOK:
-			return resp.Body, nil
-		case resp.StatusCode == http.StatusTooManyRequests:
-			resp.Body.Close()
-			if attempt >= c.MaxRetries {
-				return nil, ErrTooManyRetries
+	reqID := c.reqs.Add(1)
+
+	var last error
+	attempts := 0
+	for attempt := 0; attempt <= c.MaxRetries; attempt++ {
+		if attempt > 0 {
+			delay := c.backoff(reqID, attempt)
+			if ra, ok := last.(*rateLimitError); ok && ra.retryAfter >= 0 {
+				delay = ra.retryAfter
 			}
-			delay := retryAfter(resp, time.Duration(attempt+1)*200*time.Millisecond)
 			if err := c.sleep(ctx, delay); err != nil {
 				return nil, err
 			}
-		default:
-			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-			resp.Body.Close()
-			return nil, &StatusError{Code: resp.StatusCode, Body: string(body)}
 		}
+		attempts++
+		body, err := c.attempt(ctx, u.String(), verify)
+		if err == nil {
+			return body, nil
+		}
+		var retryable *retryableError
+		if !errors.As(err, &retryable) {
+			return nil, err
+		}
+		last = retryable.err
+	}
+	return nil, &RetryError{URL: u.String(), Attempts: attempts, Last: unwrapRateLimit(last)}
+}
+
+// retryableError tags a fault the retry loop may try again.
+type retryableError struct{ err error }
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
+// rateLimitError carries the server-provided Retry-After delay (-1 if none).
+type rateLimitError struct {
+	err        error
+	retryAfter time.Duration
+}
+
+func (e *rateLimitError) Error() string { return e.err.Error() }
+func (e *rateLimitError) Unwrap() error { return e.err }
+
+func unwrapRateLimit(err error) error {
+	if ra, ok := err.(*rateLimitError); ok {
+		return ra.err
+	}
+	return err
+}
+
+// attempt performs one GET. Retryable faults come back wrapped in
+// *retryableError; anything else is permanent.
+func (c *Client) attempt(ctx context.Context, url string, verify func([]byte) error) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		// Transport-level failure: connection reset, refused, DNS, EOF.
+		return nil, &retryableError{err: err}
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			// Short read below the declared Content-Length or a mid-body
+			// reset: refetch rather than parse a partial archive.
+			return nil, &retryableError{err: fmt.Errorf("%w: %v", ErrTruncatedBody, err)}
+		}
+		if verify != nil {
+			if err := verify(body); err != nil {
+				return nil, &retryableError{err: err}
+			}
+		}
+		return body, nil
+	case resp.StatusCode == http.StatusTooManyRequests:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		se := &StatusError{Code: resp.StatusCode, Body: string(bytes.TrimSpace(body))}
+		return nil, &retryableError{err: &rateLimitError{err: se, retryAfter: retryAfter(resp)}}
+	case resp.StatusCode >= 500:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, &retryableError{err: &StatusError{Code: resp.StatusCode, Body: string(bytes.TrimSpace(body))}}
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, &StatusError{Code: resp.StatusCode, Body: string(bytes.TrimSpace(body))}
 	}
 }
 
-func retryAfter(resp *http.Response, fallback time.Duration) time.Duration {
+// retryAfter extracts the Retry-After delay, -1 when absent or unusable.
+func retryAfter(resp *http.Response) time.Duration {
 	if v := resp.Header.Get("Retry-After"); v != "" {
 		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
 			return time.Duration(secs) * time.Second
 		}
 	}
-	return fallback
+	return -1
+}
+
+// fetchSets performs a verified fetch of element sets: the body must decode
+// cleanly (within CorruptTolerance) or the transfer is retried, so corrupt
+// responses can never silently shrink the archive.
+func (c *Client) fetchSets(ctx context.Context, path string, query url.Values) ([]*tle.TLE, error) {
+	var sets []*tle.TLE
+	verify := func(body []byte) error {
+		var err error
+		sets, err = c.decodeSets(body)
+		return err
+	}
+	if _, err := c.get(ctx, path, query, verify); err != nil {
+		return nil, err
+	}
+	return sets, nil
+}
+
+// decodeSets parses a response body, enforcing that (almost) every record
+// decoded. The non-strict reader's silent skipping is exactly what a
+// fault-tolerant ingest must not inherit: a skipped record here becomes a
+// missing satellite downstream.
+func (c *Client) decodeSets(body []byte) ([]*tle.TLE, error) {
+	if c.UseJSON {
+		sets, err := tle.ReadOMM(bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorruptBody, err)
+		}
+		return tle.Dedupe(sets), nil
+	}
+	r := tle.NewReader(bytes.NewReader(body))
+	var sets []*tle.TLE
+	for {
+		t, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorruptBody, err)
+		}
+		sets = append(sets, t)
+	}
+	if r.Skipped() > c.CorruptTolerance {
+		return nil, fmt.Errorf("%w: %d unparseable element sets", ErrCorruptBody, r.Skipped())
+	}
+	return tle.Dedupe(sets), nil
 }
 
 // FetchGroup downloads the current catalog of a constellation group — the
@@ -122,15 +316,7 @@ func (c *Client) FetchGroup(ctx context.Context, group string) ([]*tle.TLE, erro
 		format = "json"
 	}
 	q := url.Values{"GROUP": {group}, "FORMAT": {format}}
-	body, err := c.get(ctx, "/NORAD/elements/gp.php", q)
-	if err != nil {
-		return nil, err
-	}
-	defer body.Close()
-	if c.UseJSON {
-		return tle.ReadOMM(body)
-	}
-	return tle.ReadAll(body)
+	return c.fetchSets(ctx, "/NORAD/elements/gp.php", q)
 }
 
 // CatalogNumbers extracts the sorted distinct catalog numbers from a fetch.
@@ -149,23 +335,11 @@ func (c *Client) FetchHistory(ctx context.Context, catalog int, from, to time.Ti
 	if c.UseJSON {
 		q.Set("format", "json")
 	}
-	body, err := c.get(ctx, "/history", q)
-	if err != nil {
-		return nil, err
-	}
-	defer body.Close()
-	if c.UseJSON {
-		return tle.ReadOMM(body)
-	}
-	return tle.ReadAll(body)
+	return c.fetchSets(ctx, "/history", q)
 }
 
 // Health probes the service.
 func (c *Client) Health(ctx context.Context) error {
-	body, err := c.get(ctx, "/healthz", nil)
-	if err != nil {
-		return err
-	}
-	body.Close()
-	return nil
+	_, err := c.get(ctx, "/healthz", nil, nil)
+	return err
 }

@@ -166,7 +166,7 @@ func TestRateLimitAndClientRetry(t *testing.T) {
 	srv.Burst = 2
 	// Swap the client's sleeper to avoid real delays while counting them.
 	var sleeps int32
-	client.sleep = func(ctx context.Context, d time.Duration) error {
+	client.Sleep = func(ctx context.Context, d time.Duration) error {
 		atomic.AddInt32(&sleeps, 1)
 		time.Sleep(5 * time.Millisecond) // let tokens refill a little
 		return nil
@@ -199,7 +199,7 @@ func TestClientRetriesExhausted(t *testing.T) {
 		t.Fatal(err)
 	}
 	client.MaxRetries = 2
-	client.sleep = func(ctx context.Context, d time.Duration) error { return nil }
+	client.Sleep = func(ctx context.Context, d time.Duration) error { return nil }
 	if err := client.Health(context.Background()); !errors.Is(err, ErrTooManyRetries) {
 		t.Fatalf("err = %v, want ErrTooManyRetries", err)
 	}

@@ -1,0 +1,65 @@
+package testkit
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Clock is a deterministic time source. Now advances only through Advance
+// and Sleep; Sleep advances instantly instead of blocking, so retry loops
+// with real backoff schedules run in microseconds while still recording the
+// delays they would have waited.
+type Clock struct {
+	mu    sync.Mutex
+	now   time.Time
+	slept []time.Duration
+}
+
+// NewClock starts a clock at the given instant.
+func NewClock(start time.Time) *Clock { return &Clock{now: start} }
+
+// Now returns the current instant.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward.
+func (c *Clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// Sleep advances the clock by d without blocking and records the request.
+// It honours context cancellation so cancellation paths stay testable.
+func (c *Clock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	c.slept = append(c.slept, d)
+	return nil
+}
+
+// Sleeps reports how many Sleep calls the clock absorbed.
+func (c *Clock) Sleeps() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.slept)
+}
+
+// TotalSlept reports the summed virtual delay across all Sleep calls.
+func (c *Clock) TotalSlept() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total time.Duration
+	for _, d := range c.slept {
+		total += d
+	}
+	return total
+}

@@ -1,0 +1,103 @@
+package testkit
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"cosmicdance/internal/core"
+)
+
+// DiffText locates the first differing line between want and got and returns
+// a human-readable description, or "" when the texts are identical.
+func DiffText(want, got string) string {
+	if want == got {
+		return ""
+	}
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("line %d:\n  want: %q\n  got:  %q", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("line count differs: want %d lines, got %d lines", len(wl), len(gl))
+}
+
+// DiffDatasets compares two built datasets structurally — cleaning stats,
+// track membership, and every track point — and returns a description of the
+// first difference, or "" when the datasets are identical. It is the equality
+// the fault-injection determinism suite is built on: a faulted ingest must
+// produce a dataset indistinguishable from the fault-free run.
+func DiffDatasets(want, got *core.Dataset) string {
+	if want == nil || got == nil {
+		if want == got {
+			return ""
+		}
+		return fmt.Sprintf("nil mismatch: want %v, got %v", want != nil, got != nil)
+	}
+	if w, g := want.Cleaning(), got.Cleaning(); w != g {
+		return fmt.Sprintf("cleaning stats differ: want %+v, got %+v", w, g)
+	}
+	wt, gt := want.Tracks(), got.Tracks()
+	if len(wt) != len(gt) {
+		return fmt.Sprintf("track count differs: want %d, got %d", len(wt), len(gt))
+	}
+	for i := range wt {
+		if msg := diffTrack(wt[i], gt[i]); msg != "" {
+			return fmt.Sprintf("track %d (catalog %d): %s", i, wt[i].Catalog, msg)
+		}
+	}
+	return ""
+}
+
+func diffTrack(want, got *core.Track) string {
+	if want.Catalog != got.Catalog {
+		return fmt.Sprintf("catalog differs: want %d, got %d", want.Catalog, got.Catalog)
+	}
+	if want.OperationalAltKm != got.OperationalAltKm {
+		return fmt.Sprintf("operational altitude differs: want %v, got %v",
+			want.OperationalAltKm, got.OperationalAltKm)
+	}
+	if want.RaisingRemoved != got.RaisingRemoved {
+		return fmt.Sprintf("raising-removed differs: want %d, got %d",
+			want.RaisingRemoved, got.RaisingRemoved)
+	}
+	if len(want.Points) != len(got.Points) {
+		return fmt.Sprintf("point count differs: want %d, got %d", len(want.Points), len(got.Points))
+	}
+	for i := range want.Points {
+		if want.Points[i] != got.Points[i] {
+			return fmt.Sprintf("point %d differs: want %+v, got %+v", i, want.Points[i], got.Points[i])
+		}
+	}
+	return ""
+}
+
+// DiffDeviations compares two association outcomes element-wise and returns
+// the first difference, or "" when identical. Float fields must match
+// exactly: the pipeline is deterministic, so any drift is a real divergence.
+func DiffDeviations(want, got []core.Deviation) string {
+	if len(want) != len(got) {
+		return fmt.Sprintf("deviation count differs: want %d, got %d", len(want), len(got))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if !w.Event.Equal(g.Event) || w.Catalog != g.Catalog ||
+			!floatEq(w.MaxDevKm, g.MaxDevKm) || !floatEq(w.MaxDrag, g.MaxDrag) {
+			return fmt.Sprintf("deviation %d differs:\n  want: %+v\n  got:  %+v", i, w, g)
+		}
+	}
+	return ""
+}
+
+func floatEq(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return a == b
+}

@@ -1,0 +1,42 @@
+package testkit
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update is registered once here so every test binary that uses golden files
+// shares the same flag: `go test ./cmd/figures -update` regenerates.
+var update = flag.Bool("update", false, "rewrite golden files with the current output")
+
+// Updating reports whether the test run was asked to regenerate golden files.
+func Updating() bool { return *update }
+
+// Golden compares got against the golden file testdata/<name> relative to
+// the test's package directory. With -update the file is (re)written instead
+// and the test passes. Mismatches fail with the first differing line.
+func Golden(t testing.TB, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("testkit: creating %s: %v", filepath.Dir(path), err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("testkit: writing golden %s: %v", path, err)
+		}
+		t.Logf("testkit: wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("testkit: missing golden file %s (regenerate with -update): %v", path, err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("testkit: output differs from golden %s (regenerate with -update if intended):\n%s",
+			path, DiffText(string(want), string(got)))
+	}
+}

@@ -1,0 +1,10 @@
+// Package testkit is the deterministic test infrastructure shared by the
+// repo's suites: a manual clock whose Sleep never blocks wall time, golden
+// file helpers driven by a shared -update flag, and structural equality
+// diffing for the pipeline's dataset type.
+//
+// The package exists so that end-to-end suites — in particular the
+// fault-injection determinism suite in internal/faultline — can assert
+// byte-for-byte and point-for-point reproducibility without depending on
+// real time or hand-rolled comparison loops.
+package testkit

@@ -1,0 +1,138 @@
+package testkit
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"cosmicdance/internal/constellation"
+	"cosmicdance/internal/core"
+	"cosmicdance/internal/dst"
+)
+
+func TestClockDeterministic(t *testing.T) {
+	start := time.Date(2024, 5, 10, 0, 0, 0, 0, time.UTC)
+	c := NewClock(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", c.Now(), start)
+	}
+	c.Advance(2 * time.Hour)
+	if err := c.Sleep(context.Background(), 30*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Now(); !got.Equal(start.Add(2*time.Hour + 30*time.Minute)) {
+		t.Fatalf("Now after advance+sleep = %v", got)
+	}
+	if c.Sleeps() != 1 || c.TotalSlept() != 30*time.Minute {
+		t.Fatalf("sleep accounting: %d sleeps, %v total", c.Sleeps(), c.TotalSlept())
+	}
+}
+
+func TestClockSleepHonoursCancellation(t *testing.T) {
+	c := NewClock(time.Unix(0, 0))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.Sleep(ctx, time.Hour); err == nil {
+		t.Fatal("sleep on cancelled context succeeded")
+	}
+	if c.Sleeps() != 0 {
+		t.Fatal("cancelled sleep was recorded")
+	}
+}
+
+func TestDiffText(t *testing.T) {
+	if d := DiffText("a\nb\n", "a\nb\n"); d != "" {
+		t.Fatalf("equal texts diff: %q", d)
+	}
+	if d := DiffText("a\nb\n", "a\nc\n"); !strings.Contains(d, "line 2") {
+		t.Fatalf("diff missed line 2: %q", d)
+	}
+	if d := DiffText("a\nb", "a\nb\nc"); !strings.Contains(d, "line count") {
+		t.Fatalf("diff missed length change: %q", d)
+	}
+}
+
+// buildDataset assembles a small single-satellite dataset; altBump shifts
+// every altitude so callers can force inequality.
+func buildDataset(t *testing.T, altBump float64) *core.Dataset {
+	t.Helper()
+	start := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+	vals := make([]float64, 30*24)
+	for i := range vals {
+		vals[i] = -10
+	}
+	weather := dst.FromValues(start, vals)
+	samples := make([]constellation.Sample, 0, 30)
+	for day := 0; day < 30; day++ {
+		samples = append(samples, constellation.Sample{
+			Catalog: 44713,
+			Epoch:   start.AddDate(0, 0, day).Unix(),
+			AltKm:   float32(550 + altBump),
+			BStar:   1e-4,
+		})
+	}
+	b := core.NewBuilder(core.DefaultConfig(), weather)
+	b.AddSamples(samples)
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDiffDatasets(t *testing.T) {
+	a := buildDataset(t, 0)
+	b := buildDataset(t, 0)
+	if d := DiffDatasets(a, b); d != "" {
+		t.Fatalf("identical datasets diff: %s", d)
+	}
+	c := buildDataset(t, 1)
+	if d := DiffDatasets(a, c); d == "" {
+		t.Fatal("different datasets compare equal")
+	}
+	if d := DiffDatasets(a, nil); d == "" {
+		t.Fatal("nil dataset compares equal")
+	}
+}
+
+func TestDiffDeviations(t *testing.T) {
+	ev := time.Date(2023, 2, 1, 0, 0, 0, 0, time.UTC)
+	a := []core.Deviation{{Event: ev, Catalog: 1, MaxDevKm: 2.5, MaxDrag: 0.1}}
+	b := []core.Deviation{{Event: ev, Catalog: 1, MaxDevKm: 2.5, MaxDrag: 0.1}}
+	if d := DiffDeviations(a, b); d != "" {
+		t.Fatalf("identical deviations diff: %s", d)
+	}
+	b[0].MaxDevKm = 2.6
+	if d := DiffDeviations(a, b); d == "" {
+		t.Fatal("different deviations compare equal")
+	}
+	if d := DiffDeviations(a, nil); d == "" {
+		t.Fatal("length mismatch not reported")
+	}
+}
+
+func TestGoldenRoundTrip(t *testing.T) {
+	if Updating() {
+		t.Skip("running under -update")
+	}
+	// Run the helper's write path and then its compare path against a
+	// throwaway testdata dir.
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	*update = true
+	Golden(t, "roundtrip.golden", []byte("hello\nworld\n"))
+	*update = false
+	Golden(t, "roundtrip.golden", []byte("hello\nworld\n"))
+}

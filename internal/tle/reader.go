@@ -137,6 +137,33 @@ func Write(w io.Writer, sets []*TLE) error {
 	return bw.Flush()
 }
 
+// Dedupe returns the element sets sorted by (catalog, epoch) with exact
+// (catalog, epoch) duplicates collapsed to their first occurrence — the
+// shape a fault-tolerant ingest needs when a flaky service replays or
+// duplicates records. The input slice is not modified.
+func Dedupe(sets []*TLE) []*TLE {
+	if len(sets) < 2 {
+		return sets
+	}
+	sorted := make([]*TLE, len(sets))
+	copy(sorted, sets)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].CatalogNumber != sorted[j].CatalogNumber {
+			return sorted[i].CatalogNumber < sorted[j].CatalogNumber
+		}
+		return sorted[i].Epoch.Before(sorted[j].Epoch)
+	})
+	out := sorted[:1]
+	for _, t := range sorted[1:] {
+		last := out[len(out)-1]
+		if t.CatalogNumber == last.CatalogNumber && t.Epoch.Equal(last.Epoch) {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
 // History is the time-ordered element-set history of one object.
 type History struct {
 	CatalogNumber int

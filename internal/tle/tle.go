@@ -128,6 +128,9 @@ func Parse(line1, line2 string) (*TLE, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cat1 < 0 {
+		return nil, &ParseError{Line: 1, Column: 3, Msg: fmt.Sprintf("negative catalog number %d", cat1)}
+	}
 	t.CatalogNumber = cat1
 	t.Classification = l1[7]
 	t.IntlDesignator = strings.TrimSpace(l1[9:17])
@@ -241,10 +244,38 @@ func parseIntDefault(line string, lineNo, from, to, def int) (int, error) {
 	return v, nil
 }
 
+// plainDecimal reports whether s is an optionally-signed plain decimal
+// number: digits with at most one dot, at least one digit. TLE fields are
+// fixed-format decimals, so the spellings strconv.ParseFloat additionally
+// accepts — "NaN", "Inf", hex floats, exponents — are all corruption here.
+func plainDecimal(s string) bool {
+	if s == "" {
+		return false
+	}
+	if s[0] == '+' || s[0] == '-' {
+		s = s[1:]
+	}
+	digits, dots := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c >= '0' && c <= '9':
+			digits++
+		case c == '.':
+			dots++
+		default:
+			return false
+		}
+	}
+	return digits > 0 && dots <= 1
+}
+
 func parseFloat(line string, lineNo, from, to int) (float64, error) {
 	s := strings.TrimSpace(line[from-1 : to])
 	if s == "" {
 		return 0, &ParseError{Line: lineNo, Column: from, Msg: "empty float field"}
+	}
+	if !plainDecimal(s) {
+		return 0, &ParseError{Line: lineNo, Column: from, Msg: fmt.Sprintf("%q is not a plain decimal", s)}
 	}
 	v, err := strconv.ParseFloat(s, 64)
 	if err != nil {
@@ -259,7 +290,10 @@ func parseSignedDecimal(line string, lineNo, from, to int) (float64, error) {
 	if s == "" {
 		return 0, nil
 	}
-	// Accept both ".5" and "0.5" spellings.
+	// Accept both ".5" and "0.5" spellings — but only plain decimals.
+	if !plainDecimal(s) {
+		return 0, &ParseError{Line: lineNo, Column: from, Msg: fmt.Sprintf("%q is not a plain decimal", s)}
+	}
 	v, err := strconv.ParseFloat(s, 64)
 	if err != nil {
 		return 0, &ParseError{Line: lineNo, Column: from, Msg: err.Error()}
@@ -316,18 +350,23 @@ func parseEpoch(s string) (time.Time, error) {
 		return time.Time{}, fmt.Errorf("epoch %q too short", s)
 	}
 	yy, err := strconv.Atoi(s[:2])
-	if err != nil {
-		return time.Time{}, fmt.Errorf("bad epoch year: %v", err)
+	if err != nil || yy < 0 {
+		return time.Time{}, fmt.Errorf("bad epoch year %q", s[:2])
 	}
 	year := 2000 + yy
 	if yy >= 57 {
 		year = 1900 + yy
 	}
+	if !plainDecimal(s[2:]) {
+		return time.Time{}, fmt.Errorf("epoch day %q is not a plain decimal", s[2:])
+	}
 	doy, err := strconv.ParseFloat(s[2:], 64)
 	if err != nil {
 		return time.Time{}, fmt.Errorf("bad epoch day: %v", err)
 	}
-	if doy < 1 || doy >= 367 {
+	// The negated comparison also rejects NaN, which would sail through a
+	// `doy < 1 || doy >= 367` pair.
+	if !(doy >= 1 && doy < 367) {
 		return time.Time{}, fmt.Errorf("epoch day %v out of range", doy)
 	}
 	jan1 := time.Date(year, 1, 1, 0, 0, 0, 0, time.UTC)

@@ -1,0 +1,44 @@
+#!/bin/sh
+# verify.sh — the full local verification gate:
+#
+#   1. go vet over every package,
+#   2. a clean build,
+#   3. the entire test suite under the race detector,
+#   4. every fuzz target, seeds + 10s of new coverage each.
+#
+# Pass -short as $1 to run the fast tier (skips the year-long substrate
+# builds and the fuzz sessions).
+set -eu
+cd "$(dirname "$0")"
+
+SHORT=""
+FUZZ=1
+if [ "${1:-}" = "-short" ]; then
+    SHORT="-short"
+    FUZZ=0
+fi
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race $SHORT ./..."
+go test -race $SHORT ./...
+
+if [ "$FUZZ" = 1 ]; then
+    fuzz() {
+        pkg=$1
+        target=$2
+        echo "== fuzz $pkg $target (10s)"
+        go test -run='^$' -fuzz="^${target}\$" -fuzztime=10s "$pkg"
+    }
+    fuzz ./internal/tle FuzzParse
+    fuzz ./internal/tle FuzzReader
+    fuzz ./internal/tle FuzzRoundTrip
+    fuzz ./internal/dst FuzzParseRecord
+    fuzz ./internal/wdc FuzzIndexRoundTrip
+fi
+
+echo "verify: OK"
