@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short race vet fuzz verify verify-short golden
+.PHONY: build test test-short race vet fuzz verify verify-short golden bench
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,11 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Scaling-curve benchmarks for the worker-pool fan-outs (sim, build,
+# associate). -cpu sweeps GOMAXPROCS, which the Parallelism=0 default follows.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkFleetSim|BenchmarkDatasetBuild|BenchmarkAssociate' -cpu 1,2,4 -benchtime 2x .
 
 # Refresh the pinned figure renderings after an intentional output change.
 golden:

@@ -10,7 +10,7 @@
 //	cosmicdance storms  [-dst FILE | -scenario paper]
 //	cosmicdance analyze [-dst FILE | -scenario paper]
 //	                    [-tles FILE | -server URL | -fleet paper|small]
-//	                    [-ptile 95] [-window 30] [-top 10]
+//	                    [-ptile 95] [-window 30] [-top 10] [-parallel W]
 //	cosmicdance fetch   -server URL [-cache DIR] [-from RFC3339] [-to RFC3339]
 package main
 
@@ -63,7 +63,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   cosmicdance storms  [-dst FILE | -scenario paper|fiftyyears|may2024]
-  cosmicdance analyze [-dst FILE | -scenario ...] [-tles FILE | -server URL | -fleet paper|small] [-ptile P] [-window D] [-top N]
+  cosmicdance analyze [-dst FILE | -scenario ...] [-tles FILE | -server URL | -fleet paper|small] [-ptile P] [-window D] [-top N] [-parallel W]
   cosmicdance fetch   -server URL [-cache DIR] [-from T] [-to T]`)
 }
 
@@ -141,7 +141,7 @@ func cmdStorms(args []string) error {
 
 // loadTrajectories fills the builder from a TLE file, a tracking server, or a
 // built-in fleet simulation.
-func loadTrajectories(b *core.Builder, weather *dst.Index, tleFile, server, fleet string, seed int64) error {
+func loadTrajectories(b *core.Builder, weather *dst.Index, tleFile, server, fleet string, seed int64, parallelism int) error {
 	switch {
 	case tleFile != "":
 		f, err := os.Open(tleFile)
@@ -169,6 +169,7 @@ func loadTrajectories(b *core.Builder, weather *dst.Index, tleFile, server, flee
 		default:
 			return fmt.Errorf("unknown fleet %q", fleet)
 		}
+		cfg.Parallelism = parallelism
 		res, err := constellation.Run(cfg, weather)
 		if err != nil {
 			return err
@@ -223,6 +224,7 @@ func cmdAnalyze(args []string) error {
 	ptile := fs.Float64("ptile", 95, "intensity percentile selecting high-intensity events")
 	window := fs.Int("window", 30, "happens-closely-after window (days)")
 	top := fs.Int("top", 10, "how many largest deviations to list")
+	parallelism := fs.Int("parallel", 0, "worker pool width for simulation and pipeline (0 = one per CPU, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -231,7 +233,9 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
-	b := core.NewBuilder(core.DefaultConfig(), weather)
+	cfg := core.DefaultConfig()
+	cfg.Parallelism = *parallelism
+	b := core.NewBuilder(cfg, weather)
 	if *archiveFile != "" {
 		f, err := os.Open(*archiveFile)
 		if err != nil {
@@ -244,7 +248,7 @@ func cmdAnalyze(args []string) error {
 		}
 		log.Printf("loaded %d satellites, %d samples from %s", len(res.Sats), len(res.Samples), *archiveFile)
 		b.AddSamples(res.Samples)
-	} else if err := loadTrajectories(b, weather, *tleFile, *server, *fleet, *seed); err != nil {
+	} else if err := loadTrajectories(b, weather, *tleFile, *server, *fleet, *seed, *parallelism); err != nil {
 		return err
 	}
 	d, err := b.Build()

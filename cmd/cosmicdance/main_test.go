@@ -70,7 +70,7 @@ func TestLoadTrajectoriesFromTLEFile(t *testing.T) {
 	}
 	// Build a small archive file via the simulator's TLE writer.
 	b := core.NewBuilder(core.DefaultConfig(), weather)
-	if err := loadTrajectories(b, weather, "", "", "small", 7); err != nil {
+	if err := loadTrajectories(b, weather, "", "", "small", 7, 2); err != nil {
 		t.Fatal(err)
 	}
 	d, err := b.Build()
@@ -80,10 +80,10 @@ func TestLoadTrajectoriesFromTLEFile(t *testing.T) {
 	if len(d.Tracks()) == 0 {
 		t.Fatal("no tracks from simulated fleet")
 	}
-	if err := loadTrajectories(core.NewBuilder(core.DefaultConfig(), weather), weather, "nonexistent.tle", "", "", 7); err == nil {
+	if err := loadTrajectories(core.NewBuilder(core.DefaultConfig(), weather), weather, "nonexistent.tle", "", "", 7, 0); err == nil {
 		t.Error("missing TLE file accepted")
 	}
-	if err := loadTrajectories(core.NewBuilder(core.DefaultConfig(), weather), weather, "", "", "megafleet", 7); err == nil {
+	if err := loadTrajectories(core.NewBuilder(core.DefaultConfig(), weather), weather, "", "", "megafleet", 7, 0); err == nil {
 		t.Error("unknown fleet accepted")
 	}
 	_ = time.Now

@@ -3,9 +3,11 @@
 //
 // Usage:
 //
-//	figures [-figure N] [-seed S] [-out FILE]
+//	figures [-figure N] [-seed S] [-parallel W] [-out FILE]
 //
-// With no -figure flag all ten figures are produced in order.
+// With no -figure flag all ten figures are produced in order. -parallel
+// bounds the worker pool of the simulation and pipeline fan-outs (0 = one
+// worker per CPU); the rendered output is bit-identical at every setting.
 package main
 
 import (
@@ -30,6 +32,7 @@ func main() {
 	figure := flag.Int("figure", 0, "render only this figure (1-10); 0 renders all")
 	extensions := flag.Bool("extensions", false, "also render the §6 extension analyses")
 	seed := flag.Int64("seed", 42, "simulation seed")
+	parallelism := flag.Int("parallel", 0, "worker pool width (0 = one per CPU, 1 = sequential)")
 	out := flag.String("out", "", "write to this file instead of stdout")
 	csvDir := flag.String("csv", "", "also write the plotted series as CSV files into this directory")
 	flag.Parse()
@@ -49,11 +52,11 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := run(w, *figure, *seed); err != nil {
+	if err := run(w, *figure, *seed, *parallelism); err != nil {
 		log.Fatalf("figures: %v", err)
 	}
 	if *extensions {
-		if err := runExtensions(w, *seed); err != nil {
+		if err := runExtensions(w, *seed, *parallelism); err != nil {
 			log.Fatalf("figures: %v", err)
 		}
 	}
@@ -76,7 +79,7 @@ func writeCSVFile(name string, fn func(io.Writer) error) error {
 	return fn(f)
 }
 
-func run(w io.Writer, figure int, seed int64) error {
+func run(w io.Writer, figure int, seed int64, parallelism int) error {
 	want := func(n int) bool { return figure == 0 || figure == n }
 
 	// The paper-window substrate is shared by most figures.
@@ -96,11 +99,15 @@ func run(w io.Writer, figure int, seed int64) error {
 	}
 	if needPaper {
 		fmt.Fprintln(w, "building the paper-window substrate (4.5 years, ~2,000 satellites)...")
-		fleet, err = constellation.Run(constellation.PaperFleet(seed), weather)
+		fleetCfg := constellation.PaperFleet(seed)
+		fleetCfg.Parallelism = parallelism
+		fleet, err = constellation.Run(fleetCfg, weather)
 		if err != nil {
 			return err
 		}
-		b := core.NewBuilder(core.DefaultConfig(), weather)
+		coreCfg := core.DefaultConfig()
+		coreCfg.Parallelism = parallelism
+		b := core.NewBuilder(coreCfg, weather)
 		b.AddSamples(fleet.Samples)
 		dataset, err = b.Build()
 		if err != nil {
@@ -168,7 +175,7 @@ func run(w io.Writer, figure int, seed int64) error {
 		}
 	}
 	if want(7) {
-		if err := renderFig7(w, seed); err != nil {
+		if err := renderFig7(w, seed, parallelism); err != nil {
 			return err
 		}
 	}
@@ -283,17 +290,21 @@ func renderFig56(w io.Writer, dataset *core.Dataset, want func(int) bool) error 
 	return nil
 }
 
-func renderFig7(w io.Writer, seed int64) error {
+func renderFig7(w io.Writer, seed int64, parallelism int) error {
 	weather, err := spaceweather.Generate(spaceweather.May2024())
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(w, "\nbuilding the May 2024 full-scale fleet (5,900 satellites, one month)...")
-	res, err := constellation.Run(constellation.May2024Fleet(seed), weather)
+	fleetCfg := constellation.May2024Fleet(seed)
+	fleetCfg.Parallelism = parallelism
+	res, err := constellation.Run(fleetCfg, weather)
 	if err != nil {
 		return err
 	}
-	b := core.NewBuilder(core.DefaultConfig(), weather)
+	coreCfg := core.DefaultConfig()
+	coreCfg.Parallelism = parallelism
+	b := core.NewBuilder(coreCfg, weather)
 	b.AddSamples(res.Samples)
 	d, err := b.Build()
 	if err != nil {
@@ -312,13 +323,14 @@ func renderFig7(w io.Writer, seed int64) error {
 // runExtensions renders the §6 future-work analyses: latitude-band exposure
 // during the May 2024 super-storm and conjunction pressure over the paper
 // window.
-func runExtensions(w io.Writer, seed int64) error {
+func runExtensions(w io.Writer, seed int64, parallelism int) error {
 	// Latitude exposure at the super-storm peak.
 	weather, err := spaceweather.Generate(spaceweather.May2024())
 	if err != nil {
 		return err
 	}
 	cfg := constellation.May2024Fleet(seed)
+	cfg.Parallelism = parallelism
 	cfg.InitialFleet = 1000
 	fleet, err := constellation.Run(cfg, weather)
 	if err != nil {
@@ -339,11 +351,15 @@ func runExtensions(w io.Writer, seed int64) error {
 	if err != nil {
 		return err
 	}
-	paperFleet, err := constellation.Run(constellation.PaperFleet(seed), paperWeather)
+	paperCfg := constellation.PaperFleet(seed)
+	paperCfg.Parallelism = parallelism
+	paperFleet, err := constellation.Run(paperCfg, paperWeather)
 	if err != nil {
 		return err
 	}
-	b := core.NewBuilder(core.DefaultConfig(), paperWeather)
+	coreCfg := core.DefaultConfig()
+	coreCfg.Parallelism = parallelism
+	b := core.NewBuilder(coreCfg, paperWeather)
 	b.AddSamples(paperFleet.Samples)
 	dataset, err := b.Build()
 	if err != nil {

@@ -23,7 +23,7 @@ func TestWeatherOnlyFigures(t *testing.T) {
 	}
 	for _, c := range cases {
 		var buf bytes.Buffer
-		if err := run(&buf, c.figure, 42); err != nil {
+		if err := run(&buf, c.figure, 42, 0); err != nil {
 			t.Fatalf("figure %d: %v", c.figure, err)
 		}
 		out := buf.String()
@@ -40,7 +40,7 @@ func TestFullRun(t *testing.T) {
 		t.Skip("full substrate build in -short mode")
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, 0, 42); err != nil {
+	if err := run(&buf, 0, 42, 0); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -53,7 +53,7 @@ func TestFullRun(t *testing.T) {
 			t.Errorf("output missing %q", marker)
 		}
 	}
-	if err := runExtensions(&buf, 42); err != nil {
+	if err := runExtensions(&buf, 42, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "latitude-band exposure") ||
@@ -70,7 +70,7 @@ func TestCSVExport(t *testing.T) {
 	csvOut = dir
 	defer func() { csvOut = "" }()
 	var buf bytes.Buffer
-	if err := run(&buf, 4, 42); err != nil {
+	if err := run(&buf, 4, 42, 0); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"fig04a.csv", "fig04b.csv"} {
@@ -85,27 +85,28 @@ func TestCSVExport(t *testing.T) {
 }
 
 // TestFiguresGolden pins the complete seed-42 rendering of Figures 1-10
-// byte-for-byte. Regenerate after an intentional output change with:
+// byte-for-byte — at every worker-pool width. The same golden file must
+// reproduce at Parallelism 1, 2, 4 and 8: the parallel pipeline's headline
+// invariant is that worker count and scheduling cannot leak into the output.
+// Regenerate after an intentional output change with:
 //
 //	go test ./cmd/figures -run TestFiguresGolden -update
 func TestFiguresGolden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full substrate build in -short mode")
 	}
-	var buf bytes.Buffer
-	if err := run(&buf, 0, 42); err != nil {
-		t.Fatal(err)
-	}
-	testkit.Golden(t, "figures_seed42.golden", buf.Bytes())
-
-	// The rendering must also be deterministic run-to-run, or the golden
-	// pin would flake rather than catch regressions.
-	var again bytes.Buffer
-	if err := run(&again, 0, 42); err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
-		t.Fatal("two seed-42 runs diverged")
+	var sequential []byte
+	for _, width := range []int{1, 2, 4, 8} {
+		var buf bytes.Buffer
+		if err := run(&buf, 0, 42, width); err != nil {
+			t.Fatalf("parallelism %d: %v", width, err)
+		}
+		testkit.Golden(t, "figures_seed42.golden", buf.Bytes())
+		if width == 1 {
+			sequential = buf.Bytes()
+		} else if !bytes.Equal(sequential, buf.Bytes()) {
+			t.Fatalf("parallelism %d diverged from the sequential rendering", width)
+		}
 	}
 }
 
@@ -114,7 +115,7 @@ func TestFiguresGolden(t *testing.T) {
 func TestWeatherFiguresGolden(t *testing.T) {
 	var buf bytes.Buffer
 	for _, fig := range []int{1, 2, 8} {
-		if err := run(&buf, fig, 42); err != nil {
+		if err := run(&buf, fig, 42, 0); err != nil {
 			t.Fatal(err)
 		}
 	}

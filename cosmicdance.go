@@ -42,7 +42,9 @@ type (
 	Dataset = core.Dataset
 	// Builder accumulates trajectory observations before cleaning.
 	Builder = core.Builder
-	// PipelineConfig holds the cleaning and association parameters.
+	// PipelineConfig holds the cleaning and association parameters, plus the
+	// Parallelism knob bounding the pipeline's worker pools (0 = one worker
+	// per CPU, 1 = sequential; results are identical at every setting).
 	PipelineConfig = core.Config
 	// Event is a solar event trajectory changes are associated with.
 	Event = core.Event
@@ -67,7 +69,9 @@ type (
 	// TLE is a decoded NORAD two-line element set.
 	TLE = tle.TLE
 
-	// FleetConfig parameterizes the constellation simulator.
+	// FleetConfig parameterizes the constellation simulator. Its Parallelism
+	// field bounds the per-step physics worker pool; the simulated archive is
+	// bit-identical at every setting.
 	FleetConfig = constellation.Config
 	// FleetResult is a simulation outcome: the TLE archive plus truth.
 	FleetResult = constellation.Result

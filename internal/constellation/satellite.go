@@ -10,6 +10,7 @@ package constellation
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"cosmicdance/internal/orbit"
@@ -190,9 +191,12 @@ type SatInfo struct {
 	FateAt       time.Time // when the terminal phase began
 }
 
-// sat is the mutable simulation state (internal).
+// sat is the mutable simulation state (internal). Each satellite owns its
+// RNG stream (seeded from the run seed and its catalog number) and is
+// touched by exactly one worker per step, so the struct needs no locking.
 type sat struct {
 	info        SatInfo
+	rng         *rand.Rand
 	phase       Phase
 	altKm       float64
 	incl        float64
@@ -211,4 +215,9 @@ type sat struct {
 	lifespanEnd  time.Time
 	raanRate     float64 // cached deg/hour
 	maRate       float64 // cached deg/hour
+
+	// pending buffers the sample emitted this step until the coordinator's
+	// ordered collection pass (see simState.step).
+	pending    Sample
+	hasPending bool
 }

@@ -1,6 +1,7 @@
 package constellation
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -10,6 +11,7 @@ import (
 	"cosmicdance/internal/atmosphere"
 	"cosmicdance/internal/dst"
 	"cosmicdance/internal/orbit"
+	"cosmicdance/internal/parallel"
 	"cosmicdance/internal/units"
 )
 
@@ -18,6 +20,12 @@ type Config struct {
 	Start time.Time
 	Hours int
 	Seed  int64
+
+	// Parallelism bounds the worker pool the hourly physics step fans out
+	// on: 0 means one worker per CPU (GOMAXPROCS), 1 runs sequentially.
+	// Every satellite draws from its own RNG stream derived from (Seed,
+	// catalog number), so the result is bit-identical at every setting.
+	Parallelism int
 
 	Shells       []Shell
 	Launches     []Launch
@@ -99,6 +107,12 @@ type Result struct {
 
 // Run simulates the constellation over cfg.Hours hourly steps, driven by the
 // Dst index (hours outside the index are treated as quiet).
+//
+// The hourly physics step fans out across satellites on a worker pool
+// bounded by cfg.Parallelism. Every satellite owns an RNG stream derived
+// from (cfg.Seed, catalog number), so the archive is bit-identical for every
+// worker count and every goroutine schedule: determinism is a property of
+// the decomposition, not of the scheduler.
 func Run(cfg Config, weather *dst.Index) (*Result, error) {
 	if cfg.Hours <= 0 {
 		return nil, fmt.Errorf("constellation: Hours must be positive, got %d", cfg.Hours)
@@ -109,7 +123,6 @@ func Run(cfg Config, weather *dst.Index) (*Result, error) {
 	if cfg.MeanTLEIntervalHours <= 0 {
 		return nil, fmt.Errorf("constellation: MeanTLEIntervalHours must be positive")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	start := cfg.Start.UTC().Truncate(time.Hour)
 
 	launches := append([]Launch(nil), cfg.Launches...)
@@ -125,7 +138,7 @@ func Run(cfg Config, weather *dst.Index) (*Result, error) {
 
 	st := &simState{
 		cfg:     cfg,
-		rng:     rng,
+		workers: parallel.Workers(cfg.Parallelism),
 		start:   start,
 		scripts: scripts,
 		result:  &Result{Start: start, Hours: cfg.Hours},
@@ -147,16 +160,29 @@ func Run(cfg Config, weather *dst.Index) (*Result, error) {
 			st.launch(launches[launchIdx], now)
 			launchIdx++
 		}
-		st.step(now, d)
+		if err := st.step(now, d); err != nil {
+			return nil, fmt.Errorf("constellation: step at %s: %w", now.Format(time.RFC3339), err)
+		}
 	}
 	st.finalize()
 	return st.result, nil
 }
 
+// childSeed derives a satellite's RNG stream seed from the run seed and its
+// catalog number via a splitmix64-style mix. The catalog number — not the
+// creation order or a shared stream — is the sole per-satellite input, which
+// is what makes every stream independent of scheduling.
+func childSeed(seed int64, catalog int) int64 {
+	z := uint64(seed) + uint64(catalog)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
 // simState carries the mutable run state.
 type simState struct {
 	cfg         Config
-	rng         *rand.Rand
+	workers     int
 	start       time.Time
 	scripts     map[int][]ScriptedEvent
 	sats        []*sat
@@ -169,12 +195,16 @@ func (st *simState) seedInitialFleet() {
 	for i := 0; i < st.cfg.InitialFleet; i++ {
 		shellIdx := i % len(st.cfg.Shells)
 		shell := st.cfg.Shells[shellIdx]
-		// Stagger ages so decommissioning is spread out.
-		age := time.Duration(st.rng.Float64() * 3 * 365 * 24 * float64(time.Hour))
-		s := st.newSat(shellIdx, st.start.Add(-age), st.cfg.StagingAltKm)
+		s := st.newSat(shellIdx, st.start, st.cfg.StagingAltKm)
+		// Stagger ages so decommissioning is spread out. The age draw comes
+		// after newSat so it rides the satellite's own stream, but the launch
+		// time and lifespan must reflect it.
+		age := time.Duration(s.rng.Float64() * 3 * 365 * 24 * float64(time.Hour))
+		s.info.LaunchedAt = st.start.Add(-age)
+		s.lifespanEnd = s.info.LaunchedAt.Add(time.Duration(st.cfg.LifespanYears * 365.25 * 24 * float64(time.Hour)))
 		s.phase = PhaseOperational
-		s.altKm = shell.AltitudeKm - st.rng.Float64()*st.cfg.DeadbandKm
-		s.nextSample = st.start.Add(time.Duration(st.rng.Float64()*st.cfg.MeanTLEIntervalHours) * time.Hour)
+		s.altKm = shell.AltitudeKm - s.rng.Float64()*st.cfg.DeadbandKm
+		s.nextSample = st.start.Add(time.Duration(s.rng.Float64()*st.cfg.MeanTLEIntervalHours) * time.Hour)
 		st.sats = append(st.sats, s)
 	}
 }
@@ -198,16 +228,20 @@ func (st *simState) launch(l Launch, now time.Time) {
 		s.phase = PhaseStaging
 		s.altKm = stagingAlt
 		s.stagedUntil = now.Add(time.Duration(stagingDays*24) * time.Hour)
-		s.nextSample = now.Add(time.Duration(st.rng.Float64()*st.cfg.MeanTLEIntervalHours) * time.Hour)
+		s.nextSample = now.Add(time.Duration(s.rng.Float64()*st.cfg.MeanTLEIntervalHours) * time.Hour)
 		st.sats = append(st.sats, s)
 	}
 }
 
 // newSat builds a satellite with randomized plane geometry and drag factor.
+// Catalog numbers are assigned sequentially by the coordinator; every random
+// property is drawn from the satellite's own child stream so creation order
+// and fleet composition cannot couple satellites to each other.
 func (st *simState) newSat(shellIdx int, launchedAt time.Time, stagingAlt float64) *sat {
 	shell := st.cfg.Shells[shellIdx]
 	cat := st.nextCatalog
 	st.nextCatalog++
+	rng := rand.New(rand.NewSource(childSeed(st.cfg.Seed, cat)))
 	info := SatInfo{
 		Catalog:      cat,
 		Name:         fmt.Sprintf("STARSIM-%d", cat),
@@ -216,144 +250,168 @@ func (st *simState) newSat(shellIdx int, launchedAt time.Time, stagingAlt float6
 		StagingAltKm: stagingAlt,
 		TargetAltKm:  shell.AltitudeKm,
 		// Log-normal-ish heterogeneity in ballistic response.
-		DragFactor: 0.8 + st.rng.Float64()*0.5,
+		DragFactor: 0.8 + rng.Float64()*0.5,
 	}
 	return &sat{
 		info:        info,
+		rng:         rng,
 		scripts:     st.scripts[cat],
 		lifespanEnd: launchedAt.Add(time.Duration(st.cfg.LifespanYears*365.25*24) * time.Hour),
-		incl:        float64(shell.Inclination) + st.rng.NormFloat64()*0.02,
-		raan:        st.rng.Float64() * 360,
-		argp:        st.rng.Float64() * 360,
-		meanAnomaly: st.rng.Float64() * 360,
-		ecc:         0.0001 + st.rng.Float64()*0.0002,
+		incl:        float64(shell.Inclination) + rng.NormFloat64()*0.02,
+		raan:        rng.Float64() * 360,
+		argp:        rng.Float64() * 360,
+		meanAnomaly: rng.Float64() * 360,
+		ecc:         0.0001 + rng.Float64()*0.0002,
 	}
 }
 
-// step advances every satellite by one hour under Dst reading d.
-func (st *simState) step(now time.Time, d units.NanoTesla) {
-	cfg := &st.cfg
-	atm := cfg.Atmosphere
-	enh := atm.Enhancement(d)
+// step advances every satellite by one hour under Dst reading d. Satellites
+// are updated independently on the worker pool (each owns its state and its
+// RNG stream); the coordinator then collects the samples emitted this hour
+// in satellite order, so the archive layout is identical at every width.
+func (st *simState) step(now time.Time, d units.NanoTesla) error {
+	enh := st.cfg.Atmosphere.Enhancement(d)
 	stormActive := d <= units.StormThreshold
 	// With proactive mitigation the operator suppresses storm casualties
 	// entirely (attentive response), and satellites duck into the low-drag
 	// attitude once the storm is extreme.
-	duck := cfg.ProactiveDragMitigation && enh >= 3
+	duck := st.cfg.ProactiveDragMitigation && enh >= 3
 	intensityScale := 0.0
 	if stormActive {
 		i := -float64(d) / 100
 		intensityScale = i * i
 	}
 
+	err := parallel.ForEach(context.Background(), st.workers, len(st.sats), func(i int) error {
+		st.stepSat(st.sats[i], now, d, stormActive, duck, intensityScale)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Ordered merge of this hour's emissions (at most one per satellite).
 	for _, s := range st.sats {
-		if s.phase == PhaseReentered {
-			continue
+		if s.hasPending {
+			s.hasPending = false
+			st.result.Samples = append(st.result.Samples, s.pending)
 		}
-		if s.scriptCursor < len(s.scripts) {
-			st.applyScripts(s, now)
-		}
+	}
+	return nil
+}
 
-		// Uncompensated drag decay for this hour.
-		drag := s.info.DragFactor
-		if s.phase == PhaseSafeMode {
-			drag *= s.episodeDrag
-		}
-		if duck {
-			// Knife-edge "duck" attitude sheds drag during extreme storms.
-			drag *= 0.6
-		}
-		decay := atm.DecayRate(units.Kilometers(s.altKm), d) / 24 * drag
+// stepSat advances one satellite by one hour. It touches only s (state and
+// RNG stream) plus read-only run configuration, which is what makes the
+// per-step fan-out race-free and schedule-independent.
+func (st *simState) stepSat(s *sat, now time.Time, d units.NanoTesla, stormActive, duck bool, intensityScale float64) {
+	cfg := &st.cfg
+	atm := cfg.Atmosphere
+	if s.phase == PhaseReentered {
+		return
+	}
+	if s.scriptCursor < len(s.scripts) {
+		st.applyScripts(s, now)
+	}
 
-		switch s.phase {
-		case PhaseStaging:
-			// Checkout thrusting compensates quiet-time staging drag but has
-			// limited authority: the quiet-time rate is the budget.
-			budget := atm.DecayRate(units.Kilometers(s.info.StagingAltKm), 0) / 24 * s.info.DragFactor
-			net := decay - budget
-			if net > 0 {
-				s.altKm -= net
+	// Uncompensated drag decay for this hour.
+	drag := s.info.DragFactor
+	if s.phase == PhaseSafeMode {
+		drag *= s.episodeDrag
+	}
+	if duck {
+		// Knife-edge "duck" attitude sheds drag during extreme storms.
+		drag *= 0.6
+	}
+	decay := atm.DecayRate(units.Kilometers(s.altKm), d) / 24 * drag
+
+	switch s.phase {
+	case PhaseStaging:
+		// Checkout thrusting compensates quiet-time staging drag but has
+		// limited authority: the quiet-time rate is the budget.
+		budget := atm.DecayRate(units.Kilometers(s.info.StagingAltKm), 0) / 24 * s.info.DragFactor
+		net := decay - budget
+		if net > 0 {
+			s.altKm -= net
+		}
+		if s.altKm < s.info.StagingAltKm-12 {
+			// Drag has won; the batch is written off (Feb 2022 pattern).
+			st.beginDeorbit(s, now)
+			break
+		}
+		if now.After(s.stagedUntil) {
+			s.phase = PhaseRaising
+		}
+		st.maybeStormEvent(s, now, stormActive && !cfg.ProactiveDragMitigation && len(s.scripts) == 0, intensityScale)
+	case PhaseRaising:
+		s.altKm += (cfg.RaiseRateKmPerDay)/24 - decay
+		if s.altKm >= s.info.TargetAltKm {
+			s.altKm = s.info.TargetAltKm
+			s.phase = PhaseOperational
+		}
+		st.maybeStormEvent(s, now, stormActive && !cfg.ProactiveDragMitigation && len(s.scripts) == 0, intensityScale)
+	case PhaseOperational:
+		s.altKm -= decay
+		deficit := s.info.TargetAltKm - s.altKm
+		if deficit > cfg.DeadbandKm {
+			boost := cfg.BoostKmPerDay / 24
+			if duck {
+				boost *= 2 // attentive operational response
 			}
-			if s.altKm < s.info.StagingAltKm-12 {
-				// Drag has won; the batch is written off (Feb 2022 pattern).
-				st.beginDeorbit(s, now)
-				break
+			if boost > deficit {
+				boost = deficit
 			}
-			if now.After(s.stagedUntil) {
+			s.altKm += boost
+		}
+		if now.After(s.lifespanEnd) {
+			st.beginDeorbit(s, now)
+			break
+		}
+		if s.decommissionDue(st, now) {
+			st.beginDeorbit(s, now)
+			break
+		}
+		st.maybeStormEvent(s, now, stormActive && !cfg.ProactiveDragMitigation && len(s.scripts) == 0, intensityScale)
+	case PhaseSafeMode:
+		s.altKm -= decay
+		if now.After(s.safeUntil) {
+			// Recovery: far below the shell (the storm hit during orbit
+			// raising) the ion thrusters resume the raise at full
+			// authority; a station-keeping-scale excursion recovers at
+			// normal boost rates, which is what keeps the tail of Fig 4a
+			// elevated for weeks.
+			if s.altKm < s.info.TargetAltKm-30 {
 				s.phase = PhaseRaising
-			}
-			st.maybeStormEvent(s, now, stormActive && !cfg.ProactiveDragMitigation && len(s.scripts) == 0, intensityScale)
-		case PhaseRaising:
-			s.altKm += (cfg.RaiseRateKmPerDay)/24 - decay
-			if s.altKm >= s.info.TargetAltKm {
-				s.altKm = s.info.TargetAltKm
+			} else {
 				s.phase = PhaseOperational
 			}
-			st.maybeStormEvent(s, now, stormActive && !cfg.ProactiveDragMitigation && len(s.scripts) == 0, intensityScale)
-		case PhaseOperational:
-			s.altKm -= decay
-			deficit := s.info.TargetAltKm - s.altKm
-			if deficit > cfg.DeadbandKm {
-				boost := cfg.BoostKmPerDay / 24
-				if duck {
-					boost *= 2 // attentive operational response
-				}
-				if boost > deficit {
-					boost = deficit
-				}
-				s.altKm += boost
-			}
-			if now.After(s.lifespanEnd) {
-				st.beginDeorbit(s, now)
-				break
-			}
-			if s.decommissionDue(st, now) {
-				st.beginDeorbit(s, now)
-				break
-			}
-			st.maybeStormEvent(s, now, stormActive && !cfg.ProactiveDragMitigation && len(s.scripts) == 0, intensityScale)
-		case PhaseSafeMode:
-			s.altKm -= decay
-			if now.After(s.safeUntil) {
-				// Recovery: far below the shell (the storm hit during orbit
-				// raising) the ion thrusters resume the raise at full
-				// authority; a station-keeping-scale excursion recovers at
-				// normal boost rates, which is what keeps the tail of Fig 4a
-				// elevated for weeks.
-				if s.altKm < s.info.TargetAltKm-30 {
-					s.phase = PhaseRaising
-				} else {
-					s.phase = PhaseOperational
-				}
-			}
-		case PhaseDeorbiting:
-			s.altKm -= s.deorbitKmDay/24 + decay
 		}
+	case PhaseDeorbiting:
+		s.altKm -= s.deorbitKmDay/24 + decay
+	}
 
-		// Universal re-entry floor: whatever the phase, an orbit this low is
-		// gone within hours and tracking stops.
-		if s.altKm <= atmosphere.ReentryAltitudeKm {
-			s.phase = PhaseReentered
-			s.info.Fate = PhaseReentered
-			s.info.FateAt = now
-			continue
-		}
+	// Universal re-entry floor: whatever the phase, an orbit this low is
+	// gone within hours and tracking stops.
+	if s.altKm <= atmosphere.ReentryAltitudeKm {
+		s.phase = PhaseReentered
+		s.info.Fate = PhaseReentered
+		s.info.FateAt = now
+		return
+	}
 
-		// Plane geometry: J2 nodal regression and mean-anomaly advance.
-		s.raan += s.raanRatePerHour()
-		if s.raan < 0 {
-			s.raan += 360
-		} else if s.raan >= 360 {
-			s.raan -= 360
-		}
-		s.meanAnomaly += s.maRatePerHour()
-		for s.meanAnomaly >= 360 {
-			s.meanAnomaly -= 360
-		}
+	// Plane geometry: J2 nodal regression and mean-anomaly advance.
+	s.raan += s.raanRatePerHour()
+	if s.raan < 0 {
+		s.raan += 360
+	} else if s.raan >= 360 {
+		s.raan -= 360
+	}
+	s.meanAnomaly += s.maRatePerHour()
+	for s.meanAnomaly >= 360 {
+		s.meanAnomaly -= 360
+	}
 
-		if !now.Before(s.nextSample) {
-			st.emitSample(s, now, d)
-		}
+	if !now.Before(s.nextSample) {
+		st.emitSample(s, now, d)
 	}
 }
 
@@ -372,7 +430,7 @@ func (s *sat) decommissionDue(st *simState, now time.Time) bool {
 	if now.Hour() != int(uint(s.info.Catalog)%24) {
 		return false
 	}
-	return st.rng.Float64() < st.cfg.DecommissionPerYear/365.25
+	return s.rng.Float64() < st.cfg.DecommissionPerYear/365.25
 }
 
 // maybeStormEvent samples safe-mode entry or permanent failure during storms.
@@ -380,14 +438,14 @@ func (st *simState) maybeStormEvent(s *sat, now time.Time, active bool, intensit
 	if !active || intensityScale == 0 {
 		return
 	}
-	r := st.rng.Float64()
+	r := s.rng.Float64()
 	pSafe := st.cfg.SafeModeProbPerStormHour * intensityScale
 	pFail := st.cfg.FailProbPerStormHour * intensityScale
 	switch {
 	case r < pFail:
 		st.beginUncontrolledDecay(s, now)
 	case r < pFail+pSafe:
-		st.enterSafeMode(s, now, st.cfg.SafeModeMinDays+st.rng.Float64()*(st.cfg.SafeModeMaxDays-st.cfg.SafeModeMinDays), 0)
+		st.enterSafeMode(s, now, st.cfg.SafeModeMinDays+s.rng.Float64()*(st.cfg.SafeModeMaxDays-st.cfg.SafeModeMinDays), 0)
 	}
 }
 
@@ -397,7 +455,7 @@ func (st *simState) enterSafeMode(s *sat, now time.Time, days float64, dragFacto
 	if dragFactor > 0 {
 		s.episodeDrag = dragFactor
 	} else {
-		s.episodeDrag = st.cfg.SafeModeDragFactor * (0.75 + 0.5*st.rng.Float64())
+		s.episodeDrag = st.cfg.SafeModeDragFactor * (0.75 + 0.5*s.rng.Float64())
 	}
 }
 
@@ -414,7 +472,7 @@ func (st *simState) beginDeorbit(s *sat, now time.Time) {
 // (Starlink's stated policy), and tumbling drag dominates either way.
 func (st *simState) beginUncontrolledDecay(s *sat, now time.Time) {
 	s.phase = PhaseDeorbiting
-	s.deorbitKmDay = st.cfg.DeorbitKmPerDay * (0.75 + 0.5*st.rng.Float64())
+	s.deorbitKmDay = st.cfg.DeorbitKmPerDay * (0.75 + 0.5*s.rng.Float64())
 	s.info.Fate = PhaseDeorbiting
 	s.info.FateAt = now
 }
@@ -467,34 +525,36 @@ func (s *sat) maRatePerHour() float64 {
 	return s.maRate
 }
 
-// emitSample records one tracking observation and schedules the next.
+// emitSample buffers one tracking observation for the coordinator's ordered
+// collection at the end of the step, and schedules the next.
 func (st *simState) emitSample(s *sat, now time.Time, d units.NanoTesla) {
 	cfg := &st.cfg
-	alt := s.altKm + st.rng.NormFloat64()*cfg.AltNoiseKm
-	if cfg.GrossErrorProb > 0 && st.rng.Float64() < cfg.GrossErrorProb {
+	alt := s.altKm + s.rng.NormFloat64()*cfg.AltNoiseKm
+	if cfg.GrossErrorProb > 0 && s.rng.Float64() < cfg.GrossErrorProb {
 		// Tracking mis-fit: a wildly wrong altitude, log-uniform up to the
 		// 40,000 km tail the paper observed (Fig 10a).
 		lo, hi := 700.0, 40000.0
-		alt = lo * math.Pow(hi/lo, st.rng.Float64())
+		alt = lo * math.Pow(hi/lo, s.rng.Float64())
 	}
 	drag := s.info.DragFactor
 	if s.phase == PhaseSafeMode || s.phase == PhaseDeorbiting {
 		drag *= 2.2
 	}
-	st.result.Samples = append(st.result.Samples, Sample{
+	s.pending = Sample{
 		Catalog:      int32(s.info.Catalog),
 		Epoch:        now.Unix(),
 		AltKm:        float32(alt),
 		BStar:        float32(cfg.Atmosphere.BStar(units.Kilometers(s.altKm), d, drag)),
-		Inclination:  float32(s.incl + st.rng.NormFloat64()*0.003),
+		Inclination:  float32(s.incl + s.rng.NormFloat64()*0.003),
 		RAAN:         float32(s.raan),
-		Eccentricity: float32(s.ecc + st.rng.Float64()*1e-5),
+		Eccentricity: float32(s.ecc + s.rng.Float64()*1e-5),
 		ArgPerigee:   float32(s.argp),
 		MeanAnomaly:  float32(s.meanAnomaly),
-	})
+	}
+	s.hasPending = true
 	// Refresh cadence: exponential around the mean, clamped to the observed
 	// <1 h .. 154 h range.
-	iv := st.rng.ExpFloat64() * cfg.MeanTLEIntervalHours
+	iv := s.rng.ExpFloat64() * cfg.MeanTLEIntervalHours
 	if iv < 0.5 {
 		iv = 0.5
 	}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
 	"cosmicdance/internal/dst"
+	"cosmicdance/internal/parallel"
 	"cosmicdance/internal/stats"
 	"cosmicdance/internal/units"
 )
@@ -135,7 +137,57 @@ type WindowOptions struct {
 	MinPeakKm float64
 }
 
+// windowOutcome classifies one track's fate within a window analysis.
+type windowOutcome int8
+
+const (
+	windowSelected windowOutcome = iota
+	windowStale
+	windowDecaying
+	windowShape
+)
+
+// windowTrack evaluates one track against a window analysis — the per-track
+// unit of work the Window fan-out distributes.
+func (d *Dataset) windowTrack(tr *Track, event, end time.Time, opts WindowOptions) (SatCurve, windowOutcome) {
+	base, ok := tr.At(event)
+	if !ok || event.Sub(base.Time()) > d.cfg.BaselineStaleness {
+		return SatCurve{}, windowStale
+	}
+	// The paper's already-decaying filter.
+	if math.Abs(float64(base.AltKm)-tr.OperationalAltKm) > d.cfg.DecayFilterKm {
+		return SatCurve{}, windowDecaying
+	}
+	pts := tr.Window(event, end)
+	if len(pts) == 0 {
+		return SatCurve{}, windowStale
+	}
+	dev := make([]float64, opts.Days)
+	for i := range dev {
+		dev[i] = math.NaN()
+	}
+	for _, p := range pts {
+		day := int(p.Epoch-event.Unix()) / 86400
+		if day < 0 || day >= opts.Days {
+			continue
+		}
+		v := tr.OperationalAltKm - float64(p.AltKm)
+		if math.IsNaN(dev[day]) || math.Abs(v) > math.Abs(dev[day]) {
+			dev[day] = v
+		}
+	}
+	if opts.MinPeakKm > 0 && peakAbs(dev) < opts.MinPeakKm {
+		return SatCurve{}, windowShape
+	}
+	if opts.RequireHumpShape && !humpShaped(dev) {
+		return SatCurve{}, windowShape
+	}
+	return SatCurve{Catalog: tr.Catalog, DevKm: dev}, windowSelected
+}
+
 // Window computes the deviation curves for the days following an event epoch.
+// Tracks are evaluated independently on the worker pool and merged in track
+// order, so the analysis is identical at every Parallelism setting.
 func (d *Dataset) Window(event time.Time, opts WindowOptions) (*WindowAnalysis, error) {
 	if opts.Days <= 0 {
 		return nil, fmt.Errorf("core: window days must be positive")
@@ -143,45 +195,29 @@ func (d *Dataset) Window(event time.Time, opts WindowOptions) (*WindowAnalysis, 
 	wa := &WindowAnalysis{Event: event, Days: opts.Days}
 	end := event.Add(time.Duration(opts.Days) * 24 * time.Hour)
 
-	for _, tr := range d.tracks {
-		base, ok := tr.At(event)
-		if !ok || event.Sub(base.Time()) > d.cfg.BaselineStaleness {
+	type outcome struct {
+		curve SatCurve
+		kind  windowOutcome
+	}
+	outcomes, err := parallel.Map(context.Background(), d.cfg.Parallelism, len(d.tracks),
+		func(i int) (outcome, error) {
+			curve, kind := d.windowTrack(d.tracks[i], event, end, opts)
+			return outcome{curve, kind}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range outcomes {
+		switch o.kind {
+		case windowSelected:
+			wa.Curves = append(wa.Curves, o.curve)
+		case windowStale:
 			wa.SkippedStale++
-			continue
-		}
-		// The paper's already-decaying filter.
-		if math.Abs(float64(base.AltKm)-tr.OperationalAltKm) > d.cfg.DecayFilterKm {
+		case windowDecaying:
 			wa.SkippedDecaying++
-			continue
-		}
-		pts := tr.Window(event, end)
-		if len(pts) == 0 {
-			wa.SkippedStale++
-			continue
-		}
-		dev := make([]float64, opts.Days)
-		for i := range dev {
-			dev[i] = math.NaN()
-		}
-		for _, p := range pts {
-			day := int(p.Epoch-event.Unix()) / 86400
-			if day < 0 || day >= opts.Days {
-				continue
-			}
-			v := tr.OperationalAltKm - float64(p.AltKm)
-			if math.IsNaN(dev[day]) || math.Abs(v) > math.Abs(dev[day]) {
-				dev[day] = v
-			}
-		}
-		if opts.MinPeakKm > 0 && peakAbs(dev) < opts.MinPeakKm {
+		case windowShape:
 			wa.SkippedShape++
-			continue
 		}
-		if opts.RequireHumpShape && !humpShaped(dev) {
-			wa.SkippedShape++
-			continue
-		}
-		wa.Curves = append(wa.Curves, SatCurve{Catalog: tr.Catalog, DevKm: dev})
 	}
 
 	wa.MedianKm = make([]float64, opts.Days)
@@ -255,38 +291,67 @@ type Deviation struct {
 // Associate computes, for every given event and every eligible satellite,
 // the maximum altitude deviation and drag increase within the
 // happens-closely-after window — the raw material of Figs 5 and 6.
+//
+// The (event, track) pairs are evaluated independently on the worker pool
+// and merged in (event, track) order, so the deviation list is identical at
+// every Parallelism setting.
 func (d *Dataset) Associate(events []Event, windowDays int) []Deviation {
+	nt := len(d.tracks)
+	if len(events) == 0 || nt == 0 {
+		return nil
+	}
+	type pairResult struct {
+		dev Deviation
+		ok  bool
+	}
+	results, err := parallel.Map(context.Background(), d.cfg.Parallelism, len(events)*nt,
+		func(i int) (pairResult, error) {
+			ev, tr := events[i/nt], d.tracks[i%nt]
+			dev, ok := d.associatePair(ev, tr, windowDays)
+			return pairResult{dev, ok}, nil
+		})
+	if err != nil {
+		// The pair function never errs; only a worker panic lands here, and
+		// re-panicking preserves the pre-parallel contract of this API.
+		panic(err)
+	}
 	var out []Deviation
-	for _, ev := range events {
-		epoch := ev.Epoch()
-		end := epoch.Add(time.Duration(windowDays) * 24 * time.Hour)
-		for _, tr := range d.tracks {
-			base, ok := tr.At(epoch)
-			if !ok || epoch.Sub(base.Time()) > d.cfg.BaselineStaleness {
-				continue
-			}
-			if math.Abs(float64(base.AltKm)-tr.OperationalAltKm) > d.cfg.DecayFilterKm {
-				continue // already decaying before the event
-			}
-			pts := tr.Window(epoch, end)
-			if len(pts) == 0 {
-				continue
-			}
-			maxDev, maxDrag := 0.0, 0.0
-			for _, p := range pts {
-				dev := math.Abs(float64(base.AltKm) - float64(p.AltKm))
-				if dev > maxDev {
-					maxDev = dev
-				}
-				drag := float64(p.BStar) - float64(base.BStar)
-				if drag > maxDrag {
-					maxDrag = drag
-				}
-			}
-			out = append(out, Deviation{Event: epoch, Catalog: tr.Catalog, MaxDevKm: maxDev, MaxDrag: maxDrag})
+	for _, r := range results {
+		if r.ok {
+			out = append(out, r.dev)
 		}
 	}
 	return out
+}
+
+// associatePair evaluates one (event, track) pair — the unit of work the
+// Associate fan-out distributes.
+func (d *Dataset) associatePair(ev Event, tr *Track, windowDays int) (Deviation, bool) {
+	epoch := ev.Epoch()
+	end := epoch.Add(time.Duration(windowDays) * 24 * time.Hour)
+	base, ok := tr.At(epoch)
+	if !ok || epoch.Sub(base.Time()) > d.cfg.BaselineStaleness {
+		return Deviation{}, false
+	}
+	if math.Abs(float64(base.AltKm)-tr.OperationalAltKm) > d.cfg.DecayFilterKm {
+		return Deviation{}, false // already decaying before the event
+	}
+	pts := tr.Window(epoch, end)
+	if len(pts) == 0 {
+		return Deviation{}, false
+	}
+	maxDev, maxDrag := 0.0, 0.0
+	for _, p := range pts {
+		dev := math.Abs(float64(base.AltKm) - float64(p.AltKm))
+		if dev > maxDev {
+			maxDev = dev
+		}
+		drag := float64(p.BStar) - float64(base.BStar)
+		if drag > maxDrag {
+			maxDrag = drag
+		}
+	}
+	return Deviation{Event: epoch, Catalog: tr.Catalog, MaxDevKm: maxDev, MaxDrag: maxDrag}, true
 }
 
 // AssociateQuiet runs the same association against quiet control epochs

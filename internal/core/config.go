@@ -38,6 +38,11 @@ type Config struct {
 	// AssociationWindow: how long after a storm a trajectory change still
 	// counts as happening "closely after" it.
 	AssociationWindow time.Duration
+	// Parallelism bounds the worker pool the per-track cleaning pass and
+	// the per-(event, track) association sweeps fan out on: 0 means one
+	// worker per CPU (GOMAXPROCS), 1 runs sequentially. Results are merged
+	// in deterministic order, so every setting produces identical output.
+	Parallelism int
 }
 
 // DefaultConfig returns the paper's parameters.

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"cosmicdance/internal/constellation"
 	"cosmicdance/internal/dst"
+	"cosmicdance/internal/parallel"
 	"cosmicdance/internal/stats"
 	"cosmicdance/internal/tle"
 )
@@ -124,46 +126,29 @@ func (b *Builder) Build() (*Dataset, error) {
 	}
 	sort.Ints(cats)
 
-	for _, cat := range cats {
-		obs := byCat[cat]
-		// Stable sort + drop repeated epochs (keep first): flaky archives
-		// replay element sets, and a duplicated observation must not change
-		// the analysis relative to a clean ingest of the same data.
-		sort.SliceStable(obs, func(i, j int) bool { return obs[i].epoch < obs[j].epoch })
-		points := make([]TrackPoint, 0, len(obs))
-		for i, o := range obs {
-			if i > 0 && o.epoch == obs[i-1].epoch {
-				d.stats.Duplicates++
-				continue
-			}
-			points = append(points, TrackPoint{Epoch: o.epoch, AltKm: float32(o.altKm), BStar: float32(o.bstar), Incl: float32(o.incl)})
-		}
-		opAlt := operationalAltitude(points, 10)
-		if opAlt < b.cfg.MinOperationalAltKm {
-			// Never reached a shell (lost during staging, or launch debris).
+	// Per-track parse/clean/dedupe fan-out: every catalog is independent, so
+	// the cleaning pass runs on the worker pool and the results are merged
+	// below in catalog order — the output is identical at every width.
+	cleaned, err := parallel.Map(context.Background(), b.cfg.Parallelism, len(cats),
+		func(i int) (trackResult, error) {
+			return cleanTrack(cats[i], byCat[cats[i]], b.cfg), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// Order-stable merge: catalog-ascending, exactly as the sequential loop
+	// appended.
+	for _, res := range cleaned {
+		d.stats.Duplicates += res.duplicates
+		if res.track == nil {
 			d.stats.NonOperational++
 			continue
 		}
-		// Remove the orbit-raising prefix: everything before the first point
-		// within RaisingMarginKm of the operational altitude.
-		cut := 0
-		for cut < len(points) && float64(points[cut].AltKm) < opAlt-b.cfg.RaisingMarginKm {
-			cut++
-		}
-		if cut == len(points) {
-			d.stats.NonOperational++
-			continue
-		}
-		d.stats.RaisingRemoved += cut
-		tr := &Track{
-			Catalog:          cat,
-			Points:           points[cut:],
-			OperationalAltKm: opAlt,
-			RaisingRemoved:   cut,
-		}
-		d.tracks = append(d.tracks, tr)
-		d.byCat[cat] = tr
-		for _, p := range tr.Points {
+		d.stats.RaisingRemoved += res.track.RaisingRemoved
+		d.tracks = append(d.tracks, res.track)
+		d.byCat[res.track.Catalog] = res.track
+		for _, p := range res.track.Points {
 			d.cleanAlts = append(d.cleanAlts, float64(p.AltKm))
 		}
 	}
@@ -171,6 +156,52 @@ func (b *Builder) Build() (*Dataset, error) {
 		return nil, fmt.Errorf("core: no operational tracks survived cleaning")
 	}
 	return d, nil
+}
+
+// trackResult is one catalog's cleaning outcome: a track, or nil when the
+// satellite never reached an operational shell.
+type trackResult struct {
+	track      *Track
+	duplicates int
+}
+
+// cleanTrack sorts, dedupes and cleans one satellite's observations — the
+// per-track unit of work the Build fan-out distributes.
+func cleanTrack(cat int, obs []observation, cfg Config) trackResult {
+	// Stable sort + drop repeated epochs (keep first): flaky archives
+	// replay element sets, and a duplicated observation must not change
+	// the analysis relative to a clean ingest of the same data.
+	sort.SliceStable(obs, func(i, j int) bool { return obs[i].epoch < obs[j].epoch })
+	var res trackResult
+	points := make([]TrackPoint, 0, len(obs))
+	for i, o := range obs {
+		if i > 0 && o.epoch == obs[i-1].epoch {
+			res.duplicates++
+			continue
+		}
+		points = append(points, TrackPoint{Epoch: o.epoch, AltKm: float32(o.altKm), BStar: float32(o.bstar), Incl: float32(o.incl)})
+	}
+	opAlt := operationalAltitude(points, 10)
+	if opAlt < cfg.MinOperationalAltKm {
+		// Never reached a shell (lost during staging, or launch debris).
+		return res
+	}
+	// Remove the orbit-raising prefix: everything before the first point
+	// within RaisingMarginKm of the operational altitude.
+	cut := 0
+	for cut < len(points) && float64(points[cut].AltKm) < opAlt-cfg.RaisingMarginKm {
+		cut++
+	}
+	if cut == len(points) {
+		return res
+	}
+	res.track = &Track{
+		Catalog:          cat,
+		Points:           points[cut:],
+		OperationalAltKm: opAlt,
+		RaisingRemoved:   cut,
+	}
+	return res
 }
 
 // NewDatasetFromTLEs is the one-call live-data ingest: it cleans and

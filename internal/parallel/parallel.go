@@ -1,0 +1,150 @@
+// Package parallel is the dependency-free worker pool behind CosmicDance's
+// fan-out stages: the per-satellite physics step, the per-track cleaning
+// pass, and the per-(event, track) association sweep.
+//
+// The package is built around one invariant: parallel execution must be
+// indistinguishable from sequential execution. Work items are addressed by
+// index, results land in index-order slots, and nothing about scheduling or
+// worker count can leak into the output. Determinism therefore has to be
+// arranged by the caller's decomposition (independent items, per-item RNG
+// streams) — this package only guarantees it never un-arranges it.
+//
+// Error semantics: the first error (or captured panic) wins, the remaining
+// workers drain promptly via context cancellation, and every goroutine is
+// joined before the call returns — no leaks, no partial writes observable
+// after return.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a Parallelism knob to a concrete worker count: values
+// below 1 mean "one worker per available CPU" (GOMAXPROCS), anything else is
+// taken literally.
+func Workers(parallelism int) int {
+	if parallelism < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallelism
+}
+
+// PanicError is a worker panic captured and returned as an error, stack
+// included, so a panicking work item cannot crash the process from a
+// goroutine the caller never sees.
+type PanicError struct {
+	// Value is the value the worker panicked with.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: worker panic: %v\n%s", e.Value, e.Stack)
+}
+
+// ForEach runs fn(i) for every i in [0, n) across at most workers
+// goroutines (workers <= 0 means GOMAXPROCS). It returns the first error any
+// invocation produced, a *PanicError if an invocation panicked, or ctx.Err()
+// if the context was cancelled first. On error the remaining items are
+// skipped, but every in-flight invocation completes and every worker is
+// joined before ForEach returns.
+//
+// With workers == 1 (or n == 1) the items run inline on the calling
+// goroutine in index order — the sequential special case spawns nothing.
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := protect(fn, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64 // next unclaimed item index
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel() // drain: workers stop claiming new items
+		})
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := protect(fn, i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// protect runs fn(i), converting a panic into a *PanicError.
+func protect(fn func(int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
+
+// Map runs fn(i) for every i in [0, n) across at most workers goroutines and
+// collects the results in index order: out[i] is fn(i)'s value regardless of
+// which worker computed it or when. Error semantics match ForEach; on error
+// the partial results are discarded and Map returns nil.
+func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

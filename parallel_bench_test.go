@@ -1,0 +1,95 @@
+package cosmicdance_test
+
+import (
+	"testing"
+
+	"cosmicdance/internal/constellation"
+	"cosmicdance/internal/core"
+	"cosmicdance/internal/dst"
+	"cosmicdance/internal/spaceweather"
+)
+
+// benchWeather generates the paper-window Dst series once per benchmark.
+func benchWeather(b *testing.B) *dst.Index {
+	b.Helper()
+	weather, err := spaceweather.Generate(spaceweather.Paper2020to2024())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return weather
+}
+
+// benchFleetConfig is the benchmark workload: a one-year research fleet with
+// the worker-pool width following GOMAXPROCS, so `go test -cpu 1,2,4 -bench .`
+// sweeps the scaling curve.
+func benchFleetConfig(weather *dst.Index, seed int64) constellation.Config {
+	start := weather.Start()
+	cfg := constellation.ResearchFleet(seed, start, start.AddDate(1, 0, 0), 10)
+	cfg.Parallelism = 0
+	return cfg
+}
+
+// BenchmarkFleetSim measures the per-step physics fan-out of the
+// constellation simulator.
+func BenchmarkFleetSim(b *testing.B) {
+	weather := benchWeather(b)
+	cfg := benchFleetConfig(weather, 42)
+	sats := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := constellation.Run(cfg, weather)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sats = len(res.Sats)
+	}
+	b.ReportMetric(float64(sats*b.N)/b.Elapsed().Seconds(), "sats/sec")
+}
+
+// BenchmarkDatasetBuild measures the per-track clean/dedupe fan-out of the
+// dataset builder.
+func BenchmarkDatasetBuild(b *testing.B) {
+	weather := benchWeather(b)
+	res, err := constellation.Run(benchFleetConfig(weather, 42), weather)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tracks := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		builder := core.NewBuilder(core.DefaultConfig(), weather)
+		builder.AddSamples(res.Samples)
+		d, err := builder.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		tracks = len(d.Tracks())
+	}
+	b.ReportMetric(float64(tracks*b.N)/b.Elapsed().Seconds(), "sats/sec")
+}
+
+// BenchmarkAssociate measures the per-(event, track) association fan-out.
+func BenchmarkAssociate(b *testing.B) {
+	weather := benchWeather(b)
+	res, err := constellation.Run(benchFleetConfig(weather, 42), weather)
+	if err != nil {
+		b.Fatal(err)
+	}
+	builder := core.NewBuilder(core.DefaultConfig(), weather)
+	builder.AddSamples(res.Samples)
+	d, err := builder.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	events, err := d.EventsAbovePercentile(95, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if devs := d.Associate(events, 30); len(devs) == 0 && len(events) > 0 {
+			b.Fatal("association produced nothing")
+		}
+	}
+	b.ReportMetric(float64(len(d.Tracks())*b.N)/b.Elapsed().Seconds(), "sats/sec")
+}

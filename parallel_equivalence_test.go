@@ -1,0 +1,152 @@
+package cosmicdance_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cosmicdance/internal/constellation"
+	"cosmicdance/internal/core"
+	"cosmicdance/internal/dst"
+	"cosmicdance/internal/spaceweather"
+	"cosmicdance/internal/testkit"
+)
+
+// pipelineRun is everything the equivalence suite compares: the built
+// dataset, the happens-closely-after associations, and the automatically
+// detected decay onsets.
+type pipelineRun struct {
+	dataset *core.Dataset
+	devs    []core.Deviation
+	onsets  []core.DecayOnset
+}
+
+// runPipeline simulates a small research fleet and runs the full analysis at
+// the given worker-pool width.
+func runPipeline(t testing.TB, weather *dst.Index, seed int64, parallelism int) pipelineRun {
+	t.Helper()
+	start := weather.Start()
+	fleetCfg := constellation.ResearchFleet(seed, start, start.AddDate(1, 0, 0), 10)
+	fleetCfg.Parallelism = parallelism
+	res, err := constellation.Run(fleetCfg, weather)
+	if err != nil {
+		t.Fatalf("parallelism %d: constellation: %v", parallelism, err)
+	}
+	coreCfg := core.DefaultConfig()
+	coreCfg.Parallelism = parallelism
+	b := core.NewBuilder(coreCfg, weather)
+	b.AddSamples(res.Samples)
+	d, err := b.Build()
+	if err != nil {
+		t.Fatalf("parallelism %d: build: %v", parallelism, err)
+	}
+	events, err := d.EventsAbovePercentile(95, 1, 0)
+	if err != nil {
+		t.Fatalf("parallelism %d: events: %v", parallelism, err)
+	}
+	return pipelineRun{
+		dataset: d,
+		devs:    d.Associate(events, 30),
+		onsets:  d.DecayOnsets(5),
+	}
+}
+
+// TestParallelEquivalence is the headline invariant of the worker-pool
+// pipeline: at every Parallelism setting the simulated archive, the cleaned
+// dataset, the deviation list, and the decay-onset set are identical to the
+// sequential run — across several seeds, so the property does not hinge on
+// one lucky schedule.
+func TestParallelEquivalence(t *testing.T) {
+	weather, err := spaceweather.Generate(spaceweather.Paper2020to2024())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{7, 42, 1234} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			ref := runPipeline(t, weather, seed, 1)
+			if len(ref.dataset.Tracks()) == 0 {
+				t.Fatal("sequential reference produced no tracks")
+			}
+			for _, width := range []int{2, 4, 8} {
+				got := runPipeline(t, weather, seed, width)
+				if msg := testkit.DiffDatasets(ref.dataset, got.dataset); msg != "" {
+					t.Errorf("parallelism %d: dataset diverged: %s", width, msg)
+				}
+				if msg := testkit.DiffDeviations(ref.devs, got.devs); msg != "" {
+					t.Errorf("parallelism %d: deviations diverged: %s", width, msg)
+				}
+				if msg := diffOnsets(ref.onsets, got.onsets); msg != "" {
+					t.Errorf("parallelism %d: decay onsets diverged: %s", width, msg)
+				}
+			}
+		})
+	}
+}
+
+// diffOnsets compares decay-onset sets element-wise; float fields must match
+// exactly — the pipeline is deterministic, so any drift is a real divergence.
+func diffOnsets(want, got []core.DecayOnset) string {
+	if len(want) != len(got) {
+		return fmt.Sprintf("onset count differs: want %d, got %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return fmt.Sprintf("onset %d differs:\n  want: %+v\n  got:  %+v", i, want[i], got[i])
+		}
+	}
+	return ""
+}
+
+// TestDatasetConcurrentReaders hammers one shared Dataset from many
+// goroutines mixing every read-path accessor the analyses use. The dataset is
+// immutable after Build, so this must be race-free — the test exists to keep
+// it that way under `go test -race`.
+func TestDatasetConcurrentReaders(t *testing.T) {
+	weather, err := spaceweather.Generate(spaceweather.Paper2020to2024())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := runPipeline(t, weather, 42, 0)
+	d := run.dataset
+	events, err := d.EventsAbovePercentile(95, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events to associate")
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				switch (g + i) % 4 {
+				case 0:
+					if got := d.Events(-50, 1, 0); len(got) == 0 {
+						t.Error("Events returned nothing")
+					}
+				case 1:
+					ev := events[(g+i)%len(events)]
+					if _, err := d.Window(ev.Epoch(), core.WindowOptions{Days: 30}); err != nil {
+						t.Errorf("Window: %v", err)
+					}
+				case 2:
+					// Associate itself fans out on the worker pool, so this
+					// also exercises nested pool use under contention.
+					d.Associate(events, 30)
+				case 3:
+					if _, err := d.RawAltitudeCDF(); err != nil {
+						t.Errorf("RawAltitudeCDF: %v", err)
+					}
+					if _, err := d.CleanAltitudeCDF(); err != nil {
+						t.Errorf("CleanAltitudeCDF: %v", err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -4,7 +4,10 @@
 #   1. go vet over every package,
 #   2. a clean build,
 #   3. the entire test suite under the race detector,
-#   4. every fuzz target, seeds + 10s of new coverage each.
+#   4. the parallel-equivalence suite at GOMAXPROCS=1 and GOMAXPROCS=4
+#      (worker-pool output must be bit-identical regardless of how many
+#      CPUs the scheduler actually has),
+#   5. every fuzz target, seeds + 10s of new coverage each.
 #
 # Pass -short as $1 to run the fast tier (skips the year-long substrate
 # builds and the fuzz sessions).
@@ -26,6 +29,10 @@ go build ./...
 
 echo "== go test -race $SHORT ./..."
 go test -race $SHORT ./...
+
+echo "== parallel equivalence at GOMAXPROCS=1 and GOMAXPROCS=4"
+GOMAXPROCS=1 go test -count=1 -run 'TestParallelEquivalence|TestDatasetConcurrentReaders' .
+GOMAXPROCS=4 go test -count=1 -run 'TestParallelEquivalence|TestDatasetConcurrentReaders' .
 
 if [ "$FUZZ" = 1 ]; then
     fuzz() {
