@@ -1,9 +1,20 @@
 GO ?= go
 
-.PHONY: build test test-short race vet fuzz verify verify-short golden bench
+.PHONY: build test test-short race vet lint cover fuzz verify verify-short golden bench
 
 build:
 	$(GO) build ./...
+
+# cosmiclint enforces the pipeline's determinism and hygiene invariants
+# (no wall-clock/global-RNG reads, no naked goroutines, no map-order
+# leaks, no discarded Close errors). See DESIGN.md "Determinism
+# invariants".
+lint:
+	$(GO) run ./cmd/cosmiclint ./...
+
+# Coverage floors: internal/lint >= 85%, module total >= 70%.
+cover:
+	./scripts/cover.sh
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestDirtyFixtureJSON golden-pins the -json output: rule names, stable
+// module-root-relative paths, positions and field order.
+func TestDirtyFixtureJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "./testdata/dirty"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d (stderr %q), want 1", code, errb.String())
+	}
+	golden := filepath.Join("testdata", "dirty.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("-json output drifted from golden:\n got: %s\nwant: %s", out.Bytes(), want)
+	}
+	// The golden itself must stay well-formed and field-ordered.
+	var parsed []map[string]any
+	if err := json.Unmarshal(want, &parsed); err != nil {
+		t.Fatalf("golden is not valid JSON: %v", err)
+	}
+	if len(parsed) != 2 {
+		t.Fatalf("golden has %d findings, want 2", len(parsed))
+	}
+}
+
+// TestDirtyFixtureText asserts the human-readable mode carries the rule
+// name and position for each violation.
+func TestDirtyFixtureText(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"./testdata/dirty"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d (stderr %q), want 1", code, errb.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"cmd/cosmiclint/testdata/dirty/dirty.go:12:2:",
+		"[maporder]",
+		"cmd/cosmiclint/testdata/dirty/dirty.go:22:8:",
+		"[errhygiene]",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestCleanFixture exits 0 with no output.
+func TestCleanFixture(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"./testdata/clean"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d (stdout %q, stderr %q), want 0", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run produced output: %q", out.String())
+	}
+}
+
+// TestRulesFilter: with the offending rule filtered out, the dirty
+// fixture is clean; with an unknown rule, load fails with exit 2.
+func TestRulesFilter(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-rules", "nondet,goroutine", "./testdata/dirty"}, &out, &errb); code != 0 {
+		t.Fatalf("filtered exit = %d, want 0 (stdout %q)", code, out.String())
+	}
+	if code := run([]string{"-rules", "conjuration", "./testdata/dirty"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown-rule exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown rule") {
+		t.Errorf("stderr = %q, want unknown rule message", errb.String())
+	}
+}
+
+// TestListRules prints every rule with its doc line.
+func TestListRules(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, rule := range []string{"nondet", "goroutine", "maporder", "errhygiene"} {
+		if !strings.Contains(out.String(), rule) {
+			t.Errorf("-list output missing rule %q:\n%s", rule, out.String())
+		}
+	}
+}
+
+// TestBadPattern: a path outside the module is a load error, not a crash.
+func TestBadPattern(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"/no/such/module/dir"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2 (stderr %q)", code, errb.String())
+	}
+}
+
+// TestWholeTreeClean is the dogfood gate in miniature: the repository at
+// HEAD must lint clean. (verify.sh runs the same check from the shell;
+// this keeps `go test ./...` sufficient to catch regressions.)
+func TestWholeTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errb); code != 0 {
+		t.Fatalf("cosmiclint ./... = exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+}

@@ -1,0 +1,19 @@
+// Package clean is the driver's zero-findings fixture.
+package clean
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func dumpCounts(w io.Writer, counts map[string]int) {
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s %d\n", name, counts[name])
+	}
+}

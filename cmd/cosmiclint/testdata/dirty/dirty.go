@@ -1,0 +1,25 @@
+// Package dirty is the driver's fixture: two module-wide violations with
+// known positions, golden-pinned in the -json output test.
+package dirty
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+func dumpCounts(w io.Writer, counts map[string]int) {
+	for name, n := range counts {
+		fmt.Fprintf(w, "%s %d\n", name, n)
+	}
+}
+
+func spill(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(data)
+	return err
+}

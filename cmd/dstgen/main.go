@@ -46,15 +46,19 @@ func main() {
 		log.Fatalf("dstgen: %v", err)
 	}
 	w := io.Writer(os.Stdout)
+	closeOut := func() error { return nil }
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			log.Fatalf("dstgen: %v", err)
 		}
-		defer f.Close()
 		w = f
+		closeOut = f.Close
 	}
 	if err := dst.WriteRecords(w, records); err != nil {
+		log.Fatalf("dstgen: %v", err)
+	}
+	if err := closeOut(); err != nil {
 		log.Fatalf("dstgen: %v", err)
 	}
 	fmt.Fprintf(os.Stderr, "dstgen: wrote %d daily records (%s .. %s)\n",

@@ -44,13 +44,14 @@ func main() {
 	csvOut = *csvDir
 
 	w := io.Writer(os.Stdout)
+	closeOut := func() error { return nil }
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			log.Fatalf("figures: %v", err)
 		}
-		defer f.Close()
 		w = f
+		closeOut = f.Close
 	}
 	if err := run(w, *figure, *seed, *parallelism); err != nil {
 		log.Fatalf("figures: %v", err)
@@ -59,6 +60,9 @@ func main() {
 		if err := runExtensions(w, *seed, *parallelism); err != nil {
 			log.Fatalf("figures: %v", err)
 		}
+	}
+	if err := closeOut(); err != nil {
+		log.Fatalf("figures: %v", err)
 	}
 }
 
@@ -75,8 +79,11 @@ func writeCSVFile(name string, fn func(io.Writer) error) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return fn(f)
+	if err := fn(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func run(w io.Writer, figure int, seed int64, parallelism int) error {
@@ -246,10 +253,11 @@ func renderFig56(w io.Writer, dataset *core.Dataset, want func(int) bool) error 
 		if err := report.Fig5(w, quietCDF, stormCDF, dragCDF); err != nil {
 			return err
 		}
-		for name, cdf := range map[string]*stats.CDF{
-			"fig05a.csv": quietCDF, "fig05b.csv": stormCDF, "fig05c.csv": dragCDF,
-		} {
-			if err := writeCSVFile(name, func(f io.Writer) error { return report.CDFToCSV(f, cdf, 64) }); err != nil {
+		for _, c := range []struct {
+			name string
+			cdf  *stats.CDF
+		}{{"fig05a.csv", quietCDF}, {"fig05b.csv", stormCDF}, {"fig05c.csv", dragCDF}} {
+			if err := writeCSVFile(c.name, func(f io.Writer) error { return report.CDFToCSV(f, c.cdf, 64) }); err != nil {
 				return err
 			}
 		}
@@ -279,10 +287,11 @@ func renderFig56(w io.Writer, dataset *core.Dataset, want func(int) bool) error 
 		if err := report.Fig6(w, shortCDF, longCDF, dragLong); err != nil {
 			return err
 		}
-		for name, cdf := range map[string]*stats.CDF{
-			"fig06a.csv": shortCDF, "fig06b.csv": longCDF, "fig06c.csv": dragLong,
-		} {
-			if err := writeCSVFile(name, func(f io.Writer) error { return report.CDFToCSV(f, cdf, 64) }); err != nil {
+		for _, c := range []struct {
+			name string
+			cdf  *stats.CDF
+		}{{"fig06a.csv", shortCDF}, {"fig06b.csv", longCDF}, {"fig06c.csv", dragLong}} {
+			if err := writeCSVFile(c.name, func(f io.Writer) error { return report.CDFToCSV(f, c.cdf, 64) }); err != nil {
 				return err
 			}
 		}

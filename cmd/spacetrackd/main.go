@@ -95,6 +95,11 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	srv := spacetrack.NewServer(archive, end)
 	srv.RatePerSec = *rate
 	srv.Burst = *rate * 2
+	// The daemon serves in real time: anchor the service clock at the
+	// archive frontier but let it advance, so the token bucket refills
+	// between requests (a pinned clock would 429 forever past the burst).
+	boot := time.Now()
+	srv.Now = func() time.Time { return end.Add(time.Since(boot)) }
 
 	// The WDC-style Dst endpoint rides alongside the tracking API, so one
 	// process simulates both of CosmicDance's upstream services.

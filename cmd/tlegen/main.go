@@ -54,13 +54,14 @@ func main() {
 		log.Fatalf("tlegen: %v", err)
 	}
 	w := io.Writer(os.Stdout)
+	closeOut := func() error { return nil }
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			log.Fatalf("tlegen: %v", err)
 		}
-		defer f.Close()
 		w = f
+		closeOut = f.Close
 	}
 	switch *format {
 	case "tle":
@@ -73,6 +74,9 @@ func main() {
 		}
 	default:
 		log.Fatalf("tlegen: unknown format %q", *format)
+	}
+	if err := closeOut(); err != nil {
+		log.Fatalf("tlegen: %v", err)
 	}
 	fmt.Fprintf(os.Stderr, "tlegen: %d satellites, %d element sets\n", len(res.Sats), len(res.Samples))
 }

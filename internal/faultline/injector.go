@@ -117,7 +117,9 @@ func (in *Injector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (in *Injector) reset(w http.ResponseWriter) {
 	if hj, ok := w.(http.Hijacker); ok {
 		if conn, _, err := hj.Hijack(); err == nil {
-			conn.Close()
+			// The whole point is to tear the connection down; the close error
+			// is the fault being injected.
+			_ = conn.Close()
 			return
 		}
 	}
@@ -175,6 +177,7 @@ func (in *Injector) mutateBody(w http.ResponseWriter, r *http.Request, mutate fu
 }
 
 func writeRecorded(w http.ResponseWriter, rec *recorded, body []byte, declaredLen int) {
+	//cosmiclint:allow maporder net/http sorts header keys when serializing the response
 	for k, vs := range rec.header {
 		for _, v := range vs {
 			w.Header().Add(k, v)

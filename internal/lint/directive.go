@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// DirectiveRule is the pseudo-rule name under which malformed and unused
+// //cosmiclint:allow directives are reported.
+const DirectiveRule = "allowdirective"
+
+// allowDirective is one parsed //cosmiclint:allow comment. A directive
+// suppresses findings of one rule on its own line or the line directly
+// below it (covering both trailing and preceding comment placement), and
+// must be consumed by exactly that: an unused directive is a finding.
+type allowDirective struct {
+	rule string
+	file string
+	line int
+	pos  token.Position
+	used bool
+}
+
+const directivePrefix = "cosmiclint:"
+
+// parseAllows scans every comment in the package for cosmiclint
+// directives. Malformed directives (unknown verb, unknown rule, missing
+// reason) are returned as findings immediately.
+func parseAllows(pkg *Package, knownRules map[string]bool) ([]*allowDirective, []Finding) {
+	var allows []*allowDirective
+	var bad []Finding
+	report := func(pos token.Position, format string, args ...any) {
+		bad = append(bad, Finding{Rule: DirectiveRule, Pos: pos, Message: fmt.Sprintf(format, args...)})
+	}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+directivePrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				verb, rest, _ := strings.Cut(text, " ")
+				if verb != "allow" {
+					report(pos, "unknown cosmiclint directive %q (only \"allow\" is supported)", verb)
+					continue
+				}
+				rule, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				if rule == "" {
+					report(pos, "cosmiclint:allow needs a rule name and a reason: //cosmiclint:allow <rule> <reason>")
+					continue
+				}
+				if !knownRules[rule] {
+					report(pos, "cosmiclint:allow names unknown rule %q", rule)
+					continue
+				}
+				if strings.TrimSpace(reason) == "" {
+					report(pos, "cosmiclint:allow %s needs a reason: //cosmiclint:allow %s <reason>", rule, rule)
+					continue
+				}
+				allows = append(allows, &allowDirective{rule: rule, file: pos.Filename, line: pos.Line, pos: pos})
+			}
+		}
+	}
+	return allows, bad
+}

@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// sourceImporter type-checks packages from source on demand: module
+// packages from the module tree, everything else from GOROOT/src via
+// go/build. The environment is offline and ships no pre-compiled export
+// data, so this is the only way a stdlib-only analyzer can see types.
+//
+// Cgo is disabled in the build context so the pure-Go fallback files are
+// selected for packages like net — go/types cannot check `import "C"`
+// bodies and the type information of the fallbacks is identical for our
+// purposes.
+type sourceImporter struct {
+	fset     *token.FileSet
+	ctx      build.Context
+	modPath  string
+	modRoot  string
+	pkgs     map[string]*types.Package
+	checking map[string]bool
+}
+
+func newSourceImporter(fset *token.FileSet, modPath, modRoot string) *sourceImporter {
+	ctx := build.Default
+	ctx.CgoEnabled = false
+	return &sourceImporter{
+		fset:     fset,
+		ctx:      ctx,
+		modPath:  modPath,
+		modRoot:  modRoot,
+		pkgs:     make(map[string]*types.Package),
+		checking: make(map[string]bool),
+	}
+}
+
+// Import implements types.Importer.
+func (im *sourceImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := im.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if im.checking[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	im.checking[path] = true
+	defer delete(im.checking, path)
+
+	dir, names, err := im.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	files, err := im.parse(dir, names)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := im.check(path, files)
+	if pkg == nil {
+		return nil, fmt.Errorf("type-checking %q: %w", path, err)
+	}
+	im.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// resolve maps an import path to a directory and its buildable .go files.
+func (im *sourceImporter) resolve(path string) (dir string, names []string, err error) {
+	if path == im.modPath || strings.HasPrefix(path, im.modPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, im.modPath), "/")
+		dir = filepath.Join(im.modRoot, filepath.FromSlash(rel))
+		names, err = im.goFiles(dir)
+		if err != nil {
+			return "", nil, fmt.Errorf("resolving %q: %w", path, err)
+		}
+		return dir, names, nil
+	}
+	bp, err := im.ctx.Import(path, im.modRoot, 0)
+	if err != nil {
+		return "", nil, fmt.Errorf("resolving %q: %w", path, err)
+	}
+	return bp.Dir, bp.GoFiles, nil
+}
+
+// goFiles lists the non-test .go files in dir that match the build
+// context (build tags, GOOS/GOARCH suffixes).
+func (im *sourceImporter) goFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		ok, err := im.ctx.MatchFile(dir, n)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+	return names, nil
+}
+
+// parse parses the named files in dir into im.fset.
+func (im *sourceImporter) parse(dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, n := range names {
+		f, err := parser.ParseFile(im.fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// check type-checks one package. info may be nil (dependencies); target
+// packages pass a types.Info to keep use/type facts for the rules.
+func (im *sourceImporter) check(path string, files []*ast.File) (*types.Package, error) {
+	return im.checkInfo(path, files, nil)
+}
+
+func (im *sourceImporter) checkInfo(path string, files []*ast.File, info *types.Info) (*types.Package, error) {
+	var first error
+	conf := types.Config{
+		Importer:    im,
+		FakeImportC: true,
+		// Collect the first error but keep checking: dependency packages can
+		// contain constructs irrelevant to the target's type facts.
+		Error: func(err error) {
+			if first == nil {
+				first = err
+			}
+		},
+	}
+	pkg, err := conf.Check(path, im.fset, files, info)
+	if err != nil && first == nil {
+		first = err
+	}
+	return pkg, first
+}

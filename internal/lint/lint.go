@@ -1,0 +1,173 @@
+// Package lint is cosmiclint: a domain-specific static analyzer that
+// machine-checks the determinism and hygiene invariants the CosmicDance
+// pipeline is built on. The headline guarantee of the reproduction —
+// bit-identical datasets and figures at every worker count and on every
+// rerun — rests on a handful of conventions (no wall-clock reads in the
+// physics, no shared global RNG, no concurrency outside internal/parallel,
+// no map-iteration order leaking into output). This package turns each
+// convention into a Rule that go/parser + go/types can enforce, so a
+// regression fails `make lint` instead of silently invalidating results.
+//
+// The analyzer is stdlib-only (go/ast, go/parser, go/types): the build
+// environment is offline, so it loads every package — stdlib included —
+// from source with its own importer rather than depending on
+// golang.org/x/tools.
+//
+// A finding can be suppressed at a legitimate site with a directive
+// comment on the flagged line or the line above it:
+//
+//	//cosmiclint:allow <rule> <reason>
+//
+// The reason is mandatory and unused or malformed directives are
+// themselves findings, so the escape hatch cannot rot silently.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at one position.
+type Finding struct {
+	// Rule is the name of the rule that fired.
+	Rule string
+	// Pos locates the violation.
+	Pos token.Position
+	// Message explains the violation and how to fix it.
+	Message string
+}
+
+// String renders a finding in the canonical file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Rule)
+}
+
+// Rule is one self-contained invariant check. Check inspects a single
+// type-checked package via the Pass and reports violations through it.
+type Rule struct {
+	// Name is the short identifier used in findings, -rules filters and
+	// allow directives.
+	Name string
+	// Doc is a one-line description of the invariant the rule enforces.
+	Doc string
+	// Check runs the rule over one package.
+	Check func(*Pass)
+}
+
+// PipelinePackages lists the module-relative import paths whose code must
+// be deterministic: everything on the TLE → dataset → figures path, plus
+// the CLI that orchestrates it. The nondet and goroutine rules fire only
+// inside these packages; maporder and errhygiene apply module-wide.
+var PipelinePackages = []string{
+	"cmd/cosmicdance",
+	"internal/atmosphere",
+	"internal/conjunction",
+	"internal/constellation",
+	"internal/core",
+	"internal/groundtrack",
+	"internal/orbit",
+	"internal/report",
+	"internal/spaceweather",
+	"internal/stats",
+	"internal/timeseries",
+	"internal/trigger",
+}
+
+// Pass carries one package through every rule. Rules read the syntax and
+// type information and call Reportf; the pass owns directive matching and
+// finding accumulation.
+type Pass struct {
+	pkg      *Package
+	rule     *Rule
+	findings *[]Finding
+	allows   []*allowDirective
+}
+
+// Package exposes the loaded package to rules.
+func (p *Pass) Package() *Package { return p.pkg }
+
+// Files returns the package's parsed (non-test) files.
+func (p *Pass) Files() []*ast.File { return p.pkg.Files }
+
+// Fset returns the position table for the package's files.
+func (p *Pass) Fset() *token.FileSet { return p.pkg.Fset }
+
+// InPipeline reports whether the package is on the deterministic pipeline
+// path (see PipelinePackages).
+func (p *Pass) InPipeline() bool {
+	rel := strings.TrimPrefix(strings.TrimPrefix(p.pkg.Path, p.pkg.ModulePath), "/")
+	for _, pp := range PipelinePackages {
+		if rel == pp {
+			return true
+		}
+	}
+	return false
+}
+
+// Reportf records a finding for the running rule at pos, unless an allow
+// directive for the rule covers the position's line (or the directive sits
+// on the line immediately above it).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.pkg.Fset.Position(pos)
+	for _, a := range p.allows {
+		if a.rule != p.rule.Name || a.file != position.Filename {
+			continue
+		}
+		if a.line == position.Line || a.line == position.Line-1 {
+			a.used = true
+			return
+		}
+	}
+	*p.findings = append(*p.findings, Finding{
+		Rule:    p.rule.Name,
+		Pos:     position,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies rules to every package and returns the combined findings
+// sorted by file, line, column and rule. Unused and malformed allow
+// directives are reported under the "allowdirective" pseudo-rule.
+func Run(pkgs []*Package, rules []Rule) []Finding {
+	var findings []Finding
+	known := make(map[string]bool, len(rules))
+	for i := range rules {
+		known[rules[i].Name] = true
+	}
+	for _, pkg := range pkgs {
+		allows, bad := parseAllows(pkg, known)
+		for _, f := range bad {
+			findings = append(findings, f)
+		}
+		for i := range rules {
+			pass := &Pass{pkg: pkg, rule: &rules[i], findings: &findings, allows: allows}
+			rules[i].Check(pass)
+		}
+		for _, a := range allows {
+			if !a.used {
+				findings = append(findings, Finding{
+					Rule:    DirectiveRule,
+					Pos:     a.pos,
+					Message: fmt.Sprintf("unused cosmiclint:allow directive for rule %q: nothing on this or the next line triggers it", a.rule),
+				})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return findings
+}

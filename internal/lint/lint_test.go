@@ -1,0 +1,209 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"cosmicdance/internal/lint"
+	"cosmicdance/internal/lint/linttest"
+)
+
+// pipelinePose poses a fixture as a pipeline package so pipeline-scoped
+// rules fire.
+const pipelinePose = "cosmicdance/internal/core"
+
+// TestRuleFixtures diffs every rule against its fixture package's want
+// comments: each violation must be reported with the right message at the
+// right position, and the sanctioned shapes must stay silent.
+func TestRuleFixtures(t *testing.T) {
+	cases := []struct {
+		dir    string
+		asPath string
+	}{
+		{"testdata/nondet", pipelinePose},
+		{"testdata/goroutine", "cosmicdance/internal/constellation"},
+		{"testdata/maporder", "cosmicdance/internal/report"},
+		{"testdata/errhygiene", "cosmicdance/internal/spacetrack"},
+		{"testdata/allow", pipelinePose},
+	}
+	for _, c := range cases {
+		t.Run(strings.TrimPrefix(c.dir, "testdata/"), func(t *testing.T) {
+			linttest.Run(t, c.dir, c.asPath, lint.All())
+		})
+	}
+}
+
+// TestAllowSuppressesExactlyOne pins the directive contract: of the three
+// identical time.Now violations in testdata/allow, the two annotated ones
+// vanish and exactly one finding survives.
+func TestAllowSuppressesExactlyOne(t *testing.T) {
+	findings, err := linttest.Load("testdata/allow", pipelinePose, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nondet []lint.Finding
+	for _, f := range findings {
+		if f.Rule == "nondet" {
+			nondet = append(nondet, f)
+		}
+	}
+	if len(nondet) != 1 {
+		t.Fatalf("want exactly 1 surviving nondet finding, got %d: %v", len(nondet), nondet)
+	}
+	if !strings.Contains(nondet[0].Message, "time.Now") {
+		t.Errorf("surviving finding = %s, want a time.Now violation", nondet[0])
+	}
+}
+
+// TestUnusedAllowReported pins the other half of the contract: a
+// directive that suppresses nothing is itself a finding.
+func TestUnusedAllowReported(t *testing.T) {
+	findings, err := linttest.Load("testdata/allow", pipelinePose, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range findings {
+		if f.Rule == lint.DirectiveRule && strings.Contains(f.Message, "unused cosmiclint:allow") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no unused-directive finding in %v", findings)
+	}
+}
+
+// TestMalformedDirectives covers the shapes that cannot carry want
+// comments (a trailing comment would become the missing field).
+func TestMalformedDirectives(t *testing.T) {
+	findings, err := linttest.Load("testdata/badallow", pipelinePose, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSubstrings := []string{
+		"needs a rule name and a reason", // bare //cosmiclint:allow
+		"needs a reason",                 // //cosmiclint:allow nondet
+		"time.Now",                       // the reason-less directive must NOT suppress
+	}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, f := range findings {
+			if strings.Contains(f.Message, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no finding containing %q in %v", want, findings)
+		}
+	}
+}
+
+// TestFindingsSorted asserts the deterministic output order the -json
+// golden pin depends on.
+func TestFindingsSorted(t *testing.T) {
+	findings, err := linttest.Load("testdata/nondet", pipelinePose, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) < 2 {
+		t.Fatalf("fixture produced %d findings, want several", len(findings))
+	}
+	for i := 1; i < len(findings); i++ {
+		a, b := findings[i-1], findings[i]
+		if a.Pos.Filename > b.Pos.Filename ||
+			(a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line) {
+			t.Errorf("findings out of order: %s before %s", a, b)
+		}
+	}
+}
+
+// TestScopedRulesSkipNonPipeline poses the nondet fixture as a
+// non-pipeline package: the pipeline rules must stay silent (the fixture
+// has no module-wide violations), and the now-unused directives in the
+// allow fixture must not crash anything.
+func TestScopedRulesSkipNonPipeline(t *testing.T) {
+	findings, err := linttest.Load("testdata/nondet", "cosmicdance/internal/tle", lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("non-pipeline pose produced findings: %v", findings)
+	}
+}
+
+// TestSelect covers the -rules filter parsing.
+func TestSelect(t *testing.T) {
+	all, err := lint.Select("")
+	if err != nil || len(all) != len(lint.All()) {
+		t.Fatalf("Select(\"\") = %v, %v; want all rules", all, err)
+	}
+	two, err := lint.Select("nondet, maporder")
+	if err != nil || len(two) != 2 || two[0].Name != "nondet" || two[1].Name != "maporder" {
+		t.Fatalf("Select(\"nondet, maporder\") = %v, %v", two, err)
+	}
+	if _, err := lint.Select("conjuration"); err == nil {
+		t.Fatal("Select of unknown rule did not error")
+	}
+}
+
+// TestRuleMetadata: every rule has a name and a doc line (the -list
+// output and DESIGN.md table rely on them).
+func TestRuleMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range lint.All() {
+		if r.Name == "" || r.Doc == "" || r.Check == nil {
+			t.Errorf("incomplete rule: %+v", r)
+		}
+		if seen[r.Name] {
+			t.Errorf("duplicate rule name %q", r.Name)
+		}
+		seen[r.Name] = true
+	}
+	for _, name := range []string{"nondet", "goroutine", "maporder", "errhygiene"} {
+		if !seen[name] {
+			t.Errorf("rule %q missing from All()", name)
+		}
+	}
+}
+
+// TestSelfClean dogfoods the analyzer on its own package tree: the
+// module-wide rules must hold for internal/lint itself.
+func TestSelfClean(t *testing.T) {
+	root, err := lint.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("internal/lint/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 2 {
+		t.Fatalf("loaded %d packages, want internal/lint and linttest", len(pkgs))
+	}
+	if findings := lint.Run(pkgs, lint.All()); len(findings) != 0 {
+		t.Errorf("cosmiclint is not clean on itself: %v", findings)
+	}
+}
+
+// TestLoaderErrors covers the failure paths the driver turns into exit
+// code 2.
+func TestLoaderErrors(t *testing.T) {
+	if _, err := lint.ModuleRoot(t.TempDir()); err == nil {
+		t.Error("ModuleRoot outside a module did not error")
+	}
+	root, err := lint.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.Load("no/such/dir"); err == nil {
+		t.Error("Load of missing dir did not error")
+	}
+}

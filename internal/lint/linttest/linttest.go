@@ -1,0 +1,165 @@
+// Package linttest runs cosmiclint rules against fixture packages and
+// diffs the findings against `// want "regexp"` expectation comments, in
+// the style of golang.org/x/tools' analysistest (reimplemented here
+// because the workspace is stdlib-only).
+//
+// A fixture is a directory of normal Go files under testdata/ (so the go
+// tool ignores it). Each line that should produce a finding carries a
+// trailing comment:
+//
+//	x := time.Now() // want `time\.Now reads the wall clock`
+//
+// Multiple quoted patterns on one line expect multiple findings. Every
+// finding must be matched by a pattern on its line and every pattern must
+// be matched by a finding, or the test fails.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"cosmicdance/internal/lint"
+)
+
+// TB is the subset of testing.TB the harness needs (an interface so the
+// harness itself is testable).
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// Run loads fixtureDir as a package with import path asPath, applies the
+// rules, and checks findings against the fixture's want comments. asPath
+// controls pipeline scoping: pose the fixture as e.g.
+// "cosmicdance/internal/core" to exercise pipeline-only rules.
+func Run(t TB, fixtureDir, asPath string, rules []lint.Rule) {
+	t.Helper()
+	findings, err := Load(fixtureDir, asPath, rules)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+		return // reached only under a non-exiting TB (the harness's own tests)
+	}
+	wants, err := parseWants(fixtureDir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+		return
+	}
+	for _, f := range findings {
+		if !wants.match(f) {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants.unmatched() {
+		t.Errorf("%s:%d: no finding matched %q", w.file, w.line, w.re)
+	}
+}
+
+// Load runs the rules over fixtureDir posed as asPath and returns the raw
+// findings (for tests that assert on findings directly rather than via
+// want comments).
+func Load(fixtureDir, asPath string, rules []lint.Rule) ([]lint.Finding, error) {
+	root, err := lint.ModuleRoot(fixtureDir)
+	if err != nil {
+		return nil, err
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	abs, err := filepath.Abs(fixtureDir)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := loader.LoadAs(abs, asPath)
+	if err != nil {
+		return nil, err
+	}
+	return lint.Run([]*lint.Package{pkg}, rules), nil
+}
+
+// want is one expectation: a pattern bound to a file and line.
+type want struct {
+	file    string
+	line    int
+	re      string
+	rx      *regexp.Regexp
+	matched bool
+}
+
+type wantSet struct{ wants []*want }
+
+// match consumes the first unmatched expectation on the finding's line
+// whose pattern matches the finding's message or rule name.
+func (ws *wantSet) match(f lint.Finding) bool {
+	for _, w := range ws.wants {
+		if w.matched || w.line != f.Pos.Line || filepath.Base(w.file) != filepath.Base(f.Pos.Filename) {
+			continue
+		}
+		if w.rx.MatchString(f.Message) || w.rx.MatchString(f.Rule) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func (ws *wantSet) unmatched() []*want {
+	var out []*want
+	for _, w := range ws.wants {
+		if !w.matched {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// wantRE matches quoted or backquoted patterns after a "// want" marker.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// parseWants scans every fixture source file for want comments.
+func parseWants(dir string) (*wantSet, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	ws := &wantSet{}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, rest, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			pats := wantRE.FindAllString(rest, -1)
+			if len(pats) == 0 {
+				return nil, fmt.Errorf("%s:%d: malformed want comment (no quoted pattern)", path, i+1)
+			}
+			for _, pat := range pats {
+				unq := strings.Trim(pat, "`")
+				if strings.HasPrefix(pat, `"`) {
+					if unq, err = strconv.Unquote(pat); err != nil {
+						return nil, fmt.Errorf("%s:%d: bad pattern %s: %v", path, i+1, pat, err)
+					}
+				}
+				rx, err := regexp.Compile(unq)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad regexp %s: %v", path, i+1, pat, err)
+				}
+				ws.wants = append(ws.wants, &want{file: path, line: i + 1, re: unq, rx: rx})
+			}
+		}
+	}
+	return ws, nil
+}

@@ -1,0 +1,72 @@
+package linttest
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cosmicdance/internal/lint"
+)
+
+// recorder is a TB that records instead of exiting, so the harness's own
+// failure modes can be asserted.
+type recorder struct {
+	errors []string
+	fatals []string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Errorf(f string, args ...any) {
+	r.errors = append(r.errors, fmt.Sprintf(f, args...))
+}
+func (r *recorder) Fatalf(f string, args ...any) {
+	r.fatals = append(r.fatals, fmt.Sprintf(f, args...))
+}
+
+// TestHarnessAgreesWithCleanFixture runs a real fixture whose want
+// comments are correct: no complaints.
+func TestHarnessAgreesWithCleanFixture(t *testing.T) {
+	rec := &recorder{}
+	Run(rec, "../testdata/maporder", "cosmicdance/internal/report", lint.All())
+	if len(rec.errors) != 0 || len(rec.fatals) != 0 {
+		t.Errorf("harness complained about a correct fixture: errors=%v fatals=%v", rec.errors, rec.fatals)
+	}
+}
+
+// TestHarnessReportsBothDirections: an unannotated finding and an
+// unmatched expectation each produce an error.
+func TestHarnessReportsBothDirections(t *testing.T) {
+	rec := &recorder{}
+	Run(rec, "testdata/harness", "cosmicdance/internal/report", lint.All())
+	var unexpected, unmatched bool
+	for _, e := range rec.errors {
+		if strings.Contains(e, "unexpected finding") {
+			unexpected = true
+		}
+		if strings.Contains(e, "no finding matched") {
+			unmatched = true
+		}
+	}
+	if !unexpected || !unmatched {
+		t.Errorf("harness errors = %v; want both an unexpected-finding and a no-finding-matched error", rec.errors)
+	}
+}
+
+// TestHarnessRejectsMalformedWant: a want comment without a quoted
+// pattern is a fatal harness error, not a silent skip.
+func TestHarnessRejectsMalformedWant(t *testing.T) {
+	rec := &recorder{}
+	Run(rec, "testdata/badwant", "cosmicdance/internal/report", lint.All())
+	if len(rec.fatals) == 0 || !strings.Contains(rec.fatals[0], "malformed want comment") {
+		t.Errorf("fatals = %v; want a malformed-want complaint", rec.fatals)
+	}
+}
+
+// TestHarnessMissingFixtureDir: a bad path is a fatal error.
+func TestHarnessMissingFixtureDir(t *testing.T) {
+	rec := &recorder{}
+	Run(rec, "testdata/no-such-fixture", "cosmicdance/internal/report", lint.All())
+	if len(rec.fatals) == 0 {
+		t.Error("missing fixture dir did not produce a fatal error")
+	}
+}

@@ -1,0 +1,4 @@
+// Package badwant carries a malformed want comment (no quoted pattern).
+package badwant
+
+func ok() {} // want unquoted-pattern

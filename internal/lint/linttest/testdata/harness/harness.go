@@ -1,0 +1,14 @@
+// Package harness deliberately disagrees with its want comments: one
+// unannotated violation and one expectation that never fires, so the
+// harness's own failure reporting can be asserted.
+package harness
+
+import "fmt"
+
+func leak(m map[string]int) {
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+func clean() int { return 1 } // want `this expectation never matches`

@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkErrHygiene enforces the module's two error-handling invariants:
+//
+//  1. Close errors on write paths are real errors (a buffered flush can
+//     fail at Close), so a statement or defer that discards the error from
+//     Close() on anything that can write is flagged. Assigning the result
+//     to _ is accepted as an explicit, reviewable discard; Close on a
+//     provably read-only file (os.Open provenance) is exempt.
+//  2. The typed error family introduced with the hardened ingest path
+//     (RetryError, StatusError, CatalogError, ...) travels wrapped. Direct
+//     type assertions or type switches on an error value miss wrapped
+//     instances; errors.As is the only reliable match.
+func checkErrHygiene(p *Pass) {
+	info := p.Package().Info
+	eachFunc(p, func(fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				checkDiscardedClose(p, fd, s.X, false)
+			case *ast.DeferStmt:
+				checkDiscardedClose(p, fd, s.Call, true)
+			case *ast.TypeAssertExpr:
+				if s.Type != nil && isErrorType(info.TypeOf(s.X)) {
+					p.Reportf(s.Pos(), "type assertion on an error value misses wrapped errors; use errors.As")
+				}
+			case *ast.TypeSwitchStmt:
+				if x := typeSwitchSubject(s); x != nil && isErrorType(info.TypeOf(x)) {
+					p.Reportf(s.Pos(), "type switch on an error value misses wrapped errors; use errors.As per target type")
+				}
+			}
+			return true
+		})
+	})
+}
+
+// typeSwitchSubject extracts the switched-on expression from
+// `switch v := x.(type)` / `switch x.(type)`.
+func typeSwitchSubject(s *ast.TypeSwitchStmt) ast.Expr {
+	var e ast.Expr
+	switch a := s.Assign.(type) {
+	case *ast.ExprStmt:
+		e = a.X
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			e = a.Rhs[0]
+		}
+	}
+	if ta, ok := ast.Unparen(e).(*ast.TypeAssertExpr); ok {
+		return ta.X
+	}
+	return nil
+}
+
+// checkDiscardedClose flags expr when it is a Close() call whose error is
+// dropped on a write-capable receiver.
+func checkDiscardedClose(p *Pass, fd *ast.FuncDecl, expr ast.Expr, deferred bool) {
+	info := p.Package().Info
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Close" {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() != 0 ||
+		sig.Results().Len() != 1 || !isErrorType(sig.Results().At(0).Type()) {
+		return
+	}
+	recv := info.TypeOf(sel.X)
+	if !implementsWriter(recv) {
+		return
+	}
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		if obj := objectOf(info, id); obj != nil && openedReadOnly(info, fd, obj) {
+			return
+		}
+	}
+	if deferred {
+		p.Reportf(call.Pos(), "defer discards the error from Close on a write path; close explicitly and check the error (a failed flush surfaces at Close)")
+		return
+	}
+	p.Reportf(call.Pos(), "error from Close discarded on a write path; check it, or assign to _ to make the discard explicit")
+}
+
+// objectOf resolves an identifier through either Uses or Defs.
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// openedReadOnly reports whether obj is assigned from os.Open inside fd —
+// a read-only handle whose Close error carries no data-loss signal.
+func openedReadOnly(info *types.Info, fd *ast.FuncDecl, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || found {
+			return !found
+		}
+		if len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isPkgFunc(calleeFunc(info, call), "os", "Open") {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && objectOf(info, id) == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

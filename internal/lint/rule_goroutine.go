@@ -1,0 +1,22 @@
+package lint
+
+import "go/ast"
+
+// checkGoroutine flags go statements in pipeline packages. All pipeline
+// fan-out must go through internal/parallel, whose pool guarantees
+// index-ordered results, first-error-wins semantics and a full join before
+// return — a naked goroutine has none of those, so its scheduling can leak
+// into output ordering or outlive the stage that spawned it.
+func checkGoroutine(p *Pass) {
+	if !p.InPipeline() {
+		return
+	}
+	for _, file := range p.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				p.Reportf(g.Pos(), "naked goroutine in a pipeline package; use internal/parallel so ordering and join guarantees hold")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkMapOrder flags `for range` over a map whose body lets Go's
+// randomized iteration order escape: writing to an io.Writer (directly,
+// through fmt.Fprint*, or by calling anything handed a writer), printing
+// to stdout, or appending to a slice that the enclosing function returns
+// or renders. Deterministic output requires collecting the keys, sorting
+// them, and ranging the sorted slice — iteration that only aggregates
+// (sums, fills another map) is order-independent and not flagged.
+func checkMapOrder(p *Pass) {
+	info := p.Package().Info
+	eachFunc(p, func(fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := info.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if reason := mapOrderLeak(p, fd, rng); reason != "" {
+				p.Reportf(rng.Pos(), "map iteration order leaks into %s; collect and sort the keys first", reason)
+			}
+			return true
+		})
+	})
+}
+
+// mapOrderLeak explains how a map-range body leaks iteration order, or
+// returns "" if it provably only aggregates.
+func mapOrderLeak(p *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) string {
+	info := p.Package().Info
+	var reason string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, e); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				switch fn.Name() {
+				case "Print", "Printf", "Println":
+					reason = "os.Stdout via fmt." + fn.Name()
+					return false
+				}
+			}
+			for _, arg := range e.Args {
+				if implementsWriter(info.TypeOf(arg)) {
+					reason = "an io.Writer passed to a call in the loop body"
+					return false
+				}
+			}
+			if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+				if id, isIdent := ast.Unparen(sel.X).(*ast.Ident); isIdent {
+					if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+						return true
+					}
+				}
+				if implementsWriter(info.TypeOf(sel.X)) {
+					reason = "a method call on an io.Writer"
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range e.Rhs {
+				obj := appendTarget(info, e, i, rhs)
+				if obj == nil {
+					continue
+				}
+				if sortedInFunc(info, fd, obj) {
+					continue
+				}
+				if returnedFromFunc(info, fd, obj) {
+					reason = "a slice returned from " + fd.Name.Name + " (append target " + obj.Name() + ")"
+					return false
+				}
+				if renderedInFunc(info, fd, obj) {
+					reason = "a slice rendered through an io.Writer (append target " + obj.Name() + ")"
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// appendTarget returns the object of x in `x = append(x, ...)` position i,
+// or nil if the assignment is not an append to a plain identifier.
+func appendTarget(info *types.Info, assign *ast.AssignStmt, i int, rhs ast.Expr) types.Object {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if b, ok := info.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	if i >= len(assign.Lhs) {
+		i = 0
+	}
+	id, ok := assign.Lhs[i].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// sortedInFunc reports whether obj is handed to a sort/slices call
+// anywhere in fd, which restores a deterministic order after collection.
+func sortedInFunc(info *types.Info, fd *ast.FuncDecl, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && info.Uses[id] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// returnedFromFunc reports whether obj escapes fd as a result: named
+// result parameter, or appears in a return statement.
+func returnedFromFunc(info *types.Info, fd *ast.FuncDecl, obj types.Object) bool {
+	if res := fd.Type.Results; res != nil {
+		for _, field := range res.List {
+			for _, name := range field.Names {
+				if info.Defs[name] == obj {
+					return true
+				}
+			}
+		}
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || found {
+			return !found
+		}
+		for _, r := range ret.Results {
+			if id, ok := ast.Unparen(r).(*ast.Ident); ok && info.Uses[id] == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// renderedInFunc reports whether obj is passed to a call that also takes
+// an io.Writer — the collect-then-render shape (e.g. Table(w, header,
+// rows)) that turns an unsorted collection into ordered output.
+func renderedInFunc(info *types.Info, fd *ast.FuncDecl, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		usesObj, usesWriter := false, false
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && info.Uses[id] == obj {
+				usesObj = true
+			}
+			if implementsWriter(info.TypeOf(arg)) {
+				usesWriter = true
+			}
+		}
+		if usesObj && usesWriter {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

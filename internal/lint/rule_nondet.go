@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockFuncs are the time-package functions that read the wall clock
+// implicitly. Pipeline code must take times as inputs (or an injected
+// clock), never sample them, or reruns stop being bit-identical.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// randConstructors are the math/rand (and v2) package-level functions that
+// build explicit, seedable generators — the sanctioned way to get
+// randomness. Everything else at package level touches the shared global
+// source and is banned.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// checkNondet flags wall-clock reads and global math/rand state in
+// pipeline packages. Per-satellite physics must derive every draw from the
+// seeded, per-stream RNGs and every timestamp from the simulation window,
+// or dataset identity across reruns and worker counts breaks.
+func checkNondet(p *Pass) {
+	if !p.InPipeline() {
+		return
+	}
+	info := p.Package().Info
+	for _, file := range p.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				// Methods (e.g. on an explicit *rand.Rand) are the sanctioned
+				// deterministic path.
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[fn.Name()] {
+					p.Reportf(sel.Pos(), "time.%s reads the wall clock in a pipeline package; take the time as an input or inject a clock", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[fn.Name()] {
+					p.Reportf(sel.Pos(), "rand.%s uses the global math/rand source in a pipeline package; draw from an explicit seeded *rand.Rand instead", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

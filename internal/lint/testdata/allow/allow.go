@@ -1,0 +1,30 @@
+// Package allow exercises the //cosmiclint:allow escape hatch: a
+// well-formed directive suppresses exactly the findings on its own line
+// or the line below, and unused or unknown directives are findings
+// themselves. (Reason-less directives are exercised in testdata/badallow,
+// where a trailing want comment would itself parse as the reason.)
+package allow
+
+import "time"
+
+// preceding uses the directive-above placement.
+func preceding() time.Time {
+	//cosmiclint:allow nondet the CLI default window is genuinely "now"
+	return time.Now()
+}
+
+// trailing uses the same-line placement.
+func trailing() time.Time {
+	return time.Now() //cosmiclint:allow nondet same-line directive placement
+}
+
+// unsuppressed has no directive and must still be flagged.
+func unsuppressed() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+//cosmiclint:allow nondet covers nothing two lines down // want `unused cosmiclint:allow directive`
+
+//cosmiclint:allow conjuration no such rule // want `unknown rule`
+
+//cosmiclint:frobnicate nondet strange verb // want `unknown cosmiclint directive`

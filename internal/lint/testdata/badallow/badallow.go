@@ -1,0 +1,14 @@
+// Package badallow holds directives that cannot carry want comments: a
+// trailing comment would parse as the missing piece. The unit tests
+// assert on the raw findings instead.
+package badallow
+
+import "time"
+
+//cosmiclint:allow
+func bareDirective() {}
+
+//cosmiclint:allow nondet
+func missingReason() time.Time {
+	return time.Now()
+}

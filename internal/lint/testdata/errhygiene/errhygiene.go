@@ -1,0 +1,102 @@
+// Package errhygiene exercises the errhygiene rule: checked Close on
+// write paths, explicit discards, and errors.As instead of direct type
+// assertions on error values.
+package errhygiene
+
+import (
+	"errors"
+	"io"
+	"os"
+)
+
+// CatalogError mirrors the module's typed error family: it travels
+// wrapped through retry layers, so direct assertions miss it.
+type CatalogError struct{ Catalog int }
+
+func (e *CatalogError) Error() string { return "catalog" }
+
+func assertDirect(err error) int {
+	if ce, ok := err.(*CatalogError); ok { // want `use errors\.As`
+		return ce.Catalog
+	}
+	return 0
+}
+
+func assertSwitch(err error) int {
+	switch e := err.(type) { // want `use errors\.As`
+	case *CatalogError:
+		return e.Catalog
+	default:
+		return 0
+	}
+}
+
+// assertAs is the sanctioned shape.
+func assertAs(err error) int {
+	var ce *CatalogError
+	if errors.As(err, &ce) {
+		return ce.Catalog
+	}
+	return 0
+}
+
+func writeDefer(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `defer discards the error from Close on a write path`
+	_, err = f.Write(data)
+	return err
+}
+
+func writeStmt(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close() // want `error from Close discarded on a write path`
+		return err
+	}
+	return f.Close()
+}
+
+// writeExplicit discards visibly on the secondary error path; the write
+// error is already being returned.
+func writeExplicit(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// readDefer closes a read-only handle: os.Open provenance exempts it.
+func readDefer(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// readCloser is not write-capable, so its Close error carries no
+// data-loss signal.
+func readCloser(rc io.ReadCloser) error {
+	defer rc.Close()
+	_, err := io.ReadAll(rc)
+	return err
+}
+
+type sink struct{ f *os.File }
+
+// abandon closes through a field: no provenance, write-capable, flagged.
+func (s *sink) abandon() {
+	s.f.Close() // want `error from Close discarded on a write path`
+}

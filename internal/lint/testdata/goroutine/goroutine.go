@@ -1,0 +1,26 @@
+// Package goroutine exercises the goroutine rule: pipeline packages may
+// not spawn naked goroutines; fan-out goes through internal/parallel.
+package goroutine
+
+func spawn(done chan struct{}) {
+	go func() { // want `naked goroutine in a pipeline package`
+		done <- struct{}{}
+	}()
+	<-done
+}
+
+func spawnNamed(work func(), done chan struct{}) {
+	go notify(work, done) // want `naked goroutine in a pipeline package`
+	<-done
+}
+
+func notify(work func(), done chan struct{}) {
+	work()
+	done <- struct{}{}
+}
+
+// inline is the sanctioned shape at this layer: call synchronously and
+// let internal/parallel own the concurrency.
+func inline(work func()) {
+	work()
+}

@@ -1,0 +1,91 @@
+// Package maporder exercises the maporder rule: ranging over a map is
+// fine for aggregation, but any path from the loop body to ordered output
+// (an io.Writer, stdout, a returned or rendered slice) must sort first.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func leakFprintf(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `map iteration order leaks`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func leakStdout(m map[string]int) {
+	for k := range m { // want `map iteration order leaks`
+		fmt.Println(k)
+	}
+}
+
+func leakReturnedSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order leaks`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func leakNamedResult(m map[string]int) (keys []string) {
+	for k := range m { // want `map iteration order leaks`
+		keys = append(keys, k)
+	}
+	return
+}
+
+func leakRendered(w io.Writer, m map[string]int) error {
+	var rows []string
+	for k := range m { // want `map iteration order leaks`
+		rows = append(rows, k)
+	}
+	return render(w, rows)
+}
+
+func leakBuilder(sb *strings.Builder, m map[string]int) {
+	for k := range m { // want `map iteration order leaks`
+		sb.WriteString(k)
+	}
+}
+
+// sortedKeys is the sanctioned shape: collect, sort, then the ordered
+// slice is safe to return or render.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// aggregate never exposes order: reductions over maps are deterministic
+// for commutative operations.
+func aggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// transfer fills another map; no ordered sink is touched.
+func transfer(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func render(w io.Writer, rows []string) error {
+	for _, r := range rows {
+		if _, err := io.WriteString(w, r+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

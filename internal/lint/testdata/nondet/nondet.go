@@ -1,0 +1,37 @@
+// Package nondet exercises the nondet rule: wall-clock reads and global
+// math/rand state are banned in pipeline packages; explicit seeded
+// generators and time arithmetic on inputs are fine.
+package nondet
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()                  // want `time\.Now reads the wall clock`
+	_ = time.Until(start.Add(time.Hour)) // want `time\.Until reads the wall clock`
+	return time.Since(start)             // want `time\.Since reads the wall clock`
+}
+
+func globalRand() float64 {
+	rand.Seed(42)                      // want `rand\.Seed uses the global math/rand source`
+	_ = rand.Int()                     // want `rand\.Int uses the global math/rand source`
+	_ = rand.Intn(10)                  // want `rand\.Intn uses the global math/rand source`
+	rand.Shuffle(2, func(i, j int) {}) // want `rand\.Shuffle uses the global math/rand source`
+	return rand.Float64()              // want `rand\.Float64 uses the global math/rand source`
+}
+
+func randAsValue() func() float64 {
+	return rand.Float64 // want `rand\.Float64 uses the global math/rand source`
+}
+
+// seeded is the sanctioned shape: an explicit generator with a derived
+// seed, and times computed from inputs.
+func seeded(epoch time.Time, seed int64) (time.Time, float64) {
+	rng := rand.New(rand.NewSource(seed))
+	_ = rng.Intn(10)
+	z := rand.NewZipf(rng, 1.1, 1, 100)
+	_ = z.Uint64()
+	return epoch.Add(time.Duration(rng.Int63n(3600)) * time.Second), rng.Float64()
+}

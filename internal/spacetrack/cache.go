@@ -135,7 +135,7 @@ func (f *CachingFetcher) store(catalog int, from, to time.Time, sets []*tle.TLE)
 	}
 	defer os.Remove(tmp.Name())
 	if err := tle.Write(tmp, sets); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return err
 	}
 	if err := tmp.Close(); err != nil {

@@ -163,7 +163,8 @@ func (c *Client) get(ctx context.Context, path string, query url.Values, verify 
 	for attempt := 0; attempt <= c.MaxRetries; attempt++ {
 		if attempt > 0 {
 			delay := c.backoff(reqID, attempt)
-			if ra, ok := last.(*rateLimitError); ok && ra.retryAfter >= 0 {
+			var ra *rateLimitError
+			if errors.As(last, &ra) && ra.retryAfter >= 0 {
 				delay = ra.retryAfter
 			}
 			if err := c.sleep(ctx, delay); err != nil {
@@ -200,7 +201,8 @@ func (e *rateLimitError) Error() string { return e.err.Error() }
 func (e *rateLimitError) Unwrap() error { return e.err }
 
 func unwrapRateLimit(err error) error {
-	if ra, ok := err.(*rateLimitError); ok {
+	var ra *rateLimitError
+	if errors.As(err, &ra) {
 		return ra.err
 	}
 	return err

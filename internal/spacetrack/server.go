@@ -58,14 +58,24 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// allow implements a token bucket over wall-clock time.
+// now reads the service clock, falling back to wall clock for a Server
+// built as a bare struct literal (NewServer always sets Now).
+func (s *Server) now() time.Time {
+	if s.Now != nil {
+		return s.Now()
+	}
+	return time.Now()
+}
+
+// allow implements a token bucket over the service clock (s.Now), so
+// fault-injection and replay tests control refill deterministically.
 func (s *Server) allow() bool {
 	if s.RatePerSec <= 0 {
 		return true
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	now := time.Now()
+	now := s.now()
 	if s.last.IsZero() {
 		s.last = now
 		s.tokens = s.Burst
@@ -117,7 +127,7 @@ func (s *Server) handleGroup(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("unknown group %q", group), http.StatusNotFound)
 		return
 	}
-	sets := s.archive.GroupLatest(group, s.Now())
+	sets := s.archive.GroupLatest(group, s.now())
 	if format == "json" {
 		// Space-Track's OMM JSON shape.
 		w.Header().Set("Content-Type", "application/json")
@@ -153,7 +163,7 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad from: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	to, err := parseTimeParam(q.Get("to"), s.Now())
+	to, err := parseTimeParam(q.Get("to"), s.now())
 	if err != nil {
 		http.Error(w, "bad to: "+err.Error(), http.StatusBadRequest)
 		return

@@ -1,0 +1,72 @@
+package spacetrack
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLimiterFollowsInjectedClock is the regression test for the token
+// bucket reading wall clock instead of the injected service clock: with
+// s.Now pinned, the burst must drain and never refill, and advancing the
+// injected clock — not real time — must be what returns tokens.
+func TestLimiterFollowsInjectedClock(t *testing.T) {
+	archive, _, end := buildArchive(t, 5)
+	srv := NewServer(archive, end)
+	srv.RatePerSec = 1
+	srv.Burst = 2
+	var offset atomic.Int64
+	srv.Now = func() time.Time { return end.Add(time.Duration(offset.Load())) }
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	get := func() int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/NORAD/elements/gp.php?GROUP=starlink&FORMAT=tle")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		if err := resp.Body.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode
+	}
+
+	// Frozen clock: exactly Burst requests pass, then the bucket is dry no
+	// matter how much real time the requests take.
+	for i := 0; i < 2; i++ {
+		if got := get(); got != http.StatusOK {
+			t.Fatalf("burst request %d: status %d, want 200", i, got)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if got := get(); got != http.StatusTooManyRequests {
+			t.Fatalf("frozen-clock request %d: status %d, want 429", i, got)
+		}
+	}
+
+	// Advancing the injected clock two seconds at 1 token/sec refills
+	// exactly two tokens.
+	offset.Store(int64(2 * time.Second))
+	for i := 0; i < 2; i++ {
+		if got := get(); got != http.StatusOK {
+			t.Fatalf("post-refill request %d: status %d, want 200", i, got)
+		}
+	}
+	if got := get(); got != http.StatusTooManyRequests {
+		t.Fatalf("third post-refill request: status %d, want 429", got)
+	}
+
+	// A bare struct literal (no injected clock) must still work: the
+	// limiter falls back to wall clock rather than panicking.
+	bare := &Server{archive: archive, RatePerSec: 1000, Burst: 1}
+	if !bare.allow() {
+		t.Error("bare server denied its burst token")
+	}
+}

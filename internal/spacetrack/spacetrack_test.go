@@ -164,11 +164,15 @@ func TestRateLimitAndClientRetry(t *testing.T) {
 	srv, ts, client := newTestServer(t, 5)
 	srv.RatePerSec = 50
 	srv.Burst = 2
-	// Swap the client's sleeper to avoid real delays while counting them.
+	// The limiter runs on the injected service clock: advance it instead of
+	// sleeping, so the refill the client waits for is deterministic.
+	base := srv.Now()
+	var offset atomic.Int64
+	srv.Now = func() time.Time { return base.Add(time.Duration(offset.Load())) }
 	var sleeps int32
 	client.Sleep = func(ctx context.Context, d time.Duration) error {
 		atomic.AddInt32(&sleeps, 1)
-		time.Sleep(5 * time.Millisecond) // let tokens refill a little
+		offset.Add(int64(50 * time.Millisecond)) // refill a couple of tokens
 		return nil
 	}
 	ctx := context.Background()

@@ -1,0 +1,54 @@
+#!/bin/sh
+# cover.sh — the coverage gate behind `make cover`:
+#
+#   1. run the short test suite with -coverprofile,
+#   2. fail if internal/lint (the analyzer guarding every other
+#      invariant) covers < 85% of its statements,
+#   3. fail if the module-wide total covers < 70%.
+#
+# The floors are deliberately asymmetric: the linter is new, small and
+# pure logic, so it is held to a higher bar than the tree-wide figure,
+# which includes thin cmd/ and examples/ mains.
+set -eu
+cd "$(dirname "$0")/.."
+
+profile="${COVER_PROFILE:-$(mktemp -t cosmicdance-cover.XXXXXX)}"
+trap 'rm -f "$profile"' EXIT
+
+echo "== go test -short -coverprofile ./..."
+out="$(go test -short -coverprofile="$profile" ./...)" || {
+    printf '%s\n' "$out"
+    exit 1
+}
+printf '%s\n' "$out"
+
+floor() {
+    # floor <label> <actual-percent> <minimum>
+    awk -v label="$1" -v got="$2" -v min="$3" 'BEGIN {
+        if (got + 0 < min + 0) {
+            printf "cover: %s at %s%% is below the %s%% floor\n", label, got, min
+            exit 1
+        }
+        printf "cover: %s %s%% (floor %s%%)\n", label, got, min
+    }'
+}
+
+lintpct="$(printf '%s\n' "$out" | awk '$2 == "cosmicdance/internal/lint" {
+    for (i = 1; i <= NF; i++) if ($i ~ /%$/) { sub(/%/, "", $i); print $i }
+}')"
+if [ -z "$lintpct" ]; then
+    echo "cover: no coverage line for cosmicdance/internal/lint" >&2
+    exit 1
+fi
+floor "internal/lint" "$lintpct" 85
+
+totalpct="$(go tool cover -func="$profile" | awk '/^total:/ {
+    for (i = 1; i <= NF; i++) if ($i ~ /%$/) { sub(/%/, "", $i); print $i }
+}')"
+if [ -z "$totalpct" ]; then
+    echo "cover: no total line in cover -func output" >&2
+    exit 1
+fi
+floor "total" "$totalpct" 70
+
+echo "cover: OK"

@@ -24,6 +24,9 @@ fi
 echo "== go vet ./..."
 go vet ./...
 
+echo "== cosmiclint ./..."
+go run ./cmd/cosmiclint ./...
+
 echo "== go build ./..."
 go build ./...
 
