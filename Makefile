@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short race vet lint cover fuzz verify verify-short golden bench
+.PHONY: build test test-short race vet lint cover fuzz verify verify-short golden bench bench-baseline
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,8 @@ build:
 lint:
 	$(GO) run ./cmd/cosmiclint ./...
 
-# Coverage floors: internal/lint >= 85%, module total >= 70%.
+# Coverage floors: internal/lint >= 85%, internal/artifact >= 80%,
+# module total >= 70%.
 cover:
 	./scripts/cover.sh
 
@@ -32,6 +33,11 @@ vet:
 # associate). -cpu sweeps GOMAXPROCS, which the Parallelism=0 default follows.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkFleetSim|BenchmarkDatasetBuild|BenchmarkAssociate' -cpu 1,2,4 -benchtime 2x .
+
+# Pin the performance baseline: the four fan-out benchmarks with -benchmem
+# plus a cold-versus-warm cmd/figures render, written to BENCH_PR4.json.
+bench-baseline:
+	./scripts/bench.sh
 
 # Refresh the pinned figure renderings after an intentional output change.
 golden:

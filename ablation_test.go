@@ -17,6 +17,7 @@ import (
 // paper sets empirically at 5 km: too tight and healthy satellites are
 // discarded; too loose and pre-event decayers contaminate the associations.
 func BenchmarkAblationDecayThreshold(b *testing.B) {
+	b.ReportAllocs()
 	weather, fleet, _ := paperFixture(b)
 	for _, km := range []float64{1, 2, 5, 10, 25} {
 		b.Run(fmt.Sprintf("cutoff=%gkm", km), func(b *testing.B) {
@@ -55,6 +56,7 @@ func BenchmarkAblationDecayThreshold(b *testing.B) {
 // short windows miss slow decay onsets; long windows attribute unrelated
 // changes to the event (false positives).
 func BenchmarkAblationAssociationWindow(b *testing.B) {
+	b.ReportAllocs()
 	_, _, data := paperFixture(b)
 	for _, days := range []int{7, 15, 30, 60} {
 		b.Run(fmt.Sprintf("window=%dd", days), func(b *testing.B) {
@@ -79,6 +81,7 @@ func BenchmarkAblationAssociationWindow(b *testing.B) {
 // BenchmarkAblationOutlierCutoff sweeps the TLE altitude sanity bound the
 // paper sets at 650 km given Starlink's operational range.
 func BenchmarkAblationOutlierCutoff(b *testing.B) {
+	b.ReportAllocs()
 	weather, fleet, _ := paperFixture(b)
 	for _, km := range []float64{600, 650, 1000, 45000} {
 		b.Run(fmt.Sprintf("cutoff=%gkm", km), func(b *testing.B) {
@@ -110,6 +113,7 @@ func BenchmarkAblationOutlierCutoff(b *testing.B) {
 // BenchmarkAblationQuietPercentile sweeps the quiet-epoch percentile of
 // Fig 4b/5a: how "quiet" the control must be before shifts vanish.
 func BenchmarkAblationQuietPercentile(b *testing.B) {
+	b.ReportAllocs()
 	_, _, data := paperFixture(b)
 	for _, p := range []float64{50, 80, 95} {
 		b.Run(fmt.Sprintf("ptile=%g", p), func(b *testing.B) {

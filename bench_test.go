@@ -11,7 +11,6 @@ package cosmicdance
 
 import (
 	"math"
-	"sync"
 	"testing"
 	"time"
 
@@ -22,69 +21,11 @@ import (
 	"cosmicdance/internal/units"
 )
 
-// Shared fixtures: the paper-window substrate is expensive (~8 s), so it is
-// built once per benchmark binary, outside every timer.
-var (
-	fixtureOnce    sync.Once
-	fixtureWeather *dst.Index
-	fixtureFleet   *constellation.Result
-	fixtureData    *core.Dataset
-
-	may2024Once    sync.Once
-	may2024Weather *dst.Index
-	may2024Data    *core.Dataset
-	may2024Start   time.Time
-)
-
-func paperFixture(b *testing.B) (*dst.Index, *constellation.Result, *core.Dataset) {
-	b.Helper()
-	fixtureOnce.Do(func() {
-		var err error
-		fixtureWeather, err = spaceweather.Generate(spaceweather.Paper2020to2024())
-		if err != nil {
-			panic(err)
-		}
-		fixtureFleet, err = constellation.Run(constellation.PaperFleet(42), fixtureWeather)
-		if err != nil {
-			panic(err)
-		}
-		builder := core.NewBuilder(core.DefaultConfig(), fixtureWeather)
-		builder.AddSamples(fixtureFleet.Samples)
-		fixtureData, err = builder.Build()
-		if err != nil {
-			panic(err)
-		}
-	})
-	return fixtureWeather, fixtureFleet, fixtureData
-}
-
-func may2024Fixture(b *testing.B) (*dst.Index, *core.Dataset, time.Time) {
-	b.Helper()
-	may2024Once.Do(func() {
-		var err error
-		may2024Weather, err = spaceweather.Generate(spaceweather.May2024())
-		if err != nil {
-			panic(err)
-		}
-		fleet, err := constellation.Run(constellation.May2024Fleet(7), may2024Weather)
-		if err != nil {
-			panic(err)
-		}
-		builder := core.NewBuilder(core.DefaultConfig(), may2024Weather)
-		builder.AddSamples(fleet.Samples)
-		may2024Data, err = builder.Build()
-		if err != nil {
-			panic(err)
-		}
-		may2024Start = fleet.Start
-	})
-	return may2024Weather, may2024Data, may2024Start
-}
-
 // BenchmarkFig01StormIntensity regenerates Fig 1: the distribution of storm
 // intensities over the paper window. Paper: 720 mild hours, 74 moderate
 // hours, exactly 3 severe hours, 99th-ptile −63 nT.
 func BenchmarkFig01StormIntensity(b *testing.B) {
+	b.ReportAllocs()
 	weather, _, _ := paperFixture(b)
 	b.ResetTimer()
 	var classes map[units.GScale]int
@@ -107,6 +48,7 @@ func BenchmarkFig01StormIntensity(b *testing.B) {
 // per category. Paper: moderate median/95/99/max ≈ 3/15.8/19.1/19 h; mild ≈
 // 3/17/24.7/29 h; severe one 3-hour run.
 func BenchmarkFig02StormDuration(b *testing.B) {
+	b.ReportAllocs()
 	weather, _, _ := paperFixture(b)
 	b.ResetTimer()
 	var mild, moderate, severe struct{ median, max float64 }
@@ -138,6 +80,7 @@ func BenchmarkFig02StormDuration(b *testing.B) {
 // series for the three cherry-picked satellites. Paper: #44943 drops ~150 km
 // over the weeks after the 3 Mar 2024 storm.
 func BenchmarkFig03TimeSeries(b *testing.B) {
+	b.ReportAllocs()
 	_, _, data := paperFixture(b)
 	from := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
 	to := time.Date(2024, 5, 8, 0, 0, 0, 0, time.UTC)
@@ -172,6 +115,7 @@ func BenchmarkFig03TimeSeries(b *testing.B) {
 // 30 days after the −112 nT event. Paper: median up to ~5 km within 10-15
 // days; 95th-ptile ~10 km persisting.
 func BenchmarkFig04aStormWindow(b *testing.B) {
+	b.ReportAllocs()
 	_, _, data := paperFixture(b)
 	b.ResetTimer()
 	var peakMedian, peakP95 float64
@@ -200,6 +144,7 @@ func BenchmarkFig04aStormWindow(b *testing.B) {
 // BenchmarkFig04bQuietWindow regenerates Fig 4(b): the quiet-epoch control.
 // Paper: no noticeable shift over the 15-day window.
 func BenchmarkFig04bQuietWindow(b *testing.B) {
+	b.ReportAllocs()
 	_, _, data := paperFixture(b)
 	b.ResetTimer()
 	var peakMedian float64
@@ -225,6 +170,7 @@ func BenchmarkFig04bQuietWindow(b *testing.B) {
 // BenchmarkFig05aCDFQuiet regenerates Fig 5(a): the altitude-change CDF under
 // quiet conditions. Paper: below 10 km essentially always.
 func BenchmarkFig05aCDFQuiet(b *testing.B) {
+	b.ReportAllocs()
 	_, _, data := paperFixture(b)
 	b.ResetTimer()
 	var tail10 float64
@@ -246,6 +192,7 @@ func BenchmarkFig05aCDFQuiet(b *testing.B) {
 // >95th-ptile events. Paper: at most ~1% of satellites reach tens of km, up
 // to ~163 km.
 func BenchmarkFig05bCDFStorm(b *testing.B) {
+	b.ReportAllocs()
 	_, _, data := paperFixture(b)
 	b.ResetTimer()
 	var tail10, maxDev float64
@@ -267,6 +214,7 @@ func BenchmarkFig05bCDFStorm(b *testing.B) {
 // BenchmarkFig05cDragChange regenerates Fig 5(c): the drag-change
 // distribution after >95th-ptile events.
 func BenchmarkFig05cDragChange(b *testing.B) {
+	b.ReportAllocs()
 	_, _, data := paperFixture(b)
 	b.ResetTimer()
 	var p95 float64
@@ -288,6 +236,7 @@ func BenchmarkFig05cDragChange(b *testing.B) {
 // split at the 9-hour median duration. Paper: the longer storms' tail is
 // significantly longer and denser.
 func BenchmarkFig06DurationSplit(b *testing.B) {
+	b.ReportAllocs()
 	_, _, data := paperFixture(b)
 	b.ResetTimer()
 	var shortTail, longTail float64
@@ -317,6 +266,7 @@ func BenchmarkFig06DurationSplit(b *testing.B) {
 // BenchmarkFig06cDragLongStorms regenerates Fig 6(c): drag changes for the
 // >= 9 h storms.
 func BenchmarkFig06cDragLongStorms(b *testing.B) {
+	b.ReportAllocs()
 	_, _, data := paperFixture(b)
 	b.ResetTimer()
 	var p95 float64
@@ -338,6 +288,7 @@ func BenchmarkFig06cDragLongStorms(b *testing.B) {
 // post-analysis over the full-scale fleet. Paper: drag up to 5×, no satellite
 // loss.
 func BenchmarkFig07SuperStorm(b *testing.B) {
+	b.ReportAllocs()
 	_, data, start := may2024Fixture(b)
 	b.ResetTimer()
 	var dragRatio, trackedRatio float64
@@ -355,6 +306,7 @@ func BenchmarkFig07SuperStorm(b *testing.B) {
 // BenchmarkFig08FiftyYears regenerates Fig 8: the ~50-year Dst history.
 // Paper: eight named storms, the deepest −589 nT in March 1989.
 func BenchmarkFig08FiftyYears(b *testing.B) {
+	b.ReportAllocs()
 	var min units.NanoTesla
 	for i := 0; i < b.N; i++ {
 		x, err := spaceweather.Generate(spaceweather.FiftyYears())
@@ -370,6 +322,7 @@ func BenchmarkFig08FiftyYears(b *testing.B) {
 // series of the L1 cohort. Paper: staging ~360 km, raise to 550 km / 53°,
 // eccentricity ≈ 0, westward RAAN drift.
 func BenchmarkFig09OrbitalElements(b *testing.B) {
+	b.ReportAllocs()
 	_, fleet, _ := paperFixture(b)
 	cohort := make(map[int32]bool)
 	for c := 44713; c < 44713+43; c++ {
@@ -396,6 +349,7 @@ func BenchmarkFig09OrbitalElements(b *testing.B) {
 // BenchmarkFig10aRawAltitudeCDF regenerates Fig 10(a): the raw altitude CDF
 // with its tracking-error tail toward 40,000 km.
 func BenchmarkFig10aRawAltitudeCDF(b *testing.B) {
+	b.ReportAllocs()
 	_, _, data := paperFixture(b)
 	b.ResetTimer()
 	var max, tail float64
@@ -413,6 +367,7 @@ func BenchmarkFig10aRawAltitudeCDF(b *testing.B) {
 // BenchmarkFig10bCleanAltitudeCDF regenerates Fig 10(b): the cleaned CDF —
 // mass at the 550 km shell, deorbiting tail below 500 km.
 func BenchmarkFig10bCleanAltitudeCDF(b *testing.B) {
+	b.ReportAllocs()
 	_, _, data := paperFixture(b)
 	b.ResetTimer()
 	var at550, below500 float64

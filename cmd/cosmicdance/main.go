@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"cosmicdance/internal/artifact"
 	"cosmicdance/internal/constellation"
 	"cosmicdance/internal/core"
 	"cosmicdance/internal/dst"
@@ -63,7 +64,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   cosmicdance storms  [-dst FILE | -scenario paper|fiftyyears|may2024]
-  cosmicdance analyze [-dst FILE | -scenario ...] [-tles FILE | -server URL | -fleet paper|small] [-ptile P] [-window D] [-top N] [-parallel W]
+  cosmicdance analyze [-dst FILE | -scenario ...] [-tles FILE | -server URL | -fleet paper|small] [-ptile P] [-window D] [-top N] [-parallel W] [-cache DIR | -no-cache]
   cosmicdance fetch   -server URL [-cache DIR] [-from T] [-to T]`)
 }
 
@@ -93,18 +94,52 @@ func loadWeather(dstFile, scenario string) (*dst.Index, error) {
 		}
 		return dst.ToIndex(records)
 	}
-	var cfg spaceweather.Config
-	switch scenario {
-	case "paper", "":
-		cfg = spaceweather.Paper2020to2024()
-	case "fiftyyears":
-		cfg = spaceweather.FiftyYears()
-	case "may2024":
-		cfg = spaceweather.May2024()
-	default:
-		return nil, fmt.Errorf("unknown scenario %q", scenario)
+	cfg, err := scenarioConfig(scenario)
+	if err != nil {
+		return nil, err
 	}
 	return spaceweather.Generate(cfg)
+}
+
+// scenarioConfig resolves a -scenario name to its generation config.
+func scenarioConfig(scenario string) (spaceweather.Config, error) {
+	switch scenario {
+	case "paper", "":
+		return spaceweather.Paper2020to2024(), nil
+	case "fiftyyears":
+		return spaceweather.FiftyYears(), nil
+	case "may2024":
+		return spaceweather.May2024(), nil
+	default:
+		return spaceweather.Config{}, fmt.Errorf("unknown scenario %q", scenario)
+	}
+}
+
+// fleetConfig resolves a -fleet name to its simulation config.
+func fleetConfig(fleet string, seed int64, weather *dst.Index) (constellation.Config, error) {
+	switch fleet {
+	case "paper", "":
+		return constellation.PaperFleet(seed), nil
+	case "small":
+		start := weather.Start()
+		return constellation.ResearchFleet(seed, start, start.AddDate(1, 0, 0), 10), nil
+	default:
+		return constellation.Config{}, fmt.Errorf("unknown fleet %q", fleet)
+	}
+}
+
+// openCache opens the artifact cache, or returns nil (cache disabled) when
+// the user opted out or the directory is unusable.
+func openCache(noCache bool, dir string) *artifact.Cache {
+	if noCache {
+		return nil
+	}
+	c, err := artifact.Open(dir)
+	if err != nil {
+		log.Printf("artifact cache disabled: %v", err)
+		return nil
+	}
+	return c
 }
 
 func cmdStorms(args []string) error {
@@ -159,15 +194,9 @@ func loadTrajectories(b *core.Builder, weather *dst.Index, tleFile, server, flee
 	case server != "":
 		return fetchInto(b, server, weather)
 	default:
-		var cfg constellation.Config
-		switch fleet {
-		case "paper", "":
-			cfg = constellation.PaperFleet(seed)
-		case "small":
-			start := weather.Start()
-			cfg = constellation.ResearchFleet(seed, start, start.AddDate(1, 0, 0), 10)
-		default:
-			return fmt.Errorf("unknown fleet %q", fleet)
+		cfg, err := fleetConfig(fleet, seed, weather)
+		if err != nil {
+			return err
 		}
 		cfg.Parallelism = parallelism
 		res, err := constellation.Run(cfg, weather)
@@ -225,35 +254,60 @@ func cmdAnalyze(args []string) error {
 	window := fs.Int("window", 30, "happens-closely-after window (days)")
 	top := fs.Int("top", 10, "how many largest deviations to list")
 	parallelism := fs.Int("parallel", 0, "worker pool width for simulation and pipeline (0 = one per CPU, 1 = sequential)")
+	cacheDir := fs.String("cache", artifact.DefaultDir(), "artifact cache directory for simulated intermediates")
+	noCache := fs.Bool("no-cache", false, "disable the artifact cache (always rebuild, never store)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	weather, err := loadWeather(*dstFile, *scenario)
-	if err != nil {
-		return err
-	}
 	cfg := core.DefaultConfig()
 	cfg.Parallelism = *parallelism
-	b := core.NewBuilder(cfg, weather)
-	if *archiveFile != "" {
-		f, err := os.Open(*archiveFile)
+	var d *core.Dataset
+	if *dstFile == "" && *tleFile == "" && *server == "" && *archiveFile == "" {
+		// Fully synthetic run: every input is a (config, seed) pair, so the
+		// whole substrate is cacheable content-addressed.
+		weatherCfg, err := scenarioConfig(*scenario)
 		if err != nil {
 			return err
 		}
-		res, err := constellation.Load(f)
-		f.Close()
+		pipe := artifact.NewPipeline(openCache(*noCache, *cacheDir))
+		pipe.Warn = func(err error) { log.Print(err) }
+		weather, err := pipe.Weather(weatherCfg)
 		if err != nil {
-			return fmt.Errorf("loading %s: %w", *archiveFile, err)
+			return err
 		}
-		log.Printf("loaded %d satellites, %d samples from %s", len(res.Sats), len(res.Samples), *archiveFile)
-		b.AddSamples(res.Samples)
-	} else if err := loadTrajectories(b, weather, *tleFile, *server, *fleet, *seed, *parallelism); err != nil {
-		return err
-	}
-	d, err := b.Build()
-	if err != nil {
-		return err
+		fleetCfg, err := fleetConfig(*fleet, *seed, weather)
+		if err != nil {
+			return err
+		}
+		fleetCfg.Parallelism = *parallelism
+		if d, err = pipe.Dataset(weatherCfg, fleetCfg, cfg); err != nil {
+			return err
+		}
+	} else {
+		weather, err := loadWeather(*dstFile, *scenario)
+		if err != nil {
+			return err
+		}
+		b := core.NewBuilder(cfg, weather)
+		if *archiveFile != "" {
+			f, err := os.Open(*archiveFile)
+			if err != nil {
+				return err
+			}
+			res, err := constellation.Load(f)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("loading %s: %w", *archiveFile, err)
+			}
+			log.Printf("loaded %d satellites, %d samples from %s", len(res.Sats), len(res.Samples), *archiveFile)
+			b.AddSamples(res.Samples)
+		} else if err := loadTrajectories(b, weather, *tleFile, *server, *fleet, *seed, *parallelism); err != nil {
+			return err
+		}
+		if d, err = b.Build(); err != nil {
+			return err
+		}
 	}
 
 	cl := d.Cleaning()

@@ -3,11 +3,18 @@
 //
 // Usage:
 //
-//	figures [-figure N] [-seed S] [-parallel W] [-out FILE]
+//	figures [-figure N] [-seed S] [-parallel W] [-cache DIR] [-no-cache] [-out FILE]
 //
 // With no -figure flag all ten figures are produced in order. -parallel
 // bounds the worker pool of the simulation and pipeline fan-outs (0 = one
 // worker per CPU); the rendered output is bit-identical at every setting.
+//
+// Expensive intermediates (weather series, constellation archives, built
+// datasets) are cached content-addressed under -cache (default: the user
+// cache dir, see internal/artifact). A warm run loads them instead of
+// re-simulating; the cache layer guarantees a hit is bit-identical to a cold
+// build, so the rendered figures are the same either way. -no-cache forces a
+// cold build without touching the cache.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"cosmicdance/internal/artifact"
 	"cosmicdance/internal/conjunction"
 	"cosmicdance/internal/constellation"
 	"cosmicdance/internal/core"
@@ -33,9 +41,23 @@ func main() {
 	extensions := flag.Bool("extensions", false, "also render the §6 extension analyses")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	parallelism := flag.Int("parallel", 0, "worker pool width (0 = one per CPU, 1 = sequential)")
+	cacheDir := flag.String("cache", artifact.DefaultDir(), "artifact cache directory")
+	noCache := flag.Bool("no-cache", false, "disable the artifact cache (always rebuild, never store)")
 	out := flag.String("out", "", "write to this file instead of stdout")
 	csvDir := flag.String("csv", "", "also write the plotted series as CSV files into this directory")
 	flag.Parse()
+
+	var cache *artifact.Cache
+	if !*noCache {
+		c, err := artifact.Open(*cacheDir)
+		if err != nil {
+			log.Printf("figures: artifact cache disabled: %v", err)
+		} else {
+			cache = c
+		}
+	}
+	pipe := artifact.NewPipeline(cache)
+	pipe.Warn = func(err error) { log.Printf("figures: %v", err) }
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			log.Fatalf("figures: %v", err)
@@ -53,11 +75,11 @@ func main() {
 		w = f
 		closeOut = f.Close
 	}
-	if err := run(w, *figure, *seed, *parallelism); err != nil {
+	if err := run(w, *figure, *seed, *parallelism, pipe); err != nil {
 		log.Fatalf("figures: %v", err)
 	}
 	if *extensions {
-		if err := runExtensions(w, *seed, *parallelism); err != nil {
+		if err := runExtensions(w, *seed, *parallelism, pipe); err != nil {
 			log.Fatalf("figures: %v", err)
 		}
 	}
@@ -86,7 +108,7 @@ func writeCSVFile(name string, fn func(io.Writer) error) error {
 	return f.Close()
 }
 
-func run(w io.Writer, figure int, seed int64, parallelism int) error {
+func run(w io.Writer, figure int, seed int64, parallelism int, pipe *artifact.Pipeline) error {
 	want := func(n int) bool { return figure == 0 || figure == n }
 
 	// The paper-window substrate is shared by most figures.
@@ -100,25 +122,28 @@ func run(w io.Writer, figure int, seed int64, parallelism int) error {
 			needPaper = true
 		}
 	}
-	weather, err := spaceweather.Generate(spaceweather.Paper2020to2024())
+	weatherCfg := spaceweather.Paper2020to2024()
+	weather, err := pipe.Weather(weatherCfg)
 	if err != nil {
 		return err
 	}
 	if needPaper {
+		// The status line prints on warm runs too: a cache hit must leave
+		// the rendered bytes untouched, goldens included.
 		fmt.Fprintln(w, "building the paper-window substrate (4.5 years, ~2,000 satellites)...")
 		fleetCfg := constellation.PaperFleet(seed)
 		fleetCfg.Parallelism = parallelism
-		fleet, err = constellation.Run(fleetCfg, weather)
+		coreCfg := core.DefaultConfig()
+		coreCfg.Parallelism = parallelism
+		dataset, err = pipe.Dataset(weatherCfg, fleetCfg, coreCfg)
 		if err != nil {
 			return err
 		}
-		coreCfg := core.DefaultConfig()
-		coreCfg.Parallelism = parallelism
-		b := core.NewBuilder(coreCfg, weather)
-		b.AddSamples(fleet.Samples)
-		dataset, err = b.Build()
-		if err != nil {
-			return err
+		if want(9) {
+			fleet, err = pipe.Fleet(weatherCfg, fleetCfg)
+			if err != nil {
+				return err
+			}
 		}
 	}
 
@@ -182,12 +207,12 @@ func run(w io.Writer, figure int, seed int64, parallelism int) error {
 		}
 	}
 	if want(7) {
-		if err := renderFig7(w, seed, parallelism); err != nil {
+		if err := renderFig7(w, seed, parallelism, pipe); err != nil {
 			return err
 		}
 	}
 	if want(8) {
-		fifty, err := spaceweather.Generate(spaceweather.FiftyYears())
+		fifty, err := pipe.Weather(spaceweather.FiftyYears())
 		if err != nil {
 			return err
 		}
@@ -299,27 +324,19 @@ func renderFig56(w io.Writer, dataset *core.Dataset, want func(int) bool) error 
 	return nil
 }
 
-func renderFig7(w io.Writer, seed int64, parallelism int) error {
-	weather, err := spaceweather.Generate(spaceweather.May2024())
-	if err != nil {
-		return err
-	}
+func renderFig7(w io.Writer, seed int64, parallelism int, pipe *artifact.Pipeline) error {
 	fmt.Fprintln(w, "\nbuilding the May 2024 full-scale fleet (5,900 satellites, one month)...")
 	fleetCfg := constellation.May2024Fleet(seed)
 	fleetCfg.Parallelism = parallelism
-	res, err := constellation.Run(fleetCfg, weather)
-	if err != nil {
-		return err
-	}
 	coreCfg := core.DefaultConfig()
 	coreCfg.Parallelism = parallelism
-	b := core.NewBuilder(coreCfg, weather)
-	b.AddSamples(res.Samples)
-	d, err := b.Build()
+	d, err := pipe.Dataset(spaceweather.May2024(), fleetCfg, coreCfg)
 	if err != nil {
 		return err
 	}
-	rep, err := d.SuperStorm(res.Start.Add(3*24*time.Hour), res.Start.Add(30*24*time.Hour))
+	// The run's epoch origin, exactly as constellation.Run derives it.
+	start := fleetCfg.Start.UTC().Truncate(time.Hour)
+	rep, err := d.SuperStorm(start.Add(3*24*time.Hour), start.Add(30*24*time.Hour))
 	if err != nil {
 		return err
 	}
@@ -332,16 +349,14 @@ func renderFig7(w io.Writer, seed int64, parallelism int) error {
 // runExtensions renders the §6 future-work analyses: latitude-band exposure
 // during the May 2024 super-storm and conjunction pressure over the paper
 // window.
-func runExtensions(w io.Writer, seed int64, parallelism int) error {
-	// Latitude exposure at the super-storm peak.
-	weather, err := spaceweather.Generate(spaceweather.May2024())
-	if err != nil {
-		return err
-	}
+func runExtensions(w io.Writer, seed int64, parallelism int, pipe *artifact.Pipeline) error {
+	// Latitude exposure at the super-storm peak. The fleet is deliberately
+	// smaller than Fig 7's (InitialFleet override), so it fingerprints — and
+	// caches — as its own artifact.
 	cfg := constellation.May2024Fleet(seed)
 	cfg.Parallelism = parallelism
 	cfg.InitialFleet = 1000
-	fleet, err := constellation.Run(cfg, weather)
+	fleet, err := pipe.Fleet(spaceweather.May2024(), cfg)
 	if err != nil {
 		return err
 	}
@@ -355,22 +370,13 @@ func runExtensions(w io.Writer, seed int64, parallelism int) error {
 		return err
 	}
 
-	// Conjunction pressure over the paper window.
-	paperWeather, err := spaceweather.Generate(spaceweather.Paper2020to2024())
-	if err != nil {
-		return err
-	}
+	// Conjunction pressure over the paper window. Shares the run() substrate
+	// through the pipeline's memoization when both execute in one process.
 	paperCfg := constellation.PaperFleet(seed)
 	paperCfg.Parallelism = parallelism
-	paperFleet, err := constellation.Run(paperCfg, paperWeather)
-	if err != nil {
-		return err
-	}
 	coreCfg := core.DefaultConfig()
 	coreCfg.Parallelism = parallelism
-	b := core.NewBuilder(coreCfg, paperWeather)
-	b.AddSamples(paperFleet.Samples)
-	dataset, err := b.Build()
+	dataset, err := pipe.Dataset(spaceweather.Paper2020to2024(), paperCfg, coreCfg)
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"cosmicdance/internal/artifact"
 	"cosmicdance/internal/testkit"
 )
 
@@ -23,7 +24,7 @@ func TestWeatherOnlyFigures(t *testing.T) {
 	}
 	for _, c := range cases {
 		var buf bytes.Buffer
-		if err := run(&buf, c.figure, 42, 0); err != nil {
+		if err := run(&buf, c.figure, 42, 0, artifact.NewPipeline(nil)); err != nil {
 			t.Fatalf("figure %d: %v", c.figure, err)
 		}
 		out := buf.String()
@@ -40,7 +41,7 @@ func TestFullRun(t *testing.T) {
 		t.Skip("full substrate build in -short mode")
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, 0, 42, 0); err != nil {
+	if err := run(&buf, 0, 42, 0, artifact.NewPipeline(nil)); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -53,7 +54,7 @@ func TestFullRun(t *testing.T) {
 			t.Errorf("output missing %q", marker)
 		}
 	}
-	if err := runExtensions(&buf, 42, 0); err != nil {
+	if err := runExtensions(&buf, 42, 0, artifact.NewPipeline(nil)); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "latitude-band exposure") ||
@@ -70,7 +71,7 @@ func TestCSVExport(t *testing.T) {
 	csvOut = dir
 	defer func() { csvOut = "" }()
 	var buf bytes.Buffer
-	if err := run(&buf, 4, 42, 0); err != nil {
+	if err := run(&buf, 4, 42, 0, artifact.NewPipeline(nil)); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"fig04a.csv", "fig04b.csv"} {
@@ -98,7 +99,7 @@ func TestFiguresGolden(t *testing.T) {
 	var sequential []byte
 	for _, width := range []int{1, 2, 4, 8} {
 		var buf bytes.Buffer
-		if err := run(&buf, 0, 42, width); err != nil {
+		if err := run(&buf, 0, 42, width, artifact.NewPipeline(nil)); err != nil {
 			t.Fatalf("parallelism %d: %v", width, err)
 		}
 		testkit.Golden(t, "figures_seed42.golden", buf.Bytes())
@@ -110,12 +111,35 @@ func TestFiguresGolden(t *testing.T) {
 	}
 }
 
+// TestFiguresCacheWarmIdentical proves the tentpole guarantee end to end: a
+// warm render served from the artifact cache is byte-identical to the cold
+// render that populated it.
+func TestFiguresCacheWarmIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet build in -short mode")
+	}
+	cache, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cold, warm bytes.Buffer
+	if err := run(&cold, 7, 42, 0, artifact.NewPipeline(cache)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&warm, 7, 42, 0, artifact.NewPipeline(cache)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
+		t.Fatal("warm (cached) rendering differs from the cold build")
+	}
+}
+
 // TestWeatherFiguresGolden pins the weather-only figures in the fast tier,
 // so byte-level regressions surface even under -short.
 func TestWeatherFiguresGolden(t *testing.T) {
 	var buf bytes.Buffer
 	for _, fig := range []int{1, 2, 8} {
-		if err := run(&buf, fig, 42, 0); err != nil {
+		if err := run(&buf, fig, 42, 0, artifact.NewPipeline(nil)); err != nil {
 			t.Fatal(err)
 		}
 	}

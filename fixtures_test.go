@@ -1,0 +1,116 @@
+package cosmicdance
+
+// Shared benchmark substrate fixtures. Every benchmark file used to grow its
+// own copy of the Paper2020to2024 / May2024 construction chain; they now
+// share one artifact.Pipeline, so the substrate is built at most once per
+// binary (in-memory memoization) and at most once per machine (the on-disk
+// content-addressed cache — a warm `go test -bench` run loads snapshots
+// instead of re-simulating). The cache layer guarantees a hit is
+// bit-identical to a cold build, so benchmark workloads are unaffected.
+//
+// The helpers are exported so the external cosmicdance_test package
+// (parallel_bench_test.go) shares them too; they exist only in the test
+// binary.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"cosmicdance/internal/artifact"
+	"cosmicdance/internal/constellation"
+	"cosmicdance/internal/core"
+	"cosmicdance/internal/dst"
+	"cosmicdance/internal/spaceweather"
+)
+
+var benchPipe struct {
+	once sync.Once
+	p    *artifact.Pipeline
+}
+
+// benchPipeline returns the binary-wide pipeline, disk-cached under the
+// default artifact cache dir ($COSMICDANCE_CACHE_DIR overrides).
+func benchPipeline() *artifact.Pipeline {
+	benchPipe.once.Do(func() {
+		cache, err := artifact.Open(artifact.DefaultDir())
+		if err != nil {
+			cache = nil // memory-only; benchmarks still share one build
+		}
+		benchPipe.p = artifact.NewPipeline(cache)
+	})
+	return benchPipe.p
+}
+
+// PaperFixture returns the paper-window substrate (4.5 years, ~2,000
+// satellites, seed 42): weather, simulated fleet, and built dataset.
+func PaperFixture(tb testing.TB) (*dst.Index, *constellation.Result, *core.Dataset) {
+	tb.Helper()
+	pipe := benchPipeline()
+	weatherCfg := spaceweather.Paper2020to2024()
+	weather, err := pipe.Weather(weatherCfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	fleetCfg := constellation.PaperFleet(42)
+	fleet, err := pipe.Fleet(weatherCfg, fleetCfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	data, err := pipe.Dataset(weatherCfg, fleetCfg, core.DefaultConfig())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return weather, fleet, data
+}
+
+// May2024Fixture returns the May 2024 super-storm substrate (full-scale
+// fleet, one month, seed 7): weather, built dataset, and the run start.
+func May2024Fixture(tb testing.TB) (*dst.Index, *core.Dataset, time.Time) {
+	tb.Helper()
+	pipe := benchPipeline()
+	weatherCfg := spaceweather.May2024()
+	weather, err := pipe.Weather(weatherCfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	fleetCfg := constellation.May2024Fleet(7)
+	data, err := pipe.Dataset(weatherCfg, fleetCfg, core.DefaultConfig())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	// The run's epoch origin, exactly as constellation.Run derives it.
+	return weather, data, fleetCfg.Start.UTC().Truncate(time.Hour)
+}
+
+// BenchPaperWeather returns just the paper-window Dst series.
+func BenchPaperWeather(tb testing.TB) *dst.Index {
+	tb.Helper()
+	weather, err := benchPipeline().Weather(spaceweather.Paper2020to2024())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return weather
+}
+
+// ResearchFleetConfig is the scaling-benchmark workload: a one-year research
+// fleet over the given weather, with the worker-pool width following
+// GOMAXPROCS so `go test -cpu 1,2,4 -bench .` sweeps the scaling curve.
+func ResearchFleetConfig(weather *dst.Index, seed int64) constellation.Config {
+	start := weather.Start()
+	cfg := constellation.ResearchFleet(seed, start, start.AddDate(1, 0, 0), 10)
+	cfg.Parallelism = 0
+	return cfg
+}
+
+// paperFixture and may2024Fixture are the package-internal spellings used by
+// the Fig and ablation benchmarks.
+func paperFixture(b *testing.B) (*dst.Index, *constellation.Result, *core.Dataset) {
+	b.Helper()
+	return PaperFixture(b)
+}
+
+func may2024Fixture(b *testing.B) (*dst.Index, *core.Dataset, time.Time) {
+	b.Helper()
+	return May2024Fixture(b)
+}

@@ -1,0 +1,180 @@
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+	"time"
+
+	"cosmicdance/internal/constellation"
+	"cosmicdance/internal/core"
+	"cosmicdance/internal/spaceweather"
+)
+
+// Fingerprint is the content address of an artifact: a SHA-256 over a
+// canonical, fixed-order serialization of every input that can change the
+// artifact's bytes — and nothing else. Parallelism knobs are deliberately
+// excluded: the pipeline is bit-identical at every worker count, so two runs
+// that differ only in workers share one cache entry.
+type Fingerprint [sha256.Size]byte
+
+// String returns the lowercase hex form used in cache file names.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// hasher feeds fields into SHA-256 in a fixed order with fixed-width
+// encodings, so the digest depends only on the values, never on struct
+// layout, map order, or platform.
+type hasher struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+func newHasher(domain string) *hasher {
+	h := &hasher{h: sha256.New()}
+	h.str(domain)
+	h.u64(SchemaVersion)
+	return h
+}
+
+func (h *hasher) u64(v uint64) {
+	binary.LittleEndian.PutUint64(h.buf[:], v)
+	h.h.Write(h.buf[:])
+}
+
+func (h *hasher) i64(v int64)   { h.u64(uint64(v)) }
+func (h *hasher) f64(v float64) { h.u64(math.Float64bits(v)) }
+func (h *hasher) t(v time.Time) { h.i64(v.Unix()) }
+func (h *hasher) b(v bool) {
+	if v {
+		h.u64(1)
+	} else {
+		h.u64(0)
+	}
+}
+func (h *hasher) fp(f Fingerprint) { h.h.Write(f[:]) }
+
+func (h *hasher) str(s string) {
+	h.u64(uint64(len(s)))
+	h.h.Write([]byte(s))
+}
+
+func (h *hasher) sum() Fingerprint {
+	var f Fingerprint
+	h.h.Sum(f[:0])
+	return f
+}
+
+// FingerprintWeather names a spaceweather generation run: every field of the
+// config, including the scripted storms and overrides, in declaration order.
+func FingerprintWeather(cfg spaceweather.Config) Fingerprint {
+	h := newHasher("weather")
+	h.t(cfg.Start)
+	h.i64(int64(cfg.Hours))
+	h.i64(cfg.Seed)
+	h.f64(cfg.QuietMean)
+	h.f64(cfg.QuietStd)
+	h.f64(cfg.QuietRho)
+	h.f64(cfg.MildPerYear)
+	h.f64(cfg.ModeratePerYear)
+	h.f64(cfg.MildExcessMean)
+	h.f64(cfg.ModerateExcessMean)
+	h.f64(cfg.CycleAmplitude)
+	h.t(cfg.CyclePeak)
+	h.u64(uint64(len(cfg.Storms)))
+	for _, s := range cfg.Storms {
+		h.f64(float64(s.Peak))
+		h.t(s.PeakAt)
+		h.i64(int64(s.MainPhaseHours))
+		h.f64(s.RecoveryTau)
+		h.f64(float64(s.Commencement))
+	}
+	h.u64(uint64(len(cfg.Overrides)))
+	for _, o := range cfg.Overrides {
+		h.t(o.At)
+		h.f64(float64(o.Value))
+	}
+	return h.sum()
+}
+
+// FingerprintFleet names a constellation run: the weather that drove it plus
+// every simulation parameter except the runtime-only Parallelism knob.
+func FingerprintFleet(weather Fingerprint, cfg constellation.Config) Fingerprint {
+	h := newHasher("fleet")
+	h.fp(weather)
+	h.t(cfg.Start)
+	h.i64(int64(cfg.Hours))
+	h.i64(cfg.Seed)
+	// cfg.Parallelism deliberately not hashed.
+	h.u64(uint64(len(cfg.Shells)))
+	for _, s := range cfg.Shells {
+		h.str(s.Name)
+		h.f64(s.AltitudeKm)
+		h.f64(float64(s.Inclination))
+		h.i64(int64(s.Planes))
+		h.i64(int64(s.SatsPerPlane))
+	}
+	h.u64(uint64(len(cfg.Launches)))
+	for _, l := range cfg.Launches {
+		h.t(l.At)
+		h.i64(int64(l.Shell))
+		h.i64(int64(l.Count))
+		h.f64(l.StagingAltKm)
+		h.f64(l.StagingDays)
+	}
+	h.i64(int64(cfg.InitialFleet))
+	h.i64(int64(cfg.FirstCatalog))
+	h.f64(cfg.Atmosphere.RefAltitudeKm)
+	h.f64(cfg.Atmosphere.RefDensity)
+	h.f64(cfg.Atmosphere.ScaleHeightKm)
+	h.f64(cfg.Atmosphere.EnhancementSlope)
+	h.f64(cfg.Atmosphere.EnhancementFloor)
+	h.f64(cfg.Atmosphere.BaseDecayKmPerDay)
+	h.f64(cfg.Atmosphere.DecayScaleHeightKm)
+	h.f64(cfg.Atmosphere.BaseBStar)
+	h.f64(cfg.StagingAltKm)
+	h.f64(cfg.StagingDays)
+	h.f64(cfg.RaiseRateKmPerDay)
+	h.f64(cfg.DeadbandKm)
+	h.f64(cfg.BoostKmPerDay)
+	h.f64(cfg.DeorbitKmPerDay)
+	h.f64(cfg.SafeModeProbPerStormHour)
+	h.f64(cfg.FailProbPerStormHour)
+	h.f64(cfg.SafeModeMinDays)
+	h.f64(cfg.SafeModeMaxDays)
+	h.f64(cfg.SafeModeDragFactor)
+	h.f64(cfg.DecommissionPerYear)
+	h.f64(cfg.LifespanYears)
+	h.f64(cfg.MeanTLEIntervalHours)
+	h.f64(cfg.MaxTLEIntervalHours)
+	h.f64(cfg.AltNoiseKm)
+	h.f64(cfg.GrossErrorProb)
+	h.b(cfg.ProactiveDragMitigation)
+	h.u64(uint64(len(cfg.Scripted)))
+	for _, ev := range cfg.Scripted {
+		h.i64(int64(ev.Catalog))
+		h.t(ev.At)
+		h.i64(int64(ev.Action))
+		h.f64(ev.DurationDays)
+		h.f64(ev.DragFactor)
+	}
+	return h.sum()
+}
+
+// FingerprintDataset names a built dataset: the fleet archive it was built
+// from plus every cleaning/analysis parameter except the runtime-only
+// Parallelism knob.
+func FingerprintDataset(fleet Fingerprint, cfg core.Config) Fingerprint {
+	h := newHasher("dataset")
+	h.fp(fleet)
+	h.f64(cfg.MaxValidAltKm)
+	h.f64(cfg.MinValidAltKm)
+	h.f64(cfg.DecayFilterKm)
+	h.f64(cfg.RaisingMarginKm)
+	h.f64(cfg.MinOperationalAltKm)
+	h.i64(int64(cfg.BaselineStaleness))
+	h.i64(int64(cfg.AssociationWindow))
+	// cfg.Parallelism deliberately not hashed.
+	return h.sum()
+}

@@ -1,0 +1,60 @@
+package artifact
+
+import (
+	"bytes"
+	"testing"
+
+	"cosmicdance/internal/core"
+)
+
+// FuzzSnapshotRoundTrip feeds arbitrary bytes to all three decoders. The
+// properties under test:
+//
+//  1. No input panics a decoder — damage is an error, never a crash.
+//  2. Any input that decodes successfully is in canonical form: re-encoding
+//     the decoded value reproduces the input byte for byte. (This is the
+//     cache's bit-identity guarantee, stated as a decoder invariant.)
+//
+// The seed corpus holds one valid encoding of each kind, so the fuzzer
+// mutates real snapshots rather than hunting for the magic from scratch.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	w := testWeather(f)
+	res := testArchive(f, w)
+	d := testDataset(f, w, res)
+	f.Add(encodeWeatherBytes(f, w))
+	f.Add(encodeArchiveBytes(f, res))
+	f.Add(encodeDatasetBytes(f, d))
+	f.Add([]byte{})
+	f.Add([]byte("CDAS"))
+
+	cfg := core.DefaultConfig()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if w, err := DecodeWeather(bytes.NewReader(data)); err == nil {
+			var buf bytes.Buffer
+			if err := EncodeWeather(&buf, w); err != nil {
+				t.Fatalf("re-encode weather: %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), data) {
+				t.Fatal("accepted weather snapshot is not canonical")
+			}
+		}
+		if res, err := DecodeArchive(bytes.NewReader(data)); err == nil {
+			var buf bytes.Buffer
+			if err := EncodeArchive(&buf, res); err != nil {
+				t.Fatalf("re-encode archive: %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), data) {
+				t.Fatal("accepted archive snapshot is not canonical")
+			}
+		}
+		if ds, err := DecodeDataset(bytes.NewReader(data), cfg); err == nil {
+			var buf bytes.Buffer
+			if err := EncodeDataset(&buf, ds); err != nil {
+				t.Fatalf("re-encode dataset: %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), data) {
+				t.Fatal("accepted dataset snapshot is not canonical")
+			}
+		}
+	})
+}

@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 	"time"
 
 	"cosmicdance/internal/atmosphere"
@@ -126,14 +126,14 @@ func Run(cfg Config, weather *dst.Index) (*Result, error) {
 	start := cfg.Start.UTC().Truncate(time.Hour)
 
 	launches := append([]Launch(nil), cfg.Launches...)
-	sort.SliceStable(launches, func(i, j int) bool { return launches[i].At.Before(launches[j].At) })
+	slices.SortStableFunc(launches, func(a, b Launch) int { return a.At.Compare(b.At) })
 
 	scripts := make(map[int][]ScriptedEvent)
 	for _, ev := range cfg.Scripted {
 		scripts[ev.Catalog] = append(scripts[ev.Catalog], ev)
 	}
 	for _, evs := range scripts {
-		sort.SliceStable(evs, func(i, j int) bool { return evs[i].At.Before(evs[j].At) })
+		slices.SortStableFunc(evs, func(a, b ScriptedEvent) int { return a.At.Compare(b.At) })
 	}
 
 	st := &simState{
@@ -146,6 +146,10 @@ func Run(cfg Config, weather *dst.Index) (*Result, error) {
 	st.nextCatalog = cfg.FirstCatalog
 	if st.nextCatalog == 0 {
 		st.nextCatalog = 44713
+	}
+	st.stepFn = func(i int) error {
+		st.stepSat(st.sats[i], st.stepNow, st.stepD, st.stepStorm, st.stepDuck, st.stepIntensity)
+		return nil
 	}
 	st.seedInitialFleet()
 
@@ -188,6 +192,17 @@ type simState struct {
 	sats        []*sat
 	nextCatalog int
 	result      *Result
+
+	// stepFn is the per-satellite worker body, built once in Run. The
+	// hourly fan-out reuses it so the hot loop does not allocate a fresh
+	// closure every step; the step parameters travel via the step* fields,
+	// which the coordinator writes before the fan-out and workers only read.
+	stepFn        func(i int) error
+	stepNow       time.Time
+	stepD         units.NanoTesla
+	stepStorm     bool
+	stepDuck      bool
+	stepIntensity float64
 }
 
 // seedInitialFleet creates cfg.InitialFleet satellites already on station.
@@ -282,11 +297,9 @@ func (st *simState) step(now time.Time, d units.NanoTesla) error {
 		intensityScale = i * i
 	}
 
-	err := parallel.ForEach(context.Background(), st.workers, len(st.sats), func(i int) error {
-		st.stepSat(st.sats[i], now, d, stormActive, duck, intensityScale)
-		return nil
-	})
-	if err != nil {
+	st.stepNow, st.stepD = now, d
+	st.stepStorm, st.stepDuck, st.stepIntensity = stormActive, duck, intensityScale
+	if err := parallel.ForEach(context.Background(), st.workers, len(st.sats), st.stepFn); err != nil {
 		return err
 	}
 

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"slices"
 	"sort"
 
 	"cosmicdance/internal/constellation"
@@ -60,6 +61,7 @@ func NewBuilder(cfg Config, weather *dst.Index) *Builder {
 
 // AddTLEs ingests parsed element sets (the live-data path).
 func (b *Builder) AddTLEs(sets []*tle.TLE) {
+	b.obs = slices.Grow(b.obs, len(sets))
 	for _, t := range sets {
 		b.obs = append(b.obs, observation{
 			catalog: t.CatalogNumber,
@@ -74,6 +76,7 @@ func (b *Builder) AddTLEs(sets []*tle.TLE) {
 // AddSamples ingests simulator samples (the compact path for large archives;
 // identical semantics to AddTLEs).
 func (b *Builder) AddSamples(samples []constellation.Sample) {
+	b.obs = slices.Grow(b.obs, len(samples))
 	for _, s := range samples {
 		b.obs = append(b.obs, observation{
 			catalog: int(s.Catalog),
@@ -109,22 +112,51 @@ func (b *Builder) Build() (*Dataset, error) {
 	d.stats.TotalObservations = len(b.obs)
 	d.rawAlts = make([]float64, 0, len(b.obs))
 
-	// Group by catalog.
-	byCat := make(map[int][]observation)
+	// Group by catalog into one flat arena. A counting pass sizes a single
+	// backing slice and per-catalog windows into it, replacing the old
+	// map-of-growing-slices (per-catalog append reallocations dominated the
+	// build's allocation profile at archive scale). Within a catalog the
+	// ingest order is preserved exactly, so the grouping is byte-for-byte
+	// the same as the map version.
+	counts := make(map[int]int)
+	valid := 0
 	for _, o := range b.obs {
 		d.rawAlts = append(d.rawAlts, o.altKm)
 		if o.altKm > b.cfg.MaxValidAltKm || o.altKm < b.cfg.MinValidAltKm {
 			d.stats.GrossErrors++
 			continue
 		}
-		byCat[o.catalog] = append(byCat[o.catalog], o)
+		counts[o.catalog]++
+		valid++
 	}
 
-	cats := make([]int, 0, len(byCat))
-	for c := range byCat {
+	cats := make([]int, 0, len(counts))
+	for c := range counts {
 		cats = append(cats, c)
 	}
 	sort.Ints(cats)
+
+	arena := make([]observation, valid)
+	cursor := make(map[int]int, len(cats)) // catalog → next free arena slot
+	off := 0
+	for _, c := range cats {
+		cursor[c] = off
+		off += counts[c]
+	}
+	byCat := make(map[int][]observation, len(cats))
+	for _, o := range b.obs {
+		if o.altKm > b.cfg.MaxValidAltKm || o.altKm < b.cfg.MinValidAltKm {
+			continue
+		}
+		i := cursor[o.catalog]
+		arena[i] = o
+		cursor[o.catalog] = i + 1
+	}
+	off = 0
+	for _, c := range cats {
+		byCat[c] = arena[off : off+counts[c] : off+counts[c]]
+		off += counts[c]
+	}
 
 	// Per-track parse/clean/dedupe fan-out: every catalog is independent, so
 	// the cleaning pass runs on the worker pool and the results are merged
@@ -138,7 +170,16 @@ func (b *Builder) Build() (*Dataset, error) {
 	}
 
 	// Order-stable merge: catalog-ascending, exactly as the sequential loop
-	// appended.
+	// appended. Sized up front so the merge itself never reallocates.
+	nTracks, nClean := 0, 0
+	for _, res := range cleaned {
+		if res.track != nil {
+			nTracks++
+			nClean += len(res.track.Points)
+		}
+	}
+	d.tracks = make([]*Track, 0, nTracks)
+	d.cleanAlts = make([]float64, 0, nClean)
 	for _, res := range cleaned {
 		d.stats.Duplicates += res.duplicates
 		if res.track == nil {
@@ -170,8 +211,19 @@ type trackResult struct {
 func cleanTrack(cat int, obs []observation, cfg Config) trackResult {
 	// Stable sort + drop repeated epochs (keep first): flaky archives
 	// replay element sets, and a duplicated observation must not change
-	// the analysis relative to a clean ingest of the same data.
-	sort.SliceStable(obs, func(i, j int) bool { return obs[i].epoch < obs[j].epoch })
+	// the analysis relative to a clean ingest of the same data. The
+	// comparator-typed sort avoids the interface boxing sort.SliceStable
+	// pays per element; stability pins the same order either way.
+	slices.SortStableFunc(obs, func(a, b observation) int {
+		switch {
+		case a.epoch < b.epoch:
+			return -1
+		case a.epoch > b.epoch:
+			return 1
+		default:
+			return 0
+		}
+	})
 	var res trackResult
 	points := make([]TrackPoint, 0, len(obs))
 	for i, o := range obs {

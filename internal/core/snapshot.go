@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+
+	"cosmicdance/internal/dst"
+)
+
+// DatasetState is the complete exported state of a built Dataset, in the
+// exact in-memory representation Build produces. It exists so a snapshot
+// codec (internal/artifact) can persist and restore datasets without the
+// core package knowing about any serialization format, and without a
+// restored dataset differing from a freshly built one in a single byte.
+//
+// The pipeline Config is deliberately absent: a cached dataset is only valid
+// for the configuration that built it (the cache key guarantees this), and
+// the runtime-only Parallelism knob must come from the caller, not the
+// snapshot.
+type DatasetState struct {
+	// Tracks are the cleaned per-satellite tracks, catalog-ascending, as
+	// Build emits them.
+	Tracks []*Track
+	// RawAlts holds every ingested altitude before cleaning, in ingest
+	// order (Fig 10a).
+	RawAlts []float64
+	// CleanAlts holds the altitudes that survived cleaning, in track-merge
+	// order (Fig 10b).
+	CleanAlts []float64
+	// Stats is the cleaning report.
+	Stats CleaningStats
+}
+
+// State exports the dataset's full post-Build state.
+func (d *Dataset) State() DatasetState {
+	return DatasetState{
+		Tracks:    d.tracks,
+		RawAlts:   d.rawAlts,
+		CleanAlts: d.cleanAlts,
+		Stats:     d.stats,
+	}
+}
+
+// DatasetFromState reassembles a Dataset from exported state, attaching the
+// given weather index and pipeline parameters. It validates the structural
+// invariants Build guarantees (at least one track, catalog-ascending unique
+// tracks, non-empty per-track histories) and fails closed on any violation,
+// so a damaged snapshot can never masquerade as a built dataset.
+func DatasetFromState(cfg Config, weather *dst.Index, st DatasetState) (*Dataset, error) {
+	if weather == nil || weather.Len() == 0 {
+		return nil, fmt.Errorf("core: no solar activity data")
+	}
+	if len(st.Tracks) == 0 {
+		return nil, fmt.Errorf("core: dataset state has no tracks")
+	}
+	d := &Dataset{
+		cfg:       cfg,
+		weather:   weather,
+		tracks:    st.Tracks,
+		byCat:     make(map[int]*Track, len(st.Tracks)),
+		rawAlts:   st.RawAlts,
+		cleanAlts: st.CleanAlts,
+		stats:     st.Stats,
+	}
+	prev := 0
+	for i, tr := range st.Tracks {
+		if tr == nil {
+			return nil, fmt.Errorf("core: dataset state track %d is nil", i)
+		}
+		if len(tr.Points) == 0 {
+			return nil, fmt.Errorf("core: dataset state track %d (catalog %d) is empty", i, tr.Catalog)
+		}
+		if i > 0 && tr.Catalog <= prev {
+			return nil, fmt.Errorf("core: dataset state tracks out of order at %d (catalog %d after %d)", i, tr.Catalog, prev)
+		}
+		prev = tr.Catalog
+		d.byCat[tr.Catalog] = tr
+	}
+	return d, nil
+}

@@ -63,6 +63,7 @@ type Rule struct {
 // inside these packages; maporder and errhygiene apply module-wide.
 var PipelinePackages = []string{
 	"cmd/cosmicdance",
+	"internal/artifact",
 	"internal/atmosphere",
 	"internal/conjunction",
 	"internal/constellation",

@@ -10,7 +10,6 @@ import (
 
 	"cosmicdance/internal/constellation"
 	"cosmicdance/internal/dst"
-	"cosmicdance/internal/spaceweather"
 	"cosmicdance/internal/timeseries"
 	"cosmicdance/internal/tle"
 	"cosmicdance/internal/units"
@@ -62,10 +61,7 @@ func BenchmarkWDCRecordRoundTrip(b *testing.B) {
 }
 
 func BenchmarkStormDetection(b *testing.B) {
-	weather, err := spaceweather.Generate(spaceweather.Paper2020to2024())
-	if err != nil {
-		b.Fatal(err)
-	}
+	weather := BenchPaperWeather(b)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -3,37 +3,18 @@ package cosmicdance_test
 import (
 	"testing"
 
+	"cosmicdance"
+
 	"cosmicdance/internal/constellation"
 	"cosmicdance/internal/core"
-	"cosmicdance/internal/dst"
-	"cosmicdance/internal/spaceweather"
 )
-
-// benchWeather generates the paper-window Dst series once per benchmark.
-func benchWeather(b *testing.B) *dst.Index {
-	b.Helper()
-	weather, err := spaceweather.Generate(spaceweather.Paper2020to2024())
-	if err != nil {
-		b.Fatal(err)
-	}
-	return weather
-}
-
-// benchFleetConfig is the benchmark workload: a one-year research fleet with
-// the worker-pool width following GOMAXPROCS, so `go test -cpu 1,2,4 -bench .`
-// sweeps the scaling curve.
-func benchFleetConfig(weather *dst.Index, seed int64) constellation.Config {
-	start := weather.Start()
-	cfg := constellation.ResearchFleet(seed, start, start.AddDate(1, 0, 0), 10)
-	cfg.Parallelism = 0
-	return cfg
-}
 
 // BenchmarkFleetSim measures the per-step physics fan-out of the
 // constellation simulator.
 func BenchmarkFleetSim(b *testing.B) {
-	weather := benchWeather(b)
-	cfg := benchFleetConfig(weather, 42)
+	b.ReportAllocs()
+	weather := cosmicdance.BenchPaperWeather(b)
+	cfg := cosmicdance.ResearchFleetConfig(weather, 42)
 	sats := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -49,8 +30,9 @@ func BenchmarkFleetSim(b *testing.B) {
 // BenchmarkDatasetBuild measures the per-track clean/dedupe fan-out of the
 // dataset builder.
 func BenchmarkDatasetBuild(b *testing.B) {
-	weather := benchWeather(b)
-	res, err := constellation.Run(benchFleetConfig(weather, 42), weather)
+	b.ReportAllocs()
+	weather := cosmicdance.BenchPaperWeather(b)
+	res, err := constellation.Run(cosmicdance.ResearchFleetConfig(weather, 42), weather)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -70,8 +52,9 @@ func BenchmarkDatasetBuild(b *testing.B) {
 
 // BenchmarkAssociate measures the per-(event, track) association fan-out.
 func BenchmarkAssociate(b *testing.B) {
-	weather := benchWeather(b)
-	res, err := constellation.Run(benchFleetConfig(weather, 42), weather)
+	b.ReportAllocs()
+	weather := cosmicdance.BenchPaperWeather(b)
+	res, err := constellation.Run(cosmicdance.ResearchFleetConfig(weather, 42), weather)
 	if err != nil {
 		b.Fatal(err)
 	}

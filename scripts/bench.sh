@@ -1,0 +1,79 @@
+#!/bin/sh
+# bench.sh — pin the performance baseline behind `make bench-baseline`.
+#
+# Runs the four fan-out benchmarks (FleetSim, DatasetBuild, Associate,
+# PipelineBuild) with -benchmem, times a cold-versus-warm `cmd/figures`
+# render over a fresh artifact cache, and writes the whole picture to one
+# JSON file (default BENCH_PR4.json, override with $1) so perf changes
+# land with numbers attached instead of adjectives.
+#
+# The benchmark substrate itself goes through the artifact cache
+# ($COSMICDANCE_CACHE_DIR overrides the location), but every measured
+# region sits after b.ResetTimer(), so the cache only shortens setup.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR4.json}"
+benchtime="${BENCHTIME:-3x}"
+
+raw="$(mktemp -t cosmicdance-bench.XXXXXX)"
+cachedir="$(mktemp -d -t cosmicdance-bench-cache.XXXXXX)"
+figout="$(mktemp -t cosmicdance-bench-fig.XXXXXX)"
+trap 'rm -rf "$raw" "$cachedir" "$figout" "$figout.warm"' EXIT
+
+echo "== go test -bench (FleetSim|DatasetBuild|Associate|PipelineBuild) -benchmem -benchtime $benchtime"
+go test -run '^$' \
+    -bench '^(BenchmarkFleetSim|BenchmarkDatasetBuild|BenchmarkAssociate|BenchmarkPipelineBuild)$' \
+    -benchmem -benchtime "$benchtime" . | tee "$raw"
+
+# Cold-versus-warm figure render over one fresh cache directory. The warm
+# run serves every simulated intermediate from disk; output bytes are
+# asserted identical (the same invariant TestFiguresCacheWarmIdentical and
+# verify.sh enforce).
+echo "== cmd/figures cold render (fresh cache)"
+cold_start="$(date +%s.%N)"
+go run ./cmd/figures -cache "$cachedir" -out "$figout"
+cold_end="$(date +%s.%N)"
+
+echo "== cmd/figures warm render (same cache)"
+warm_start="$(date +%s.%N)"
+go run ./cmd/figures -cache "$cachedir" -out "$figout.warm"
+warm_end="$(date +%s.%N)"
+
+cmp "$figout" "$figout.warm" || {
+    echo "bench: warm figures differ from cold figures" >&2
+    exit 1
+}
+
+cold="$(awk -v a="$cold_start" -v b="$cold_end" 'BEGIN { printf "%.3f", b - a }')"
+warm="$(awk -v a="$warm_start" -v b="$warm_end" 'BEGIN { printf "%.3f", b - a }')"
+speedup="$(awk -v c="$cold" -v w="$warm" 'BEGIN { printf "%.2f", c / w }')"
+echo "bench: figures cold ${cold}s, warm ${warm}s (${speedup}x)"
+
+awk -v goversion="$(go env GOVERSION)" -v maxprocs="$(nproc)" \
+    -v cold="$cold" -v warm="$warm" -v speedup="$speedup" '
+BEGIN {
+    printf "{\n  \"go\": \"%s\",\n  \"gomaxprocs\": %s,\n", goversion, maxprocs
+    printf "  \"benchmarks\": {\n"
+}
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    printf "%s", first ? ",\n" : ""
+    first = 1
+    printf "    \"%s\": {\"iterations\": %s", name, $2
+    for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        printf ", \"%s\": %s", unit, $i
+    }
+    printf "}"
+}
+END {
+    printf "\n  },\n"
+    printf "  \"figures_wall_seconds\": {\"cold\": %s, \"warm\": %s, \"speedup\": %s}\n}\n", cold, warm, speedup
+}
+' "$raw" > "$out"
+
+echo "bench: wrote $out"

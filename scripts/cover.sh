@@ -4,11 +4,13 @@
 #   1. run the short test suite with -coverprofile,
 #   2. fail if internal/lint (the analyzer guarding every other
 #      invariant) covers < 85% of its statements,
-#   3. fail if the module-wide total covers < 70%.
+#   3. fail if internal/artifact (the snapshot codec that must fail
+#      closed on every malformed input) covers < 80% of its statements,
+#   4. fail if the module-wide total covers < 70%.
 #
-# The floors are deliberately asymmetric: the linter is new, small and
-# pure logic, so it is held to a higher bar than the tree-wide figure,
-# which includes thin cmd/ and examples/ mains.
+# The floors are deliberately asymmetric: the linter and the codec are
+# small and pure logic, so they are held to a higher bar than the
+# tree-wide figure, which includes thin cmd/ and examples/ mains.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -41,6 +43,15 @@ if [ -z "$lintpct" ]; then
     exit 1
 fi
 floor "internal/lint" "$lintpct" 85
+
+artifactpct="$(printf '%s\n' "$out" | awk '$2 == "cosmicdance/internal/artifact" {
+    for (i = 1; i <= NF; i++) if ($i ~ /%$/) { sub(/%/, "", $i); print $i }
+}')"
+if [ -z "$artifactpct" ]; then
+    echo "cover: no coverage line for cosmicdance/internal/artifact" >&2
+    exit 1
+fi
+floor "internal/artifact" "$artifactpct" 80
 
 totalpct="$(go tool cover -func="$profile" | awk '/^total:/ {
     for (i = 1; i <= NF; i++) if ($i ~ /%$/) { sub(/%/, "", $i); print $i }

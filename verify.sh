@@ -7,7 +7,10 @@
 #   4. the parallel-equivalence suite at GOMAXPROCS=1 and GOMAXPROCS=4
 #      (worker-pool output must be bit-identical regardless of how many
 #      CPUs the scheduler actually has),
-#   5. every fuzz target, seeds + 10s of new coverage each.
+#   5. the artifact-cache identity gate: the same analyze run, cold then
+#      warm over one cache dir, must print byte-identical output (a cache
+#      hit is the cold build, bit for bit),
+#   6. every fuzz target, seeds + 10s of new coverage each.
 #
 # Pass -short as $1 to run the fast tier (skips the year-long substrate
 # builds and the fuzz sessions).
@@ -37,6 +40,18 @@ echo "== parallel equivalence at GOMAXPROCS=1 and GOMAXPROCS=4"
 GOMAXPROCS=1 go test -count=1 -run 'TestParallelEquivalence|TestDatasetConcurrentReaders' .
 GOMAXPROCS=4 go test -count=1 -run 'TestParallelEquivalence|TestDatasetConcurrentReaders' .
 
+echo "== warm cache equals cold build (analyze output must be bit-identical)"
+cachedir="$(mktemp -d -t cosmicdance-cache.XXXXXX)"
+cold="$(mktemp -t cosmicdance-cold.XXXXXX)"
+warm="$(mktemp -t cosmicdance-warm.XXXXXX)"
+trap 'rm -rf "$cachedir" "$cold" "$warm"' EXIT
+go run ./cmd/cosmicdance analyze -scenario may2024 -fleet small -cache "$cachedir" > "$cold"
+go run ./cmd/cosmicdance analyze -scenario may2024 -fleet small -cache "$cachedir" > "$warm"
+cmp "$cold" "$warm" || {
+    echo "verify: warm-cache analyze output differs from the cold build" >&2
+    exit 1
+}
+
 if [ "$FUZZ" = 1 ]; then
     fuzz() {
         pkg=$1
@@ -49,6 +64,7 @@ if [ "$FUZZ" = 1 ]; then
     fuzz ./internal/tle FuzzRoundTrip
     fuzz ./internal/dst FuzzParseRecord
     fuzz ./internal/wdc FuzzIndexRoundTrip
+    fuzz ./internal/artifact FuzzSnapshotRoundTrip
 fi
 
 echo "verify: OK"
