@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short race vet lint cover fuzz verify verify-short golden bench bench-baseline
+.PHONY: build test test-short race vet lint cover fuzz verify verify-short golden bench bench-baseline bench-diff obs-overhead
 
 build:
 	$(GO) build ./...
@@ -13,7 +13,7 @@ lint:
 	$(GO) run ./cmd/cosmiclint ./...
 
 # Coverage floors: internal/lint >= 85%, internal/artifact >= 80%,
-# module total >= 70%.
+# internal/obs >= 85%, module total >= 70%.
 cover:
 	./scripts/cover.sh
 
@@ -38,6 +38,17 @@ bench:
 # plus a cold-versus-warm cmd/figures render, written to BENCH_PR4.json.
 bench-baseline:
 	./scripts/bench.sh
+
+# Compare the current benchmarks against the pinned baseline; fails on a
+# >10% regression in ns/op or allocs/op (min-of-N runs, GOMAXPROCS pinned
+# to the baseline's value).
+bench-diff:
+	./scripts/benchdiff.sh
+
+# Prove telemetry inertness: the instrumented hot paths may cost at most
+# 2% more than a COSMICDANCE_OBS=off run.
+obs-overhead:
+	./scripts/obs_overhead.sh
 
 # Refresh the pinned figure renderings after an intentional output change.
 golden:

@@ -18,7 +18,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
@@ -27,6 +27,7 @@ import (
 	"cosmicdance/internal/constellation"
 	"cosmicdance/internal/core"
 	"cosmicdance/internal/dst"
+	"cosmicdance/internal/obs"
 	"cosmicdance/internal/report"
 	"cosmicdance/internal/spacetrack"
 	"cosmicdance/internal/spaceweather"
@@ -35,9 +36,11 @@ import (
 	"cosmicdance/internal/wdc"
 )
 
+// logger is the process logger: structured, leveled, timestamp-free, and
+// strictly on stderr so stdout carries only the analysis output.
+var logger = obs.NewLogger(os.Stderr, slog.LevelInfo)
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("cosmicdance: ")
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
@@ -57,14 +60,15 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("cosmicdance failed", "cmd", os.Args[1], "err", err)
+		os.Exit(1)
 	}
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   cosmicdance storms  [-dst FILE | -scenario paper|fiftyyears|may2024]
-  cosmicdance analyze [-dst FILE | -scenario ...] [-tles FILE | -server URL | -fleet paper|small] [-ptile P] [-window D] [-top N] [-parallel W] [-cache DIR | -no-cache]
+  cosmicdance analyze [-dst FILE | -scenario ...] [-tles FILE | -server URL | -fleet paper|small] [-ptile P] [-window D] [-top N] [-parallel W] [-cache DIR | -no-cache] [-trace] [-metrics-json FILE]
   cosmicdance fetch   -server URL [-cache DIR] [-from T] [-to T]`)
 }
 
@@ -136,7 +140,7 @@ func openCache(noCache bool, dir string) *artifact.Cache {
 	}
 	c, err := artifact.Open(dir)
 	if err != nil {
-		log.Printf("artifact cache disabled: %v", err)
+		logger.Warn("artifact cache disabled", "stage", "cache", "err", err)
 		return nil
 	}
 	return c
@@ -188,7 +192,7 @@ func loadTrajectories(b *core.Builder, weather *dst.Index, tleFile, server, flee
 		if err != nil {
 			return fmt.Errorf("parsing %s: %w", tleFile, err)
 		}
-		log.Printf("loaded %d element sets from %s", len(sets), tleFile)
+		logger.Info("loaded element sets", "stage", "ingest", "count", len(sets), "file", tleFile)
 		b.AddTLEs(sets)
 		return nil
 	case server != "":
@@ -203,7 +207,7 @@ func loadTrajectories(b *core.Builder, weather *dst.Index, tleFile, server, flee
 		if err != nil {
 			return err
 		}
-		log.Printf("simulated %d satellites, %d element sets", len(res.Sats), len(res.Samples))
+		logger.Info("simulated fleet", "stage", "ingest", "satellites", len(res.Sats), "samples", len(res.Samples))
 		b.AddSamples(res.Samples)
 		return nil
 	}
@@ -223,7 +227,7 @@ func fetchInto(b *core.Builder, server string, weather *dst.Index) error {
 		return fmt.Errorf("fetching current catalog: %w", err)
 	}
 	nums := spacetrack.CatalogNumbers(current)
-	log.Printf("current catalog: %d satellites", len(nums))
+	logger.Info("fetched current catalog", "stage", "ingest", "satellites", len(nums))
 	from, to := weather.Start(), weather.End()
 	results, err := spacetrack.FetchHistories(ctx, client, nums, from, to, 8)
 	if err != nil {
@@ -237,7 +241,7 @@ func fetchInto(b *core.Builder, server string, weather *dst.Index) error {
 		b.AddTLEs(r.Sets)
 		total += len(r.Sets)
 	}
-	log.Printf("fetched %d historical element sets", total)
+	logger.Info("fetched history", "stage", "ingest", "sets", total)
 	return nil
 }
 
@@ -256,9 +260,18 @@ func cmdAnalyze(args []string) error {
 	parallelism := fs.Int("parallel", 0, "worker pool width for simulation and pipeline (0 = one per CPU, 1 = sequential)")
 	cacheDir := fs.String("cache", artifact.DefaultDir(), "artifact cache directory for simulated intermediates")
 	noCache := fs.Bool("no-cache", false, "disable the artifact cache (always rebuild, never store)")
+	traceFlag := fs.Bool("trace", false, "print the stage timing tree and metrics to stderr after the run")
+	metricsJSON := fs.String("metrics-json", "", "write a machine-readable metrics+trace report (JSON) to FILE")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	var tracer *obs.Tracer
+	if *traceFlag || *metricsJSON != "" {
+		//cosmiclint:allow nondet tracing timestamps are stderr/report presentation only, never pipeline output
+		tracer = obs.NewTracer(time.Now)
+	}
+	root := tracer.Start("analyze")
 
 	cfg := core.DefaultConfig()
 	cfg.Parallelism = *parallelism
@@ -271,7 +284,8 @@ func cmdAnalyze(args []string) error {
 			return err
 		}
 		pipe := artifact.NewPipeline(openCache(*noCache, *cacheDir))
-		pipe.Warn = func(err error) { log.Print(err) }
+		pipe.Log = logger
+		pipe.Trace = tracer
 		weather, err := pipe.Weather(weatherCfg)
 		if err != nil {
 			return err
@@ -285,6 +299,7 @@ func cmdAnalyze(args []string) error {
 			return err
 		}
 	} else {
+		sp := tracer.Start("ingest")
 		weather, err := loadWeather(*dstFile, *scenario)
 		if err != nil {
 			return err
@@ -300,14 +315,17 @@ func cmdAnalyze(args []string) error {
 			if err != nil {
 				return fmt.Errorf("loading %s: %w", *archiveFile, err)
 			}
-			log.Printf("loaded %d satellites, %d samples from %s", len(res.Sats), len(res.Samples), *archiveFile)
+			logger.Info("loaded archive", "stage", "ingest", "satellites", len(res.Sats), "samples", len(res.Samples), "file", *archiveFile)
 			b.AddSamples(res.Samples)
 		} else if err := loadTrajectories(b, weather, *tleFile, *server, *fleet, *seed, *parallelism); err != nil {
 			return err
 		}
+		sp.End()
+		sp = tracer.Start("dataset")
 		if d, err = b.Build(); err != nil {
 			return err
 		}
+		sp.End()
 	}
 
 	cl := d.Cleaning()
@@ -317,17 +335,20 @@ func cmdAnalyze(args []string) error {
 	fmt.Printf("observations: %d   gross errors removed: %d   raising points removed: %d   non-operational objects: %d   tracks: %d\n",
 		cl.TotalObservations, cl.GrossErrors, cl.RaisingRemoved, cl.NonOperational, len(d.Tracks()))
 
+	sp := tracer.Start("associate")
 	events, err := d.EventsAbovePercentile(*ptile, 1, 0)
 	if err != nil {
 		return err
 	}
+	devs := d.Associate(events, *window)
+	sp.End()
 	if err := report.Heading(os.Stdout, fmt.Sprintf("Events above the %.0fth intensity percentile", *ptile)); err != nil {
 		return err
 	}
-	devs := d.Associate(events, *window)
 	fmt.Printf("%d events, %d (event, satellite) associations\n", len(events), len(devs))
 	if len(devs) == 0 {
-		return nil
+		root.End()
+		return finishTelemetry(tracer, *traceFlag, *metricsJSON)
 	}
 	cdf, err := core.DeviationCDF(devs)
 	if err != nil {
@@ -361,7 +382,41 @@ func cmdAnalyze(args []string) error {
 			fmt.Sprintf("%.5f", dv.MaxDrag),
 		})
 	}
-	return report.Table(os.Stdout, []string{"catalog", "event", "max dev km", "max dB*"}, rows)
+	if err := report.Table(os.Stdout, []string{"catalog", "event", "max dev km", "max dB*"}, rows); err != nil {
+		return err
+	}
+	root.End()
+	return finishTelemetry(tracer, *traceFlag, *metricsJSON)
+}
+
+// finishTelemetry emits the opt-in observability outputs after a run: the
+// stage timing tree and a metrics dump on stderr (-trace), and the
+// machine-readable run report (-metrics-json FILE). Everything lands on
+// stderr or the named file — stdout is byte-identical with telemetry on or
+// off.
+func finishTelemetry(tracer *obs.Tracer, trace bool, metricsJSON string) error {
+	if trace {
+		fmt.Fprintln(os.Stderr, "--- stage timings ---")
+		if err := tracer.WriteTree(os.Stderr); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "--- metrics ---")
+		if err := obs.Default().Snapshot().WritePrometheus(os.Stderr); err != nil {
+			return err
+		}
+	}
+	if metricsJSON != "" {
+		f, err := os.Create(metricsJSON)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteRunReport(f, obs.Default(), tracer); err != nil {
+			_ = f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
 }
 
 func cmdFetch(args []string) error {
@@ -405,7 +460,7 @@ func cmdFetch(args []string) error {
 		return err
 	}
 	nums := spacetrack.CatalogNumbers(current)
-	log.Printf("fetching %d satellites into %s", len(nums), *cache)
+	logger.Info("fetching histories", "stage", "fetch", "satellites", len(nums), "cache", *cache)
 	results, err := spacetrack.FetchHistories(ctx, fetcher, nums, from, to, 8)
 	if err != nil {
 		return err
@@ -417,6 +472,6 @@ func cmdFetch(args []string) error {
 		}
 		total += len(r.Sets)
 	}
-	log.Printf("cached %d element sets", total)
+	logger.Info("cached element sets", "stage", "fetch", "count", total)
 	return nil
 }

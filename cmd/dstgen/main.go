@@ -10,12 +10,22 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"os"
 
 	"cosmicdance/internal/dst"
+	"cosmicdance/internal/obs"
 	"cosmicdance/internal/spaceweather"
 )
+
+// logger keeps status and errors structured and on stderr; stdout is
+// reserved for the generated records.
+var logger = obs.NewLogger(os.Stderr, slog.LevelInfo)
+
+func fatal(err error) {
+	logger.Error("dstgen failed", "err", err)
+	os.Exit(1)
+}
 
 func main() {
 	scenario := flag.String("scenario", "paper", "scenario preset: paper, fiftyyears or may2024")
@@ -32,35 +42,35 @@ func main() {
 	case "may2024":
 		cfg = spaceweather.May2024()
 	default:
-		log.Fatalf("dstgen: unknown scenario %q", *scenario)
+		fatal(fmt.Errorf("unknown scenario %q", *scenario))
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
 	index, err := spaceweather.Generate(cfg)
 	if err != nil {
-		log.Fatalf("dstgen: %v", err)
+		fatal(err)
 	}
 	records, err := dst.FromIndex(index, 2)
 	if err != nil {
-		log.Fatalf("dstgen: %v", err)
+		fatal(err)
 	}
 	w := io.Writer(os.Stdout)
 	closeOut := func() error { return nil }
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatalf("dstgen: %v", err)
+			fatal(err)
 		}
 		w = f
 		closeOut = f.Close
 	}
 	if err := dst.WriteRecords(w, records); err != nil {
-		log.Fatalf("dstgen: %v", err)
+		fatal(err)
 	}
 	if err := closeOut(); err != nil {
-		log.Fatalf("dstgen: %v", err)
+		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "dstgen: wrote %d daily records (%s .. %s)\n",
-		len(records), index.Start().Format("2006-01-02"), index.End().Format("2006-01-02"))
+	logger.Info("wrote records", "count", len(records),
+		"from", index.Start().Format("2006-01-02"), "to", index.End().Format("2006-01-02"))
 }

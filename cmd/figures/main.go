@@ -21,7 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"time"
@@ -31,10 +31,20 @@ import (
 	"cosmicdance/internal/constellation"
 	"cosmicdance/internal/core"
 	"cosmicdance/internal/groundtrack"
+	"cosmicdance/internal/obs"
 	"cosmicdance/internal/report"
 	"cosmicdance/internal/spaceweather"
 	"cosmicdance/internal/stats"
 )
+
+// logger is the process logger: structured, leveled, timestamp-free, and
+// strictly on stderr so the rendered figures (stdout or -out) stay pristine.
+var logger = obs.NewLogger(os.Stderr, slog.LevelInfo)
+
+func fatal(err error) {
+	logger.Error("figures failed", "err", err)
+	os.Exit(1)
+}
 
 func main() {
 	figure := flag.Int("figure", 0, "render only this figure (1-10); 0 renders all")
@@ -45,22 +55,31 @@ func main() {
 	noCache := flag.Bool("no-cache", false, "disable the artifact cache (always rebuild, never store)")
 	out := flag.String("out", "", "write to this file instead of stdout")
 	csvDir := flag.String("csv", "", "also write the plotted series as CSV files into this directory")
+	traceFlag := flag.Bool("trace", false, "print the stage timing tree and metrics to stderr after the run")
+	metricsJSON := flag.String("metrics-json", "", "write a machine-readable metrics+trace report (JSON) to FILE")
 	flag.Parse()
+
+	var tracer *obs.Tracer
+	if *traceFlag || *metricsJSON != "" {
+		tracer = obs.NewTracer(time.Now)
+	}
+	root := tracer.Start("figures")
 
 	var cache *artifact.Cache
 	if !*noCache {
 		c, err := artifact.Open(*cacheDir)
 		if err != nil {
-			log.Printf("figures: artifact cache disabled: %v", err)
+			logger.Warn("artifact cache disabled", "stage", "cache", "err", err)
 		} else {
 			cache = c
 		}
 	}
 	pipe := artifact.NewPipeline(cache)
-	pipe.Warn = func(err error) { log.Printf("figures: %v", err) }
+	pipe.Log = logger
+	pipe.Trace = tracer
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			log.Fatalf("figures: %v", err)
+			fatal(err)
 		}
 	}
 	csvOut = *csvDir
@@ -70,21 +89,45 @@ func main() {
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatalf("figures: %v", err)
+			fatal(err)
 		}
 		w = f
 		closeOut = f.Close
 	}
 	if err := run(w, *figure, *seed, *parallelism, pipe); err != nil {
-		log.Fatalf("figures: %v", err)
+		fatal(err)
 	}
 	if *extensions {
 		if err := runExtensions(w, *seed, *parallelism, pipe); err != nil {
-			log.Fatalf("figures: %v", err)
+			fatal(err)
 		}
 	}
 	if err := closeOut(); err != nil {
-		log.Fatalf("figures: %v", err)
+		fatal(err)
+	}
+	root.End()
+	if *traceFlag {
+		fmt.Fprintln(os.Stderr, "--- stage timings ---")
+		if err := tracer.WriteTree(os.Stderr); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "--- metrics ---")
+		if err := obs.Default().Snapshot().WritePrometheus(os.Stderr); err != nil {
+			fatal(err)
+		}
+	}
+	if *metricsJSON != "" {
+		f, err := os.Create(*metricsJSON)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteRunReport(f, obs.Default(), tracer); err != nil {
+			_ = f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 }
 
@@ -106,6 +149,15 @@ func writeCSVFile(name string, fn func(io.Writer) error) error {
 		return err
 	}
 	return f.Close()
+}
+
+// renderSpan times one figure's rendering under the pipeline's tracer. A nil
+// tracer is inert, so the unit tests (which build bare pipelines) pay
+// nothing.
+func renderSpan(pipe *artifact.Pipeline, name string, fn func() error) error {
+	sp := pipe.Trace.Start(name)
+	defer sp.End()
+	return fn()
 }
 
 func run(w io.Writer, figure int, seed int64, parallelism int, pipe *artifact.Pipeline) error {
@@ -148,104 +200,122 @@ func run(w io.Writer, figure int, seed int64, parallelism int, pipe *artifact.Pi
 	}
 
 	if want(1) {
-		if err := report.Fig1(w, weather); err != nil {
+		if err := renderSpan(pipe, "render:fig1", func() error { return report.Fig1(w, weather) }); err != nil {
 			return err
 		}
 	}
 	if want(2) {
-		if err := report.Fig2(w, weather); err != nil {
+		if err := renderSpan(pipe, "render:fig2", func() error { return report.Fig2(w, weather) }); err != nil {
 			return err
 		}
 	}
 	if want(3) {
-		from := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
-		to := time.Date(2024, 5, 8, 0, 0, 0, 0, time.UTC)
-		cats := []int{constellation.Fig3SatDragSpike, constellation.Fig3SatQuietDecay, constellation.Fig3SatSharpDrop}
-		if err := report.Fig3(w, dataset, cats, from, to, 20); err != nil {
+		err := renderSpan(pipe, "render:fig3", func() error {
+			from := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+			to := time.Date(2024, 5, 8, 0, 0, 0, 0, time.UTC)
+			cats := []int{constellation.Fig3SatDragSpike, constellation.Fig3SatQuietDecay, constellation.Fig3SatSharpDrop}
+			if err := report.Fig3(w, dataset, cats, from, to, 20); err != nil {
+				return err
+			}
+			for _, cat := range cats {
+				ts, err := dataset.TimeSeries(cat, from, to)
+				if err != nil {
+					return err
+				}
+				name := fmt.Sprintf("fig03_%d.csv", cat)
+				if err := writeCSVFile(name, func(f io.Writer) error { return report.SatSeriesToCSV(f, ts) }); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
 			return err
-		}
-		for _, cat := range cats {
-			ts, err := dataset.TimeSeries(cat, from, to)
-			if err != nil {
-				return err
-			}
-			name := fmt.Sprintf("fig03_%d.csv", cat)
-			if err := writeCSVFile(name, func(f io.Writer) error { return report.SatSeriesToCSV(f, ts) }); err != nil {
-				return err
-			}
 		}
 	}
 	if want(4) {
-		wa, err := dataset.Window(spaceweather.Fig4Storm, core.WindowOptions{Days: 30, RequireHumpShape: true, MinPeakKm: 1})
+		err := renderSpan(pipe, "render:fig4", func() error {
+			wa, err := dataset.Window(spaceweather.Fig4Storm, core.WindowOptions{Days: 30, RequireHumpShape: true, MinPeakKm: 1})
+			if err != nil {
+				return err
+			}
+			if err := report.Fig4(w, "Fig 4(a): altitude variation after a -112 nT event", wa); err != nil {
+				return err
+			}
+			if err := writeCSVFile("fig04a.csv", func(f io.Writer) error { return report.WindowToCSV(f, wa) }); err != nil {
+				return err
+			}
+			quiet, err := dataset.QuietEpochs(80, 15, 1, 24*time.Hour)
+			if err != nil {
+				return err
+			}
+			qa, err := dataset.Window(quiet[0], core.WindowOptions{Days: 15})
+			if err != nil {
+				return err
+			}
+			if err := report.Fig4(w, "Fig 4(b): altitude variation on a quiet epoch", qa); err != nil {
+				return err
+			}
+			return writeCSVFile("fig04b.csv", func(f io.Writer) error { return report.WindowToCSV(f, qa) })
+		})
 		if err != nil {
-			return err
-		}
-		if err := report.Fig4(w, "Fig 4(a): altitude variation after a -112 nT event", wa); err != nil {
-			return err
-		}
-		if err := writeCSVFile("fig04a.csv", func(f io.Writer) error { return report.WindowToCSV(f, wa) }); err != nil {
-			return err
-		}
-		quiet, err := dataset.QuietEpochs(80, 15, 1, 24*time.Hour)
-		if err != nil {
-			return err
-		}
-		qa, err := dataset.Window(quiet[0], core.WindowOptions{Days: 15})
-		if err != nil {
-			return err
-		}
-		if err := report.Fig4(w, "Fig 4(b): altitude variation on a quiet epoch", qa); err != nil {
-			return err
-		}
-		if err := writeCSVFile("fig04b.csv", func(f io.Writer) error { return report.WindowToCSV(f, qa) }); err != nil {
 			return err
 		}
 	}
 	if want(5) || want(6) {
-		if err := renderFig56(w, dataset, want); err != nil {
+		if err := renderSpan(pipe, "render:fig5-6", func() error { return renderFig56(w, dataset, want) }); err != nil {
 			return err
 		}
 	}
 	if want(7) {
-		if err := renderFig7(w, seed, parallelism, pipe); err != nil {
+		if err := renderSpan(pipe, "render:fig7", func() error { return renderFig7(w, seed, parallelism, pipe) }); err != nil {
 			return err
 		}
 	}
 	if want(8) {
-		fifty, err := pipe.Weather(spaceweather.FiftyYears())
+		err := renderSpan(pipe, "render:fig8", func() error {
+			fifty, err := pipe.Weather(spaceweather.FiftyYears())
+			if err != nil {
+				return err
+			}
+			return report.Fig8(w, fifty, spaceweather.NamedHistoricStorms())
+		})
 		if err != nil {
-			return err
-		}
-		if err := report.Fig8(w, fifty, spaceweather.NamedHistoricStorms()); err != nil {
 			return err
 		}
 	}
 	if want(9) {
-		// The L1 cohort: the paper follows 43 satellites of the first launch.
-		cats := make([]int, 0, 43)
-		for c := 44713; c < 44713+43; c++ {
-			cats = append(cats, c)
-		}
-		if err := report.Fig9(w, fleet, cats, 54); err != nil {
+		err := renderSpan(pipe, "render:fig9", func() error {
+			// The L1 cohort: the paper follows 43 satellites of the first launch.
+			cats := make([]int, 0, 43)
+			for c := 44713; c < 44713+43; c++ {
+				cats = append(cats, c)
+			}
+			return report.Fig9(w, fleet, cats, 54)
+		})
+		if err != nil {
 			return err
 		}
 	}
 	if want(10) {
-		raw, err := dataset.RawAltitudeCDF()
+		err := renderSpan(pipe, "render:fig10", func() error {
+			raw, err := dataset.RawAltitudeCDF()
+			if err != nil {
+				return err
+			}
+			clean, err := dataset.CleanAltitudeCDF()
+			if err != nil {
+				return err
+			}
+			if err := report.Fig10(w, raw, clean); err != nil {
+				return err
+			}
+			if err := writeCSVFile("fig10a.csv", func(f io.Writer) error { return report.CDFToCSV(f, raw, 64) }); err != nil {
+				return err
+			}
+			return writeCSVFile("fig10b.csv", func(f io.Writer) error { return report.CDFToCSV(f, clean, 64) })
+		})
 		if err != nil {
-			return err
-		}
-		clean, err := dataset.CleanAltitudeCDF()
-		if err != nil {
-			return err
-		}
-		if err := report.Fig10(w, raw, clean); err != nil {
-			return err
-		}
-		if err := writeCSVFile("fig10a.csv", func(f io.Writer) error { return report.CDFToCSV(f, raw, 64) }); err != nil {
-			return err
-		}
-		if err := writeCSVFile("fig10b.csv", func(f io.Writer) error { return report.CDFToCSV(f, clean, 64) }); err != nil {
 			return err
 		}
 	}

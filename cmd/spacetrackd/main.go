@@ -10,10 +10,18 @@
 // Usage:
 //
 //	spacetrackd [-addr :8044] [-fleet small|paper|may2024] [-seed S] [-rate R] [-faults SCHED]
+//	            [-pprof] [-metrics-json FILE]
 //
 // -faults injects deterministic network faults (see internal/faultline) into
 // every endpoint, e.g. -faults '429:3/7,503:1/5,truncate:1/6' — the harness
 // for exercising client fault tolerance against a degraded service.
+//
+// Introspection: /metrics serves the process metrics in Prometheus text
+// format and /healthz answers liveness probes; both bypass the fault
+// injector, so a deliberately degraded service still reports honestly.
+// -pprof additionally exposes the runtime profiles under /debug/pprof/.
+// On graceful shutdown the daemon logs its final counters and, with
+// -metrics-json FILE, flushes the full metrics snapshot to FILE.
 package main
 
 import (
@@ -21,9 +29,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -31,16 +40,22 @@ import (
 
 	"cosmicdance/internal/constellation"
 	"cosmicdance/internal/faultline"
+	"cosmicdance/internal/obs"
 	"cosmicdance/internal/spacetrack"
 	"cosmicdance/internal/spaceweather"
 	"cosmicdance/internal/wdc"
 )
 
+// logger is the daemon's structured stderr logger (timestamp-free, so
+// supervised log output is reproducible run to run).
+var logger = obs.NewLogger(os.Stderr, slog.LevelInfo)
+
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, os.Args[1:], nil); err != nil {
-		log.Fatalf("spacetrackd: %v", err)
+		logger.Error("spacetrackd failed", "err", err)
+		os.Exit(1)
 	}
 }
 
@@ -54,6 +69,8 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	seed := fs.Int64("seed", 42, "simulation seed")
 	rate := fs.Float64("rate", 20, "rate limit in requests/second (0 disables)")
 	faults := fs.String("faults", "", "fault schedule, e.g. '429:3/7,truncate:1/6' (see internal/faultline)")
+	pprofFlag := fs.Bool("pprof", false, "expose runtime profiles under /debug/pprof/")
+	metricsJSON := fs.String("metrics-json", "", "flush the final metrics snapshot (JSON) to FILE on shutdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,7 +98,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		return fmt.Errorf("unknown fleet %q", *fleet)
 	}
 
-	log.Printf("spacetrackd: simulating fleet %q ...", *fleet)
+	logger.Info("simulating fleet", "stage", "daemon", "fleet", *fleet)
 	weather, err := spaceweather.Generate(wx)
 	if err != nil {
 		return err
@@ -112,18 +129,33 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	if len(sched.Rules) > 0 {
 		injector = faultline.New(mux, sched, *seed)
 		handler = injector
-		log.Printf("spacetrackd: injecting faults: %s (survivable with %d retries)",
-			sched, sched.MaxConsecutiveFaults())
+		logger.Info("injecting faults", "stage", "daemon",
+			"schedule", sched.String(), "survivable_retries", sched.MaxConsecutiveFaults())
 	}
+
+	// Introspection routes sit outside the fault injector: a deliberately
+	// degraded data plane must not corrupt its own diagnostics, and /healthz
+	// still routes through the tracking server so its request counter ticks.
+	outer := http.NewServeMux()
+	outer.Handle("/metrics", obs.Handler(obs.Default()))
+	outer.Handle("/healthz", mux)
+	if *pprofFlag {
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	outer.Handle("/", handler)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	log.Printf("spacetrackd: %d satellites, %d element sets (+/dst endpoint), serving on %s",
-		len(res.Sats), len(res.Samples), ln.Addr())
+	logger.Info("serving", "stage", "daemon",
+		"satellites", len(res.Sats), "samples", len(res.Samples), "addr", ln.Addr().String())
 	httpSrv := &http.Server{
-		Handler:           handler,
+		Handler:           outer,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)
@@ -137,10 +169,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("spacetrackd: shutting down")
-	if injector != nil {
-		log.Printf("spacetrackd: fault summary: %s", injector.Summary())
-	}
+	logger.Info("shutting down", "stage", "daemon")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
@@ -148,6 +177,30 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	// In-flight requests have drained: the counters are final, so log them
+	// and flush the snapshot.
+	var faultsInjected int64
+	if injector != nil {
+		for _, n := range injector.Stats() {
+			faultsInjected += n
+		}
+		logger.Info("fault summary", "stage", "daemon", "faults", injector.Summary())
+	}
+	logger.Info("final counters", "stage", "daemon",
+		"requests_served", srv.RequestsServed(),
+		"rate_limited", srv.RateLimited(),
+		"faults_injected", faultsInjected)
+	if *metricsJSON != "" {
+		f, err := os.Create(*metricsJSON)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteRunReport(f, obs.Default(), nil); err != nil {
+			_ = f.Close()
+			return err
+		}
+		return f.Close()
 	}
 	return nil
 }

@@ -2,10 +2,16 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"io"
 	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
+	"cosmicdance/internal/obs"
 	"cosmicdance/internal/spacetrack"
 )
 
@@ -103,6 +109,90 @@ func TestDaemonFaultsFlag(t *testing.T) {
 	cancel()
 	if err := <-errc; err != nil {
 		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestDaemonMetricsAndShutdownFlush exercises the introspection surface: the
+// /metrics endpoint serves Prometheus text while the daemon runs, and a
+// graceful shutdown flushes the final snapshot to the -metrics-json file.
+func TestDaemonMetricsAndShutdownFlush(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a year-long fleet")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	reportPath := filepath.Join(t.TempDir(), "metrics.json")
+	base, errc := startDaemon(t, ctx, "-metrics-json", reportPath)
+
+	client, err := spacetrack.NewClient(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Health(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	if _, err := client.FetchGroup(ctx, "starlink"); err != nil {
+		t.Fatalf("group fetch: %v", err)
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	for _, want := range []string{
+		`spacetrack_server_requests_total{endpoint="group"}`,
+		`spacetrack_server_requests_total{endpoint="healthz"}`,
+		"constellation_runs_total",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// pprof stays off unless opted in with -pprof.
+	resp, err = http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/debug/pprof/ = %d without -pprof, want 404", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown returned %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down after cancellation")
+	}
+
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatalf("shutdown did not flush the metrics report: %v", err)
+	}
+	var rep obs.RunReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("flushed report is not valid JSON: %v", err)
+	}
+	found := false
+	for _, c := range rep.Metrics.Counters {
+		if c.Name == "spacetrack_server_requests_total" && c.Value > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("flushed report has no served-request counters")
 	}
 }
 

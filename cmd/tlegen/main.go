@@ -11,13 +11,23 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"os"
 	"time"
 
 	"cosmicdance/internal/constellation"
+	"cosmicdance/internal/obs"
 	"cosmicdance/internal/spaceweather"
 )
+
+// logger keeps status and errors structured and on stderr; stdout is
+// reserved for the generated archive.
+var logger = obs.NewLogger(os.Stderr, slog.LevelInfo)
+
+func fatal(err error) {
+	logger.Error("tlegen failed", "err", err)
+	os.Exit(1)
+}
 
 func main() {
 	fleet := flag.String("fleet", "small", "fleet preset: paper (4.5 y, ~2000 sats), may2024 (1 month, 5900 sats) or small (6 months, 40 sats)")
@@ -43,22 +53,22 @@ func main() {
 		cfg = constellation.ResearchFleet(*seed, start, start.AddDate(0, 6, 0), 8)
 		wx = spaceweather.Paper2020to2024()
 	default:
-		log.Fatalf("tlegen: unknown fleet %q", *fleet)
+		fatal(fmt.Errorf("unknown fleet %q", *fleet))
 	}
 	weather, err := spaceweather.Generate(wx)
 	if err != nil {
-		log.Fatalf("tlegen: %v", err)
+		fatal(err)
 	}
 	res, err := constellation.Run(cfg, weather)
 	if err != nil {
-		log.Fatalf("tlegen: %v", err)
+		fatal(err)
 	}
 	w := io.Writer(os.Stdout)
 	closeOut := func() error { return nil }
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatalf("tlegen: %v", err)
+			fatal(err)
 		}
 		w = f
 		closeOut = f.Close
@@ -66,17 +76,17 @@ func main() {
 	switch *format {
 	case "tle":
 		if err := res.WriteTLEs(w, *names); err != nil {
-			log.Fatalf("tlegen: %v", err)
+			fatal(err)
 		}
 	case "binary":
 		if err := res.Save(w); err != nil {
-			log.Fatalf("tlegen: %v", err)
+			fatal(err)
 		}
 	default:
-		log.Fatalf("tlegen: unknown format %q", *format)
+		fatal(fmt.Errorf("unknown format %q", *format))
 	}
 	if err := closeOut(); err != nil {
-		log.Fatalf("tlegen: %v", err)
+		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "tlegen: %d satellites, %d element sets\n", len(res.Sats), len(res.Samples))
+	logger.Info("simulated archive", "satellites", len(res.Sats), "samples", len(res.Samples))
 }

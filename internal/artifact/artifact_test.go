@@ -3,6 +3,7 @@ package artifact
 import (
 	"bytes"
 	"errors"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -12,9 +13,24 @@ import (
 	"cosmicdance/internal/constellation"
 	"cosmicdance/internal/core"
 	"cosmicdance/internal/dst"
+	"cosmicdance/internal/obs"
 	"cosmicdance/internal/spaceweather"
 	"cosmicdance/internal/units"
 )
+
+// failWriter fails the test on any write — the pipeline must stay silent.
+type failWriter struct{ t *testing.T }
+
+func (w failWriter) Write(p []byte) (int, error) {
+	w.t.Errorf("unexpected pipeline warning: %s", p)
+	return len(p), nil
+}
+
+// failLogger is a structured logger that fails the test if the pipeline
+// warns (the replacement for the old Warn func(error) hook in tests).
+func failLogger(t *testing.T) *slog.Logger {
+	return obs.NewLogger(failWriter{t}, slog.LevelWarn)
+}
 
 // --- small deterministic fixtures ---
 
@@ -399,7 +415,7 @@ func TestPipelineWarmEqualsCold(t *testing.T) {
 	wcfg, fcfg, ccfg := testWeatherCfg(), testFleetCfg(), core.DefaultConfig()
 
 	coldPipe := NewPipeline(cache)
-	coldPipe.Warn = func(err error) { t.Fatal(err) }
+	coldPipe.Log = failLogger(t)
 	cold, err := coldPipe.Dataset(wcfg, fcfg, ccfg)
 	if err != nil {
 		t.Fatal(err)
@@ -421,7 +437,7 @@ func TestPipelineWarmEqualsCold(t *testing.T) {
 	warmCore := ccfg
 	warmCore.Parallelism = 4
 	warmPipe := NewPipeline(cache)
-	warmPipe.Warn = func(err error) { t.Fatal(err) }
+	warmPipe.Log = failLogger(t)
 	warm, err := warmPipe.Dataset(wcfg, warmCfgs, warmCore)
 	if err != nil {
 		t.Fatal(err)

@@ -58,29 +58,41 @@ func (c *Cache) load(kind Kind, fp Fingerprint, decode func(io.Reader) error) bo
 	path := c.Path(kind, fp)
 	f, err := os.Open(path)
 	if err != nil {
+		countKind(metricMisses, kind)
 		return false
 	}
-	err = decode(bufio.NewReaderSize(f, 1<<20))
+	cr := &countingReader{r: bufio.NewReaderSize(f, 1<<20)}
+	err = decode(cr)
 	_ = f.Close()
+	metricBytesRead.Add(cr.n)
 	if err != nil {
 		// Never serve a damaged entry twice: drop it so the next store
 		// rewrites it cleanly.
 		_ = os.Remove(path)
+		countKind(metricEvictions, kind)
+		countKind(metricMisses, kind)
 		return false
 	}
+	countKind(metricHits, kind)
 	return true
 }
 
 // store writes the entry atomically. Errors are returned, not swallowed: a
 // failed store is a real condition (disk full, permissions) the caller may
 // want to surface, even though the pipeline still has the artifact in hand.
-func (c *Cache) store(kind Kind, fp Fingerprint, encode func(io.Writer) error) error {
+func (c *Cache) store(kind Kind, fp Fingerprint, encode func(io.Writer) error) (err error) {
+	defer func() {
+		if err != nil {
+			metricStoreFails.Inc()
+		}
+	}()
 	tmp, err := os.CreateTemp(c.dir, "tmp-*.cda")
 	if err != nil {
 		return fmt.Errorf("artifact: stage cache entry: %w", err)
 	}
 	defer func() { _ = os.Remove(tmp.Name()) }()
-	bw := bufio.NewWriterSize(tmp, 1<<20)
+	cw := &countingWriter{w: tmp}
+	bw := bufio.NewWriterSize(cw, 1<<20)
 	if err := encode(bw); err != nil {
 		_ = tmp.Close()
 		return err
@@ -95,6 +107,7 @@ func (c *Cache) store(kind Kind, fp Fingerprint, encode func(io.Writer) error) e
 	if err := os.Rename(tmp.Name(), c.Path(kind, fp)); err != nil {
 		return fmt.Errorf("artifact: publish cache entry: %w", err)
 	}
+	metricBytesWritten.Add(cw.n)
 	return nil
 }
 

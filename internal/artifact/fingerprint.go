@@ -63,6 +63,7 @@ func (h *hasher) str(s string) {
 func (h *hasher) sum() Fingerprint {
 	var f Fingerprint
 	h.h.Sum(f[:0])
+	metricFingerprints.Inc()
 	return f
 }
 

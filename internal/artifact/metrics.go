@@ -1,0 +1,64 @@
+package artifact
+
+import (
+	"io"
+
+	"cosmicdance/internal/obs"
+)
+
+// Cache telemetry: per-kind hit/miss/evict counters plus byte and
+// fingerprint totals. All writes are atomic counter increments on coarse
+// events (one per cache operation), so the cache's hot path — the decode
+// itself — is untouched.
+var (
+	metricHits         = kindCounters("artifact_cache_hits_total")
+	metricMisses       = kindCounters("artifact_cache_misses_total")
+	metricEvictions    = kindCounters("artifact_cache_corrupt_evictions_total")
+	metricStoreFails   = obs.Default().Counter("artifact_cache_store_failures_total")
+	metricBytesRead    = obs.Default().Counter("artifact_cache_read_bytes_total")
+	metricBytesWritten = obs.Default().Counter("artifact_cache_written_bytes_total")
+	metricFingerprints = obs.Default().Counter("artifact_fingerprints_total")
+)
+
+// kindCounters registers one counter per snapshot kind.
+func kindCounters(name string) map[Kind]*obs.Counter {
+	m := make(map[Kind]*obs.Counter, 3)
+	for _, k := range []Kind{KindWeather, KindArchive, KindDataset} {
+		m[k] = obs.Default().Counter(name, "kind", k.String())
+	}
+	return m
+}
+
+// countKind increments the per-kind counter, registering on first use for a
+// kind outside the built-in three (future-proofing, not a hot path).
+func countKind(m map[Kind]*obs.Counter, k Kind) {
+	if c, ok := m[k]; ok {
+		c.Inc()
+		return
+	}
+	obs.Default().Counter("artifact_cache_other_total", "kind", k.String()).Inc()
+}
+
+// countingReader counts bytes pulled through it.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// countingWriter counts bytes pushed through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,11 +1,13 @@
 package artifact
 
 import (
+	"log/slog"
 	"sync"
 
 	"cosmicdance/internal/constellation"
 	"cosmicdance/internal/core"
 	"cosmicdance/internal/dst"
+	"cosmicdance/internal/obs"
 	"cosmicdance/internal/spaceweather"
 )
 
@@ -20,10 +22,15 @@ import (
 type Pipeline struct {
 	cache *Cache
 
-	// Warn, when set, receives cache-store failures (disk full, read-only
-	// dir). They never fail the pipeline — the artifact is already in hand —
-	// but they are worth surfacing because the next run will be cold again.
-	Warn func(error)
+	// Log, when set, receives cache-store failures (disk full, read-only
+	// dir) as structured warnings. They never fail the pipeline — the
+	// artifact is already in hand — but they are worth surfacing because the
+	// next run will be cold again.
+	Log *slog.Logger
+
+	// Trace, when set, records one span per stage (weather, fleet, dataset)
+	// into the run's timing tree. A nil tracer costs nothing.
+	Trace *obs.Tracer
 
 	mu       sync.Mutex
 	weather  map[Fingerprint]*dst.Index
@@ -42,8 +49,8 @@ func NewPipeline(cache *Cache) *Pipeline {
 }
 
 func (p *Pipeline) warn(err error) {
-	if err != nil && p.Warn != nil {
-		p.Warn(err)
+	if err != nil && p.Log != nil {
+		p.Log.Warn("artifact cache store failed", "stage", "artifact", "err", err)
 	}
 }
 
@@ -56,6 +63,8 @@ func (p *Pipeline) Weather(cfg spaceweather.Config) (*dst.Index, error) {
 }
 
 func (p *Pipeline) weatherLocked(cfg spaceweather.Config) (*dst.Index, error) {
+	sp := p.Trace.Start("weather")
+	defer sp.End()
 	fp := FingerprintWeather(cfg)
 	if w, ok := p.weather[fp]; ok {
 		return w, nil
@@ -87,6 +96,8 @@ func (p *Pipeline) Fleet(weatherCfg spaceweather.Config, fleetCfg constellation.
 }
 
 func (p *Pipeline) fleetLocked(weatherCfg spaceweather.Config, fleetCfg constellation.Config) (*constellation.Result, error) {
+	sp := p.Trace.Start("fleet")
+	defer sp.End()
 	fp := FingerprintFleet(FingerprintWeather(weatherCfg), fleetCfg)
 	if res, ok := p.fleets[fp]; ok {
 		return res, nil
@@ -119,6 +130,8 @@ func (p *Pipeline) fleetLocked(weatherCfg spaceweather.Config, fleetCfg constell
 func (p *Pipeline) Dataset(weatherCfg spaceweather.Config, fleetCfg constellation.Config, coreCfg core.Config) (*core.Dataset, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	sp := p.Trace.Start("dataset")
+	defer sp.End()
 	fp := FingerprintDataset(FingerprintFleet(FingerprintWeather(weatherCfg), fleetCfg), coreCfg)
 	if d, ok := p.datasets[fp]; ok {
 		return d, nil

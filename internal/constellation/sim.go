@@ -10,9 +10,18 @@ import (
 
 	"cosmicdance/internal/atmosphere"
 	"cosmicdance/internal/dst"
+	"cosmicdance/internal/obs"
 	"cosmicdance/internal/orbit"
 	"cosmicdance/internal/parallel"
 	"cosmicdance/internal/units"
+)
+
+// Simulation telemetry: runs completed plus the fleet and archive sizes they
+// produced, so a -trace run shows how much work hid behind each fleet span.
+var (
+	metricSimRuns    = obs.Default().Counter("constellation_runs_total")
+	metricSimSats    = obs.Default().Counter("constellation_satellites_total")
+	metricSimSamples = obs.Default().Counter("constellation_samples_total")
 )
 
 // Config parameterizes a constellation run. Start from DefaultConfig.
@@ -138,11 +147,12 @@ func Run(cfg Config, weather *dst.Index) (*Result, error) {
 
 	st := &simState{
 		cfg:     cfg,
-		workers: parallel.Workers(cfg.Parallelism),
+		pool:    parallel.NewRunner(cfg.Parallelism),
 		start:   start,
 		scripts: scripts,
 		result:  &Result{Start: start, Hours: cfg.Hours},
 	}
+	defer st.pool.Flush() // publish pool telemetry even on a failed run
 	st.nextCatalog = cfg.FirstCatalog
 	if st.nextCatalog == 0 {
 		st.nextCatalog = 44713
@@ -169,6 +179,9 @@ func Run(cfg Config, weather *dst.Index) (*Result, error) {
 		}
 	}
 	st.finalize()
+	metricSimRuns.Inc()
+	metricSimSats.Add(int64(len(st.result.Sats)))
+	metricSimSamples.Add(int64(len(st.result.Samples)))
 	return st.result, nil
 }
 
@@ -185,8 +198,11 @@ func childSeed(seed int64, catalog int) int64 {
 
 // simState carries the mutable run state.
 type simState struct {
-	cfg         Config
-	workers     int
+	cfg Config
+	// pool amortizes the per-hour fan-out's telemetry: one tally per
+	// step, one registry flush per run (the step itself is ~µs-scale,
+	// where per-call atomics are measurable).
+	pool        *parallel.Runner
 	start       time.Time
 	scripts     map[int][]ScriptedEvent
 	sats        []*sat
@@ -299,7 +315,7 @@ func (st *simState) step(now time.Time, d units.NanoTesla) error {
 
 	st.stepNow, st.stepD = now, d
 	st.stepStorm, st.stepDuck, st.stepIntensity = stormActive, duck, intensityScale
-	if err := parallel.ForEach(context.Background(), st.workers, len(st.sats), st.stepFn); err != nil {
+	if err := st.pool.ForEach(context.Background(), len(st.sats), st.stepFn); err != nil {
 		return err
 	}
 

@@ -8,9 +8,23 @@ import (
 
 	"cosmicdance/internal/constellation"
 	"cosmicdance/internal/dst"
+	"cosmicdance/internal/obs"
 	"cosmicdance/internal/parallel"
 	"cosmicdance/internal/stats"
 	"cosmicdance/internal/tle"
+)
+
+// Build telemetry mirrors CleaningStats onto process-wide counters so the
+// cleaning funnel (paper §3, Fig 10) is visible in /metrics and -trace runs
+// without plumbing the stats out by hand.
+var (
+	metricBuilds       = obs.Default().Counter("core_dataset_builds_total")
+	metricObservations = obs.Default().Counter("core_observations_total")
+	metricGrossErrors  = obs.Default().Counter("core_rows_removed_total", "reason", "gross_error")
+	metricDuplicates   = obs.Default().Counter("core_rows_removed_total", "reason", "duplicate")
+	metricRaising      = obs.Default().Counter("core_rows_removed_total", "reason", "raising")
+	metricNonOp        = obs.Default().Counter("core_tracks_dropped_total", "reason", "non_operational")
+	metricTracks       = obs.Default().Counter("core_tracks_total")
 )
 
 // CleaningStats records what the data-cleaning stage removed, mirroring the
@@ -196,6 +210,13 @@ func (b *Builder) Build() (*Dataset, error) {
 	if len(d.tracks) == 0 {
 		return nil, fmt.Errorf("core: no operational tracks survived cleaning")
 	}
+	metricBuilds.Inc()
+	metricObservations.Add(int64(d.stats.TotalObservations))
+	metricGrossErrors.Add(int64(d.stats.GrossErrors))
+	metricDuplicates.Add(int64(d.stats.Duplicates))
+	metricRaising.Add(int64(d.stats.RaisingRemoved))
+	metricNonOp.Add(int64(d.stats.NonOperational))
+	metricTracks.Add(int64(len(d.tracks)))
 	return d, nil
 }
 

@@ -9,7 +9,19 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"cosmicdance/internal/obs"
 )
+
+// Process-wide fault counters, labelled by kind, so a chaos run's injected
+// weather shows up next to the client's retry counters in one snapshot.
+var metricFaults = map[Kind]*obs.Counter{}
+
+func init() {
+	for _, k := range []Kind{Latency, RateLimit, Error500, Error503, Reset, Truncate, Corrupt, Duplicate, Stale} {
+		metricFaults[k] = obs.Default().Counter("faultline_faults_total", "kind", string(k))
+	}
+}
 
 // Injector wraps an http.Handler and injects the scheduled faults. It is
 // safe for concurrent use; the request counter is global across paths so a
@@ -66,6 +78,9 @@ func (in *Injector) count(k Kind) {
 	in.mu.Lock()
 	in.stats[k]++
 	in.mu.Unlock()
+	if c := metricFaults[k]; c != nil {
+		c.Inc()
+	}
 }
 
 // ServeHTTP implements http.Handler.

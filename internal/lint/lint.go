@@ -69,6 +69,7 @@ var PipelinePackages = []string{
 	"internal/constellation",
 	"internal/core",
 	"internal/groundtrack",
+	"internal/obs",
 	"internal/orbit",
 	"internal/report",
 	"internal/spaceweather",

@@ -21,6 +21,7 @@ func TestRuleFixtures(t *testing.T) {
 		asPath string
 	}{
 		{"testdata/nondet", pipelinePose},
+		{"testdata/obsclock", "cosmicdance/internal/obs"},
 		{"testdata/goroutine", "cosmicdance/internal/constellation"},
 		{"testdata/maporder", "cosmicdance/internal/report"},
 		{"testdata/errhygiene", "cosmicdance/internal/spacetrack"},

@@ -1,0 +1,34 @@
+// Package obsclock pins the telemetry determinism contract: internal/obs is
+// a pipeline package, so even the observability layer may not read the wall
+// clock itself. Tracers receive their clock from the caller (a CLI passes
+// time.Now, tests pass a testkit.Clock); a time.Now inside obs would let
+// timing leak into code the rest of the pipeline links against.
+package obsclock
+
+import "time"
+
+// tracer mirrors the injected-clock shape internal/obs actually uses.
+type tracer struct {
+	now func() time.Time
+}
+
+// sneakyDefault is the banned shape: defaulting to the wall clock inside the
+// telemetry layer.
+func sneakyDefault(now func() time.Time) *tracer {
+	if now == nil {
+		now = time.Now // want `time\.Now reads the wall clock`
+	}
+	return &tracer{now: now}
+}
+
+func stamp() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+// injected is the sanctioned shape: the clock arrives as a dependency and
+// spans do arithmetic on values it produced.
+func injected(now func() time.Time) time.Duration {
+	t := &tracer{now: now}
+	start := t.now()
+	return t.now().Sub(start)
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (text/plain; version=0.0.4). Output order is the snapshot's sorted
+// order, so two snapshots of identical state render byte-identically. A
+// # TYPE line is emitted once per metric family, not once per labeled
+// series, as the format requires.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	family := ""
+	for _, c := range s.Counters {
+		if c.Name != family {
+			family = c.Name
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", c.Name); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", series(c.Name, c.Labels), c.Value); err != nil {
+			return err
+		}
+	}
+	family = ""
+	for _, g := range s.Gauges {
+		if g.Name != family {
+			family = g.Name
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", g.Name); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", series(g.Name, g.Labels), formatFloat(g.Value)); err != nil {
+			return err
+		}
+	}
+	family = ""
+	for _, h := range s.Histograms {
+		if h.Name != family {
+			family = h.Name
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", h.Name); err != nil {
+				return err
+			}
+		}
+		cum := int64(0)
+		for i, n := range h.Counts {
+			cum += n
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = formatFloat(h.Bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", series(h.Name+"_bucket", joinLabels(h.Labels, `le=`+strconv.Quote(le))), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n%s %d\n",
+			series(h.Name+"_sum", h.Labels), formatFloat(h.Sum),
+			series(h.Name+"_count", h.Labels), h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// series renders one sample line's series part: name or name{labels}.
+func series(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+// joinLabels appends extra to a rendered label list.
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}
+
+// formatFloat renders a float the way Prometheus text format expects:
+// shortest round-trip representation, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteJSON renders the snapshot as indented JSON. Field order is fixed by
+// the struct definitions and slice order by the snapshot's sort, so the
+// encoding is deterministic for identical state.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Handler serves the registry's current snapshot in Prometheus text format —
+// the /metrics endpoint of cmd/spacetrackd.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Too late for a status change if a write fails mid-snapshot; the
+		// client sees a short read.
+		_ = r.Snapshot().WritePrometheus(w)
+	})
+}
+
+// RunReport is the machine-readable run summary -metrics-json writes: the
+// final metrics snapshot plus the stage timing tree (empty without a
+// tracer).
+type RunReport struct {
+	Metrics Snapshot   `json:"metrics"`
+	Trace   []SpanNode `json:"trace,omitempty"`
+}
+
+// WriteRunReport writes the report for registry r and tracer t (t may be
+// nil) as indented JSON.
+func WriteRunReport(w io.Writer, r *Registry, t *Tracer) error {
+	rep := RunReport{Metrics: r.Snapshot(), Trace: t.Tree()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

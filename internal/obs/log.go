@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// NewLogger returns a structured, leveled logger writing to w. Every CLI
+// diagnostic line goes through one of these, so each carries a level and —
+// by convention via logger.With("stage", ...) — the pipeline stage it came
+// from.
+//
+// The handler renders records as one compact line:
+//
+//	INFO loaded element sets stage=ingest count=120
+//
+// Record timestamps are deliberately dropped: diagnostics must not smuggle
+// wall-clock bytes into output that determinism tests might capture.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(NewLogHandler(w, level))
+}
+
+// LogHandler is the slog.Handler behind NewLogger: timestamp-free, compact,
+// and safe for concurrent use (one line per Handle call under a mutex).
+type LogHandler struct {
+	mu     *sync.Mutex
+	w      io.Writer
+	level  slog.Level
+	prefix string // pre-rendered WithAttrs/WithGroup context
+	groups string // open group prefix for subsequent keys
+}
+
+// NewLogHandler returns a handler writing records at or above level to w.
+func NewLogHandler(w io.Writer, level slog.Level) *LogHandler {
+	return &LogHandler{mu: &sync.Mutex{}, w: w, level: level}
+}
+
+// Enabled implements slog.Handler.
+func (h *LogHandler) Enabled(_ context.Context, level slog.Level) bool {
+	return level >= h.level
+}
+
+// Handle implements slog.Handler.
+func (h *LogHandler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	b.WriteString(r.Level.String())
+	b.WriteByte(' ')
+	b.WriteString(r.Message)
+	b.WriteString(h.prefix)
+	r.Attrs(func(a slog.Attr) bool {
+		appendAttr(&b, h.groups, a)
+		return true
+	})
+	b.WriteByte('\n')
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := io.WriteString(h.w, b.String())
+	return err
+}
+
+// WithAttrs implements slog.Handler: the attrs are rendered once and
+// prefixed to every subsequent record.
+func (h *LogHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	var b strings.Builder
+	for _, a := range attrs {
+		appendAttr(&b, h.groups, a)
+	}
+	h2 := *h
+	h2.prefix = h.prefix + b.String()
+	return &h2
+}
+
+// WithGroup implements slog.Handler: subsequent keys are qualified with the
+// group name, dot-separated.
+func (h *LogHandler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	h2 := *h
+	h2.groups = h.groups + name + "."
+	return &h2
+}
+
+// appendAttr renders one attribute as " key=value", quoting values that
+// contain spaces or quotes. Group attributes recurse with a qualified
+// prefix.
+func appendAttr(b *strings.Builder, groups string, a slog.Attr) {
+	v := a.Value.Resolve()
+	if v.Kind() == slog.KindGroup {
+		sub := groups
+		if a.Key != "" {
+			sub += a.Key + "."
+		}
+		for _, ga := range v.Group() {
+			appendAttr(b, sub, ga)
+		}
+		return
+	}
+	if a.Key == "" {
+		return
+	}
+	b.WriteByte(' ')
+	b.WriteString(groups)
+	b.WriteString(a.Key)
+	b.WriteByte('=')
+	s := fmt.Sprintf("%v", v.Any())
+	if strings.ContainsAny(s, " \t\n\"=") || s == "" {
+		s = strconv.Quote(s)
+	}
+	b.WriteString(s)
+}

@@ -1,0 +1,103 @@
+package obs_test
+
+import (
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+
+	"cosmicdance/internal/obs"
+)
+
+func TestLoggerFormat(t *testing.T) {
+	var buf strings.Builder
+	log := obs.NewLogger(&buf, slog.LevelInfo)
+	log.Info("loaded element sets", "stage", "ingest", "count", 120)
+	log.Warn("cache store failed", "err", "disk full: no space")
+	log.Debug("invisible at info level")
+	got := buf.String()
+	want := "INFO loaded element sets stage=ingest count=120\n" +
+		"WARN cache store failed err=\"disk full: no space\"\n"
+	if got != want {
+		t.Fatalf("log output:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestLoggerWithAttrsAndGroups(t *testing.T) {
+	var buf strings.Builder
+	log := obs.NewLogger(&buf, slog.LevelDebug).With("stage", "clean")
+	log.Debug("dropped track", "catalog", 44713)
+	grouped := log.WithGroup("cache")
+	grouped.Info("miss", "kind", "weather")
+	log.Info("grouped attr", slog.Group("fault", "kind", "429", "count", 3))
+	got := buf.String()
+	for _, want := range []string{
+		"DEBUG dropped track stage=clean catalog=44713\n",
+		"INFO miss stage=clean cache.kind=weather\n",
+		"INFO grouped attr stage=clean fault.kind=429 fault.count=3\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestLoggerLevelGate(t *testing.T) {
+	var buf strings.Builder
+	log := obs.NewLogger(&buf, slog.LevelWarn)
+	log.Info("dropped")
+	log.Error("kept", "code", 2)
+	if got := buf.String(); got != "ERROR kept code=2\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestLoggerQuoting(t *testing.T) {
+	var buf strings.Builder
+	log := obs.NewLogger(&buf, slog.LevelInfo)
+	log.Info("m", "a", "", "b", `say "hi"`, "c", "k=v")
+	got := buf.String()
+	if got != `INFO m a="" b="say \"hi\"" c="k=v"`+"\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+// TestLoggerConcurrent hammers one handler from many goroutines; every line
+// must come out whole (the handler serializes writes), and the test must be
+// race-clean.
+func TestLoggerConcurrent(t *testing.T) {
+	var mu sync.Mutex
+	var buf strings.Builder
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	log := obs.NewLogger(w, slog.LevelInfo)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				log.Info("tick", "worker", "w")
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	mu.Unlock()
+	if len(lines) != 400 {
+		t.Fatalf("got %d lines, want 400", len(lines))
+	}
+	for _, l := range lines {
+		if l != "INFO tick worker=w" {
+			t.Fatalf("torn line %q", l)
+		}
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

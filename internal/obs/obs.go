@@ -1,0 +1,39 @@
+// Package obs is CosmicDance's determinism-safe observability layer: a
+// metrics registry (counters, gauges, fixed-bucket histograms), a span
+// tracer that builds a timing tree over the pipeline stages, and a
+// structured leveled logger — all stdlib-only.
+//
+// The package is itself a pipeline package under cosmiclint: it never reads
+// the wall clock. The tracer takes its clock by injection (the CLIs pass
+// time.Now, tests pass a testkit.Clock), the logger's handler drops record
+// timestamps, and metrics are pure monotone state. Telemetry is therefore
+// provably inert: nothing here can feed wall-clock or scheduling noise back
+// into pipeline output, artifact fingerprints, or goldens — instrumented
+// packages only write into obs, never read from it.
+//
+// Hot-path cost: a counter increment is one atomic load (the enabled flag)
+// plus one atomic add, with zero allocations. Instrumentation points in the
+// pipeline are deliberately coarse (per batch, per track, per request), so
+// the telemetry-on overhead on the fan-out benchmarks stays within the
+// ≤2% gate scripts/obs_overhead.sh enforces.
+//
+// The process-wide Default registry carries every built-in metric. Set
+// COSMICDANCE_OBS=off in the environment to disable it (increments become
+// no-ops); tests that need isolation construct their own NewRegistry.
+package obs
+
+import "os"
+
+// defaultRegistry is the process-wide registry every built-in metric
+// registers on.
+var defaultRegistry = func() *Registry {
+	r := NewRegistry()
+	if os.Getenv("COSMICDANCE_OBS") == "off" {
+		r.SetEnabled(false)
+	}
+	return r
+}()
+
+// Default returns the process-wide registry. CLIs snapshot it for -trace
+// summaries and -metrics-json reports; spacetrackd serves it at /metrics.
+func Default() *Registry { return defaultRegistry }

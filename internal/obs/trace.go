@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tracer builds a timing tree over the pipeline stages. Spans are strictly
+// nested — Start pushes onto an implicit stack, End pops — which matches the
+// pipeline's shape (weather generation inside fleet simulation inside
+// dataset build inside a figure render).
+//
+// The clock is injected: pipeline packages never read time.Now themselves
+// (cosmiclint's nondet rule enforces this, internal/obs included), so the
+// CLIs pass the wall clock in and tests pass a testkit.Clock. A nil *Tracer
+// is valid and disables tracing — every method no-ops, so instrumented code
+// starts spans unconditionally.
+type Tracer struct {
+	now func() time.Time
+
+	mu    sync.Mutex
+	roots []*Span
+	cur   *Span
+}
+
+// NewTracer returns a tracer reading time from now.
+func NewTracer(now func() time.Time) *Tracer {
+	if now == nil {
+		panic("obs: NewTracer requires a clock")
+	}
+	return &Tracer{now: now}
+}
+
+// Span is one timed stage. A nil *Span is valid and inert.
+type Span struct {
+	tracer   *Tracer
+	name     string
+	start    time.Time
+	end      time.Time
+	ended    bool
+	parent   *Span
+	children []*Span
+}
+
+// Start opens a span named name as a child of the innermost open span (or as
+// a new root) and makes it current. On a nil tracer it returns nil.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &Span{tracer: t, name: name, start: t.now(), parent: t.cur}
+	if t.cur == nil {
+		t.roots = append(t.roots, s)
+	} else {
+		t.cur.children = append(t.cur.children, s)
+	}
+	t.cur = s
+	return s
+}
+
+// End closes the span and pops the tracer's stack back to its parent.
+// Ending a span twice is a no-op; ending out of nesting order pops to the
+// span's parent regardless (closing every descendant implicitly).
+func (s *Span) End() {
+	if s == nil || s.tracer == nil {
+		return
+	}
+	t := s.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s.ended {
+		return
+	}
+	s.end = t.now()
+	s.ended = true
+	t.cur = s.parent
+}
+
+// Duration returns the span's elapsed time; for a still-open span, the time
+// from start to the tracer's current clock reading.
+func (s *Span) Duration() time.Duration {
+	if s == nil || s.tracer == nil {
+		return 0
+	}
+	s.tracer.mu.Lock()
+	defer s.tracer.mu.Unlock()
+	return s.durationLocked()
+}
+
+func (s *Span) durationLocked() time.Duration {
+	end := s.end
+	if !s.ended {
+		end = s.tracer.now()
+	}
+	return end.Sub(s.start)
+}
+
+// SpanNode is the exported form of a span for JSON run reports.
+type SpanNode struct {
+	Name       string     `json:"name"`
+	DurationNS int64      `json:"duration_ns"`
+	Children   []SpanNode `json:"children,omitempty"`
+}
+
+// Tree returns the recorded span forest. On a nil tracer it returns nil.
+func (t *Tracer) Tree() []SpanNode {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return exportSpans(t.roots)
+}
+
+func exportSpans(spans []*Span) []SpanNode {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]SpanNode, len(spans))
+	for i, s := range spans {
+		out[i] = SpanNode{
+			Name:       s.name,
+			DurationNS: int64(s.durationLocked()),
+			Children:   exportSpans(s.children),
+		}
+	}
+	return out
+}
+
+// WriteTree renders the timing tree as indented text, durations rounded to
+// the millisecond:
+//
+//	analyze                                    2.154s
+//	  weather                                  0.312s
+//	  fleet                                    1.204s
+//	    weather                                0.000s
+//
+// A nil tracer writes nothing.
+func (t *Tracer) WriteTree(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	for _, n := range t.Tree() {
+		if err := writeNode(w, n, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeNode(w io.Writer, n SpanNode, depth int) error {
+	label := strings.Repeat("  ", depth) + n.Name
+	const nameCol = 42
+	pad := nameCol - len(label)
+	if pad < 1 {
+		pad = 1
+	}
+	d := time.Duration(n.DurationNS).Round(time.Millisecond)
+	if _, err := fmt.Fprintf(w, "%s%s%.3fs\n", label, strings.Repeat(" ", pad), d.Seconds()); err != nil {
+		return err
+	}
+	for _, c := range n.Children {
+		if err := writeNode(w, c, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package obs_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"cosmicdance/internal/obs"
+	"cosmicdance/internal/testkit"
+)
+
+func TestTracerTree(t *testing.T) {
+	clock := testkit.NewClock(time.Date(2024, 5, 10, 0, 0, 0, 0, time.UTC))
+	tr := obs.NewTracer(clock.Now)
+
+	run := tr.Start("figures")
+	sub := tr.Start("dataset")
+	w := tr.Start("weather")
+	clock.Advance(312 * time.Millisecond)
+	w.End()
+	f := tr.Start("fleet")
+	clock.Advance(1204 * time.Millisecond)
+	f.End()
+	clock.Advance(484 * time.Millisecond)
+	sub.End()
+	render := tr.Start("render:fig1")
+	clock.Advance(150 * time.Millisecond)
+	render.End()
+	run.End()
+
+	tree := tr.Tree()
+	if len(tree) != 1 {
+		t.Fatalf("got %d roots, want 1", len(tree))
+	}
+	root := tree[0]
+	if root.Name != "figures" || len(root.Children) != 2 {
+		t.Fatalf("root = %+v", root)
+	}
+	if got, want := root.DurationNS, int64(2150*time.Millisecond); got != want {
+		t.Fatalf("root duration %d, want %d", got, want)
+	}
+	ds := root.Children[0]
+	if ds.Name != "dataset" || len(ds.Children) != 2 {
+		t.Fatalf("dataset node = %+v", ds)
+	}
+	if ds.Children[0].Name != "weather" || ds.Children[0].DurationNS != int64(312*time.Millisecond) {
+		t.Fatalf("weather node = %+v", ds.Children[0])
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteTree(&buf); err != nil {
+		t.Fatal(err)
+	}
+	testkit.Golden(t, "trace_tree.golden", buf.Bytes())
+}
+
+func TestTracerNilSafety(t *testing.T) {
+	var tr *obs.Tracer
+	sp := tr.Start("anything")
+	if sp != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	sp.End() // must not panic
+	if d := sp.Duration(); d != 0 {
+		t.Fatalf("nil span duration %v", d)
+	}
+	if tree := tr.Tree(); tree != nil {
+		t.Fatalf("nil tracer tree %v", tree)
+	}
+	if err := tr.WriteTree(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracerOpenSpanDuration(t *testing.T) {
+	clock := testkit.NewClock(time.Unix(0, 0).UTC())
+	tr := obs.NewTracer(clock.Now)
+	sp := tr.Start("open")
+	clock.Advance(5 * time.Second)
+	if got := sp.Duration(); got != 5*time.Second {
+		t.Fatalf("open span duration %v", got)
+	}
+	tree := tr.Tree() // rendering an open span uses the current clock
+	if tree[0].DurationNS != int64(5*time.Second) {
+		t.Fatalf("open span node %+v", tree[0])
+	}
+	sp.End()
+	sp.End() // double End is a no-op
+	clock.Advance(time.Hour)
+	if got := sp.Duration(); got != 5*time.Second {
+		t.Fatalf("ended span drifted to %v", got)
+	}
+}
+
+func TestTracerMultipleRoots(t *testing.T) {
+	clock := testkit.NewClock(time.Unix(0, 0).UTC())
+	tr := obs.NewTracer(clock.Now)
+	a := tr.Start("first")
+	clock.Advance(time.Second)
+	a.End()
+	b := tr.Start("second")
+	clock.Advance(2 * time.Second)
+	b.End()
+	tree := tr.Tree()
+	if len(tree) != 2 || tree[0].Name != "first" || tree[1].Name != "second" {
+		t.Fatalf("tree = %+v", tree)
+	}
+}
+
+func TestNewTracerRequiresClock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTracer(nil) did not panic")
+		}
+	}()
+	obs.NewTracer(nil)
+}

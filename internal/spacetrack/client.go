@@ -12,8 +12,41 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cosmicdance/internal/obs"
 	"cosmicdance/internal/tle"
 )
+
+// Client telemetry: one requests counter plus a retry counter per fault
+// cause, so a degraded crawl shows where its retry budget went.
+var (
+	metricClientRequests = obs.Default().Counter("spacetrack_client_requests_total")
+	metricRetries        = map[string]*obs.Counter{}
+)
+
+func init() {
+	for _, cause := range []string{"rate_limit", "server_error", "transport", "truncated", "corrupt"} {
+		metricRetries[cause] = obs.Default().Counter("spacetrack_client_retries_total", "cause", cause)
+	}
+}
+
+// retryCause buckets a retryable fault for the retries-by-cause counter.
+func retryCause(err error) string {
+	var ra *rateLimitError
+	if errors.As(err, &ra) {
+		return "rate_limit"
+	}
+	switch {
+	case errors.Is(err, ErrTruncatedBody):
+		return "truncated"
+	case errors.Is(err, ErrCorruptBody):
+		return "corrupt"
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return "server_error"
+	}
+	return "transport"
+}
 
 // StatusError is returned for non-2xx responses.
 type StatusError struct {
@@ -157,6 +190,7 @@ func (c *Client) get(ctx context.Context, path string, query url.Values, verify 
 	u.Path = path
 	u.RawQuery = query.Encode()
 	reqID := c.reqs.Add(1)
+	metricClientRequests.Inc()
 
 	var last error
 	attempts := 0
@@ -181,6 +215,7 @@ func (c *Client) get(ctx context.Context, path string, query url.Values, verify 
 			return nil, err
 		}
 		last = retryable.err
+		metricRetries[retryCause(last)].Inc()
 	}
 	return nil, &RetryError{URL: u.String(), Attempts: attempts, Last: unwrapRateLimit(last)}
 }

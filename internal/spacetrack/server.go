@@ -6,9 +6,21 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"cosmicdance/internal/obs"
 	"cosmicdance/internal/tle"
+)
+
+// Server-side telemetry: requests served per endpoint and rate-limit
+// rejections, mirrored on atomic fields so the daemon can log final totals
+// at shutdown without a registry scan.
+var (
+	metricServedGroup   = obs.Default().Counter("spacetrack_server_requests_total", "endpoint", "group")
+	metricServedHistory = obs.Default().Counter("spacetrack_server_requests_total", "endpoint", "history")
+	metricServedHealthz = obs.Default().Counter("spacetrack_server_requests_total", "endpoint", "healthz")
+	metricRateLimited   = obs.Default().Counter("spacetrack_server_ratelimited_total")
 )
 
 // Server publishes an Archive over HTTP with CelesTrak- and Space-Track-
@@ -25,6 +37,9 @@ type Server struct {
 	// Now reports the service's current time (the frontier of the archive);
 	// it is a field so tests and replay servers can pin it.
 	Now func() time.Time
+
+	served   atomic.Int64
+	rejected atomic.Int64
 
 	mu     sync.Mutex
 	tokens float64
@@ -53,10 +68,19 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/NORAD/elements/gp.php", s.handleGroup)
 	mux.HandleFunc("/history", s.handleHistory)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		s.served.Add(1)
+		metricServedHealthz.Inc()
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
 }
+
+// RequestsServed reports how many requests completed the rate limiter and
+// reached a handler (including healthz).
+func (s *Server) RequestsServed() int64 { return s.served.Load() }
+
+// RateLimited reports how many requests the token bucket rejected with 429.
+func (s *Server) RateLimited() int64 { return s.rejected.Load() }
 
 // now reads the service clock, falling back to wall clock for a Server
 // built as a bare struct literal (NewServer always sets Now).
@@ -96,6 +120,8 @@ func (s *Server) limited(w http.ResponseWriter) bool {
 	if s.allow() {
 		return false
 	}
+	s.rejected.Add(1)
+	metricRateLimited.Inc()
 	w.Header().Set("Retry-After", "1")
 	http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
 	return true
@@ -106,6 +132,8 @@ func (s *Server) handleGroup(w http.ResponseWriter, r *http.Request) {
 	if s.limited(w) {
 		return
 	}
+	s.served.Add(1)
+	metricServedGroup.Inc()
 	group := r.URL.Query().Get("GROUP")
 	if group == "" {
 		http.Error(w, "missing GROUP", http.StatusBadRequest)
@@ -152,6 +180,8 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 	if s.limited(w) {
 		return
 	}
+	s.served.Add(1)
+	metricServedHistory.Inc()
 	q := r.URL.Query()
 	catalog, err := strconv.Atoi(q.Get("catalog"))
 	if err != nil {

@@ -1,0 +1,43 @@
+package cosmicdance_test
+
+import (
+	"testing"
+
+	"cosmicdance/internal/obs"
+)
+
+// The telemetry-overhead gate (scripts/obs_overhead.sh) compares each
+// hot-path benchmark with metrics on against the COSMICDANCE_OBS=off
+// floor. Off and on must run inside ONE process: separate processes
+// differ in heap layout, GC schedule, and CPU frequency by far more
+// than the 2% bound being enforced, while an in-process pair shares all
+// of that state and its ratio isolates the instrumentation cost.
+//
+// SetEnabled(false) is the same mechanism the env kill switch uses
+// (obs.Default flips the identical atomic bool at init), so the Off
+// side measures exactly the floor the gate promises.
+func withObs(b *testing.B, on bool, bench func(*testing.B)) {
+	r := obs.Default()
+	prev := r.Enabled()
+	r.SetEnabled(on)
+	defer r.SetEnabled(prev)
+	bench(b)
+}
+
+// Each hot path gets an ABBA quartet — off, on, on, off in declaration
+// (and therefore execution) order. The gate combines the two ratios of a
+// quartet geometrically: any drift that is linear over the process
+// window (heap growth, GC pacing, CPU frequency ramps) biases the AB
+// pair and the BA pair in opposite directions and cancels exactly.
+func BenchmarkFleetSimObsOff(b *testing.B)      { withObs(b, false, BenchmarkFleetSim) }
+func BenchmarkFleetSimObsOn(b *testing.B)       { withObs(b, true, BenchmarkFleetSim) }
+func BenchmarkFleetSimObsOnB(b *testing.B)      { withObs(b, true, BenchmarkFleetSim) }
+func BenchmarkFleetSimObsOffB(b *testing.B)     { withObs(b, false, BenchmarkFleetSim) }
+func BenchmarkDatasetBuildObsOff(b *testing.B)  { withObs(b, false, BenchmarkDatasetBuild) }
+func BenchmarkDatasetBuildObsOn(b *testing.B)   { withObs(b, true, BenchmarkDatasetBuild) }
+func BenchmarkDatasetBuildObsOnB(b *testing.B)  { withObs(b, true, BenchmarkDatasetBuild) }
+func BenchmarkDatasetBuildObsOffB(b *testing.B) { withObs(b, false, BenchmarkDatasetBuild) }
+func BenchmarkAssociateObsOff(b *testing.B)     { withObs(b, false, BenchmarkAssociate) }
+func BenchmarkAssociateObsOn(b *testing.B)      { withObs(b, true, BenchmarkAssociate) }
+func BenchmarkAssociateObsOnB(b *testing.B)     { withObs(b, true, BenchmarkAssociate) }
+func BenchmarkAssociateObsOffB(b *testing.B)    { withObs(b, false, BenchmarkAssociate) }

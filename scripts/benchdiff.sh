@@ -1,0 +1,86 @@
+#!/bin/sh
+# benchdiff.sh — the performance-regression gate behind `make bench-diff`:
+# rerun the pinned fan-out benchmarks and fail if any of them regressed
+# more than 10% against the committed baseline (BENCH_PR4.json, override
+# with $1) in ns/op or allocs/op.
+#
+# Noise control on a shared machine:
+#   - GOMAXPROCS is pinned to the baseline's recorded value, so the worker
+#     pools fan out exactly as they did when the baseline was taken;
+#   - each benchmark runs $BENCHCOUNT times (default 4) and the *minimum*
+#     ns/op is compared — scheduling noise only ever adds time, so the
+#     minimum is the least-noisy estimator of the true cost;
+#   - allocs/op is exact (the allocator does not jitter), so it is
+#     compared from the same minimum-selected runs.
+set -eu
+cd "$(dirname "$0")/.."
+
+baseline="${1:-BENCH_PR4.json}"
+count="${BENCHCOUNT:-4}"
+benchtime="${BENCHTIME:-3x}"
+
+if [ ! -f "$baseline" ]; then
+    echo "benchdiff: baseline $baseline not found (run make bench-baseline first)" >&2
+    exit 1
+fi
+
+maxprocs="$(awk '/"gomaxprocs"/ { line = $0; gsub(/[^0-9]/, "", line); print line; exit }' "$baseline")"
+if [ -z "$maxprocs" ]; then
+    echo "benchdiff: baseline $baseline has no gomaxprocs field" >&2
+    exit 1
+fi
+
+raw="$(mktemp -t cosmicdance-benchdiff.XXXXXX)"
+trap 'rm -f "$raw"' EXIT
+
+echo "== go test -bench (FleetSim|DatasetBuild|Associate|PipelineBuild) -benchmem -benchtime $benchtime -count $count (GOMAXPROCS=$maxprocs)"
+GOMAXPROCS="$maxprocs" go test -run '^$' \
+    -bench '^(BenchmarkFleetSim|BenchmarkDatasetBuild|BenchmarkAssociate|BenchmarkPipelineBuild)$' \
+    -benchmem -benchtime "$benchtime" -count "$count" . | tee "$raw"
+
+awk -v limit=1.10 '
+NR == FNR {
+    # Baseline JSON: one "Name": {...} object per line under "benchmarks".
+    if (match($0, /"[A-Za-z]+": \{"iterations"/)) {
+        name = substr($0, RSTART + 1)
+        sub(/".*/, "", name)
+        if (match($0, /"ns_per_op": [0-9]+/)) {
+            v = substr($0, RSTART, RLENGTH); sub(/.*: /, "", v); base_ns[name] = v + 0
+        }
+        if (match($0, /"allocs_per_op": [0-9]+/)) {
+            v = substr($0, RSTART, RLENGTH); sub(/.*: /, "", v); base_al[name] = v + 0
+        }
+    }
+    next
+}
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    for (i = 3; i < NF; i += 2) {
+        if ($(i + 1) == "ns/op" && (!(name in ns) || $i + 0 < ns[name])) ns[name] = $i + 0
+        if ($(i + 1) == "allocs/op" && (!(name in al) || $i + 0 < al[name])) al[name] = $i + 0
+    }
+}
+END {
+    fail = 0
+    n = split("FleetSim DatasetBuild Associate PipelineBuild", names, " ")
+    for (k = 1; k <= n; k++) {
+        name = names[k]
+        if (!(name in ns)) { printf "benchdiff: %s did not run\n", name; fail = 1; continue }
+        if (!(name in base_ns)) { printf "benchdiff: %s missing from baseline\n", name; fail = 1; continue }
+        r = ns[name] / base_ns[name]
+        verdict = r > limit ? "FAIL" : "ok"
+        printf "benchdiff: %-13s ns/op     %12d vs %12d  (%.3fx) %s\n", name, ns[name], base_ns[name], r, verdict
+        if (r > limit) fail = 1
+        if (name in al && base_al[name] > 0) {
+            ra = al[name] / base_al[name]
+            verdict = ra > limit ? "FAIL" : "ok"
+            printf "benchdiff: %-13s allocs/op %12d vs %12d  (%.3fx) %s\n", name, al[name], base_al[name], ra, verdict
+            if (ra > limit) fail = 1
+        }
+    }
+    if (fail) { print "benchdiff: FAIL — a benchmark regressed more than 10% against " ARGV[1]; exit 1 }
+    print "benchdiff: OK"
+}
+' "$baseline" "$raw"

@@ -6,7 +6,10 @@
 #      invariant) covers < 85% of its statements,
 #   3. fail if internal/artifact (the snapshot codec that must fail
 #      closed on every malformed input) covers < 80% of its statements,
-#   4. fail if the module-wide total covers < 70%.
+#   4. fail if internal/obs (the telemetry layer every pipeline package
+#      links against — a bug here corrupts every diagnosis) covers < 85%
+#      of its statements,
+#   5. fail if the module-wide total covers < 70%.
 #
 # The floors are deliberately asymmetric: the linter and the codec are
 # small and pure logic, so they are held to a higher bar than the
@@ -52,6 +55,15 @@ if [ -z "$artifactpct" ]; then
     exit 1
 fi
 floor "internal/artifact" "$artifactpct" 80
+
+obspct="$(printf '%s\n' "$out" | awk '$2 == "cosmicdance/internal/obs" {
+    for (i = 1; i <= NF; i++) if ($i ~ /%$/) { sub(/%/, "", $i); print $i }
+}')"
+if [ -z "$obspct" ]; then
+    echo "cover: no coverage line for cosmicdance/internal/obs" >&2
+    exit 1
+fi
+floor "internal/obs" "$obspct" 85
 
 totalpct="$(go tool cover -func="$profile" | awk '/^total:/ {
     for (i = 1; i <= NF; i++) if ($i ~ /%$/) { sub(/%/, "", $i); print $i }

@@ -1,0 +1,93 @@
+#!/bin/sh
+# obs_overhead.sh — the telemetry inertness gate: the instrumented hot
+# paths (fleet simulation, dataset build, association) may cost at most 2%
+# more with metrics enabled than with the registry disabled.
+#
+# The off side is the floor the telemetry layer promises: with the
+# registry disabled every counter write is one atomic-bool load. The on
+# side is the shipping default.
+#
+# A 2% bound is far below this shared machine's noise (identical
+# benchmark runs spread >10%, mostly stolen CPU time), so the gate
+# measures each side's *floor* instead of its average:
+#   - every measurement is a short sub-run (-benchtime, -count), sized so
+#     the multi-ms ops run 3 iterations and the ~1ms Associate op ~300 —
+#     long enough to beat timer granularity, short enough that many
+#     sub-runs dodge contention;
+#   - the gate compares min(all on sub-runs) / min(all off sub-runs)
+#     over every round ($BENCHCOUNT x $INNERCOUNT x 2 sub-runs per
+#     side). Contention and GC only ever add time, so each side's pooled
+#     minimum converges on its true uncontaminated cost, and their ratio
+#     is the instrumentation overhead with the machine noise floored
+#     away. (Means and medians of so-noisy samples still carry the
+#     noise; two equally-sampled floors do not.)
+#   - a floor is only unbiased if both sides sample the same process
+#     positions: benchmarks later in a process run measurably slower
+#     (heap growth, allocator state), and min() always elects the
+#     earliest slot. So each round runs the Benchmark*Obs{Off,On,OnB,
+#     OffB} wrappers (obs_overhead_bench_test.go) as TWO processes —
+#     (Off, On) then (OnB, OffB) — giving each side one first-position
+#     and one second-position slot. Keeping a pair in one process is
+#     what cancels cross-process variance in the first place.
+set -eu
+cd "$(dirname "$0")/.."
+
+count="${BENCHCOUNT:-5}"
+inner="${INNERCOUNT:-12}"
+benchtime="${BENCHTIME:-3x}"
+assoctime="${ASSOC_BENCHTIME:-300x}"
+bench_ab='^Benchmark(FleetSim|DatasetBuild)Obs(Off|On)$'
+bench_ba='^Benchmark(FleetSim|DatasetBuild)Obs(OnB|OffB)$'
+assoc_ab='^BenchmarkAssociateObs(Off|On)$'
+assoc_ba='^BenchmarkAssociateObs(OnB|OffB)$'
+
+raw="$(mktemp -t cosmicdance-obs.XXXXXX)"
+trap 'rm -f "$raw"' EXIT
+
+# Warm the build cache so compilation doesn't land inside round 1.
+go test -run '^$' -bench '^$' . > /dev/null
+
+i=0
+while [ "$i" -lt "$count" ]; do
+    echo "== obs-overhead round $((i + 1))/$count (position-balanced pairs, $inner sub-runs per slot)"
+    go test -run '^$' -bench "$bench_ab" -benchtime "$benchtime" -count "$inner" . >> "$raw"
+    go test -run '^$' -bench "$bench_ba" -benchtime "$benchtime" -count "$inner" . >> "$raw"
+    go test -run '^$' -bench "$assoc_ab" -benchtime "$assoctime" -count "$inner" . >> "$raw"
+    go test -run '^$' -bench "$assoc_ba" -benchtime "$assoctime" -count "$inner" . >> "$raw"
+    i=$((i + 1))
+done
+
+awk -v limit=1.02 '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    v = 0
+    for (i = 3; i < NF; i += 2) if ($(i + 1) == "ns/op") v = $i + 0
+    if (sub(/ObsOffB?$/, "", name)) side = "off"
+    else if (sub(/ObsOnB?$/, "", name)) side = "on"
+    else next
+    key = name SUBSEP side
+    nsamples[key]++
+    if (!(key in floor_ns) || v < floor_ns[key]) floor_ns[key] = v
+}
+END {
+    fail = 0
+    n = split("FleetSim DatasetBuild Associate", names, " ")
+    for (k = 1; k <= n; k++) {
+        name = names[k]
+        if (!((name SUBSEP "off") in floor_ns) || !((name SUBSEP "on") in floor_ns)) {
+            printf "obs-overhead: %s did not run on both sides\n", name
+            fail = 1
+            continue
+        }
+        r = floor_ns[name, "on"] / floor_ns[name, "off"]
+        verdict = r > limit ? "FAIL" : "ok"
+        printf "obs-overhead: %-13s floor on/off %9d / %9d ns/op (%d samples/side): %.3fx %s\n", \
+            name, floor_ns[name, "on"], floor_ns[name, "off"], nsamples[name, "on"], r, verdict
+        if (r > limit) fail = 1
+    }
+    if (fail) { print "obs-overhead: FAIL — telemetry costs more than 2% on a hot path"; exit 1 }
+    print "obs-overhead: OK (telemetry <= 2% on every hot path)"
+}
+' "$raw"

@@ -10,7 +10,9 @@
 #   5. the artifact-cache identity gate: the same analyze run, cold then
 #      warm over one cache dir, must print byte-identical output (a cache
 #      hit is the cold build, bit for bit),
-#   6. every fuzz target, seeds + 10s of new coverage each.
+#   6. the telemetry-overhead gate: the instrumented hot paths may cost at
+#      most 2% more than a COSMICDANCE_OBS=off run,
+#   7. every fuzz target, seeds + 10s of new coverage each.
 #
 # Pass -short as $1 to run the fast tier (skips the year-long substrate
 # builds and the fuzz sessions).
@@ -51,6 +53,11 @@ cmp "$cold" "$warm" || {
     echo "verify: warm-cache analyze output differs from the cold build" >&2
     exit 1
 }
+
+if [ -z "$SHORT" ]; then
+    echo "== telemetry overhead gate (<= 2% on the hot paths)"
+    ./scripts/obs_overhead.sh
+fi
 
 if [ "$FUZZ" = 1 ]; then
     fuzz() {
