@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short race vet lint cover fuzz verify verify-short golden bench bench-baseline bench-diff obs-overhead
+.PHONY: build test test-short race vet lint cover fuzz verify verify-short golden bench bench-baseline bench-diff obs-overhead loadtest
 
 build:
 	$(GO) build ./...
@@ -13,9 +13,15 @@ lint:
 	$(GO) run ./cmd/cosmiclint ./...
 
 # Coverage floors: internal/lint >= 85%, internal/artifact >= 80%,
-# internal/obs >= 85%, module total >= 70%.
+# internal/obs >= 85%, internal/spacetrack >= 80%, internal/loadsim >= 80%,
+# module total >= 70%.
 cover:
 	./scripts/cover.sh
+
+# The serving-plane load baseline: the deterministic closed-loop harness
+# against the storm-spike scenario (see EXPERIMENTS.md "Serving under load").
+loadtest:
+	$(GO) run ./cmd/spaceload -seed 42 -duration 10m -days 10
 
 test:
 	$(GO) test ./...

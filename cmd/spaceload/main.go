@@ -1,0 +1,90 @@
+// Command spaceload is a deterministic closed-loop load generator for the
+// spacetrack serving plane. It drives the real server handler — COW catalog,
+// admission control, conditional fetches, gzip, live ingest — with a seeded
+// client mix on a virtual clock, entirely in process: no sockets, no wall
+// time, no goroutines. Two invocations with the same seed, mix and fault
+// schedule emit byte-identical JSON reports, so a report diff is a real
+// behaviour change, never noise.
+//
+// Usage:
+//
+//	spaceload [-seed S] [-duration 10m] [-bulk N] [-poll N] [-spike N] [-ingesters N]
+//	          [-rate R] [-burst B] [-capacity C] [-capacity-burst CB] [-max-inflight M]
+//	          [-faults SCHED] [-days D] [-o FILE]
+//
+// The client mix models the three serving workloads: bulk-history crawlers
+// pulling multi-day windows, incremental pollers revalidating with
+// ETag/If-None-Match, and a storm spike that wakes at one third of the run
+// and hammers the group endpoint — the scenario admission control exists
+// for. -faults threads a faultline schedule (e.g. '429:1/31,reset:1/37') in
+// front of the server. The report (p50/p99 virtual latency, throughput,
+// status mix, ingest loss) goes to stdout or -o FILE.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"cosmicdance/internal/loadsim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "spaceload:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes one load run with the given arguments, writing the JSON
+// report to out (or the -o file when set).
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("spaceload", flag.ContinueOnError)
+	seed := fs.Int64("seed", 42, "run seed: think times, window picks, retry jitter, fault bytes")
+	duration := fs.Duration("duration", 10*time.Minute, "virtual run length")
+	bulk := fs.Int("bulk", 2, "bulk-history crawler clients")
+	poll := fs.Int("poll", 4, "incremental conditional-poll clients")
+	spike := fs.Int("spike", 6, "storm-spike clients (burst window at one third of the run)")
+	ingesters := fs.Int("ingesters", 2, "live ingest writers")
+	rate := fs.Float64("rate", 20, "per-client rate limit in requests/second (0 disables)")
+	burst := fs.Float64("burst", 10, "per-client burst size")
+	capacity := fs.Float64("capacity", 8, "global capacity in requests/second (0 disables)")
+	capacityBurst := fs.Float64("capacity-burst", 4, "global capacity burst size")
+	maxInflight := fs.Int64("max-inflight", 0, "max concurrently served requests (0 disables)")
+	faults := fs.String("faults", "", "fault schedule, e.g. '429:1/31,reset:1/37' (see internal/faultline)")
+	days := fs.Int("days", 10, "simulated archive span in days")
+	output := fs.String("o", "", "write the report to FILE instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	report, err := loadsim.Run(loadsim.Config{
+		Seed:           *seed,
+		Duration:       *duration,
+		Bulk:           *bulk,
+		Poll:           *poll,
+		Spike:          *spike,
+		Ingesters:      *ingesters,
+		FaultSchedule:  *faults,
+		RatePerSec:     *rate,
+		Burst:          *burst,
+		CapacityPerSec: *capacity,
+		CapacityBurst:  *capacityBurst,
+		MaxInFlight:    *maxInflight,
+		ArchiveDays:    *days,
+	})
+	if err != nil {
+		return err
+	}
+	data, err := report.Marshal()
+	if err != nil {
+		return err
+	}
+	if *output != "" {
+		return os.WriteFile(*output, data, 0o644)
+	}
+	_, err = out.Write(data)
+	return err
+}

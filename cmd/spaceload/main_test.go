@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestDoubleRunByteIdentical is the CLI-level determinism gate: two
+// invocations with identical flags must emit identical report bytes.
+func TestDoubleRunByteIdentical(t *testing.T) {
+	args := []string{
+		"-seed", "7", "-duration", "5m",
+		"-bulk", "1", "-poll", "2", "-spike", "3", "-ingesters", "1",
+		"-days", "5", "-faults", "429:1/29",
+	}
+	var a, b bytes.Buffer
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("double run diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a.Bytes(), b.Bytes())
+	}
+	var report map[string]any
+	if err := json.Unmarshal(a.Bytes(), &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if report["schema"] != "spaceload/v1" {
+		t.Fatalf("schema = %v", report["schema"])
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	path := t.TempDir() + "/report.json"
+	args := []string{"-seed", "1", "-duration", "2m", "-poll", "1", "-spike", "0",
+		"-bulk", "0", "-ingesters", "0", "-days", "3", "-o", path}
+	var stdout bytes.Buffer
+	if err := run(args, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("-o still wrote %d bytes to stdout", stdout.Len())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-duration", "0s"}, &out); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if err := run([]string{"-faults", "garbage"}, &out); err == nil {
+		t.Error("bad schedule accepted")
+	}
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -3,14 +3,22 @@
 //
 // Endpoints:
 //
-//	GET /NORAD/elements/gp.php?GROUP=starlink&FORMAT=3le   current catalog
-//	GET /history?catalog=N&from=RFC3339&to=RFC3339         per-object history
-//	GET /healthz
+//	GET  /NORAD/elements/gp.php?GROUP=starlink&FORMAT=3le   current catalog
+//	GET  /history?catalog=N&from=RFC3339&to=RFC3339         per-object history
+//	POST /ingest?group=starlink                             live element-set ingest
+//	GET  /healthz
 //
 // Usage:
 //
-//	spacetrackd [-addr :8044] [-fleet small|paper|may2024] [-seed S] [-rate R] [-faults SCHED]
+//	spacetrackd [-addr :8044] [-fleet small|paper|may2024] [-seed S] [-faults SCHED]
+//	            [-rate R] [-burst B] [-capacity C] [-max-inflight M]
 //	            [-pprof] [-metrics-json FILE]
+//
+// The archive is served through a sharded copy-on-write catalog, so /ingest
+// merges live element sets without ever blocking concurrent readers. -rate
+// throttles each client (X-Client-Id header or peer host) with 429s;
+// -capacity and -max-inflight shed aggregate overload with 503s. Both
+// rejections carry a Retry-After computed from the actual limiter state.
 //
 // -faults injects deterministic network faults (see internal/faultline) into
 // every endpoint, e.g. -faults '429:3/7,503:1/5,truncate:1/6' — the harness
@@ -67,7 +75,10 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	addr := fs.String("addr", ":8044", "listen address")
 	fleet := fs.String("fleet", "small", "fleet preset: small, paper or may2024")
 	seed := fs.Int64("seed", 42, "simulation seed")
-	rate := fs.Float64("rate", 20, "rate limit in requests/second (0 disables)")
+	rate := fs.Float64("rate", 20, "per-client rate limit in requests/second (0 disables)")
+	burst := fs.Float64("burst", 0, "per-client burst size (0 means 2x rate)")
+	capacity := fs.Float64("capacity", 0, "global capacity in requests/second, shed with 503 (0 disables)")
+	maxInflight := fs.Int64("max-inflight", 0, "max concurrently served requests, excess gets 503 (0 disables)")
 	faults := fs.String("faults", "", "fault schedule, e.g. '429:3/7,truncate:1/6' (see internal/faultline)")
 	pprofFlag := fs.Bool("pprof", false, "expose runtime profiles under /debug/pprof/")
 	metricsJSON := fs.String("metrics-json", "", "flush the final metrics snapshot (JSON) to FILE on shutdown")
@@ -107,11 +118,19 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
-	archive := spacetrack.NewResultArchive("starlink", res)
+	// The COW catalog layers live ingest over the immutable simulation
+	// archive: readers never block on writes, and /ingest is mounted.
 	end := res.Start.Add(time.Duration(res.Hours) * time.Hour)
-	srv := spacetrack.NewServer(archive, end)
+	catalog := spacetrack.NewCatalog(spacetrack.NewResultArchive("starlink", res), end)
+	srv := spacetrack.NewServer(catalog, end)
 	srv.RatePerSec = *rate
 	srv.Burst = *rate * 2
+	if *burst > 0 {
+		srv.Burst = *burst
+	}
+	srv.CapacityPerSec = *capacity
+	srv.CapacityBurst = *capacity * 2
+	srv.MaxInFlight = *maxInflight
 	// The daemon serves in real time: anchor the service clock at the
 	// archive frontier but let it advance, so the token bucket refills
 	// between requests (a pinned clock would 429 forever past the burst).
@@ -190,6 +209,8 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	logger.Info("final counters", "stage", "daemon",
 		"requests_served", srv.RequestsServed(),
 		"rate_limited", srv.RateLimited(),
+		"overloaded", srv.Overloaded(),
+		"ingested_sets", catalog.DeltaSets(),
 		"faults_injected", faultsInjected)
 	if *metricsJSON != "" {
 		f, err := os.Create(*metricsJSON)

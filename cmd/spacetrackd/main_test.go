@@ -1,18 +1,21 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
 
 	"cosmicdance/internal/obs"
 	"cosmicdance/internal/spacetrack"
+	"cosmicdance/internal/tle"
 )
 
 // startDaemon runs the daemon on a loopback port and returns its base URL
@@ -194,6 +197,87 @@ func TestDaemonMetricsAndShutdownFlush(t *testing.T) {
 	if !found {
 		t.Error("flushed report has no served-request counters")
 	}
+}
+
+// TestDaemonLiveIngestAndGoroutineHygiene drives the write path end to end:
+// POST /ingest lands a new element set that the very next group fetch
+// serves, and a full daemon lifecycle returns the process to its goroutine
+// baseline — the serving plane must not leak workers across shutdown.
+func TestDaemonLiveIngestAndGoroutineHygiene(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a year-long fleet")
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, errc := startDaemon(t, ctx)
+
+	client, err := spacetrack.NewClient(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets, err := client.FetchGroup(ctx, "starlink")
+	if err != nil || len(sets) == 0 {
+		t.Fatalf("group fetch: %v (%d sets)", err, len(sets))
+	}
+
+	// Ingest a clone of an existing set under a fresh catalog number.
+	clone := *sets[0]
+	clone.CatalogNumber = 90901
+	clone.Name = "INGEST-90901"
+	var body bytes.Buffer
+	if err := tle.Write(&body, []*tle.TLE{&clone}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/ingest?group=starlink", "text/plain", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %d %s", resp.StatusCode, reply)
+	}
+	if got := strings.TrimSpace(string(reply)); got != `{"received":1,"applied":1}` {
+		t.Fatalf("ingest reply = %s", got)
+	}
+
+	after, err := client.FetchGroup(ctx, "starlink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(sets)+1 {
+		t.Fatalf("post-ingest catalog has %d sets, want %d", len(after), len(sets)+1)
+	}
+	found := false
+	for _, s := range after {
+		if s.CatalogNumber == 90901 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("ingested satellite missing from the served catalog")
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown returned %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down after cancellation")
+	}
+	// The same settle loop the parallel pool tests use: transient runtime
+	// goroutines may take a few scheduler ticks to exit.
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("goroutine leak across daemon lifecycle: %d before, %d after",
+		before, runtime.NumGoroutine())
 }
 
 func TestDaemonRejectsBadFlags(t *testing.T) {

@@ -63,12 +63,14 @@ type Rule struct {
 // inside these packages; maporder and errhygiene apply module-wide.
 var PipelinePackages = []string{
 	"cmd/cosmicdance",
+	"cmd/spaceload",
 	"internal/artifact",
 	"internal/atmosphere",
 	"internal/conjunction",
 	"internal/constellation",
 	"internal/core",
 	"internal/groundtrack",
+	"internal/loadsim",
 	"internal/obs",
 	"internal/orbit",
 	"internal/report",

@@ -1,0 +1,178 @@
+package loadsim
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"time"
+
+	"cosmicdance/internal/faultline"
+)
+
+// Report is one run's benchdiff-style baseline. Every field derives from
+// the virtual timeline and deterministic counters — no wall-clock
+// timestamps — so equal (seed, mix, schedule) runs marshal to identical
+// bytes.
+type Report struct {
+	Schema          string          `json:"schema"`
+	Seed            int64           `json:"seed"`
+	VirtualDuration string          `json:"virtual_duration"`
+	Mix             MixCounts       `json:"mix"`
+	FaultSchedule   string          `json:"fault_schedule,omitempty"`
+	Requests        int64           `json:"requests"`
+	WireBytes       int64           `json:"wire_bytes"`
+	Resets          int64           `json:"resets"`
+	Statuses        []StatusCount   `json:"statuses"`
+	Server          ServerCounts    `json:"server"`
+	Workloads       []WorkloadStats `json:"workloads"`
+	Ingest          IngestStats     `json:"ingest"`
+	FaultsInjected  []FaultCount    `json:"faults_injected,omitempty"`
+}
+
+// MixCounts echoes the client mix the run was configured with.
+type MixCounts struct {
+	Bulk      int `json:"bulk"`
+	Poll      int `json:"poll"`
+	Spike     int `json:"spike"`
+	Ingesters int `json:"ingesters"`
+}
+
+// StatusCount is one HTTP status' frequency on the wire.
+type StatusCount struct {
+	Code  int   `json:"code"`
+	Count int64 `json:"count"`
+}
+
+// ServerCounts are the server's own admission tallies.
+type ServerCounts struct {
+	Served      int64 `json:"served"`
+	RateLimited int64 `json:"rate_limited"`
+	Overloaded  int64 `json:"overloaded"`
+}
+
+// WorkloadStats summarizes one client class's closed-loop experience.
+// Latency percentiles are virtual milliseconds over complete operations
+// (including every retry and backpressure wait inside one operation).
+type WorkloadStats struct {
+	Name        string  `json:"name"`
+	Clients     int     `json:"clients"`
+	Ops         int64   `json:"ops"`
+	Failures    int64   `json:"failures"`
+	NotModified int64   `json:"not_modified,omitempty"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	PerSec      float64 `json:"throughput_per_sec"`
+}
+
+// IngestStats tracks the live-write side: a dropped set is one the client
+// gave up on after exhausting retries.
+type IngestStats struct {
+	Attempted int64 `json:"attempted"`
+	Applied   int64 `json:"applied"`
+	Dropped   int64 `json:"dropped"`
+}
+
+// FaultCount is one injected fault kind's tally.
+type FaultCount struct {
+	Kind  string `json:"kind"`
+	Count int64  `json:"count"`
+}
+
+// Marshal renders the report as stable, indented JSON with a trailing
+// newline.
+func (r *Report) Marshal() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// report assembles the run's Report from the sim state.
+func (s *sim) report() *Report {
+	r := &Report{
+		Schema:          "spaceload/v1",
+		Seed:            s.cfg.Seed,
+		VirtualDuration: s.cfg.Duration.String(),
+		Mix: MixCounts{
+			Bulk: s.cfg.Bulk, Poll: s.cfg.Poll, Spike: s.cfg.Spike, Ingesters: s.cfg.Ingesters,
+		},
+		FaultSchedule: s.cfg.FaultSchedule,
+		Requests:      s.transport.requests,
+		WireBytes:     s.transport.wireBytes,
+		Resets:        s.transport.resets,
+		Server: ServerCounts{
+			Served:      s.srv.RequestsServed(),
+			RateLimited: s.srv.RateLimited(),
+			Overloaded:  s.srv.Overloaded(),
+		},
+	}
+	codes := make([]int, 0, len(s.transport.statuses))
+	for code := range s.transport.statuses {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	for _, code := range codes {
+		r.Statuses = append(r.Statuses, StatusCount{Code: code, Count: s.transport.statuses[code]})
+	}
+
+	byKind := map[string]*WorkloadStats{}
+	latByKind := map[string][]time.Duration{}
+	for _, a := range s.actors {
+		w := byKind[a.kind]
+		if w == nil {
+			w = &WorkloadStats{Name: a.kind}
+			byKind[a.kind] = w
+		}
+		w.Clients++
+		w.Ops += a.ops
+		w.Failures += a.failures
+		w.NotModified += a.notModified
+		latByKind[a.kind] = append(latByKind[a.kind], a.latencies...)
+		r.Ingest.Attempted += a.attempted
+		r.Ingest.Applied += a.applied
+		r.Ingest.Dropped += a.dropped
+	}
+	names := make([]string, 0, len(byKind))
+	for name := range byKind {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	secs := s.cfg.Duration.Seconds()
+	for _, name := range names {
+		w := byKind[name]
+		lat := latByKind[name]
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		w.P50Ms = percentileMs(lat, 50)
+		w.P99Ms = percentileMs(lat, 99)
+		w.PerSec = round3(float64(w.Ops) / secs)
+		r.Workloads = append(r.Workloads, *w)
+	}
+	if s.injector != nil {
+		stats := s.injector.Stats()
+		kinds := make([]string, 0, len(stats))
+		for k := range stats {
+			kinds = append(kinds, string(k))
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			r.FaultsInjected = append(r.FaultsInjected, FaultCount{Kind: k, Count: stats[faultline.Kind(k)]})
+		}
+	}
+	return r
+}
+
+// percentileMs is the nearest-rank percentile of a sorted latency slice, in
+// milliseconds rounded to microsecond precision.
+func percentileMs(sorted []time.Duration, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted) - 1) * p / 100
+	return round3(float64(sorted[idx]) / float64(time.Millisecond))
+}
+
+// round3 keeps three decimals — stable and readable in diffs.
+func round3(v float64) float64 {
+	return math.Round(v*1000) / 1000
+}

@@ -1,0 +1,36 @@
+package loadsim
+
+import "time"
+
+// rng is a splitmix64 generator. Each actor owns one, seeded from the run
+// seed and the actor's index, so actors draw independent but reproducible
+// think times and window choices regardless of interleaving.
+type rng struct{ state uint64 }
+
+func newRNG(seed int64, stream uint64) *rng {
+	return &rng{state: uint64(seed)*0x9E3779B97F4A7C15 + stream*0xD1B54A32D192ED03 + 1}
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// between returns a duration in [lo, hi].
+func (r *rng) between(lo, hi time.Duration) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(r.next()%uint64(hi-lo+1))
+}

@@ -109,6 +109,10 @@ type Client struct {
 	// Seed drives the deterministic retry jitter: two clients with the same
 	// seed issuing the same request sequence back off identically.
 	Seed int64
+	// ClientID, when set, is sent as the X-Client-Id header so the server's
+	// per-client token buckets key on a stable identity instead of the
+	// connection's ephemeral address.
+	ClientID string
 	// CorruptTolerance allows up to this many unparseable element sets per
 	// response before the body is declared corrupt and refetched. Real
 	// archives contain a few genuinely bad records; the default 0 is exact.
@@ -182,10 +186,37 @@ func (c *Client) backoff(reqID int64, attempt int) time.Duration {
 	return d + jitter
 }
 
+// conditional carries a request's cache validators (If-None-Match /
+// If-Modified-Since); the zero value sends none.
+type conditional struct {
+	etag         string
+	lastModified string
+}
+
+// fetchResult is one successful transfer: either a body with its response
+// validators, or a 304 confirmation that the caller's copy is current.
+type fetchResult struct {
+	body         []byte
+	etag         string
+	lastModified string
+	notModified  bool
+}
+
 // get performs a bounded-retry GET and returns the full response body.
 // verify, when non-nil, validates the body; validation failures count as
 // retryable corruption (the "re-read on truncation/corruption" path).
 func (c *Client) get(ctx context.Context, path string, query url.Values, verify func([]byte) error) ([]byte, error) {
+	res, err := c.getConditional(ctx, path, query, conditional{}, verify)
+	if err != nil {
+		return nil, err
+	}
+	return res.body, nil
+}
+
+// getConditional is get with cache validators threaded through the retry
+// loop. Server-provided Retry-After delays (429 and 503) override the
+// computed backoff.
+func (c *Client) getConditional(ctx context.Context, path string, query url.Values, cond conditional, verify func([]byte) error) (*fetchResult, error) {
 	u := *c.base
 	u.Path = path
 	u.RawQuery = query.Encode()
@@ -197,18 +228,17 @@ func (c *Client) get(ctx context.Context, path string, query url.Values, verify 
 	for attempt := 0; attempt <= c.MaxRetries; attempt++ {
 		if attempt > 0 {
 			delay := c.backoff(reqID, attempt)
-			var ra *rateLimitError
-			if errors.As(last, &ra) && ra.retryAfter >= 0 {
-				delay = ra.retryAfter
+			if d, ok := serverDelay(last); ok {
+				delay = d
 			}
 			if err := c.sleep(ctx, delay); err != nil {
 				return nil, err
 			}
 		}
 		attempts++
-		body, err := c.attempt(ctx, u.String(), verify)
+		res, err := c.attempt(ctx, u.String(), cond, verify)
 		if err == nil {
-			return body, nil
+			return res, nil
 		}
 		var retryable *retryableError
 		if !errors.As(err, &retryable) {
@@ -217,7 +247,7 @@ func (c *Client) get(ctx context.Context, path string, query url.Values, verify 
 		last = retryable.err
 		metricRetries[retryCause(last)].Inc()
 	}
-	return nil, &RetryError{URL: u.String(), Attempts: attempts, Last: unwrapRateLimit(last)}
+	return nil, &RetryError{URL: u.String(), Attempts: attempts, Last: unwrapDelay(last)}
 }
 
 // retryableError tags a fault the retry loop may try again.
@@ -226,7 +256,8 @@ type retryableError struct{ err error }
 func (e *retryableError) Error() string { return e.err.Error() }
 func (e *retryableError) Unwrap() error { return e.err }
 
-// rateLimitError carries the server-provided Retry-After delay (-1 if none).
+// rateLimitError carries a 429's server-provided Retry-After delay (-1 if
+// none).
 type rateLimitError struct {
 	err        error
 	retryAfter time.Duration
@@ -235,20 +266,60 @@ type rateLimitError struct {
 func (e *rateLimitError) Error() string { return e.err.Error() }
 func (e *rateLimitError) Unwrap() error { return e.err }
 
-func unwrapRateLimit(err error) error {
+// unavailableError carries a 503's Retry-After — the shape the server's
+// admission layer sheds load with. It stays a server_error for the retry
+// metrics (it unwraps to the StatusError) but its delay is honoured like a
+// 429's.
+type unavailableError struct {
+	err        error
+	retryAfter time.Duration
+}
+
+func (e *unavailableError) Error() string { return e.err.Error() }
+func (e *unavailableError) Unwrap() error { return e.err }
+
+// serverDelay extracts the server-provided retry delay from the last fault,
+// if it carried one.
+func serverDelay(err error) (time.Duration, bool) {
+	var ra *rateLimitError
+	if errors.As(err, &ra) && ra.retryAfter >= 0 {
+		return ra.retryAfter, true
+	}
+	var ua *unavailableError
+	if errors.As(err, &ua) && ua.retryAfter >= 0 {
+		return ua.retryAfter, true
+	}
+	return 0, false
+}
+
+// unwrapDelay strips the delay-carrying wrappers for the final RetryError,
+// so callers inspect the underlying StatusError directly.
+func unwrapDelay(err error) error {
 	var ra *rateLimitError
 	if errors.As(err, &ra) {
 		return ra.err
+	}
+	var ua *unavailableError
+	if errors.As(err, &ua) {
+		return ua.err
 	}
 	return err
 }
 
 // attempt performs one GET. Retryable faults come back wrapped in
 // *retryableError; anything else is permanent.
-func (c *Client) attempt(ctx context.Context, url string, verify func([]byte) error) ([]byte, error) {
+func (c *Client) attempt(ctx context.Context, url string, cond conditional, verify func([]byte) error) (*fetchResult, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
+	}
+	if c.ClientID != "" {
+		req.Header.Set("X-Client-Id", c.ClientID)
+	}
+	if cond.etag != "" {
+		req.Header.Set("If-None-Match", cond.etag)
+	} else if cond.lastModified != "" {
+		req.Header.Set("If-Modified-Since", cond.lastModified)
 	}
 	resp, err := c.httpClient.Do(req)
 	if err != nil {
@@ -275,11 +346,26 @@ func (c *Client) attempt(ctx context.Context, url string, verify func([]byte) er
 				return nil, &retryableError{err: err}
 			}
 		}
-		return body, nil
+		return &fetchResult{
+			body:         body,
+			etag:         resp.Header.Get("ETag"),
+			lastModified: resp.Header.Get("Last-Modified"),
+		}, nil
+	case resp.StatusCode == http.StatusNotModified:
+		if cond.etag == "" && cond.lastModified == "" {
+			// A 304 to an unconditional request is a server bug, not a
+			// cache hit; surface it rather than serve nothing.
+			return nil, &StatusError{Code: resp.StatusCode, Body: "304 to an unconditional request"}
+		}
+		return &fetchResult{notModified: true, etag: cond.etag, lastModified: cond.lastModified}, nil
 	case resp.StatusCode == http.StatusTooManyRequests:
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		se := &StatusError{Code: resp.StatusCode, Body: string(bytes.TrimSpace(body))}
 		return nil, &retryableError{err: &rateLimitError{err: se, retryAfter: retryAfter(resp)}}
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		se := &StatusError{Code: resp.StatusCode, Body: string(bytes.TrimSpace(body))}
+		return nil, &retryableError{err: &unavailableError{err: se, retryAfter: retryAfter(resp)}}
 	case resp.StatusCode >= 500:
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return nil, &retryableError{err: &StatusError{Code: resp.StatusCode, Body: string(bytes.TrimSpace(body))}}
@@ -354,6 +440,42 @@ func (c *Client) FetchGroup(ctx context.Context, group string) ([]*tle.TLE, erro
 	}
 	q := url.Values{"GROUP": {group}, "FORMAT": {format}}
 	return c.fetchSets(ctx, "/NORAD/elements/gp.php", q)
+}
+
+// GroupPage is the result of a conditional group fetch: either fresh
+// element sets with their validators, or NotModified confirming the
+// caller's cached copy is current.
+type GroupPage struct {
+	Sets         []*tle.TLE
+	ETag         string
+	LastModified string
+	NotModified  bool
+}
+
+// FetchGroupConditional downloads the current catalog of a group unless the
+// server confirms the caller's validators still hold — the incremental-poll
+// workflow. Pass empty validators for an unconditional fetch; on a 304 the
+// returned page carries NotModified and echoes the validators back.
+func (c *Client) FetchGroupConditional(ctx context.Context, group, etag, lastModified string) (*GroupPage, error) {
+	format := "3le"
+	if c.UseJSON {
+		format = "json"
+	}
+	q := url.Values{"GROUP": {group}, "FORMAT": {format}}
+	var sets []*tle.TLE
+	verify := func(body []byte) error {
+		var err error
+		sets, err = c.decodeSets(body)
+		return err
+	}
+	res, err := c.getConditional(ctx, "/NORAD/elements/gp.php", q, conditional{etag: etag, lastModified: lastModified}, verify)
+	if err != nil {
+		return nil, err
+	}
+	if res.notModified {
+		return &GroupPage{NotModified: true, ETag: etag, LastModified: lastModified}, nil
+	}
+	return &GroupPage{Sets: sets, ETag: res.etag, LastModified: res.lastModified}, nil
 }
 
 // CatalogNumbers extracts the sorted distinct catalog numbers from a fetch.

@@ -158,6 +158,110 @@ func TestClientHonoursRetryAfterOver429(t *testing.T) {
 	}
 }
 
+func TestClientHonoursRetryAfterOver503(t *testing.T) {
+	archive, _, end := buildArchive(t, 5)
+	inner := NewServer(archive, end).Handler()
+	// The admission layer's shape: a 503 carrying the computed refill delay.
+	ts := httptest.NewServer(flakyHandler(1, func(w http.ResponseWriter, _ int32) {
+		w.Header().Set("Retry-After", "3")
+		http.Error(w, "over capacity", http.StatusServiceUnavailable)
+	}, inner))
+	defer ts.Close()
+	client, err := NewClient(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got time.Duration
+	client.Sleep = func(ctx context.Context, d time.Duration) error {
+		got = d
+		return nil
+	}
+	if _, err := client.FetchGroup(context.Background(), "starlink"); err != nil {
+		t.Fatal(err)
+	}
+	if got != 3*time.Second {
+		t.Fatalf("slept %v, want the server's Retry-After of 3s", got)
+	}
+
+	// Exhausting the budget against a persistent 503 still surfaces the
+	// typed StatusError, not the internal delay wrapper.
+	always := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "shed", http.StatusServiceUnavailable)
+	}))
+	defer always.Close()
+	exhausted, _ := noSleepClient(t, always)
+	exhausted.MaxRetries = 1
+	err = exhausted.Health(context.Background())
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want wrapped 503 StatusError", err)
+	}
+	if !errors.Is(err, ErrTooManyRetries) {
+		t.Fatalf("err = %v, want ErrTooManyRetries", err)
+	}
+}
+
+func TestClientConditionalFetch(t *testing.T) {
+	archive, _, end := buildArchive(t, 5)
+	srv := NewServer(archive, end)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client, err := NewClient(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	first, err := client.FetchGroupConditional(ctx, "starlink", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.NotModified || len(first.Sets) == 0 {
+		t.Fatalf("unconditional fetch: notModified=%v sets=%d", first.NotModified, len(first.Sets))
+	}
+	if first.ETag == "" || first.LastModified == "" {
+		t.Fatalf("missing validators: %+v", first)
+	}
+
+	// Revalidating with the returned validators confirms the copy without a
+	// body, and echoes the validators for the next poll.
+	second, err := client.FetchGroupConditional(ctx, "starlink", first.ETag, first.LastModified)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.NotModified || len(second.Sets) != 0 {
+		t.Fatalf("revalidation: notModified=%v sets=%d, want 304", second.NotModified, len(second.Sets))
+	}
+	if second.ETag != first.ETag {
+		t.Fatalf("304 lost the ETag: %q vs %q", second.ETag, first.ETag)
+	}
+
+	// A stale validator transfers the full catalog again.
+	third, err := client.FetchGroupConditional(ctx, "starlink", `"stale"`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.NotModified || len(third.Sets) != len(first.Sets) {
+		t.Fatalf("stale revalidation: notModified=%v sets=%d, want %d", third.NotModified, len(third.Sets), len(first.Sets))
+	}
+
+	// A 304 to an unconditional request is a protocol violation the client
+	// must reject rather than treat as an empty catalog.
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotModified)
+	}))
+	defer broken.Close()
+	bclient, err := NewClient(broken.URL, broken.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var se *StatusError
+	if _, err := bclient.FetchGroupConditional(ctx, "starlink", "", ""); !errors.As(err, &se) || se.Code != http.StatusNotModified {
+		t.Fatalf("spurious 304 err = %v, want StatusError{304}", err)
+	}
+}
+
 func TestBackoffDeterministicPerSeed(t *testing.T) {
 	sleepsFor := func(seed int64) []time.Duration {
 		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

@@ -1,7 +1,11 @@
 package spacetrack
 
 import (
+	"compress/gzip"
 	"fmt"
+	"io"
+	"math"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
@@ -13,41 +17,129 @@ import (
 	"cosmicdance/internal/tle"
 )
 
-// Server-side telemetry: requests served per endpoint and rate-limit
-// rejections, mirrored on atomic fields so the daemon can log final totals
-// at shutdown without a registry scan.
+// Server-side telemetry: requests served and latency per endpoint, plus one
+// admission counter per decision, mirrored on atomic fields so the daemon
+// can log final totals at shutdown without a registry scan.
 var (
 	metricServedGroup   = obs.Default().Counter("spacetrack_server_requests_total", "endpoint", "group")
 	metricServedHistory = obs.Default().Counter("spacetrack_server_requests_total", "endpoint", "history")
+	metricServedIngest  = obs.Default().Counter("spacetrack_server_requests_total", "endpoint", "ingest")
 	metricServedHealthz = obs.Default().Counter("spacetrack_server_requests_total", "endpoint", "healthz")
 	metricRateLimited   = obs.Default().Counter("spacetrack_server_ratelimited_total")
+	metricNotModified   = obs.Default().Counter("spacetrack_server_not_modified_total")
+
+	metricAdmitted = map[string]*obs.Counter{}
+	metricLatency  = map[string]*obs.Histogram{}
 )
+
+// latencyBounds covers sub-millisecond in-process serving up to multi-second
+// degraded tails, in seconds.
+var latencyBounds = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
+
+func init() {
+	for _, d := range []string{"accepted", "per_client", "capacity", "inflight"} {
+		metricAdmitted[d] = obs.Default().Counter("spacetrack_server_admission_total", "decision", d)
+	}
+	for _, ep := range []string{"group", "history", "ingest"} {
+		metricLatency[ep] = obs.Default().Histogram("spacetrack_server_latency_seconds", latencyBounds, "endpoint", ep)
+	}
+}
+
+// IngestArchive is an Archive that accepts live element-set ingest — the
+// Catalog qualifies. Servers whose archive implements it expose POST
+// /ingest.
+type IngestArchive interface {
+	Archive
+	Ingest(group string, sets []*tle.TLE, at time.Time) int
+}
 
 // Server publishes an Archive over HTTP with CelesTrak- and Space-Track-
 // shaped endpoints:
 //
-//	GET /NORAD/elements/gp.php?GROUP=<group>&FORMAT=tle
-//	GET /history?catalog=<id>&from=<RFC3339>&to=<RFC3339>
-//	GET /healthz
+//	GET  /NORAD/elements/gp.php?GROUP=<group>&FORMAT=tle
+//	GET  /history?catalog=<id>&from=<RFC3339>&to=<RFC3339>
+//	POST /ingest?group=<group>                     (IngestArchive backends)
+//	GET  /healthz
 //
-// A token-bucket rate limiter guards the endpoints: exceeding it returns
-// 429 with a Retry-After header, which the Client honours.
+// Three admission layers guard the data endpoints, all running on the
+// injected service clock and all answering with a Retry-After computed from
+// the actual state that rejected the request:
+//
+//   - MaxInFlight bounds concurrent requests; excess gets 503.
+//   - A global capacity token bucket (CapacityPerSec/CapacityBurst) sheds
+//     aggregate overload with 503 + the bucket's refill time.
+//   - Per-client token buckets (RatePerSec/Burst, keyed by the X-Client-Id
+//     header or the peer host) throttle individual clients with 429 + the
+//     client bucket's refill time.
+//
+// Group responses carry ETag and Last-Modified validators; conditional
+// requests (If-None-Match / If-Modified-Since) answer 304 without a body.
+// Responses are gzip-compressed when the client accepts it, and history
+// windows stream element set by element set when the archive supports it.
 type Server struct {
 	archive Archive
 	// Now reports the service's current time (the frontier of the archive);
 	// it is a field so tests and replay servers can pin it.
 	Now func() time.Time
 
-	served   atomic.Int64
-	rejected atomic.Int64
+	served     atomic.Int64
+	rejected   atomic.Int64
+	overloaded atomic.Int64
+	inflight   atomic.Int64
 
-	mu     sync.Mutex
-	tokens float64
-	last   time.Time
-	// RatePerSec and Burst configure the limiter; zero RatePerSec disables
-	// limiting.
+	// RatePerSec and Burst configure the per-client token buckets; zero
+	// RatePerSec disables per-client limiting.
 	RatePerSec float64
 	Burst      float64
+	// MaxClients bounds the tracked per-client buckets (default 4096).
+	// Overflow evicts refilled-to-full buckets, which is semantics-
+	// preserving: a full bucket is indistinguishable from a fresh one.
+	MaxClients int
+
+	// CapacityPerSec and CapacityBurst configure the global admission
+	// bucket; zero CapacityPerSec disables it.
+	CapacityPerSec float64
+	CapacityBurst  float64
+	// MaxInFlight bounds concurrently served requests; zero disables.
+	MaxInFlight int64
+
+	// ValidatorGranularity quantizes the clock component of the group
+	// validators (default one hour, the simulation's sample cadence): a
+	// group's ETag changes when it is ingested into or when the service
+	// clock crosses a granularity boundary, whichever comes first.
+	ValidatorGranularity time.Duration
+
+	mu       sync.Mutex
+	clients  map[string]*bucket
+	capacity bucket
+}
+
+// bucket is one token bucket's mutable state, guarded by Server.mu.
+type bucket struct {
+	tokens float64
+	last   time.Time
+	seen   bool
+}
+
+// take refills the bucket to now and consumes one token. On refusal it
+// returns the wait until the next token materializes at the given rate.
+func (b *bucket) take(now time.Time, rate, burst float64) (bool, time.Duration) {
+	if !b.seen {
+		b.tokens = burst
+		b.last = now
+		b.seen = true
+	}
+	b.tokens += now.Sub(b.last).Seconds() * rate
+	if b.tokens > burst {
+		b.tokens = burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		wait := time.Duration((1 - b.tokens) / rate * float64(time.Second))
+		return false, wait
+	}
+	b.tokens--
+	return true, 0
 }
 
 // NewServer wraps an archive. now pins the service clock (use the end of the
@@ -65,8 +157,11 @@ func NewServer(archive Archive, now time.Time) *Server {
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/NORAD/elements/gp.php", s.handleGroup)
-	mux.HandleFunc("/history", s.handleHistory)
+	mux.HandleFunc("/NORAD/elements/gp.php", s.admit("group", s.handleGroup))
+	mux.HandleFunc("/history", s.admit("history", s.handleHistory))
+	if _, ok := s.archive.(IngestArchive); ok {
+		mux.HandleFunc("/ingest", s.admit("ingest", s.handleIngest))
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		s.served.Add(1)
 		metricServedHealthz.Inc()
@@ -75,12 +170,17 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// RequestsServed reports how many requests completed the rate limiter and
-// reached a handler (including healthz).
+// RequestsServed reports how many requests completed admission and reached a
+// handler (including healthz).
 func (s *Server) RequestsServed() int64 { return s.served.Load() }
 
-// RateLimited reports how many requests the token bucket rejected with 429.
+// RateLimited reports how many requests the per-client buckets rejected
+// with 429.
 func (s *Server) RateLimited() int64 { return s.rejected.Load() }
+
+// Overloaded reports how many requests the admission layer shed with 503
+// (capacity bucket or in-flight bound).
+func (s *Server) Overloaded() int64 { return s.overloaded.Load() }
 
 // now reads the service clock, falling back to wall clock for a Server
 // built as a bare struct literal (NewServer always sets Now).
@@ -91,49 +191,176 @@ func (s *Server) now() time.Time {
 	return time.Now()
 }
 
-// allow implements a token bucket over the service clock (s.Now), so
-// fault-injection and replay tests control refill deterministically.
-func (s *Server) allow() bool {
+// granularity returns the validator quantum.
+func (s *Server) granularity() time.Duration {
+	if s.ValidatorGranularity > 0 {
+		return s.ValidatorGranularity
+	}
+	return time.Hour
+}
+
+// clientKey identifies the requester for per-client limiting: the
+// self-reported X-Client-Id when present, else the peer host.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-Id"); id != "" {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// retryAfterSeconds renders a refill wait as a Retry-After value: whole
+// seconds, rounded up, at least 1.
+func retryAfterSeconds(wait time.Duration) string {
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// admitClient runs the per-client bucket for key. Exposed to tests via the
+// fixed-clock regression suite.
+func (s *Server) admitClient(key string) (bool, time.Duration) {
 	if s.RatePerSec <= 0 {
-		return true
+		return true, 0
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.clients == nil {
+		s.clients = make(map[string]*bucket)
+	}
 	now := s.now()
-	if s.last.IsZero() {
-		s.last = now
-		s.tokens = s.Burst
+	b := s.clients[key]
+	if b == nil {
+		s.evictLocked(now)
+		b = &bucket{}
+		s.clients[key] = b
 	}
-	s.tokens += now.Sub(s.last).Seconds() * s.RatePerSec
-	if s.tokens > s.Burst {
-		s.tokens = s.Burst
-	}
-	s.last = now
-	if s.tokens < 1 {
-		return false
-	}
-	s.tokens--
-	return true
+	return b.take(now, s.RatePerSec, s.Burst)
 }
 
-func (s *Server) limited(w http.ResponseWriter) bool {
-	if s.allow() {
-		return false
+// evictLocked drops refilled-to-full buckets once the tracked-client bound
+// is hit. A full bucket carries no throttling state — it behaves exactly
+// like the fresh bucket its client would otherwise get — so eviction never
+// changes a limiting decision.
+func (s *Server) evictLocked(now time.Time) {
+	max := s.MaxClients
+	if max <= 0 {
+		max = 4096
 	}
-	s.rejected.Add(1)
-	metricRateLimited.Inc()
-	w.Header().Set("Retry-After", "1")
-	http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
-	return true
+	if len(s.clients) < max {
+		return
+	}
+	for key, b := range s.clients {
+		refilled := b.tokens + now.Sub(b.last).Seconds()*s.RatePerSec
+		if refilled >= s.Burst {
+			delete(s.clients, key)
+		}
+	}
+}
+
+// admitCapacity runs the global capacity bucket.
+func (s *Server) admitCapacity() (bool, time.Duration) {
+	if s.CapacityPerSec <= 0 {
+		return true, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.capacity.take(s.now(), s.CapacityPerSec, s.CapacityBurst)
+}
+
+// admit wraps a data-plane handler with the three admission layers and the
+// per-endpoint telemetry.
+func (s *Server) admit(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	served := map[string]*obs.Counter{
+		"group": metricServedGroup, "history": metricServedHistory, "ingest": metricServedIngest,
+	}[endpoint]
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.MaxInFlight > 0 {
+			if n := s.inflight.Add(1); n > s.MaxInFlight {
+				s.inflight.Add(-1)
+				s.overloaded.Add(1)
+				metricAdmitted["inflight"].Inc()
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "server saturated", http.StatusServiceUnavailable)
+				return
+			}
+			defer s.inflight.Add(-1)
+		}
+		if ok, wait := s.admitCapacity(); !ok {
+			s.overloaded.Add(1)
+			metricAdmitted["capacity"].Inc()
+			w.Header().Set("Retry-After", retryAfterSeconds(wait))
+			http.Error(w, "over capacity", http.StatusServiceUnavailable)
+			return
+		}
+		if ok, wait := s.admitClient(clientKey(r)); !ok {
+			s.rejected.Add(1)
+			metricRateLimited.Inc()
+			metricAdmitted["per_client"].Inc()
+			w.Header().Set("Retry-After", retryAfterSeconds(wait))
+			http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+			return
+		}
+		s.served.Add(1)
+		served.Inc()
+		metricAdmitted["accepted"].Inc()
+		start := s.now()
+		h(w, r)
+		metricLatency[endpoint].Observe(s.now().Sub(start).Seconds())
+	}
+}
+
+// validators computes a group's conditional-fetch validators: the ETag folds
+// in the group's version and the clock quantum (new samples become visible
+// as the service clock advances, even without ingest), and Last-Modified is
+// the later of the group's last mutation and the quantum boundary.
+func (s *Server) validators(group string) (etag string, lastMod time.Time) {
+	cut := s.now().Truncate(s.granularity())
+	version := uint64(1)
+	var mod time.Time
+	if va, ok := s.archive.(VersionedArchive); ok {
+		if v, m, known := va.GroupVersion(group); known {
+			version, mod = v, m
+		}
+	}
+	if mod.Before(cut) {
+		mod = cut
+	}
+	return fmt.Sprintf("%q", fmt.Sprintf("%s-v%d-%d", group, version, cut.Unix())), mod
+}
+
+// notModified answers a conditional request against the validators,
+// preferring If-None-Match over If-Modified-Since per RFC 9110.
+func notModified(r *http.Request, etag string, lastMod time.Time) bool {
+	if match := r.Header.Get("If-None-Match"); match != "" {
+		return match == etag
+	}
+	if ims := r.Header.Get("If-Modified-Since"); ims != "" {
+		if t, err := http.ParseTime(ims); err == nil {
+			return !lastMod.Truncate(time.Second).After(t)
+		}
+	}
+	return false
+}
+
+// compressed negotiates gzip: it returns the body writer and a finish
+// function that must run after the body is complete.
+func compressed(w http.ResponseWriter, r *http.Request) (io.Writer, func() error) {
+	if !strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+		return w, func() error { return nil }
+	}
+	w.Header().Set("Content-Encoding", "gzip")
+	w.Header().Add("Vary", "Accept-Encoding")
+	zw := gzip.NewWriter(w)
+	return zw, zw.Close
 }
 
 // handleGroup serves the CelesTrak-style current catalog.
 func (s *Server) handleGroup(w http.ResponseWriter, r *http.Request) {
-	if s.limited(w) {
-		return
-	}
-	s.served.Add(1)
-	metricServedGroup.Inc()
 	group := r.URL.Query().Get("GROUP")
 	if group == "" {
 		http.Error(w, "missing GROUP", http.StatusBadRequest)
@@ -155,11 +382,23 @@ func (s *Server) handleGroup(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("unknown group %q", group), http.StatusNotFound)
 		return
 	}
+	etag, lastMod := s.validators(group)
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Last-Modified", lastMod.UTC().Format(http.TimeFormat))
+	if notModified(r, etag, lastMod) {
+		metricNotModified.Inc()
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	sets := s.archive.GroupLatest(group, s.now())
 	if format == "json" {
 		// Space-Track's OMM JSON shape.
 		w.Header().Set("Content-Type", "application/json")
-		if err := tle.WriteOMM(w, sets); err != nil {
+		out, finish := compressed(w, r)
+		if err := tle.WriteOMM(out, sets); err != nil {
+			return
+		}
+		if err := finish(); err != nil {
 			return
 		}
 		return
@@ -169,19 +408,20 @@ func (s *Server) handleGroup(w http.ResponseWriter, r *http.Request) {
 		sets = stripNames(sets)
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if err := tle.Write(w, sets); err != nil {
+	out, finish := compressed(w, r)
+	if err := tle.Write(out, sets); err != nil {
 		// Too late for a status change; the client will see a short read.
+		return
+	}
+	if err := finish(); err != nil {
 		return
 	}
 }
 
-// handleHistory serves the Space-Track-style windowed history.
+// handleHistory serves the Space-Track-style windowed history, streaming
+// element set by element set when the archive supports it so a bulk window
+// never materializes server-side.
 func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
-	if s.limited(w) {
-		return
-	}
-	s.served.Add(1)
-	metricServedHistory.Inc()
 	q := r.URL.Query()
 	catalog, err := strconv.Atoi(q.Get("catalog"))
 	if err != nil {
@@ -202,18 +442,75 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "to precedes from", http.StatusBadRequest)
 		return
 	}
-	sets := s.archive.History(catalog, from, to)
 	if q.Get("format") == "json" {
+		sets := s.archive.History(catalog, from, to)
 		w.Header().Set("Content-Type", "application/json")
-		if err := tle.WriteOMM(w, sets); err != nil {
+		out, finish := compressed(w, r)
+		if err := tle.WriteOMM(out, sets); err != nil {
+			return
+		}
+		if err := finish(); err != nil {
 			return
 		}
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if err := tle.Write(w, stripNames(sets)); err != nil {
+	out, finish := compressed(w, r)
+	if sa, ok := s.archive.(StreamingArchive); ok {
+		one := make([]*tle.TLE, 1)
+		if err := sa.HistoryEach(catalog, from, to, func(t *tle.TLE) error {
+			c := *t
+			c.Name = ""
+			one[0] = &c
+			return tle.Write(out, one)
+		}); err != nil {
+			return
+		}
+	} else {
+		if err := tle.Write(out, stripNames(s.archive.History(catalog, from, to))); err != nil {
+			return
+		}
+	}
+	if err := finish(); err != nil {
 		return
 	}
+}
+
+// handleIngest accepts a POST of element sets in classic TLE text and
+// merges them into the archive at the current service time. The body must
+// parse completely: a batch with unreadable records is rejected whole, so a
+// partial ingest can never masquerade as a successful one.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "ingest requires POST", http.StatusMethodNotAllowed)
+		return
+	}
+	ia := s.archive.(IngestArchive) // admit() wires /ingest only for IngestArchive backends
+	group := r.URL.Query().Get("group")
+	if group == "" {
+		http.Error(w, "missing group", http.StatusBadRequest)
+		return
+	}
+	reader := tle.NewReader(r.Body)
+	var sets []*tle.TLE
+	for {
+		t, err := reader.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			http.Error(w, "unparseable element set: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		sets = append(sets, t)
+	}
+	if reader.Skipped() > 0 {
+		http.Error(w, fmt.Sprintf("%d unparseable element sets", reader.Skipped()), http.StatusBadRequest)
+		return
+	}
+	applied := ia.Ingest(group, sets, s.now())
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"received\":%d,\"applied\":%d}\n", len(sets), applied)
 }
 
 func parseTimeParam(v string, def time.Time) (time.Time, error) {

@@ -9,7 +9,11 @@
 #   4. fail if internal/obs (the telemetry layer every pipeline package
 #      links against — a bug here corrupts every diagnosis) covers < 85%
 #      of its statements,
-#   5. fail if the module-wide total covers < 70%.
+#   5. fail if internal/spacetrack (the serving plane: COW catalog,
+#      admission control, conditional fetch) covers < 80%,
+#   6. fail if internal/loadsim (the deterministic load harness whose
+#      reports gate serving changes) covers < 80%,
+#   7. fail if the module-wide total covers < 70%.
 #
 # The floors are deliberately asymmetric: the linter and the codec are
 # small and pure logic, so they are held to a higher bar than the
@@ -64,6 +68,24 @@ if [ -z "$obspct" ]; then
     exit 1
 fi
 floor "internal/obs" "$obspct" 85
+
+spacetrackpct="$(printf '%s\n' "$out" | awk '$2 == "cosmicdance/internal/spacetrack" {
+    for (i = 1; i <= NF; i++) if ($i ~ /%$/) { sub(/%/, "", $i); print $i }
+}')"
+if [ -z "$spacetrackpct" ]; then
+    echo "cover: no coverage line for cosmicdance/internal/spacetrack" >&2
+    exit 1
+fi
+floor "internal/spacetrack" "$spacetrackpct" 80
+
+loadsimpct="$(printf '%s\n' "$out" | awk '$2 == "cosmicdance/internal/loadsim" {
+    for (i = 1; i <= NF; i++) if ($i ~ /%$/) { sub(/%/, "", $i); print $i }
+}')"
+if [ -z "$loadsimpct" ]; then
+    echo "cover: no coverage line for cosmicdance/internal/loadsim" >&2
+    exit 1
+fi
+floor "internal/loadsim" "$loadsimpct" 80
 
 totalpct="$(go tool cover -func="$profile" | awk '/^total:/ {
     for (i = 1; i <= NF; i++) if ($i ~ /%$/) { sub(/%/, "", $i); print $i }

@@ -10,9 +10,12 @@
 #   5. the artifact-cache identity gate: the same analyze run, cold then
 #      warm over one cache dir, must print byte-identical output (a cache
 #      hit is the cold build, bit for bit),
-#   6. the telemetry-overhead gate: the instrumented hot paths may cost at
+#   6. the spaceload determinism gate: the closed-loop load harness, run
+#      twice with one seed/mix/fault schedule, must emit byte-identical
+#      reports (a report diff is a behaviour change, never noise),
+#   7. the telemetry-overhead gate: the instrumented hot paths may cost at
 #      most 2% more than a COSMICDANCE_OBS=off run,
-#   7. every fuzz target, seeds + 10s of new coverage each.
+#   8. every fuzz target, seeds + 10s of new coverage each.
 #
 # Pass -short as $1 to run the fast tier (skips the year-long substrate
 # builds and the fuzz sessions).
@@ -55,6 +58,18 @@ cmp "$cold" "$warm" || {
 }
 
 if [ -z "$SHORT" ]; then
+    echo "== spaceload determinism (same seed/mix/schedule -> identical report bytes)"
+    load_a="$(mktemp -t cosmicdance-load-a.XXXXXX)"
+    load_b="$(mktemp -t cosmicdance-load-b.XXXXXX)"
+    trap 'rm -rf "$cachedir" "$cold" "$warm" "$load_a" "$load_b"' EXIT
+    LOAD_ARGS="-seed 42 -duration 10m -days 10 -faults 429:1/31,reset:1/37"
+    go run ./cmd/spaceload $LOAD_ARGS -o "$load_a"
+    go run ./cmd/spaceload $LOAD_ARGS -o "$load_b"
+    cmp "$load_a" "$load_b" || {
+        echo "verify: spaceload reports differ between identical runs" >&2
+        exit 1
+    }
+
     echo "== telemetry overhead gate (<= 2% on the hot paths)"
     ./scripts/obs_overhead.sh
 fi
