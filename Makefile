@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short race vet lint cover fuzz verify verify-short golden bench bench-baseline bench-diff obs-overhead loadtest
+.PHONY: build test test-short race vet lint cover fuzz verify verify-short golden bench bench-baseline bench-diff obs-overhead loadtest scale-sweep
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,7 @@ lint:
 
 # Coverage floors: internal/lint >= 85%, internal/artifact >= 80%,
 # internal/obs >= 85%, internal/spacetrack >= 80%, internal/loadsim >= 80%,
-# module total >= 70%.
+# internal/constellation >= 80%, internal/core >= 80%, module total >= 70%.
 cover:
 	./scripts/cover.sh
 
@@ -40,10 +40,24 @@ vet:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkFleetSim|BenchmarkDatasetBuild|BenchmarkAssociate' -cpu 1,2,4 -benchtime 2x .
 
-# Pin the performance baseline: the four fan-out benchmarks with -benchmem
-# plus a cold-versus-warm cmd/figures render, written to BENCH_PR4.json.
+# Pin the performance baseline: the four fan-out benchmarks with -benchmem,
+# a cold-versus-warm cmd/figures render, and the 6k/30k/100k mega-constellation
+# scale sweep, written to BENCH_PR7.json.
 bench-baseline:
 	./scripts/bench.sh
+
+# The mega-constellation scale sweep on its own: stream 6k, 30k, and 100k
+# satellites through the chunked pipeline and print wall time, sats/sec,
+# and peak RSS for each — the flat-memory claim, measured.
+scale-sweep:
+	@$(GO) build -o /tmp/cosmicdance-sweep ./cmd/cosmicdance; \
+	for sats in 6000 30000 100000; do \
+		start=$$(date +%s.%N); \
+		rss=$$(/tmp/cosmicdance-sweep scale -sats $$sats -days 2 -seed 42 2>&1 >/dev/null | awk '$$1 == "peak_rss_bytes" { print $$2 }'); \
+		end=$$(date +%s.%N); \
+		awk -v n=$$sats -v a=$$start -v b=$$end -v r=$$rss 'BEGIN { printf "scale-sweep: %6d sats  %6.2fs  %8.0f sats/sec  peak RSS %d bytes\n", n, b-a, n/(b-a), r }'; \
+	done; \
+	rm -f /tmp/cosmicdance-sweep
 
 # Compare the current benchmarks against the pinned baseline; fails on a
 # >10% regression in ns/op or allocs/op (min-of-N runs, GOMAXPROCS pinned
@@ -66,6 +80,8 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzRoundTrip$$' -fuzztime=10s ./internal/tle
 	$(GO) test -run='^$$' -fuzz='^FuzzParseRecord$$' -fuzztime=10s ./internal/dst
 	$(GO) test -run='^$$' -fuzz='^FuzzIndexRoundTrip$$' -fuzztime=10s ./internal/wdc
+	$(GO) test -run='^$$' -fuzz='^FuzzSnapshotRoundTrip$$' -fuzztime=10s ./internal/artifact
+	$(GO) test -run='^$$' -fuzz='^FuzzSegmentRoundTrip$$' -fuzztime=10s ./internal/artifact
 
 # The full verification gate: vet + build + race-tested suite + fuzz seeds.
 verify:

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -87,4 +89,38 @@ func TestLoadTrajectoriesFromTLEFile(t *testing.T) {
 		t.Error("unknown fleet accepted")
 	}
 	_ = time.Now
+}
+
+func TestCmdScale(t *testing.T) {
+	// The subcommand writes the report to stdout; run it against a tiny spec
+	// twice — once in-memory, once through a cache — and require identical
+	// bytes.
+	capture := func(args []string) string {
+		t.Helper()
+		old := os.Stdout
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stdout = w
+		cmdErr := cmdScale(args)
+		w.Close()
+		os.Stdout = old
+		out, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmdErr != nil {
+			t.Fatal(cmdErr)
+		}
+		return string(out)
+	}
+	a := capture([]string{"-sats", "120", "-days", "2", "-seed", "5", "-chunk", "16"})
+	b := capture([]string{"-sats", "120", "-days", "2", "-seed", "5", "-chunk", "64", "-cache", t.TempDir()})
+	if a != b {
+		t.Fatalf("scale reports differ across chunk size and store:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+	if !strings.Contains(a, "satellites 120\n") || !strings.Contains(a, "digest ") {
+		t.Fatalf("unexpected report:\n%s", a)
+	}
 }

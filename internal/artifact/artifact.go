@@ -39,7 +39,10 @@ import (
 // snapshot layout changes or the meaning of any fingerprinted input shifts
 // (e.g. an RNG redesign): the version participates in every fingerprint, so
 // a bump invalidates every existing cache entry at once.
-const SchemaVersion = 1
+// Version history: 2 canonicalized the dataset's raw-altitude order (sorted
+// by IEEE total order instead of ingest order) so chunked and monolithic
+// builds share one byte representation, and introduced KindSegment.
+const SchemaVersion = 2
 
 // Kind identifies which intermediate a snapshot holds.
 type Kind uint16
@@ -53,6 +56,9 @@ const (
 	// KindDataset is a built, cleaned dataset (core.Dataset), with its
 	// weather series embedded so the snapshot is self-contained.
 	KindDataset Kind = 3
+	// KindSegment is one chunk's share of a dataset build (core.ChunkPartial)
+	// — the spillable unit of the chunked streaming pipeline.
+	KindSegment Kind = 4
 )
 
 // String implements fmt.Stringer.
@@ -64,6 +70,8 @@ func (k Kind) String() string {
 		return "archive"
 	case KindDataset:
 		return "dataset"
+	case KindSegment:
+		return "segment"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint16(k))
 	}

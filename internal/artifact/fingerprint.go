@@ -179,3 +179,17 @@ func FingerprintDataset(fleet Fingerprint, cfg core.Config) Fingerprint {
 	// cfg.Parallelism deliberately not hashed.
 	return h.sum()
 }
+
+// FingerprintSegment names one chunk's share of a dataset build: the dataset
+// fingerprint (which already chains weather → fleet → cleaning config) plus
+// the chunk's identity in the partition. Chunk size participates through the
+// bounds, so changing it re-keys every segment — two partitions never share
+// segment entries, which is what keeps a partial cache population safe.
+func FingerprintSegment(dataset Fingerprint, chunk, lo, hi int) Fingerprint {
+	h := newHasher("segment")
+	h.fp(dataset)
+	h.i64(int64(chunk))
+	h.i64(int64(lo))
+	h.i64(int64(hi))
+	return h.sum()
+}

@@ -58,3 +58,38 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzSegmentRoundTrip feeds arbitrary bytes to the segment decoder — the
+// spill/cache unit of the chunked streaming pipeline. Same properties as the
+// snapshot fuzzer: no input may panic, and any accepted input must be
+// canonical (decode → re-encode reproduces it byte for byte, which is what
+// guarantees a damaged spill file can degrade only to a rebuild, never to
+// wrong data).
+func FuzzSegmentRoundTrip(f *testing.F) {
+	w := testWeather(f)
+	res := testArchive(f, w)
+	cfg := core.DefaultConfig()
+	cfg.Parallelism = 1
+	p, err := core.BuildChunkPartial(cfg, res.Samples)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(encodeSegmentBytes(f, 0, p))
+	f.Add(encodeSegmentBytes(f, 3, tinyPartial()))
+	f.Add([]byte{})
+	f.Add([]byte("CDAS"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		chunk, got, err := DecodeSegment(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := EncodeSegment(&buf, chunk, got); err != nil {
+			t.Fatalf("re-encode segment: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data) {
+			t.Fatal("accepted segment snapshot is not canonical")
+		}
+	})
+}

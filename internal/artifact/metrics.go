@@ -22,8 +22,8 @@ var (
 
 // kindCounters registers one counter per snapshot kind.
 func kindCounters(name string) map[Kind]*obs.Counter {
-	m := make(map[Kind]*obs.Counter, 3)
-	for _, k := range []Kind{KindWeather, KindArchive, KindDataset} {
+	m := make(map[Kind]*obs.Counter, 4)
+	for _, k := range []Kind{KindWeather, KindArchive, KindDataset, KindSegment} {
 		m[k] = obs.Default().Counter(name, "kind", k.String())
 	}
 	return m

@@ -1,0 +1,155 @@
+package artifact
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"cosmicdance/internal/core"
+)
+
+// testPartial builds a real chunk partial from the shared archive fixture —
+// the same cleaning path the chunked pipeline spills.
+func testPartial(t testing.TB) *core.ChunkPartial {
+	t.Helper()
+	w := testWeather(t)
+	res := testArchive(t, w)
+	cfg := core.DefaultConfig()
+	cfg.Parallelism = 1
+	p, err := core.BuildChunkPartial(cfg, res.Samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Tracks) == 0 {
+		t.Fatal("fixture partial has no tracks")
+	}
+	return p
+}
+
+// tinyPartial is a hand-built partial small enough for the exhaustive
+// byte-flip sweep.
+func tinyPartial() *core.ChunkPartial {
+	return &core.ChunkPartial{
+		Tracks: []*core.Track{
+			{
+				Catalog: 100,
+				Points: []core.TrackPoint{
+					{Epoch: 1000, AltKm: 549.5, BStar: 1e-4, Incl: 53},
+					{Epoch: 2000, AltKm: 549.1, BStar: 1.1e-4, Incl: 53},
+				},
+				OperationalAltKm: 550,
+				RaisingRemoved:   1,
+			},
+			{
+				Catalog:          205,
+				Points:           []core.TrackPoint{{Epoch: 1500, AltKm: 610.2, BStar: 2e-4, Incl: 42}},
+				OperationalAltKm: 610,
+			},
+		},
+		RawAlts: []float64{120.5, 549.5, 549.5, 610.2},
+		Stats: core.CleaningStats{
+			TotalObservations: 5,
+			GrossErrors:       1,
+			RaisingRemoved:    1,
+			NonOperational:    1,
+			Duplicates:        1,
+		},
+	}
+}
+
+func encodeSegmentBytes(t testing.TB, chunk int, p *core.ChunkPartial) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeSegment(&buf, chunk, p); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	for _, p := range []*core.ChunkPartial{tinyPartial(), testPartial(t)} {
+		enc := encodeSegmentBytes(t, 7, p)
+		chunk, got, err := DecodeSegment(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chunk != 7 {
+			t.Fatalf("chunk index %d, want 7", chunk)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Fatal("partial changed across the round trip")
+		}
+		// Canonical form: re-encoding the decoded partial is byte-identical.
+		if !bytes.Equal(enc, encodeSegmentBytes(t, chunk, got)) {
+			t.Fatal("re-encoding the decoded segment produced different bytes")
+		}
+	}
+}
+
+// TestSegmentEveryByteFlipFailsClosed corrupts each byte of a small segment
+// in turn; every flip must fail decoding with ErrCorrupt or ErrVersionSkew —
+// never a panic, never silently wrong data.
+func TestSegmentEveryByteFlipFailsClosed(t *testing.T) {
+	enc := encodeSegmentBytes(t, 0, tinyPartial())
+	for i := range enc {
+		bad := bytes.Clone(enc)
+		bad[i] ^= 0x5a
+		_, _, err := DecodeSegment(bytes.NewReader(bad))
+		if err == nil {
+			t.Fatalf("flip at byte %d/%d decoded successfully", i, len(enc))
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersionSkew) {
+			t.Fatalf("flip at byte %d: unexpected error class: %v", i, err)
+		}
+	}
+}
+
+func TestSegmentTruncationFailsClosed(t *testing.T) {
+	enc := encodeSegmentBytes(t, 2, testPartial(t))
+	for _, n := range []int{0, 1, 4, 11, 12, len(enc) / 2, len(enc) - 1} {
+		if _, _, err := DecodeSegment(bytes.NewReader(enc[:n])); err == nil {
+			t.Fatalf("segment truncated to %d bytes decoded successfully", n)
+		}
+	}
+	// Trailing garbage is corruption too: a snapshot is exactly framed.
+	if _, _, err := DecodeSegment(bytes.NewReader(append(bytes.Clone(enc), 0))); err == nil {
+		t.Fatal("segment with trailing garbage decoded successfully")
+	}
+	// A segment must not decode as another kind, nor another kind as a segment.
+	if err := decodeAny(KindWeather, enc); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("segment decoded as weather: %v", err)
+	}
+	w := testWeather(t)
+	if _, _, err := DecodeSegment(bytes.NewReader(encodeWeatherBytes(t, w))); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("weather decoded as segment: %v", err)
+	}
+}
+
+// TestSegmentNonCanonicalRejected encodes partials that violate the
+// assembler's invariants; the decoder must refuse each one so a forged or
+// damaged segment can never smuggle a non-canonical partial into a build.
+func TestSegmentNonCanonicalRejected(t *testing.T) {
+	cases := map[string]func(p *core.ChunkPartial){
+		"tracks out of catalog order": func(p *core.ChunkPartial) {
+			p.Tracks[0], p.Tracks[1] = p.Tracks[1], p.Tracks[0]
+		},
+		"duplicate catalog": func(p *core.ChunkPartial) {
+			p.Tracks[1].Catalog = p.Tracks[0].Catalog
+		},
+		"empty track": func(p *core.ChunkPartial) {
+			p.Tracks[1].Points = nil
+		},
+		"raw altitudes out of canonical order": func(p *core.ChunkPartial) {
+			p.RawAlts[0], p.RawAlts[1] = p.RawAlts[1], p.RawAlts[0]
+		},
+	}
+	for name, mutate := range cases {
+		p := tinyPartial()
+		mutate(p)
+		enc := encodeSegmentBytes(t, 0, p)
+		if _, _, err := DecodeSegment(bytes.NewReader(enc)); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: got %v, want ErrCorrupt", name, err)
+		}
+	}
+}

@@ -134,6 +134,55 @@ func May2024Fleet(seed int64) Config {
 	return cfg
 }
 
+// StarlinkGen2Shells returns the Starlink Gen2 shells from the Dec 2022 FCC
+// grant: lower, denser shells than Gen1, carrying the bulk of the planned
+// ~30k-satellite second generation.
+func StarlinkGen2Shells() []Shell {
+	return []Shell{
+		{Name: "gen2-525", AltitudeKm: 525, Inclination: 53.0, Planes: 28, SatsPerPlane: 120},
+		{Name: "gen2-530", AltitudeKm: 530, Inclination: 43.0, Planes: 28, SatsPerPlane: 120},
+		{Name: "gen2-535", AltitudeKm: 535, Inclination: 33.0, Planes: 28, SatsPerPlane: 120},
+	}
+}
+
+// KuiperShells returns Amazon Kuiper's three shells per the 2020 FCC grant
+// (3,236 satellites between 590 and 630 km).
+func KuiperShells() []Shell {
+	return []Shell{
+		{Name: "kuiper-590", AltitudeKm: 590, Inclination: 33.0, Planes: 28, SatsPerPlane: 28},
+		{Name: "kuiper-610", AltitudeKm: 610, Inclination: 42.0, Planes: 36, SatsPerPlane: 36},
+		{Name: "kuiper-630", AltitudeKm: 630, Inclination: 51.9, Planes: 34, SatsPerPlane: 34},
+	}
+}
+
+// MegaShells composes the multi-constellation shell set the scale-out work
+// targets: Starlink Gen1 + Gen2, Kuiper, and OneWeb in one fleet spec. The
+// initial fleet round-robins across the twelve shells, so every constellation
+// is populated at every fleet size.
+func MegaShells() []Shell {
+	shells := StarlinkShells()
+	shells = append(shells, StarlinkGen2Shells()...)
+	shells = append(shells, KuiperShells()...)
+	shells = append(shells, OneWebShells()...)
+	return shells
+}
+
+// MegaFleet returns a sats-satellite multi-constellation configuration over
+// days simulated days: the whole fleet is seeded on station across the
+// MegaShells set, with random decommissioning disabled so runs of different
+// lengths stay comparable. This is the preset behind the 6k/30k/100k scale
+// sweep and the chunk-equivalence matrix.
+func MegaFleet(seed int64, sats int, start time.Time, days int) Config {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.Start = start
+	cfg.Hours = days * 24
+	cfg.Shells = MegaShells()
+	cfg.InitialFleet = sats
+	cfg.DecommissionPerYear = 0
+	return cfg
+}
+
 // ResearchFleet returns a reduced configuration for tests and examples:
 // batches of size batch every 20 days over the window, no scripted events.
 func ResearchFleet(seed int64, start, end time.Time, batch int) Config {

@@ -123,14 +123,8 @@ type Result struct {
 // worker count and every goroutine schedule: determinism is a property of
 // the decomposition, not of the scheduler.
 func Run(cfg Config, weather *dst.Index) (*Result, error) {
-	if cfg.Hours <= 0 {
-		return nil, fmt.Errorf("constellation: Hours must be positive, got %d", cfg.Hours)
-	}
-	if len(cfg.Shells) == 0 {
-		return nil, fmt.Errorf("constellation: no shells configured")
-	}
-	if cfg.MeanTLEIntervalHours <= 0 {
-		return nil, fmt.Errorf("constellation: MeanTLEIntervalHours must be positive")
+	if err := validateConfig(cfg); err != nil {
+		return nil, err
 	}
 	start := cfg.Start.UTC().Truncate(time.Hour)
 
@@ -185,6 +179,20 @@ func Run(cfg Config, weather *dst.Index) (*Result, error) {
 	return st.result, nil
 }
 
+// validateConfig is the shared precondition check for Run and PlanChunks.
+func validateConfig(cfg Config) error {
+	if cfg.Hours <= 0 {
+		return fmt.Errorf("constellation: Hours must be positive, got %d", cfg.Hours)
+	}
+	if len(cfg.Shells) == 0 {
+		return fmt.Errorf("constellation: no shells configured")
+	}
+	if cfg.MeanTLEIntervalHours <= 0 {
+		return fmt.Errorf("constellation: MeanTLEIntervalHours must be positive")
+	}
+	return nil
+}
+
 // childSeed derives a satellite's RNG stream seed from the run seed and its
 // catalog number via a splitmix64-style mix. The catalog number — not the
 // creation order or a shared stream — is the sole per-satellite input, which
@@ -224,44 +232,67 @@ type simState struct {
 // seedInitialFleet creates cfg.InitialFleet satellites already on station.
 func (st *simState) seedInitialFleet() {
 	for i := 0; i < st.cfg.InitialFleet; i++ {
-		shellIdx := i % len(st.cfg.Shells)
-		shell := st.cfg.Shells[shellIdx]
-		s := st.newSat(shellIdx, st.start, st.cfg.StagingAltKm)
-		// Stagger ages so decommissioning is spread out. The age draw comes
-		// after newSat so it rides the satellite's own stream, but the launch
-		// time and lifespan must reflect it.
-		age := time.Duration(s.rng.Float64() * 3 * 365 * 24 * float64(time.Hour))
-		s.info.LaunchedAt = st.start.Add(-age)
-		s.lifespanEnd = s.info.LaunchedAt.Add(time.Duration(st.cfg.LifespanYears * 365.25 * 24 * float64(time.Hour)))
-		s.phase = PhaseOperational
-		s.altKm = shell.AltitudeKm - s.rng.Float64()*st.cfg.DeadbandKm
-		s.nextSample = st.start.Add(time.Duration(s.rng.Float64()*st.cfg.MeanTLEIntervalHours) * time.Hour)
-		st.sats = append(st.sats, s)
+		st.seedInitialSat(i)
 	}
+}
+
+// seedInitialSat creates the i-th initial-fleet satellite (i is the global
+// initial-fleet ordinal, which fixes the shell assignment). The chunked
+// runner calls this for exactly the ordinals its chunk owns, so the creation
+// draws replay identically in both paths.
+func (st *simState) seedInitialSat(i int) {
+	shellIdx := i % len(st.cfg.Shells)
+	shell := st.cfg.Shells[shellIdx]
+	s := st.newSat(shellIdx, st.start, st.cfg.StagingAltKm)
+	// Stagger ages so decommissioning is spread out. The age draw comes
+	// after newSat so it rides the satellite's own stream, but the launch
+	// time and lifespan must reflect it.
+	age := time.Duration(s.rng.Float64() * 3 * 365 * 24 * float64(time.Hour))
+	s.info.LaunchedAt = st.start.Add(-age)
+	s.lifespanEnd = s.info.LaunchedAt.Add(time.Duration(st.cfg.LifespanYears * 365.25 * 24 * float64(time.Hour)))
+	s.phase = PhaseOperational
+	s.altKm = shell.AltitudeKm - s.rng.Float64()*st.cfg.DeadbandKm
+	s.nextSample = st.start.Add(time.Duration(s.rng.Float64()*st.cfg.MeanTLEIntervalHours) * time.Hour)
+	st.sats = append(st.sats, s)
+}
+
+// resolveLaunch applies the zero-means-default rules a Launch carries. Both
+// Run and the chunk planner resolve through this one function so the two
+// paths can never drift.
+func resolveLaunch(cfg *Config, l Launch) (shellIdx int, stagingAlt, stagingDays float64) {
+	stagingAlt = l.StagingAltKm
+	if stagingAlt == 0 {
+		stagingAlt = cfg.StagingAltKm
+	}
+	shellIdx = l.Shell
+	if shellIdx < 0 || shellIdx >= len(cfg.Shells) {
+		shellIdx = 0
+	}
+	stagingDays = l.StagingDays
+	if stagingDays == 0 {
+		stagingDays = cfg.StagingDays
+	}
+	return shellIdx, stagingAlt, stagingDays
 }
 
 // launch inserts one batch at the staging orbit.
 func (st *simState) launch(l Launch, now time.Time) {
-	stagingAlt := l.StagingAltKm
-	if stagingAlt == 0 {
-		stagingAlt = st.cfg.StagingAltKm
-	}
-	shellIdx := l.Shell
-	if shellIdx < 0 || shellIdx >= len(st.cfg.Shells) {
-		shellIdx = 0
-	}
-	stagingDays := l.StagingDays
-	if stagingDays == 0 {
-		stagingDays = st.cfg.StagingDays
-	}
+	shellIdx, stagingAlt, stagingDays := resolveLaunch(&st.cfg, l)
 	for i := 0; i < l.Count; i++ {
-		s := st.newSat(shellIdx, now, stagingAlt)
-		s.phase = PhaseStaging
-		s.altKm = stagingAlt
-		s.stagedUntil = now.Add(time.Duration(stagingDays*24) * time.Hour)
-		s.nextSample = now.Add(time.Duration(s.rng.Float64()*st.cfg.MeanTLEIntervalHours) * time.Hour)
-		st.sats = append(st.sats, s)
+		st.launchSat(shellIdx, stagingAlt, stagingDays, now)
 	}
+}
+
+// launchSat creates one launched satellite at the staging orbit with
+// already-resolved batch parameters — the per-satellite creation unit shared
+// by Run and the chunked runner.
+func (st *simState) launchSat(shellIdx int, stagingAlt, stagingDays float64, now time.Time) {
+	s := st.newSat(shellIdx, now, stagingAlt)
+	s.phase = PhaseStaging
+	s.altKm = stagingAlt
+	s.stagedUntil = now.Add(time.Duration(stagingDays*24) * time.Hour)
+	s.nextSample = now.Add(time.Duration(s.rng.Float64()*st.cfg.MeanTLEIntervalHours) * time.Hour)
+	st.sats = append(st.sats, s)
 }
 
 // newSat builds a satellite with randomized plane geometry and drag factor.

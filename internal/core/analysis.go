@@ -26,8 +26,15 @@ func (e Event) Epoch() time.Time { return e.Storm.Start }
 // maxHours] (maxHours <= 0 means unbounded) — the event-selection knobs Figs
 // 5 and 6 sweep.
 func (d *Dataset) Events(maxPeak units.NanoTesla, minHours, maxHours int) []Event {
+	return WeatherEvents(d.weather, maxPeak, minHours, maxHours)
+}
+
+// WeatherEvents is Events without a materialized Dataset — event selection
+// depends only on the weather, which is what lets the chunked streaming
+// pipeline pick its events once and analyse tracks chunk by chunk.
+func WeatherEvents(weather *dst.Index, maxPeak units.NanoTesla, minHours, maxHours int) []Event {
 	var out []Event
-	for _, s := range d.weather.Storms(units.StormThreshold) {
+	for _, s := range weather.Storms(units.StormThreshold) {
 		if s.Peak > maxPeak {
 			continue
 		}
@@ -45,14 +52,20 @@ func (d *Dataset) Events(maxPeak units.NanoTesla, minHours, maxHours int) []Even
 // EventsAbovePercentile selects storms whose peak intensity exceeds the
 // dataset's p-th intensity percentile (e.g. 95 for Fig 5b, 99 for Fig 6).
 func (d *Dataset) EventsAbovePercentile(p float64, minHours, maxHours int) ([]Event, error) {
-	threshold, err := d.weather.IntensityPercentile(p)
+	return WeatherEventsAbovePercentile(d.weather, p, minHours, maxHours)
+}
+
+// WeatherEventsAbovePercentile is EventsAbovePercentile without a
+// materialized Dataset.
+func WeatherEventsAbovePercentile(weather *dst.Index, p float64, minHours, maxHours int) ([]Event, error) {
+	threshold, err := weather.IntensityPercentile(p)
 	if err != nil {
 		return nil, err
 	}
 	if threshold > units.StormThreshold {
 		threshold = units.StormThreshold
 	}
-	return d.Events(threshold, minHours, maxHours), nil
+	return WeatherEvents(weather, threshold, minHours, maxHours), nil
 }
 
 // QuietEpochs returns up to count instants, spaced at least spacing apart,
@@ -327,13 +340,23 @@ func (d *Dataset) Associate(events []Event, windowDays int) []Deviation {
 // associatePair evaluates one (event, track) pair — the unit of work the
 // Associate fan-out distributes.
 func (d *Dataset) associatePair(ev Event, tr *Track, windowDays int) (Deviation, bool) {
+	return AssociateTrack(d.cfg, ev, tr, windowDays)
+}
+
+// AssociateTrack evaluates one (event, track) pair without a materialized
+// Dataset — association touches only the track, the event, and the config,
+// which is what lets the chunked streaming pipeline associate each chunk's
+// tracks as they arrive. Results across chunks, taken in (event, track)
+// order per chunk and track-major across chunks, reproduce Associate's
+// ordering per track.
+func AssociateTrack(cfg Config, ev Event, tr *Track, windowDays int) (Deviation, bool) {
 	epoch := ev.Epoch()
 	end := epoch.Add(time.Duration(windowDays) * 24 * time.Hour)
 	base, ok := tr.At(epoch)
-	if !ok || epoch.Sub(base.Time()) > d.cfg.BaselineStaleness {
+	if !ok || epoch.Sub(base.Time()) > cfg.BaselineStaleness {
 		return Deviation{}, false
 	}
-	if math.Abs(float64(base.AltKm)-tr.OperationalAltKm) > d.cfg.DecayFilterKm {
+	if math.Abs(float64(base.AltKm)-tr.OperationalAltKm) > cfg.DecayFilterKm {
 		return Deviation{}, false // already decaying before the event
 	}
 	pts := tr.Window(epoch, end)

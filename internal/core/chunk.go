@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"cosmicdance/internal/constellation"
+	"cosmicdance/internal/dst"
+)
+
+// Chunked dataset builds: a fleet too large to clean in one pass is built as
+// a sequence of ChunkPartials — one per satellite chunk, each covering a
+// contiguous catalog range — and folded back together by a PartialAssembler.
+// Build itself is one partial fed through the same assembler, so the chunked
+// and monolithic paths share every line of cleaning logic and produce
+// identical datasets by construction. Partials are self-contained value
+// bags (no weather, no config) precisely so they can be spilled to disk via
+// the artifact segment codec and re-read later.
+
+// ChunkPartial is one chunk's share of a dataset build: the cleaned tracks
+// for its catalog range plus the cleaning-funnel bookkeeping. CleanAlts are
+// not carried — they are exactly the surviving track points' altitudes in
+// track order, and the assembler rederives them.
+type ChunkPartial struct {
+	// Tracks are the chunk's cleaned tracks, catalog-ascending.
+	Tracks []*Track
+	// RawAlts are every ingested altitude (gross errors included) in
+	// canonical total order (see canonicalizeRawAlts).
+	RawAlts []float64
+	// Stats is the chunk's share of the cleaning funnel.
+	Stats CleaningStats
+}
+
+// BuildChunkPartial cleans one chunk's samples into a spillable partial.
+// The samples must cover a contiguous catalog range so partials can later be
+// assembled in catalog order.
+func BuildChunkPartial(cfg Config, samples []constellation.Sample) (*ChunkPartial, error) {
+	b := Builder{cfg: cfg}
+	b.AddSamples(samples)
+	return buildPartial(cfg, b.obs)
+}
+
+// canonicalizeRawAlts sorts raw altitudes into the canonical dataset order:
+// ascending by the IEEE-754 total order (sign-magnitude bit key), which is a
+// total order even in the presence of NaNs and signed zeros. Ingest order is
+// a chunking artifact — two decompositions of the same archive ingest the
+// same multiset of altitudes in different orders — so the dataset stores the
+// order-free canonical form and stays byte-identical across decompositions.
+// Every consumer (the Fig 10 CDFs) sorts numerically anyway.
+func canonicalizeRawAlts(alts []float64) {
+	slices.SortFunc(alts, func(a, b float64) int {
+		ka, kb := f64OrderKey(a), f64OrderKey(b)
+		switch {
+		case ka < kb:
+			return -1
+		case ka > kb:
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+// f64OrderKey maps a float64 to a uint64 whose unsigned order is the IEEE
+// total order: negative values (sign bit set) flip entirely, non-negative
+// values set the top bit.
+func f64OrderKey(v float64) uint64 {
+	b := math.Float64bits(v)
+	if b>>63 == 1 {
+		return ^b
+	}
+	return b | 1<<63
+}
+
+// rawAltsCanonical reports whether alts is in canonical order — the segment
+// decoder's cheap structural check that guarantees canonical re-encode.
+func rawAltsCanonical(alts []float64) bool {
+	for i := 1; i < len(alts); i++ {
+		if f64OrderKey(alts[i-1]) > f64OrderKey(alts[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// PartialAssembler folds ChunkPartials, added in catalog order, into one
+// Dataset. It holds the already-cleaned tracks — the O(fleet) product — but
+// never the raw observations, so the peak working set of a chunked build is
+// O(chunk) above the final dataset size.
+type PartialAssembler struct {
+	cfg     Config
+	weather *dst.Index
+	tracks  []*Track
+	rawAlts []float64
+	stats   CleaningStats
+	lastCat int
+}
+
+// NewPartialAssembler starts an assembly with the given parameters and solar
+// activity index.
+func NewPartialAssembler(cfg Config, weather *dst.Index) *PartialAssembler {
+	return &PartialAssembler{cfg: cfg, weather: weather}
+}
+
+// Add folds one partial in. Partials must arrive in catalog order (chunk
+// order) with disjoint catalog ranges — exactly how the chunk planner slices
+// a fleet.
+func (a *PartialAssembler) Add(p *ChunkPartial) error {
+	if len(p.Tracks) > 0 {
+		first := p.Tracks[0].Catalog
+		if len(a.tracks) > 0 && first <= a.lastCat {
+			return fmt.Errorf("core: partial out of order: catalog %d after %d", first, a.lastCat)
+		}
+		a.lastCat = p.Tracks[len(p.Tracks)-1].Catalog
+	}
+	a.tracks = append(a.tracks, p.Tracks...)
+	a.rawAlts = append(a.rawAlts, p.RawAlts...)
+	a.stats.TotalObservations += p.Stats.TotalObservations
+	a.stats.GrossErrors += p.Stats.GrossErrors
+	a.stats.RaisingRemoved += p.Stats.RaisingRemoved
+	a.stats.NonOperational += p.Stats.NonOperational
+	a.stats.Duplicates += p.Stats.Duplicates
+	return nil
+}
+
+// Finish validates and seals the assembly into a Dataset. The result is
+// identical to Build over the concatenated observations.
+func (a *PartialAssembler) Finish() (*Dataset, error) {
+	if a.weather == nil || a.weather.Len() == 0 {
+		return nil, fmt.Errorf("core: no solar activity data")
+	}
+	if a.stats.TotalObservations == 0 {
+		return nil, fmt.Errorf("core: no trajectory observations")
+	}
+	if len(a.tracks) == 0 {
+		return nil, fmt.Errorf("core: no operational tracks survived cleaning")
+	}
+	// Per-partial RawAlts are canonical; the concatenation of sorted runs
+	// needs one more pass to be globally canonical.
+	canonicalizeRawAlts(a.rawAlts)
+
+	d := &Dataset{
+		cfg:     a.cfg,
+		weather: a.weather,
+		tracks:  a.tracks,
+		byCat:   make(map[int]*Track, len(a.tracks)),
+		rawAlts: a.rawAlts,
+		stats:   a.stats,
+	}
+	nClean := 0
+	for _, tr := range a.tracks {
+		nClean += len(tr.Points)
+	}
+	d.cleanAlts = make([]float64, 0, nClean)
+	for _, tr := range a.tracks {
+		d.byCat[tr.Catalog] = tr
+		for _, p := range tr.Points {
+			d.cleanAlts = append(d.cleanAlts, float64(p.AltKm))
+		}
+	}
+	metricBuilds.Inc()
+	metricObservations.Add(int64(d.stats.TotalObservations))
+	metricGrossErrors.Add(int64(d.stats.GrossErrors))
+	metricDuplicates.Add(int64(d.stats.Duplicates))
+	metricRaising.Add(int64(d.stats.RaisingRemoved))
+	metricNonOp.Add(int64(d.stats.NonOperational))
+	metricTracks.Add(int64(len(d.tracks)))
+	return d, nil
+}

@@ -44,8 +44,9 @@ type Dataset struct {
 	weather *dst.Index
 	tracks  []*Track
 	byCat   map[int]*Track
-	// rawAlts holds every ingested altitude before cleaning (Fig 10a);
-	// cleanAlts holds the altitudes that survived (Fig 10b).
+	// rawAlts holds every ingested altitude before cleaning (Fig 10a) in
+	// canonical total order (see canonicalizeRawAlts); cleanAlts holds the
+	// altitudes that survived (Fig 10b), in track order.
 	rawAlts   []float64
 	cleanAlts []float64
 	stats     CleaningStats
@@ -118,13 +119,27 @@ func (b *Builder) Build() (*Dataset, error) {
 	if len(b.obs) == 0 {
 		return nil, fmt.Errorf("core: no trajectory observations")
 	}
-	d := &Dataset{
-		cfg:     b.cfg,
-		weather: b.weather,
-		byCat:   make(map[int]*Track),
+	// The monolithic build is the chunked build with one chunk: one partial
+	// over all observations, folded through the same assembler. Sharing the
+	// path is what makes chunked-vs-unchunked equivalence structural rather
+	// than coincidental.
+	p, err := buildPartial(b.cfg, b.obs)
+	if err != nil {
+		return nil, err
 	}
-	d.stats.TotalObservations = len(b.obs)
-	d.rawAlts = make([]float64, 0, len(b.obs))
+	a := NewPartialAssembler(b.cfg, b.weather)
+	if err := a.Add(p); err != nil {
+		return nil, err
+	}
+	return a.Finish()
+}
+
+// buildPartial is the cleaning core shared by Build and BuildChunkPartial:
+// gross-error cut, per-catalog grouping, and the per-track clean fan-out.
+func buildPartial(cfg Config, obs []observation) (*ChunkPartial, error) {
+	p := &ChunkPartial{}
+	p.Stats.TotalObservations = len(obs)
+	p.RawAlts = make([]float64, 0, len(obs))
 
 	// Group by catalog into one flat arena. A counting pass sizes a single
 	// backing slice and per-catalog windows into it, replacing the old
@@ -134,15 +149,16 @@ func (b *Builder) Build() (*Dataset, error) {
 	// the same as the map version.
 	counts := make(map[int]int)
 	valid := 0
-	for _, o := range b.obs {
-		d.rawAlts = append(d.rawAlts, o.altKm)
-		if o.altKm > b.cfg.MaxValidAltKm || o.altKm < b.cfg.MinValidAltKm {
-			d.stats.GrossErrors++
+	for _, o := range obs {
+		p.RawAlts = append(p.RawAlts, o.altKm)
+		if o.altKm > cfg.MaxValidAltKm || o.altKm < cfg.MinValidAltKm {
+			p.Stats.GrossErrors++
 			continue
 		}
 		counts[o.catalog]++
 		valid++
 	}
+	canonicalizeRawAlts(p.RawAlts)
 
 	cats := make([]int, 0, len(counts))
 	for c := range counts {
@@ -158,8 +174,8 @@ func (b *Builder) Build() (*Dataset, error) {
 		off += counts[c]
 	}
 	byCat := make(map[int][]observation, len(cats))
-	for _, o := range b.obs {
-		if o.altKm > b.cfg.MaxValidAltKm || o.altKm < b.cfg.MinValidAltKm {
+	for _, o := range obs {
+		if o.altKm > cfg.MaxValidAltKm || o.altKm < cfg.MinValidAltKm {
 			continue
 		}
 		i := cursor[o.catalog]
@@ -175,9 +191,9 @@ func (b *Builder) Build() (*Dataset, error) {
 	// Per-track parse/clean/dedupe fan-out: every catalog is independent, so
 	// the cleaning pass runs on the worker pool and the results are merged
 	// below in catalog order — the output is identical at every width.
-	cleaned, err := parallel.Map(context.Background(), b.cfg.Parallelism, len(cats),
+	cleaned, err := parallel.Map(context.Background(), cfg.Parallelism, len(cats),
 		func(i int) (trackResult, error) {
-			return cleanTrack(cats[i], byCat[cats[i]], b.cfg), nil
+			return cleanTrack(cats[i], byCat[cats[i]], cfg), nil
 		})
 	if err != nil {
 		return nil, err
@@ -185,39 +201,23 @@ func (b *Builder) Build() (*Dataset, error) {
 
 	// Order-stable merge: catalog-ascending, exactly as the sequential loop
 	// appended. Sized up front so the merge itself never reallocates.
-	nTracks, nClean := 0, 0
+	nTracks := 0
 	for _, res := range cleaned {
 		if res.track != nil {
 			nTracks++
-			nClean += len(res.track.Points)
 		}
 	}
-	d.tracks = make([]*Track, 0, nTracks)
-	d.cleanAlts = make([]float64, 0, nClean)
+	p.Tracks = make([]*Track, 0, nTracks)
 	for _, res := range cleaned {
-		d.stats.Duplicates += res.duplicates
+		p.Stats.Duplicates += res.duplicates
 		if res.track == nil {
-			d.stats.NonOperational++
+			p.Stats.NonOperational++
 			continue
 		}
-		d.stats.RaisingRemoved += res.track.RaisingRemoved
-		d.tracks = append(d.tracks, res.track)
-		d.byCat[res.track.Catalog] = res.track
-		for _, p := range res.track.Points {
-			d.cleanAlts = append(d.cleanAlts, float64(p.AltKm))
-		}
+		p.Stats.RaisingRemoved += res.track.RaisingRemoved
+		p.Tracks = append(p.Tracks, res.track)
 	}
-	if len(d.tracks) == 0 {
-		return nil, fmt.Errorf("core: no operational tracks survived cleaning")
-	}
-	metricBuilds.Inc()
-	metricObservations.Add(int64(d.stats.TotalObservations))
-	metricGrossErrors.Add(int64(d.stats.GrossErrors))
-	metricDuplicates.Add(int64(d.stats.Duplicates))
-	metricRaising.Add(int64(d.stats.RaisingRemoved))
-	metricNonOp.Add(int64(d.stats.NonOperational))
-	metricTracks.Add(int64(len(d.tracks)))
-	return d, nil
+	return p, nil
 }
 
 // trackResult is one catalog's cleaning outcome: a track, or nil when the

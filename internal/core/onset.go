@@ -25,35 +25,44 @@ type DecayOnset struct {
 func (d *Dataset) DecayOnsets(minDropKm float64) []DecayOnset {
 	var out []DecayOnset
 	for _, tr := range d.tracks {
-		onStation := tr.OperationalAltKm - d.cfg.DecayFilterKm
-		// Find the last point still on station.
-		last := -1
-		for i, p := range tr.Points {
-			if float64(p.AltKm) >= onStation {
-				last = i
-			}
+		if on, ok := TrackDecayOnset(tr, d.cfg.DecayFilterKm, minDropKm); ok {
+			out = append(out, on)
 		}
-		if last < 0 || last == len(tr.Points)-1 {
-			continue // never on station, or never left it
-		}
-		tail := tr.Points[last:]
-		final := tail[len(tail)-1]
-		drop := tr.OperationalAltKm - float64(final.AltKm)
-		if drop < minDropKm {
-			continue // station-keeping scale wobble, not a decay
-		}
-		days := float64(final.Epoch-tail[0].Epoch) / 86400
-		if days <= 0 {
-			continue
-		}
-		out = append(out, DecayOnset{
-			Catalog:      tr.Catalog,
-			At:           tail[0].Time(),
-			RateKmPerDay: drop / days,
-			DropKm:       drop,
-		})
 	}
 	return out
+}
+
+// TrackDecayOnset runs the decay-onset detection on a single track — onset
+// detection is purely per-track, which is what lets the chunked streaming
+// pipeline detect onsets chunk by chunk without a materialized Dataset.
+func TrackDecayOnset(tr *Track, decayFilterKm, minDropKm float64) (DecayOnset, bool) {
+	onStation := tr.OperationalAltKm - decayFilterKm
+	// Find the last point still on station.
+	last := -1
+	for i, p := range tr.Points {
+		if float64(p.AltKm) >= onStation {
+			last = i
+		}
+	}
+	if last < 0 || last == len(tr.Points)-1 {
+		return DecayOnset{}, false // never on station, or never left it
+	}
+	tail := tr.Points[last:]
+	final := tail[len(tail)-1]
+	drop := tr.OperationalAltKm - float64(final.AltKm)
+	if drop < minDropKm {
+		return DecayOnset{}, false // station-keeping scale wobble, not a decay
+	}
+	days := float64(final.Epoch-tail[0].Epoch) / 86400
+	if days <= 0 {
+		return DecayOnset{}, false
+	}
+	return DecayOnset{
+		Catalog:      tr.Catalog,
+		At:           tail[0].Time(),
+		RateKmPerDay: drop / days,
+		DropKm:       drop,
+	}, true
 }
 
 // Attribution quantifies the happens-closely-after relationship between

@@ -20,8 +20,8 @@ type DatasetState struct {
 	// Tracks are the cleaned per-satellite tracks, catalog-ascending, as
 	// Build emits them.
 	Tracks []*Track
-	// RawAlts holds every ingested altitude before cleaning, in ingest
-	// order (Fig 10a).
+	// RawAlts holds every ingested altitude before cleaning, in the
+	// canonical total order Build stores (Fig 10a).
 	RawAlts []float64
 	// CleanAlts holds the altitudes that survived cleaning, in track-merge
 	// order (Fig 10b).

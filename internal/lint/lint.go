@@ -74,6 +74,7 @@ var PipelinePackages = []string{
 	"internal/obs",
 	"internal/orbit",
 	"internal/report",
+	"internal/scale",
 	"internal/spaceweather",
 	"internal/stats",
 	"internal/timeseries",

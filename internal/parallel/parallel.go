@@ -199,6 +199,142 @@ func (r *Runner) Flush() {
 	r.tasks = 0
 }
 
+// Stream runs produce(i) for every i in [0, n) across at most workers
+// goroutines and delivers every result, in index order, to consume on the
+// calling goroutine. It is the pipelined counterpart of Map for work too
+// large to materialize: at most workers results are in flight at any moment
+// (claim gating — a worker may only start index i once index i-workers has
+// been consumed), so memory is O(workers), not O(n), while production and
+// consumption overlap.
+//
+// consume always observes indices 0, 1, 2, … with no gaps, exactly as a
+// sequential loop would. Error semantics match ForEach: the first produce
+// error (or *PanicError) wins and cancels the stream, a consume error stops
+// consumption and drains the workers, and every goroutine is joined before
+// Stream returns. With workers == 1 everything runs inline on the calling
+// goroutine.
+func Stream[T any](ctx context.Context, workers, n int, produce func(i int) (T, error), consume func(i int, v T) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	metricBatches.Inc()
+	metricTasks.Add(int64(n))
+	metricWidth.Observe(float64(workers))
+
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			v, err := protectValue(produce, i)
+			if err != nil {
+				return err
+			}
+			if err := consume(i, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Each in-flight index owns slot i%window exclusively: claim gating
+	// guarantees index i is only produced after index i-window was consumed,
+	// so the 1-buffered send below can never block and two producers can
+	// never race on one slot.
+	window := workers
+	slots := make([]chan T, window)
+	for i := range slots {
+		slots[i] = make(chan T, 1)
+	}
+	tokens := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		tokens <- struct{}{}
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tokens:
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				v, err := protectValue(produce, i)
+				if err != nil {
+					fail(err)
+					return
+				}
+				slots[i%window] <- v
+			}
+		}()
+	}
+
+	var consumeErr error
+	parentDone := false
+loop:
+	for i := 0; i < n; i++ {
+		select {
+		case v := <-slots[i%window]:
+			if err := consume(i, v); err != nil {
+				consumeErr = err
+				break loop
+			}
+			tokens <- struct{}{} // never blocks: at most window outstanding
+		case <-ctx.Done():
+			parentDone = true
+			break loop
+		}
+	}
+	cancel()
+	wg.Wait()
+	switch {
+	case consumeErr != nil:
+		return consumeErr
+	case firstErr != nil:
+		return firstErr
+	case parentDone:
+		return context.Cause(ctx)
+	default:
+		return nil
+	}
+}
+
+// protectValue runs fn(i), converting a panic into a *PanicError.
+func protectValue[T any](fn func(int) (T, error), i int) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			metricPanics.Inc()
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
+
 // protect runs fn(i), converting a panic into a *PanicError.
 func protect(fn func(int) error, i int) (err error) {
 	defer func() {

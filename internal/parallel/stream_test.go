@@ -1,0 +1,194 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStreamOrder proves consume sees every index in order at every width,
+// even when production completes out of order.
+func TestStreamOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 16} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 200
+			var got []int
+			err := Stream(context.Background(), workers, n,
+				func(i int) (int, error) {
+					if i%7 == 0 {
+						runtime.Gosched() // perturb completion order
+					}
+					return i * 3, nil
+				},
+				func(i, v int) error {
+					if v != i*3 {
+						t.Errorf("index %d delivered value %d, want %d", i, v, i*3)
+					}
+					got = append(got, i)
+					return nil
+				})
+			if err != nil {
+				t.Fatalf("Stream: %v", err)
+			}
+			if len(got) != n {
+				t.Fatalf("consumed %d indices, want %d", len(got), n)
+			}
+			for i, v := range got {
+				if v != i {
+					t.Fatalf("consumption order broken at %d: got index %d", i, v)
+				}
+			}
+		})
+	}
+}
+
+// TestStreamBoundedInFlight proves claim gating: no more than workers
+// indices are ever in flight (produced but not yet consumed).
+func TestStreamBoundedInFlight(t *testing.T) {
+	const workers, n = 4, 100
+	var inFlight, peak atomic.Int64
+	err := Stream(context.Background(), workers, n,
+		func(i int) (int, error) {
+			v := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if v <= p || peak.CompareAndSwap(p, v) {
+					break
+				}
+			}
+			return i, nil
+		},
+		func(i, v int) error {
+			inFlight.Add(-1)
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak in-flight %d exceeds worker bound %d", p, workers)
+	}
+}
+
+// TestStreamProduceError proves a produce error cancels the stream and is
+// returned, with every worker joined.
+func TestStreamProduceError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		before := runtime.NumGoroutine()
+		var consumed atomic.Int64
+		err := Stream(context.Background(), workers, 1000,
+			func(i int) (int, error) {
+				if i == 17 {
+					return 0, boom
+				}
+				return i, nil
+			},
+			func(i, v int) error {
+				consumed.Add(1)
+				return nil
+			})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, boom)
+		}
+		if c := consumed.Load(); c > 17 {
+			t.Fatalf("workers=%d: consumed %d indices past the failure", workers, c)
+		}
+		waitForGoroutines(t, before)
+	}
+}
+
+// TestStreamConsumeError proves a consume error stops the stream promptly.
+func TestStreamConsumeError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		var produced atomic.Int64
+		err := Stream(context.Background(), workers, 1000,
+			func(i int) (int, error) {
+				produced.Add(1)
+				return i, nil
+			},
+			func(i, v int) error {
+				if i == 5 {
+					return boom
+				}
+				return nil
+			})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, boom)
+		}
+		// Claim gating bounds overproduction to one window past the failure.
+		if p := produced.Load(); p > 5+int64(workers)+1 {
+			t.Fatalf("workers=%d: produced %d items after consume failed at 5", workers, p)
+		}
+	}
+}
+
+// TestStreamPanic proves a producer panic surfaces as *PanicError.
+func TestStreamPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := Stream(context.Background(), workers, 50,
+			func(i int) (int, error) {
+				if i == 3 {
+					panic("kaboom")
+				}
+				return i, nil
+			},
+			func(i, v int) error { return nil })
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Value != "kaboom" {
+			t.Fatalf("panic value = %v", pe.Value)
+		}
+	}
+}
+
+// TestStreamCancel proves context cancellation mid-stream returns the
+// context error and leaks nothing.
+func TestStreamCancel(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	err := Stream(ctx, 4, 10000,
+		func(i int) (int, error) { return i, nil },
+		func(i, v int) error {
+			if i == 20 {
+				cancel()
+			}
+			return nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	waitForGoroutines(t, before)
+}
+
+// TestStreamEmpty proves n <= 0 is a no-op returning the context state.
+func TestStreamEmpty(t *testing.T) {
+	called := false
+	err := Stream(context.Background(), 4, 0,
+		func(i int) (int, error) { called = true; return 0, nil },
+		func(i, v int) error { called = true; return nil })
+	if err != nil || called {
+		t.Fatalf("empty stream: err=%v called=%v", err, called)
+	}
+}
+
+// waitForGoroutines polls until the goroutine count returns to (near) the
+// baseline, failing the test if it never does.
+func waitForGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}

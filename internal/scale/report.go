@@ -1,0 +1,69 @@
+package scale
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders the report as stable key-value lines. The output names
+// only the (Sats, Days, Seed) inputs and the reduced results — never the
+// chunk size, worker width, or segment store — so the verify gate can diff
+// the stdout of two differently-chunked runs byte for byte.
+func (r *Report) WriteText(w io.Writer) error {
+	lines := []string{
+		fmt.Sprintf("satellites %d", r.Sats),
+		fmt.Sprintf("days %d", r.Days),
+		fmt.Sprintf("seed %d", r.Seed),
+		fmt.Sprintf("tracks %d", r.Tracks),
+		fmt.Sprintf("points %d", r.Points),
+		fmt.Sprintf("observations %d", r.Stats.TotalObservations),
+		fmt.Sprintf("gross-errors %d", r.Stats.GrossErrors),
+		fmt.Sprintf("raising-removed %d", r.Stats.RaisingRemoved),
+		fmt.Sprintf("non-operational %d", r.Stats.NonOperational),
+		fmt.Sprintf("duplicates %d", r.Stats.Duplicates),
+		fmt.Sprintf("raw-altitudes %d sum %016x min %.6f max %.6f", r.RawCount, r.RawSumBits, r.RawMin, r.RawMax),
+		fmt.Sprintf("events %d", r.Events),
+		fmt.Sprintf("deviations %d max-dev-km %.6f", r.Deviations, r.MaxDevKm),
+		fmt.Sprintf("onsets %d max-drop-km %.6f", r.Onsets, r.MaxDropKm),
+		fmt.Sprintf("digest %s", r.Digest),
+	}
+	for _, line := range lines {
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PeakRSSBytes reports the process's peak resident set size (VmHWM from
+// /proc/self/status) — the number the scale sweep gates on to prove memory
+// stays flat from 30k to 100k satellites. Returns false where the proc
+// interface is unavailable.
+func PeakRSSBytes() (int64, bool) {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0, false
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return kb << 10, true
+	}
+	return 0, false
+}

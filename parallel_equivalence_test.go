@@ -51,15 +51,71 @@ func runPipeline(t testing.TB, weather *dst.Index, seed int64, parallelism int) 
 	}
 }
 
+// runChunkedPipeline runs the same fleet through the chunked path —
+// PlanChunks → per-chunk simulation and cleaning → ordered assembly — at the
+// given chunk size and worker width.
+func runChunkedPipeline(t testing.TB, weather *dst.Index, seed int64, parallelism, chunkSize int) pipelineRun {
+	t.Helper()
+	start := weather.Start()
+	fleetCfg := constellation.ResearchFleet(seed, start, start.AddDate(1, 0, 0), 10)
+	fleetCfg.Parallelism = parallelism
+	plan, err := constellation.PlanChunks(fleetCfg, chunkSize)
+	if err != nil {
+		t.Fatalf("chunk %d: plan: %v", chunkSize, err)
+	}
+	coreCfg := core.DefaultConfig()
+	coreCfg.Parallelism = 1
+	asm := core.NewPartialAssembler(coreCfg, weather)
+	for i := 0; i < plan.NumChunks(); i++ {
+		res, err := plan.RunChunk(i, weather)
+		if err != nil {
+			t.Fatalf("chunk %d/%d: run: %v", i, chunkSize, err)
+		}
+		part, err := core.BuildChunkPartial(coreCfg, res.Samples)
+		if err != nil {
+			t.Fatalf("chunk %d/%d: partial: %v", i, chunkSize, err)
+		}
+		if err := asm.Add(part); err != nil {
+			t.Fatalf("chunk %d/%d: assemble: %v", i, chunkSize, err)
+		}
+	}
+	d, err := asm.Finish()
+	if err != nil {
+		t.Fatalf("chunk %d: finish: %v", chunkSize, err)
+	}
+	events, err := d.EventsAbovePercentile(95, 1, 0)
+	if err != nil {
+		t.Fatalf("chunk %d: events: %v", chunkSize, err)
+	}
+	return pipelineRun{
+		dataset: d,
+		devs:    d.Associate(events, 30),
+		onsets:  d.DecayOnsets(5),
+	}
+}
+
 // TestParallelEquivalence is the headline invariant of the worker-pool
-// pipeline: at every Parallelism setting the simulated archive, the cleaned
-// dataset, the deviation list, and the decay-onset set are identical to the
-// sequential run — across several seeds, so the property does not hinge on
+// pipeline: at every Parallelism setting — and at every chunk size of the
+// chunked streaming path — the simulated archive, the cleaned dataset, the
+// deviation list, and the decay-onset set are identical to the sequential
+// unchunked run — across several seeds, so the property does not hinge on
 // one lucky schedule.
 func TestParallelEquivalence(t *testing.T) {
 	weather, err := spaceweather.Generate(spaceweather.Paper2020to2024())
 	if err != nil {
 		t.Fatal(err)
+	}
+	diffRun := func(t *testing.T, label string, ref, got pipelineRun) {
+		t.Helper()
+		if msg := testkit.DiffDatasets(ref.dataset, got.dataset); msg != "" {
+			t.Errorf("%s: dataset diverged: %s", label, msg)
+		}
+		if msg := testkit.DiffDeviations(ref.devs, got.devs); msg != "" {
+			t.Errorf("%s: deviations diverged: %s", label, msg)
+		}
+		if msg := diffOnsets(ref.onsets, got.onsets); msg != "" {
+			t.Errorf("%s: decay onsets diverged: %s", label, msg)
+		}
 	}
 	for _, seed := range []int64{7, 42, 1234} {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
@@ -69,15 +125,11 @@ func TestParallelEquivalence(t *testing.T) {
 			}
 			for _, width := range []int{2, 4, 8} {
 				got := runPipeline(t, weather, seed, width)
-				if msg := testkit.DiffDatasets(ref.dataset, got.dataset); msg != "" {
-					t.Errorf("parallelism %d: dataset diverged: %s", width, msg)
-				}
-				if msg := testkit.DiffDeviations(ref.devs, got.devs); msg != "" {
-					t.Errorf("parallelism %d: deviations diverged: %s", width, msg)
-				}
-				if msg := diffOnsets(ref.onsets, got.onsets); msg != "" {
-					t.Errorf("parallelism %d: decay onsets diverged: %s", width, msg)
-				}
+				diffRun(t, fmt.Sprintf("parallelism %d", width), ref, got)
+			}
+			for _, chunkSize := range []int{16, 64, 1 << 20} {
+				got := runChunkedPipeline(t, weather, seed, 4, chunkSize)
+				diffRun(t, fmt.Sprintf("chunk %d", chunkSize), ref, got)
 			}
 		})
 	}

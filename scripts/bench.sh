@@ -3,9 +3,11 @@
 #
 # Runs the four fan-out benchmarks (FleetSim, DatasetBuild, Associate,
 # PipelineBuild) with -benchmem, times a cold-versus-warm `cmd/figures`
-# render over a fresh artifact cache, and writes the whole picture to one
-# JSON file (default BENCH_PR4.json, override with $1) so perf changes
-# land with numbers attached instead of adjectives.
+# render over a fresh artifact cache, runs the mega-constellation scale
+# sweep (6k/30k/100k satellites through the chunked streaming pipeline,
+# recording wall time, sats/sec, and peak RSS), and writes the whole
+# picture to one JSON file (default BENCH_PR7.json, override with $1) so
+# perf changes land with numbers attached instead of adjectives.
 #
 # The benchmark substrate itself goes through the artifact cache
 # ($COSMICDANCE_CACHE_DIR overrides the location), but every measured
@@ -13,7 +15,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR4.json}"
+out="${1:-BENCH_PR7.json}"
 benchtime="${BENCHTIME:-3x}"
 
 raw="$(mktemp -t cosmicdance-bench.XXXXXX)"
@@ -50,8 +52,31 @@ warm="$(awk -v a="$warm_start" -v b="$warm_end" 'BEGIN { printf "%.3f", b - a }'
 speedup="$(awk -v c="$cold" -v w="$warm" 'BEGIN { printf "%.2f", c / w }')"
 echo "bench: figures cold ${cold}s, warm ${warm}s (${speedup}x)"
 
+# Mega-constellation scale sweep: the chunked streaming pipeline end to
+# end at three fleet sizes, no cache (every chunk is simulated, cleaned,
+# encoded, spilled, and merge-read). Peak RSS must stay flat as the fleet
+# grows — that is the scale-out claim, and benchdiff gates on it.
+scalebin="$(mktemp -t cosmicdance-bench-scale.XXXXXX)"
+scalejson=""
+go build -o "$scalebin" ./cmd/cosmicdance
+for sats in 6000 30000 100000; do
+    rss_file="$(mktemp -t cosmicdance-bench-rss.XXXXXX)"
+    s_start="$(date +%s.%N)"
+    "$scalebin" scale -sats "$sats" -days 2 -seed 42 > /dev/null 2> "$rss_file"
+    s_end="$(date +%s.%N)"
+    rss="$(awk '$1 == "peak_rss_bytes" { print $2 }' "$rss_file")"
+    rm -f "$rss_file"
+    secs="$(awk -v a="$s_start" -v b="$s_end" 'BEGIN { printf "%.3f", b - a }')"
+    rate="$(awk -v n="$sats" -v s="$secs" 'BEGIN { printf "%.0f", n / s }')"
+    echo "bench: scale $sats sats in ${secs}s (${rate} sats/sec, peak RSS ${rss:-0} bytes)"
+    entry="$(printf '"%s": {"seconds": %s, "sats_per_sec": %s, "peak_rss_bytes": %s}' "$sats" "$secs" "$rate" "${rss:-0}")"
+    scalejson="${scalejson}${scalejson:+, }${entry}"
+done
+rm -f "$scalebin"
+
 awk -v goversion="$(go env GOVERSION)" -v maxprocs="$(nproc)" \
-    -v cold="$cold" -v warm="$warm" -v speedup="$speedup" '
+    -v cold="$cold" -v warm="$warm" -v speedup="$speedup" \
+    -v scalejson="$scalejson" '
 BEGIN {
     printf "{\n  \"go\": \"%s\",\n  \"gomaxprocs\": %s,\n", goversion, maxprocs
     printf "  \"benchmarks\": {\n"
@@ -72,7 +97,8 @@ BEGIN {
 }
 END {
     printf "\n  },\n"
-    printf "  \"figures_wall_seconds\": {\"cold\": %s, \"warm\": %s, \"speedup\": %s}\n}\n", cold, warm, speedup
+    printf "  \"figures_wall_seconds\": {\"cold\": %s, \"warm\": %s, \"speedup\": %s},\n", cold, warm, speedup
+    printf "  \"scale_sweep\": {%s}\n}\n", scalejson
 }
 ' "$raw" > "$out"
 

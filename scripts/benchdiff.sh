@@ -1,8 +1,12 @@
 #!/bin/sh
 # benchdiff.sh — the performance-regression gate behind `make bench-diff`:
 # rerun the pinned fan-out benchmarks and fail if any of them regressed
-# more than 10% against the committed baseline (BENCH_PR4.json, override
-# with $1) in ns/op or allocs/op.
+# more than 10% against the committed baseline (BENCH_PR7.json, override
+# with $1) in ns/op or allocs/op. When the baseline carries a scale_sweep
+# section, the 100k-satellite chunked run is also replayed and gated:
+# peak RSS may grow at most 25% and throughput may drop at most 25%
+# (wall-clock tolerances are wider than ns/op because the sweep times a
+# whole process, not an inner loop).
 #
 # Noise control on a shared machine:
 #   - GOMAXPROCS is pinned to the baseline's recorded value, so the worker
@@ -15,7 +19,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-baseline="${1:-BENCH_PR4.json}"
+baseline="${1:-BENCH_PR7.json}"
 count="${BENCHCOUNT:-4}"
 benchtime="${BENCHTIME:-3x}"
 
@@ -84,3 +88,54 @@ END {
     print "benchdiff: OK"
 }
 ' "$baseline" "$raw"
+
+# Scale-sweep gate: replay the 100k-satellite chunked run and compare
+# peak RSS and throughput against the pinned values. Skipped (with a
+# note) for baselines predating the scale sweep.
+base_rss="$(awk '/"scale_sweep"/,/}$/' "$baseline" | awk 'match($0, /"100000": \{[^}]*\}/) {
+    entry = substr($0, RSTART, RLENGTH)
+    if (match(entry, /"peak_rss_bytes": [0-9]+/)) {
+        v = substr(entry, RSTART, RLENGTH); sub(/.*: /, "", v); print v
+    }
+}')"
+base_rate="$(awk '/"scale_sweep"/,/}$/' "$baseline" | awk 'match($0, /"100000": \{[^}]*\}/) {
+    entry = substr($0, RSTART, RLENGTH)
+    if (match(entry, /"sats_per_sec": [0-9]+/)) {
+        v = substr(entry, RSTART, RLENGTH); sub(/.*: /, "", v); print v
+    }
+}')"
+if [ -z "$base_rss" ] || [ -z "$base_rate" ]; then
+    echo "benchdiff: baseline $baseline has no 100k scale_sweep entry; skipping the scale gate"
+    exit 0
+fi
+
+scalebin="$(mktemp -t cosmicdance-benchdiff-scale.XXXXXX)"
+rss_file="$(mktemp -t cosmicdance-benchdiff-rss.XXXXXX)"
+trap 'rm -f "$raw" "$scalebin" "$rss_file"' EXIT
+go build -o "$scalebin" ./cmd/cosmicdance
+best_secs=""
+rss=0
+for run in 1 2; do
+    s_start="$(date +%s.%N)"
+    GOMAXPROCS="$maxprocs" "$scalebin" scale -sats 100000 -days 2 -seed 42 > /dev/null 2> "$rss_file"
+    s_end="$(date +%s.%N)"
+    secs="$(awk -v a="$s_start" -v b="$s_end" 'BEGIN { printf "%.3f", b - a }')"
+    if [ -z "$best_secs" ] || awk -v a="$secs" -v b="$best_secs" 'BEGIN { exit !(a < b) }'; then
+        best_secs="$secs"
+    fi
+    rss="$(awk '$1 == "peak_rss_bytes" { print $2 }' "$rss_file")"
+done
+rate="$(awk -v s="$best_secs" 'BEGIN { printf "%.0f", 100000 / s }')"
+awk -v rss="$rss" -v base_rss="$base_rss" -v rate="$rate" -v base_rate="$base_rate" 'BEGIN {
+    fail = 0
+    r = rss / base_rss
+    verdict = r > 1.25 ? "FAIL" : "ok"
+    printf "benchdiff: scale-100k  peak RSS  %12d vs %12d  (%.3fx) %s\n", rss, base_rss, r, verdict
+    if (r > 1.25) fail = 1
+    r = base_rate / rate
+    verdict = r > 1.25 ? "FAIL" : "ok"
+    printf "benchdiff: scale-100k  sats/sec  %12d vs %12d  (%.3fx slower) %s\n", rate, base_rate, r, verdict
+    if (r > 1.25) fail = 1
+    if (fail) { print "benchdiff: FAIL — the 100k scale run regressed against the baseline"; exit 1 }
+    print "benchdiff: scale gate OK"
+}'

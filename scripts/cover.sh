@@ -13,7 +13,13 @@
 #      admission control, conditional fetch) covers < 80%,
 #   6. fail if internal/loadsim (the deterministic load harness whose
 #      reports gate serving changes) covers < 80%,
-#   7. fail if the module-wide total covers < 70%.
+#   7. fail if internal/constellation (shell presets, chunk planning,
+#      and per-chunk RNG streams — the determinism substrate of the
+#      chunked scale-out path) covers < 80%,
+#   8. fail if internal/core (chunk partials, the ordered assembler,
+#      and every cleaning invariant the equivalence matrix leans on)
+#      covers < 80%,
+#   9. fail if the module-wide total covers < 70%.
 #
 # The floors are deliberately asymmetric: the linter and the codec are
 # small and pure logic, so they are held to a higher bar than the
@@ -86,6 +92,24 @@ if [ -z "$loadsimpct" ]; then
     exit 1
 fi
 floor "internal/loadsim" "$loadsimpct" 80
+
+constellationpct="$(printf '%s\n' "$out" | awk '$2 == "cosmicdance/internal/constellation" {
+    for (i = 1; i <= NF; i++) if ($i ~ /%$/) { sub(/%/, "", $i); print $i }
+}')"
+if [ -z "$constellationpct" ]; then
+    echo "cover: no coverage line for cosmicdance/internal/constellation" >&2
+    exit 1
+fi
+floor "internal/constellation" "$constellationpct" 80
+
+corepct="$(printf '%s\n' "$out" | awk '$2 == "cosmicdance/internal/core" {
+    for (i = 1; i <= NF; i++) if ($i ~ /%$/) { sub(/%/, "", $i); print $i }
+}')"
+if [ -z "$corepct" ]; then
+    echo "cover: no coverage line for cosmicdance/internal/core" >&2
+    exit 1
+fi
+floor "internal/core" "$corepct" 80
 
 totalpct="$(go tool cover -func="$profile" | awk '/^total:/ {
     for (i = 1; i <= NF; i++) if ($i ~ /%$/) { sub(/%/, "", $i); print $i }

@@ -15,7 +15,13 @@
 #      reports (a report diff is a behaviour change, never noise),
 #   7. the telemetry-overhead gate: the instrumented hot paths may cost at
 #      most 2% more than a COSMICDANCE_OBS=off run,
-#   8. every fuzz target, seeds + 10s of new coverage each.
+#   8. the chunk-equivalence gate: a 30k-satellite chunked run must print
+#      byte-identical reports at two different chunk sizes (the scale-out
+#      refactor may not change a single output bit),
+#   9. the flat-RSS gate: a 100k-satellite run must peak under 128 MiB of
+#      resident memory — the streaming pipeline holds O(chunk), not
+#      O(fleet),
+#  10. every fuzz target, seeds + 10s of new coverage each.
 #
 # Pass -short as $1 to run the fast tier (skips the year-long substrate
 # builds and the fuzz sessions).
@@ -72,6 +78,31 @@ if [ -z "$SHORT" ]; then
 
     echo "== telemetry overhead gate (<= 2% on the hot paths)"
     ./scripts/obs_overhead.sh
+
+    echo "== chunk equivalence at 30k satellites (chunk 4096 vs 2048, byte-identical)"
+    scale_a="$(mktemp -t cosmicdance-scale-a.XXXXXX)"
+    scale_b="$(mktemp -t cosmicdance-scale-b.XXXXXX)"
+    scale_rss="$(mktemp -t cosmicdance-scale-rss.XXXXXX)"
+    trap 'rm -rf "$cachedir" "$cold" "$warm" "$load_a" "$load_b" "$scale_a" "$scale_b" "$scale_rss"' EXIT
+    go run ./cmd/cosmicdance scale -sats 30000 -days 2 -seed 42 -chunk 4096 > "$scale_a" 2> /dev/null
+    go run ./cmd/cosmicdance scale -sats 30000 -days 2 -seed 42 -chunk 2048 > "$scale_b" 2> /dev/null
+    cmp "$scale_a" "$scale_b" || {
+        echo "verify: 30k scale reports differ between chunk sizes 4096 and 2048" >&2
+        exit 1
+    }
+
+    echo "== flat-RSS gate (100k satellites must peak under 128 MiB)"
+    go run ./cmd/cosmicdance scale -sats 100000 -days 2 -seed 42 > /dev/null 2> "$scale_rss"
+    rss="$(awk '$1 == "peak_rss_bytes" { print $2 }' "$scale_rss")"
+    if [ -z "$rss" ]; then
+        echo "verify: 100k scale run reported no peak_rss_bytes" >&2
+        exit 1
+    fi
+    if [ "$rss" -gt 134217728 ]; then
+        echo "verify: 100k scale run peaked at $rss bytes, over the 134217728-byte (128 MiB) ceiling" >&2
+        exit 1
+    fi
+    echo "verify: 100k satellites peaked at $rss bytes (ceiling 134217728)"
 fi
 
 if [ "$FUZZ" = 1 ]; then
@@ -87,6 +118,7 @@ if [ "$FUZZ" = 1 ]; then
     fuzz ./internal/dst FuzzParseRecord
     fuzz ./internal/wdc FuzzIndexRoundTrip
     fuzz ./internal/artifact FuzzSnapshotRoundTrip
+    fuzz ./internal/artifact FuzzSegmentRoundTrip
 fi
 
 echo "verify: OK"
