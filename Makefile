@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short race vet lint cover fuzz verify verify-short golden bench bench-baseline bench-diff obs-overhead loadtest scale-sweep
+.PHONY: build test test-short race vet lint lint-fix cover fuzz verify verify-short golden bench bench-baseline bench-diff obs-overhead loadtest scale-sweep
 
 build:
 	$(GO) build ./...
@@ -11,6 +11,19 @@ build:
 # invariants".
 lint:
 	$(GO) run ./cmd/cosmiclint ./...
+
+# Apply cosmiclint's deterministic rewrites in place, then fail if any
+# file changed: committed code must never need the fixer. Detects the
+# fixer's own "fixed <file>" reports rather than git status, so unrelated
+# uncommitted work doesn't trip it; unfixable findings fail the lint run
+# itself.
+lint-fix:
+	@out="$$($(GO) run ./cmd/cosmiclint -fix ./... 2>&1)"; status=$$?; \
+	printf '%s\n' "$$out"; \
+	if printf '%s\n' "$$out" | grep -q '^cosmiclint: fixed '; then \
+		echo "lint-fix: fixer rewrote files; review and commit them"; exit 1; \
+	fi; \
+	exit $$status
 
 # Coverage floors: internal/lint >= 85%, internal/artifact >= 80%,
 # internal/obs >= 85%, internal/spacetrack >= 80%, internal/loadsim >= 80%,

@@ -6,6 +6,7 @@ package cosmicdance
 // analysis outcome moves.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -25,7 +26,7 @@ func BenchmarkAblationDecayThreshold(b *testing.B) {
 			cfg.DecayFilterKm = km
 			builder := core.NewBuilder(cfg, weather)
 			builder.AddSamples(fleet.Samples)
-			data, err := builder.Build()
+			data, err := builder.Build(context.Background())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -37,7 +38,7 @@ func BenchmarkAblationDecayThreshold(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				devs := data.Associate(events, 30)
+				devs := data.Associate(context.Background(), events, 30)
 				associations = len(devs)
 				maxDev = 0
 				for _, dv := range devs {
@@ -67,7 +68,7 @@ func BenchmarkAblationAssociationWindow(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				cdf, err := core.DeviationCDF(data.Associate(events, days))
+				cdf, err := core.DeviationCDF(data.Associate(context.Background(), events, days))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -93,7 +94,7 @@ func BenchmarkAblationOutlierCutoff(b *testing.B) {
 				cfg.MaxValidAltKm = km
 				builder := core.NewBuilder(cfg, weather)
 				builder.AddSamples(fleet.Samples)
-				data, err := builder.Build()
+				data, err := builder.Build(context.Background())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -126,7 +127,7 @@ func BenchmarkAblationQuietPercentile(b *testing.B) {
 					b.Skip("no quiet epochs at this percentile")
 				}
 				epochs = len(quiet)
-				cdf, err := core.DeviationCDF(data.AssociateQuiet(quiet, 15))
+				cdf, err := core.DeviationCDF(data.AssociateQuiet(context.Background(), quiet, 15))
 				if err != nil {
 					b.Fatal(err)
 				}

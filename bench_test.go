@@ -10,6 +10,7 @@ package cosmicdance
 // values next to the measured ones.
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -121,7 +122,7 @@ func BenchmarkFig04aStormWindow(b *testing.B) {
 	var peakMedian, peakP95 float64
 	var affected int
 	for i := 0; i < b.N; i++ {
-		wa, err := data.Window(spaceweather.Fig4Storm, core.WindowOptions{Days: 30, RequireHumpShape: true, MinPeakKm: 1})
+		wa, err := data.Window(context.Background(), spaceweather.Fig4Storm, core.WindowOptions{Days: 30, RequireHumpShape: true, MinPeakKm: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -153,7 +154,7 @@ func BenchmarkFig04bQuietWindow(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		wa, err := data.Window(quiet[0], core.WindowOptions{Days: 15})
+		wa, err := data.Window(context.Background(), quiet[0], core.WindowOptions{Days: 15})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -179,7 +180,7 @@ func BenchmarkFig05aCDFQuiet(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		cdf, err := core.DeviationCDF(data.AssociateQuiet(quiet, 15))
+		cdf, err := core.DeviationCDF(data.AssociateQuiet(context.Background(), quiet, 15))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -201,7 +202,7 @@ func BenchmarkFig05bCDFStorm(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		cdf, err := core.DeviationCDF(data.Associate(events, 30))
+		cdf, err := core.DeviationCDF(data.Associate(context.Background(), events, 30))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -223,7 +224,7 @@ func BenchmarkFig05cDragChange(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		cdf, err := core.DragChangeCDF(data.Associate(events, 30))
+		cdf, err := core.DragChangeCDF(data.Associate(context.Background(), events, 30))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -249,11 +250,11 @@ func BenchmarkFig06DurationSplit(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		shortCDF, err := core.DeviationCDF(data.Associate(short, 30))
+		shortCDF, err := core.DeviationCDF(data.Associate(context.Background(), short, 30))
 		if err != nil {
 			b.Fatal(err)
 		}
-		longCDF, err := core.DeviationCDF(data.Associate(long, 30))
+		longCDF, err := core.DeviationCDF(data.Associate(context.Background(), long, 30))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -275,7 +276,7 @@ func BenchmarkFig06cDragLongStorms(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		cdf, err := core.DragChangeCDF(data.Associate(long, 30))
+		cdf, err := core.DragChangeCDF(data.Associate(context.Background(), long, 30))
 		if err != nil {
 			b.Fatal(err)
 		}

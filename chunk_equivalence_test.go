@@ -37,7 +37,7 @@ func analyzeDataset(t testing.TB, d *core.Dataset) pipelineRun {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return pipelineRun{dataset: d, devs: d.Associate(events, 30), onsets: d.DecayOnsets(5)}
+	return pipelineRun{dataset: d, devs: d.Associate(context.Background(), events, 30), onsets: d.DecayOnsets(5)}
 }
 
 // TestChunkEquivalenceMatrix is the scale-out proof: a mega-constellation
@@ -59,13 +59,13 @@ func TestChunkEquivalenceMatrix(t *testing.T) {
 			}
 			refFleet := scale.FleetConfig(spec)
 			refFleet.Parallelism = 1
-			res, err := constellation.Run(refFleet, weather)
+			res, err := constellation.Run(context.Background(), refFleet, weather)
 			if err != nil {
 				t.Fatal(err)
 			}
 			b := core.NewBuilder(ccfg, weather)
 			b.AddSamples(res.Samples)
-			refDataset, err := b.Build()
+			refDataset, err := b.Build(context.Background())
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -48,16 +48,19 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// The process root context: every fan-out below threads from here, so
+	// one cancellation point drains the whole pipeline.
+	ctx := context.Background()
 	var err error
 	switch os.Args[1] {
 	case "storms":
-		err = cmdStorms(os.Args[2:])
+		err = cmdStorms(ctx, os.Args[2:])
 	case "analyze":
-		err = cmdAnalyze(os.Args[2:])
+		err = cmdAnalyze(ctx, os.Args[2:])
 	case "fetch":
-		err = cmdFetch(os.Args[2:])
+		err = cmdFetch(ctx, os.Args[2:])
 	case "scale":
-		err = cmdScale(os.Args[2:])
+		err = cmdScale(ctx, os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -80,13 +83,13 @@ func usage() {
 
 // loadWeather reads the Dst index from a WDC-style HTTP service, a WDC file,
 // or a synthetic scenario.
-func loadWeather(dstFile, scenario string) (*dst.Index, error) {
+func loadWeather(ctx context.Context, dstFile, scenario string) (*dst.Index, error) {
 	if strings.HasPrefix(dstFile, "http://") || strings.HasPrefix(dstFile, "https://") {
 		client, err := wdc.NewClient(dstFile, nil)
 		if err != nil {
 			return nil, err
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		ctx, cancel := context.WithTimeout(ctx, 5*time.Minute)
 		defer cancel()
 		// Fetch the service's full archive: the server defaults both bounds
 		// when very wide ones are requested.
@@ -152,14 +155,14 @@ func openCache(noCache bool, dir string) *artifact.Cache {
 	return c
 }
 
-func cmdStorms(args []string) error {
+func cmdStorms(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("storms", flag.ExitOnError)
 	dstFile := fs.String("dst", "", "WDC-format Dst file (default: synthetic scenario)")
 	scenario := fs.String("scenario", "paper", "synthetic scenario when -dst is absent")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	weather, err := loadWeather(*dstFile, *scenario)
+	weather, err := loadWeather(ctx, *dstFile, *scenario)
 	if err != nil {
 		return err
 	}
@@ -186,7 +189,7 @@ func cmdStorms(args []string) error {
 
 // loadTrajectories fills the builder from a TLE file, a tracking server, or a
 // built-in fleet simulation.
-func loadTrajectories(b *core.Builder, weather *dst.Index, tleFile, server, fleet string, seed int64, parallelism int) error {
+func loadTrajectories(ctx context.Context, b *core.Builder, weather *dst.Index, tleFile, server, fleet string, seed int64, parallelism int) error {
 	switch {
 	case tleFile != "":
 		f, err := os.Open(tleFile)
@@ -202,14 +205,14 @@ func loadTrajectories(b *core.Builder, weather *dst.Index, tleFile, server, flee
 		b.AddTLEs(sets)
 		return nil
 	case server != "":
-		return fetchInto(b, server, weather)
+		return fetchInto(ctx, b, server, weather)
 	default:
 		cfg, err := fleetConfig(fleet, seed, weather)
 		if err != nil {
 			return err
 		}
 		cfg.Parallelism = parallelism
-		res, err := constellation.Run(cfg, weather)
+		res, err := constellation.Run(ctx, cfg, weather)
 		if err != nil {
 			return err
 		}
@@ -221,12 +224,12 @@ func loadTrajectories(b *core.Builder, weather *dst.Index, tleFile, server, flee
 
 // fetchInto performs the paper's two-step ingest against a live service:
 // current catalog once for the numbers, then per-object history.
-func fetchInto(b *core.Builder, server string, weather *dst.Index) error {
+func fetchInto(ctx context.Context, b *core.Builder, server string, weather *dst.Index) error {
 	client, err := spacetrack.NewClient(server, nil)
 	if err != nil {
 		return err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	ctx, cancel := context.WithTimeout(ctx, 10*time.Minute)
 	defer cancel()
 	current, err := client.FetchGroup(ctx, "starlink")
 	if err != nil {
@@ -251,7 +254,7 @@ func fetchInto(b *core.Builder, server string, weather *dst.Index) error {
 	return nil
 }
 
-func cmdAnalyze(args []string) error {
+func cmdAnalyze(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	dstFile := fs.String("dst", "", "WDC-format Dst file (default: synthetic scenario)")
 	scenario := fs.String("scenario", "paper", "synthetic scenario when -dst is absent")
@@ -292,7 +295,7 @@ func cmdAnalyze(args []string) error {
 		pipe := artifact.NewPipeline(openCache(*noCache, *cacheDir))
 		pipe.Log = logger
 		pipe.Trace = tracer
-		weather, err := pipe.Weather(weatherCfg)
+		weather, err := pipe.Weather(ctx, weatherCfg)
 		if err != nil {
 			return err
 		}
@@ -301,12 +304,12 @@ func cmdAnalyze(args []string) error {
 			return err
 		}
 		fleetCfg.Parallelism = *parallelism
-		if d, err = pipe.Dataset(weatherCfg, fleetCfg, cfg); err != nil {
+		if d, err = pipe.Dataset(ctx, weatherCfg, fleetCfg, cfg); err != nil {
 			return err
 		}
 	} else {
 		sp := tracer.Start("ingest")
-		weather, err := loadWeather(*dstFile, *scenario)
+		weather, err := loadWeather(ctx, *dstFile, *scenario)
 		if err != nil {
 			return err
 		}
@@ -323,12 +326,12 @@ func cmdAnalyze(args []string) error {
 			}
 			logger.Info("loaded archive", "stage", "ingest", "satellites", len(res.Sats), "samples", len(res.Samples), "file", *archiveFile)
 			b.AddSamples(res.Samples)
-		} else if err := loadTrajectories(b, weather, *tleFile, *server, *fleet, *seed, *parallelism); err != nil {
+		} else if err := loadTrajectories(ctx, b, weather, *tleFile, *server, *fleet, *seed, *parallelism); err != nil {
 			return err
 		}
 		sp.End()
 		sp = tracer.Start("dataset")
-		if d, err = b.Build(); err != nil {
+		if d, err = b.Build(ctx); err != nil {
 			return err
 		}
 		sp.End()
@@ -346,7 +349,7 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
-	devs := d.Associate(events, *window)
+	devs := d.Associate(ctx, events, *window)
 	sp.End()
 	if err := report.Heading(os.Stdout, fmt.Sprintf("Events above the %.0fth intensity percentile", *ptile)); err != nil {
 		return err
@@ -430,7 +433,7 @@ func finishTelemetry(tracer *obs.Tracer, trace bool, metricsJSON string) error {
 // dataset. The deterministic report goes to stdout (byte-identical at every
 // chunk size, width, and store — the verify gate depends on that); the
 // peak-RSS line goes to stderr so it never perturbs the report bytes.
-func cmdScale(args []string) error {
+func cmdScale(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("scale", flag.ExitOnError)
 	sats := fs.Int("sats", 6000, "fleet size across the mega-constellation shells")
 	days := fs.Int("days", 3, "simulated window length in days")
@@ -451,7 +454,7 @@ func cmdScale(args []string) error {
 		CacheDir:    *cacheDir,
 		SpillDir:    *spillDir,
 	}
-	rep, err := scale.Run(context.Background(), spec)
+	rep, err := scale.Run(ctx, spec)
 	if err != nil {
 		return err
 	}
@@ -464,7 +467,7 @@ func cmdScale(args []string) error {
 	return nil
 }
 
-func cmdFetch(args []string) error {
+func cmdFetch(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("fetch", flag.ExitOnError)
 	server := fs.String("server", "", "tracking-service base URL (required)")
 	cache := fs.String("cache", "cosmicdance-cache", "cache directory")
@@ -498,7 +501,7 @@ func cmdFetch(args []string) error {
 	if err != nil {
 		return err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	ctx, cancel := context.WithTimeout(ctx, 10*time.Minute)
 	defer cancel()
 	current, err := client.FetchGroup(ctx, "starlink")
 	if err != nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"io"
 	"os"
 	"path/filepath"
@@ -15,7 +16,7 @@ import (
 
 func TestLoadWeatherScenarios(t *testing.T) {
 	for _, scenario := range []string{"paper", "fiftyyears", "may2024", ""} {
-		x, err := loadWeather("", scenario)
+		x, err := loadWeather(context.Background(), "", scenario)
 		if err != nil {
 			t.Fatalf("scenario %q: %v", scenario, err)
 		}
@@ -23,7 +24,7 @@ func TestLoadWeatherScenarios(t *testing.T) {
 			t.Fatalf("scenario %q: empty index", scenario)
 		}
 	}
-	if _, err := loadWeather("", "marsweather"); err == nil {
+	if _, err := loadWeather(context.Background(), "", "marsweather"); err == nil {
 		t.Error("unknown scenario accepted")
 	}
 }
@@ -48,7 +49,7 @@ func TestLoadWeatherFromWDCFile(t *testing.T) {
 	}
 	f.Close()
 
-	loaded, err := loadWeather(path, "")
+	loaded, err := loadWeather(context.Background(), path, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,32 +61,32 @@ func TestLoadWeatherFromWDCFile(t *testing.T) {
 	if min != -412 || !at.Equal(spaceweather.May2024Peak) {
 		t.Errorf("min = %v at %v", min, at)
 	}
-	if _, err := loadWeather(filepath.Join(t.TempDir(), "missing.wdc"), ""); err == nil {
+	if _, err := loadWeather(context.Background(), filepath.Join(t.TempDir(), "missing.wdc"), ""); err == nil {
 		t.Error("missing file accepted")
 	}
 }
 
 func TestLoadTrajectoriesFromTLEFile(t *testing.T) {
-	weather, err := loadWeather("", "may2024")
+	weather, err := loadWeather(context.Background(), "", "may2024")
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Build a small archive file via the simulator's TLE writer.
 	b := core.NewBuilder(core.DefaultConfig(), weather)
-	if err := loadTrajectories(b, weather, "", "", "small", 7, 2); err != nil {
+	if err := loadTrajectories(context.Background(), b, weather, "", "", "small", 7, 2); err != nil {
 		t.Fatal(err)
 	}
-	d, err := b.Build()
+	d, err := b.Build(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(d.Tracks()) == 0 {
 		t.Fatal("no tracks from simulated fleet")
 	}
-	if err := loadTrajectories(core.NewBuilder(core.DefaultConfig(), weather), weather, "nonexistent.tle", "", "", 7, 0); err == nil {
+	if err := loadTrajectories(context.Background(), core.NewBuilder(core.DefaultConfig(), weather), weather, "nonexistent.tle", "", "", 7, 0); err == nil {
 		t.Error("missing TLE file accepted")
 	}
-	if err := loadTrajectories(core.NewBuilder(core.DefaultConfig(), weather), weather, "", "", "megafleet", 7, 0); err == nil {
+	if err := loadTrajectories(context.Background(), core.NewBuilder(core.DefaultConfig(), weather), weather, "", "", "megafleet", 7, 0); err == nil {
 		t.Error("unknown fleet accepted")
 	}
 	_ = time.Now
@@ -103,7 +104,7 @@ func TestCmdScale(t *testing.T) {
 			t.Fatal(err)
 		}
 		os.Stdout = w
-		cmdErr := cmdScale(args)
+		cmdErr := cmdScale(context.Background(), args)
 		w.Close()
 		os.Stdout = old
 		out, err := io.ReadAll(r)

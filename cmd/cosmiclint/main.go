@@ -1,14 +1,25 @@
 // Command cosmiclint is the CosmicDance determinism linter. It loads
 // every package named by its arguments (module-root-relative patterns;
-// default ./...) and reports violations of the pipeline's codified
-// invariants: no wall-clock or global-RNG reads in pipeline packages, no
-// naked goroutines outside internal/parallel, no map-iteration order
-// leaking into output, and no discarded Close errors or direct error-type
-// assertions.
+// default ./...), builds a module-wide call graph, and reports violations
+// of the pipeline's codified invariants: no wall-clock or global-RNG
+// reads in pipeline packages (directly or transitively through in-module
+// calls), no naked goroutines outside internal/parallel, no map-iteration
+// order leaking into output, no discarded Close errors or direct
+// error-type assertions, cancellation flowing through every parallel
+// fan-out, O(chunk) allocation on streaming paths, atomic fields never
+// accessed plainly, and metric registration off the hot paths.
 //
 // Usage:
 //
-//	cosmiclint [-rules nondet,maporder,...] [-json] [-list] [patterns]
+//	cosmiclint [-rules nondet,maporder,...] [-json] [-list]
+//	           [-fix] [-baseline file] [-write-baseline file] [patterns]
+//
+// -fix applies the mechanical rewrites (sort-before-range, errors.As,
+// checked Close) and re-runs the analysis on the rewritten tree; the
+// remaining findings — including allow directives the fixes made stale —
+// are what gets reported. -write-baseline records the current findings;
+// -baseline suppresses exactly those, failing only on new ones (stale
+// entries are flagged on stderr so the baseline shrinks monotonically).
 //
 // Exit status is 0 when clean, 1 when findings were reported, 2 when the
 // tree could not be loaded.
@@ -34,11 +45,13 @@ func main() {
 // struct fields in declaration order), so -json output is stable enough
 // to golden-pin.
 type jsonFinding struct {
-	Rule    string `json:"rule"`
-	File    string `json:"file"`
-	Line    int    `json:"line"`
-	Col     int    `json:"col"`
-	Message string `json:"message"`
+	Rule    string   `json:"rule"`
+	File    string   `json:"file"`
+	Line    int      `json:"line"`
+	Col     int      `json:"col"`
+	Message string   `json:"message"`
+	Path    []string `json:"path,omitempty"`
+	Fixable bool     `json:"fixable,omitempty"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -47,6 +60,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	rulesFlag := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
 	jsonFlag := fs.Bool("json", false, "emit findings as a JSON array")
 	listFlag := fs.Bool("list", false, "list the rules and exit")
+	fixFlag := fs.Bool("fix", false, "apply suggested fixes, then re-run the analysis")
+	baselineFlag := fs.String("baseline", "", "suppress findings recorded in this baseline file")
+	writeBaselineFlag := fs.String("write-baseline", "", "write current findings to this baseline file and exit 0")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -57,7 +73,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *listFlag {
 		for _, r := range rules {
-			fmt.Fprintf(stdout, "%-12s %s\n", r.Name, r.Doc)
+			fmt.Fprintf(stdout, "%-18s %s\n", r.Name, r.Doc)
 		}
 		return 0
 	}
@@ -81,18 +97,53 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "cosmiclint: %v\n", err)
 		return 2
 	}
-	loader, err := lint.NewLoader(root)
-	if err != nil {
-		fmt.Fprintf(stderr, "cosmiclint: %v\n", err)
-		return 2
-	}
-	pkgs, err := loader.Load(rel...)
-	if err != nil {
-		fmt.Fprintf(stderr, "cosmiclint: %v\n", err)
-		return 2
+
+	findings, pkgs, code := analyze(root, rel, rules, stderr)
+	if code != 0 {
+		return code
 	}
 
-	findings := lint.Run(pkgs, rules)
+	if *fixFlag {
+		fixed, err := lint.ApplyFixes(pkgs, findings)
+		if err != nil {
+			fmt.Fprintf(stderr, "cosmiclint: applying fixes: %v\n", err)
+			return 2
+		}
+		for _, name := range fixed {
+			fmt.Fprintf(stderr, "cosmiclint: fixed %s\n", displayPath(name, root))
+		}
+		if len(fixed) > 0 {
+			// Re-run on the rewritten tree: what remains (including allow
+			// directives the fixes just made stale) is the real report.
+			findings, _, code = analyze(root, rel, rules, stderr)
+			if code != 0 {
+				return code
+			}
+		}
+	}
+
+	if *writeBaselineFlag != "" {
+		if err := lint.WriteBaseline(*writeBaselineFlag, root, findings); err != nil {
+			fmt.Fprintf(stderr, "cosmiclint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "cosmiclint: wrote %d baseline entries to %s\n", len(findings), *writeBaselineFlag)
+		return 0
+	}
+
+	if *baselineFlag != "" {
+		bl, err := lint.ReadBaseline(*baselineFlag)
+		if err != nil {
+			fmt.Fprintf(stderr, "cosmiclint: %v\n", err)
+			return 2
+		}
+		var stale []lint.BaselineEntry
+		findings, stale = bl.Filter(root, findings)
+		for _, e := range stale {
+			fmt.Fprintf(stderr, "cosmiclint: stale baseline entry (finding no longer occurs): %s %s: %s\n", e.File, e.Rule, e.Message)
+		}
+	}
+
 	if *jsonFlag {
 		out := make([]jsonFinding, 0, len(findings))
 		for _, f := range findings {
@@ -102,6 +153,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 				Line:    f.Pos.Line,
 				Col:     f.Pos.Column,
 				Message: f.Message,
+				Path:    f.Path,
+				Fixable: f.SuggestedFix != nil,
 			})
 		}
 		enc := json.NewEncoder(stdout)
@@ -120,6 +173,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// analyze loads the packages and runs the rules once. A fresh loader per
+// call keeps re-analysis after -fix honest: it reparses from disk.
+func analyze(root string, patterns []string, rules []lint.Rule, stderr io.Writer) ([]lint.Finding, []*lint.Package, int) {
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "cosmiclint: %v\n", err)
+		return nil, nil, 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "cosmiclint: %v\n", err)
+		return nil, nil, 2
+	}
+	return lint.Run(pkgs, rules), pkgs, 0
 }
 
 // rootRelative rewrites cwd-relative patterns to module-root-relative

@@ -111,6 +111,189 @@ func TestBadPattern(t *testing.T) {
 	}
 }
 
+// tmpModule lays out a throwaway module under a temp dir and chdirs into
+// it, so run() resolves it as the module root.
+func tmpModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Chdir(dir)
+	return dir
+}
+
+// TestFixStaleAllow drives the -fix flow end to end on a module whose
+// one fixable finding sits next to an allow directive for the wrong
+// rule: the fix lands, the re-run reports the (still-unused) directive
+// deterministically, and a second -fix pass changes nothing.
+func TestFixStaleAllow(t *testing.T) {
+	dir := tmpModule(t, map[string]string{
+		"dump.go": `package tmpmod
+
+import (
+	"fmt"
+	"io"
+)
+
+func dump(w io.Writer, m map[int]int) {
+	//cosmiclint:allow nondet staleness fixture: nothing below reads the clock
+	for k := range m {
+		fmt.Fprintln(w, k)
+	}
+}
+`,
+	})
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-fix", "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("first -fix exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "fixed dump.go") {
+		t.Errorf("stderr = %q, want a fixed dump.go line", errb.String())
+	}
+	if strings.Contains(out.String(), "[maporder]") {
+		t.Errorf("maporder finding survived its own fix:\n%s", out.String())
+	}
+	wantStale := `unused cosmiclint:allow directive for rule "nondet"`
+	if !strings.Contains(out.String(), wantStale) {
+		t.Errorf("post-fix report lacks the stale directive finding %q:\n%s", wantStale, out.String())
+	}
+	firstReport := out.String()
+	fixedOnce, err := os.ReadFile(filepath.Join(dir, "dump.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fixedOnce), "slices.Sort(") {
+		t.Errorf("fix was not applied:\n%s", fixedOnce)
+	}
+
+	// Second pass: nothing left to rewrite, identical bytes, identical
+	// report — the stale directive is reported the same way every run.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-fix", "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("second -fix exit = %d, want 1", code)
+	}
+	if strings.Contains(errb.String(), "fixed ") {
+		t.Errorf("second -fix rewrote files: %q", errb.String())
+	}
+	if out.String() != firstReport {
+		t.Errorf("report drifted between -fix runs:\n first: %s\nsecond: %s", firstReport, out.String())
+	}
+	fixedTwice, err := os.ReadFile(filepath.Join(dir, "dump.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fixedTwice) != string(fixedOnce) {
+		t.Errorf("-fix is not idempotent:\n first:\n%s\nsecond:\n%s", fixedOnce, fixedTwice)
+	}
+}
+
+// transitiveGolden is the fixture behind TestTransitiveJSON: a
+// non-pipeline helper that reads the clock, and a pipeline caller
+// (internal/core is on the pipeline list of any module) that reaches it
+// only through the call graph.
+var transitiveFixture = map[string]string{
+	"internal/other/helper.go": `package other
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now()
+}
+`,
+	"internal/core/use.go": `package core
+
+import (
+	"time"
+
+	"tmpmod/internal/other"
+)
+
+func Use() time.Time {
+	return other.Stamp()
+}
+`,
+}
+
+// TestTransitiveJSON golden-pins the -json encoding of a transitive
+// nondet finding — in particular the path field, which older clients
+// must be able to ignore and new ones must be able to rely on.
+func TestTransitiveJSON(t *testing.T) {
+	golden, err := filepath.Abs(filepath.Join("testdata", "transitive.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpModule(t, transitiveFixture)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr %q)", code, errb.String())
+	}
+	if *update {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("-json transitive output drifted from golden:\n got: %s\nwant: %s", out.Bytes(), want)
+	}
+}
+
+// TestBaselineFlow covers -write-baseline and -baseline through the
+// driver: recording the debt exits 0, a baselined re-run exits 0, fixing
+// the debt turns the entry stale (reported on stderr, still exit 0).
+func TestBaselineFlow(t *testing.T) {
+	dir := tmpModule(t, map[string]string{"helper.go": `package tmpmod
+
+import "os"
+
+func classify(err error) string {
+	if pe, ok := err.(*os.PathError); ok {
+		return pe.Path
+	}
+	return ""
+}
+`})
+	baseline := filepath.Join(dir, "lint-baseline.json")
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-write-baseline", baseline, "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("-write-baseline exit = %d (stderr %q)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "wrote 1 baseline entries") {
+		t.Errorf("stderr = %q, want a wrote-1-entries line", errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-baseline", baseline, "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("baselined run exit = %d, want 0 (stdout %q)", code, out.String())
+	}
+
+	// Pay the debt (apply the errors.As fix); the entry is now stale.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-fix", "-baseline", baseline, "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("post-fix baselined run exit = %d, want 0 (stdout %q stderr %q)", code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "stale baseline entry") {
+		t.Errorf("stderr = %q, want a stale-entry report", errb.String())
+	}
+}
+
 // TestWholeTreeClean is the dogfood gate in miniature: the repository at
 // HEAD must lint clean. (verify.sh runs the same check from the shell;
 // this keeps `go test ./...` sufficient to catch regressions.)

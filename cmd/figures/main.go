@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -47,6 +48,7 @@ func fatal(err error) {
 }
 
 func main() {
+	ctx := context.Background()
 	figure := flag.Int("figure", 0, "render only this figure (1-10); 0 renders all")
 	extensions := flag.Bool("extensions", false, "also render the §6 extension analyses")
 	seed := flag.Int64("seed", 42, "simulation seed")
@@ -94,11 +96,11 @@ func main() {
 		w = f
 		closeOut = f.Close
 	}
-	if err := run(w, *figure, *seed, *parallelism, pipe); err != nil {
+	if err := run(ctx, w, *figure, *seed, *parallelism, pipe); err != nil {
 		fatal(err)
 	}
 	if *extensions {
-		if err := runExtensions(w, *seed, *parallelism, pipe); err != nil {
+		if err := runExtensions(ctx, w, *seed, *parallelism, pipe); err != nil {
 			fatal(err)
 		}
 	}
@@ -160,7 +162,7 @@ func renderSpan(pipe *artifact.Pipeline, name string, fn func() error) error {
 	return fn()
 }
 
-func run(w io.Writer, figure int, seed int64, parallelism int, pipe *artifact.Pipeline) error {
+func run(ctx context.Context, w io.Writer, figure int, seed int64, parallelism int, pipe *artifact.Pipeline) error {
 	want := func(n int) bool { return figure == 0 || figure == n }
 
 	// The paper-window substrate is shared by most figures.
@@ -175,7 +177,7 @@ func run(w io.Writer, figure int, seed int64, parallelism int, pipe *artifact.Pi
 		}
 	}
 	weatherCfg := spaceweather.Paper2020to2024()
-	weather, err := pipe.Weather(weatherCfg)
+	weather, err := pipe.Weather(ctx, weatherCfg)
 	if err != nil {
 		return err
 	}
@@ -187,12 +189,12 @@ func run(w io.Writer, figure int, seed int64, parallelism int, pipe *artifact.Pi
 		fleetCfg.Parallelism = parallelism
 		coreCfg := core.DefaultConfig()
 		coreCfg.Parallelism = parallelism
-		dataset, err = pipe.Dataset(weatherCfg, fleetCfg, coreCfg)
+		dataset, err = pipe.Dataset(ctx, weatherCfg, fleetCfg, coreCfg)
 		if err != nil {
 			return err
 		}
 		if want(9) {
-			fleet, err = pipe.Fleet(weatherCfg, fleetCfg)
+			fleet, err = pipe.Fleet(ctx, weatherCfg, fleetCfg)
 			if err != nil {
 				return err
 			}
@@ -235,7 +237,7 @@ func run(w io.Writer, figure int, seed int64, parallelism int, pipe *artifact.Pi
 	}
 	if want(4) {
 		err := renderSpan(pipe, "render:fig4", func() error {
-			wa, err := dataset.Window(spaceweather.Fig4Storm, core.WindowOptions{Days: 30, RequireHumpShape: true, MinPeakKm: 1})
+			wa, err := dataset.Window(ctx, spaceweather.Fig4Storm, core.WindowOptions{Days: 30, RequireHumpShape: true, MinPeakKm: 1})
 			if err != nil {
 				return err
 			}
@@ -249,7 +251,7 @@ func run(w io.Writer, figure int, seed int64, parallelism int, pipe *artifact.Pi
 			if err != nil {
 				return err
 			}
-			qa, err := dataset.Window(quiet[0], core.WindowOptions{Days: 15})
+			qa, err := dataset.Window(ctx, quiet[0], core.WindowOptions{Days: 15})
 			if err != nil {
 				return err
 			}
@@ -263,18 +265,18 @@ func run(w io.Writer, figure int, seed int64, parallelism int, pipe *artifact.Pi
 		}
 	}
 	if want(5) || want(6) {
-		if err := renderSpan(pipe, "render:fig5-6", func() error { return renderFig56(w, dataset, want) }); err != nil {
+		if err := renderSpan(pipe, "render:fig5-6", func() error { return renderFig56(ctx, w, dataset, want) }); err != nil {
 			return err
 		}
 	}
 	if want(7) {
-		if err := renderSpan(pipe, "render:fig7", func() error { return renderFig7(w, seed, parallelism, pipe) }); err != nil {
+		if err := renderSpan(pipe, "render:fig7", func() error { return renderFig7(ctx, w, seed, parallelism, pipe) }); err != nil {
 			return err
 		}
 	}
 	if want(8) {
 		err := renderSpan(pipe, "render:fig8", func() error {
-			fifty, err := pipe.Weather(spaceweather.FiftyYears())
+			fifty, err := pipe.Weather(ctx, spaceweather.FiftyYears())
 			if err != nil {
 				return err
 			}
@@ -322,12 +324,12 @@ func run(w io.Writer, figure int, seed int64, parallelism int, pipe *artifact.Pi
 	return nil
 }
 
-func renderFig56(w io.Writer, dataset *core.Dataset, want func(int) bool) error {
+func renderFig56(ctx context.Context, w io.Writer, dataset *core.Dataset, want func(int) bool) error {
 	quietEpochs, err := dataset.QuietEpochs(80, 15, 20, 14*24*time.Hour)
 	if err != nil {
 		return err
 	}
-	quietCDF, err := core.DeviationCDF(dataset.AssociateQuiet(quietEpochs, 15))
+	quietCDF, err := core.DeviationCDF(dataset.AssociateQuiet(ctx, quietEpochs, 15))
 	if err != nil {
 		return err
 	}
@@ -336,7 +338,7 @@ func renderFig56(w io.Writer, dataset *core.Dataset, want func(int) bool) error 
 		if err != nil {
 			return err
 		}
-		devs := dataset.Associate(events, 30)
+		devs := dataset.Associate(ctx, events, 30)
 		stormCDF, err := core.DeviationCDF(devs)
 		if err != nil {
 			return err
@@ -366,11 +368,11 @@ func renderFig56(w io.Writer, dataset *core.Dataset, want func(int) bool) error 
 		if err != nil {
 			return err
 		}
-		shortCDF, err := core.DeviationCDF(dataset.Associate(short, 30))
+		shortCDF, err := core.DeviationCDF(dataset.Associate(ctx, short, 30))
 		if err != nil {
 			return err
 		}
-		longDevs := dataset.Associate(long, 30)
+		longDevs := dataset.Associate(ctx, long, 30)
 		longCDF, err := core.DeviationCDF(longDevs)
 		if err != nil {
 			return err
@@ -394,13 +396,13 @@ func renderFig56(w io.Writer, dataset *core.Dataset, want func(int) bool) error 
 	return nil
 }
 
-func renderFig7(w io.Writer, seed int64, parallelism int, pipe *artifact.Pipeline) error {
+func renderFig7(ctx context.Context, w io.Writer, seed int64, parallelism int, pipe *artifact.Pipeline) error {
 	fmt.Fprintln(w, "\nbuilding the May 2024 full-scale fleet (5,900 satellites, one month)...")
 	fleetCfg := constellation.May2024Fleet(seed)
 	fleetCfg.Parallelism = parallelism
 	coreCfg := core.DefaultConfig()
 	coreCfg.Parallelism = parallelism
-	d, err := pipe.Dataset(spaceweather.May2024(), fleetCfg, coreCfg)
+	d, err := pipe.Dataset(ctx, spaceweather.May2024(), fleetCfg, coreCfg)
 	if err != nil {
 		return err
 	}
@@ -419,14 +421,14 @@ func renderFig7(w io.Writer, seed int64, parallelism int, pipe *artifact.Pipelin
 // runExtensions renders the §6 future-work analyses: latitude-band exposure
 // during the May 2024 super-storm and conjunction pressure over the paper
 // window.
-func runExtensions(w io.Writer, seed int64, parallelism int, pipe *artifact.Pipeline) error {
+func runExtensions(ctx context.Context, w io.Writer, seed int64, parallelism int, pipe *artifact.Pipeline) error {
 	// Latitude exposure at the super-storm peak. The fleet is deliberately
 	// smaller than Fig 7's (InitialFleet override), so it fingerprints — and
 	// caches — as its own artifact.
 	cfg := constellation.May2024Fleet(seed)
 	cfg.Parallelism = parallelism
 	cfg.InitialFleet = 1000
-	fleet, err := pipe.Fleet(spaceweather.May2024(), cfg)
+	fleet, err := pipe.Fleet(ctx, spaceweather.May2024(), cfg)
 	if err != nil {
 		return err
 	}
@@ -446,7 +448,7 @@ func runExtensions(w io.Writer, seed int64, parallelism int, pipe *artifact.Pipe
 	paperCfg.Parallelism = parallelism
 	coreCfg := core.DefaultConfig()
 	coreCfg.Parallelism = parallelism
-	dataset, err := pipe.Dataset(spaceweather.Paper2020to2024(), paperCfg, coreCfg)
+	dataset, err := pipe.Dataset(ctx, spaceweather.Paper2020to2024(), paperCfg, coreCfg)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -24,7 +25,7 @@ func TestWeatherOnlyFigures(t *testing.T) {
 	}
 	for _, c := range cases {
 		var buf bytes.Buffer
-		if err := run(&buf, c.figure, 42, 0, artifact.NewPipeline(nil)); err != nil {
+		if err := run(context.Background(), &buf, c.figure, 42, 0, artifact.NewPipeline(nil)); err != nil {
 			t.Fatalf("figure %d: %v", c.figure, err)
 		}
 		out := buf.String()
@@ -41,7 +42,7 @@ func TestFullRun(t *testing.T) {
 		t.Skip("full substrate build in -short mode")
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, 0, 42, 0, artifact.NewPipeline(nil)); err != nil {
+	if err := run(context.Background(), &buf, 0, 42, 0, artifact.NewPipeline(nil)); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -54,7 +55,7 @@ func TestFullRun(t *testing.T) {
 			t.Errorf("output missing %q", marker)
 		}
 	}
-	if err := runExtensions(&buf, 42, 0, artifact.NewPipeline(nil)); err != nil {
+	if err := runExtensions(context.Background(), &buf, 42, 0, artifact.NewPipeline(nil)); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "latitude-band exposure") ||
@@ -71,7 +72,7 @@ func TestCSVExport(t *testing.T) {
 	csvOut = dir
 	defer func() { csvOut = "" }()
 	var buf bytes.Buffer
-	if err := run(&buf, 4, 42, 0, artifact.NewPipeline(nil)); err != nil {
+	if err := run(context.Background(), &buf, 4, 42, 0, artifact.NewPipeline(nil)); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"fig04a.csv", "fig04b.csv"} {
@@ -99,7 +100,7 @@ func TestFiguresGolden(t *testing.T) {
 	var sequential []byte
 	for _, width := range []int{1, 2, 4, 8} {
 		var buf bytes.Buffer
-		if err := run(&buf, 0, 42, width, artifact.NewPipeline(nil)); err != nil {
+		if err := run(context.Background(), &buf, 0, 42, width, artifact.NewPipeline(nil)); err != nil {
 			t.Fatalf("parallelism %d: %v", width, err)
 		}
 		testkit.Golden(t, "figures_seed42.golden", buf.Bytes())
@@ -123,10 +124,10 @@ func TestFiguresCacheWarmIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	var cold, warm bytes.Buffer
-	if err := run(&cold, 7, 42, 0, artifact.NewPipeline(cache)); err != nil {
+	if err := run(context.Background(), &cold, 7, 42, 0, artifact.NewPipeline(cache)); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&warm, 7, 42, 0, artifact.NewPipeline(cache)); err != nil {
+	if err := run(context.Background(), &warm, 7, 42, 0, artifact.NewPipeline(cache)); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
@@ -139,7 +140,7 @@ func TestFiguresCacheWarmIdentical(t *testing.T) {
 func TestWeatherFiguresGolden(t *testing.T) {
 	var buf bytes.Buffer
 	for _, fig := range []int{1, 2, 8} {
-		if err := run(&buf, fig, 42, 0, artifact.NewPipeline(nil)); err != nil {
+		if err := run(context.Background(), &buf, fig, 42, 0, artifact.NewPipeline(nil)); err != nil {
 			t.Fatal(err)
 		}
 	}

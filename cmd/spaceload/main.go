@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -32,7 +33,8 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx := context.Background()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "spaceload:", err)
 		os.Exit(1)
 	}
@@ -40,7 +42,7 @@ func main() {
 
 // run executes one load run with the given arguments, writing the JSON
 // report to out (or the -o file when set).
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("spaceload", flag.ContinueOnError)
 	seed := fs.Int64("seed", 42, "run seed: think times, window picks, retry jitter, fault bytes")
 	duration := fs.Duration("duration", 10*time.Minute, "virtual run length")
@@ -60,7 +62,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	report, err := loadsim.Run(loadsim.Config{
+	report, err := loadsim.Run(ctx, loadsim.Config{
 		Seed:           *seed,
 		Duration:       *duration,
 		Bulk:           *bulk,

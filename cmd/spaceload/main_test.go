@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"testing"
 )
@@ -15,10 +16,10 @@ func TestDoubleRunByteIdentical(t *testing.T) {
 		"-days", "5", "-faults", "429:1/29",
 	}
 	var a, b bytes.Buffer
-	if err := run(args, &a); err != nil {
+	if err := run(context.Background(), args, &a); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(args, &b); err != nil {
+	if err := run(context.Background(), args, &b); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {
@@ -38,7 +39,7 @@ func TestRunWritesFile(t *testing.T) {
 	args := []string{"-seed", "1", "-duration", "2m", "-poll", "1", "-spike", "0",
 		"-bulk", "0", "-ingesters", "0", "-days", "3", "-o", path}
 	var stdout bytes.Buffer
-	if err := run(args, &stdout); err != nil {
+	if err := run(context.Background(), args, &stdout); err != nil {
 		t.Fatal(err)
 	}
 	if stdout.Len() != 0 {
@@ -48,13 +49,13 @@ func TestRunWritesFile(t *testing.T) {
 
 func TestRunBadFlags(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-duration", "0s"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-duration", "0s"}, &out); err == nil {
 		t.Error("zero duration accepted")
 	}
-	if err := run([]string{"-faults", "garbage"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-faults", "garbage"}, &out); err == nil {
 		t.Error("bad schedule accepted")
 	}
-	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-no-such-flag"}, &out); err == nil {
 		t.Error("unknown flag accepted")
 	}
 }

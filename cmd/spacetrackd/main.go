@@ -114,7 +114,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
-	res, err := constellation.Run(cfg, weather)
+	res, err := constellation.Run(ctx, cfg, weather)
 	if err != nil {
 		return err
 	}

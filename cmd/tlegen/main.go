@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +31,7 @@ func fatal(err error) {
 }
 
 func main() {
+	ctx := context.Background()
 	fleet := flag.String("fleet", "small", "fleet preset: paper (4.5 y, ~2000 sats), may2024 (1 month, 5900 sats) or small (6 months, 40 sats)")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	names := flag.Bool("names", false, "emit 3LE name lines")
@@ -59,7 +61,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := constellation.Run(cfg, weather)
+	res, err := constellation.Run(ctx, cfg, weather)
 	if err != nil {
 		fatal(err)
 	}

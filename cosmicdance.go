@@ -23,6 +23,8 @@
 package cosmicdance
 
 import (
+	"context"
+
 	"cosmicdance/internal/conjunction"
 	"cosmicdance/internal/constellation"
 	"cosmicdance/internal/core"
@@ -113,14 +115,14 @@ func GenerateWeather(cfg WeatherConfig) (*DstIndex, error) { return spaceweather
 // PaperConstellation simulates the paper-window Starlink-like fleet (L1
 // launch, steady cadence, the Feb 2022 staging incident, Fig 3's scripted
 // satellites) against the given weather.
-func PaperConstellation(weather *DstIndex, seed int64) (*FleetResult, error) {
-	return constellation.Run(constellation.PaperFleet(seed), weather)
+func PaperConstellation(ctx context.Context, weather *DstIndex, seed int64) (*FleetResult, error) {
+	return constellation.Run(ctx, constellation.PaperFleet(seed), weather)
 }
 
 // May2024Constellation simulates the full-scale fleet through the May 2024
 // super-storm with Starlink's proactive drag mitigation enabled.
-func May2024Constellation(weather *DstIndex, seed int64) (*FleetResult, error) {
-	return constellation.Run(constellation.May2024Fleet(seed), weather)
+func May2024Constellation(ctx context.Context, weather *DstIndex, seed int64) (*FleetResult, error) {
+	return constellation.Run(ctx, constellation.May2024Fleet(seed), weather)
 }
 
 // DefaultFleetConfig returns the calibrated baseline fleet physics; set
@@ -128,24 +130,24 @@ func May2024Constellation(weather *DstIndex, seed int64) (*FleetResult, error) {
 func DefaultFleetConfig() FleetConfig { return constellation.DefaultConfig() }
 
 // SimulateConstellation runs the simulator with a custom configuration.
-func SimulateConstellation(cfg FleetConfig, weather *DstIndex) (*FleetResult, error) {
-	return constellation.Run(cfg, weather)
+func SimulateConstellation(ctx context.Context, cfg FleetConfig, weather *DstIndex) (*FleetResult, error) {
+	return constellation.Run(ctx, cfg, weather)
 }
 
 // NewDataset builds the cleaned dataset from a simulated fleet with the
 // default pipeline parameters.
-func NewDataset(weather *DstIndex, fleet *FleetResult) (*Dataset, error) {
+func NewDataset(ctx context.Context, weather *DstIndex, fleet *FleetResult) (*Dataset, error) {
 	b := core.NewBuilder(core.DefaultConfig(), weather)
 	b.AddSamples(fleet.Samples)
-	return b.Build()
+	return b.Build(ctx)
 }
 
 // NewDatasetFromTLEs builds the cleaned dataset from parsed element sets —
 // the path a deployment fed by live CelesTrak/Space-Track data uses.
-func NewDatasetFromTLEs(cfg PipelineConfig, weather *DstIndex, sets []*TLE) (*Dataset, error) {
+func NewDatasetFromTLEs(ctx context.Context, cfg PipelineConfig, weather *DstIndex, sets []*TLE) (*Dataset, error) {
 	b := core.NewBuilder(cfg, weather)
 	b.AddTLEs(sets)
-	return b.Build()
+	return b.Build(ctx)
 }
 
 // NewBuilder starts an incremental dataset build.

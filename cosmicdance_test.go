@@ -1,6 +1,7 @@
 package cosmicdance
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -16,18 +17,18 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fleet, err := SimulateConstellation(smallFleet(weather), weather)
+	fleet, err := SimulateConstellation(context.Background(), smallFleet(weather), weather)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dataset, err := NewDataset(weather, fleet)
+	dataset, err := NewDataset(context.Background(), weather, fleet)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(dataset.Tracks()) == 0 {
 		t.Fatal("no tracks")
 	}
-	devs := dataset.Associate(dataset.Events(StormThreshold, 1, 0), 15)
+	devs := dataset.Associate(context.Background(), dataset.Events(StormThreshold, 1, 0), 15)
 	_ = devs // quiet weather: associations may be empty; the call must work
 }
 

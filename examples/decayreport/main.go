@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -24,18 +25,19 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	weather, err := spaceweather.Generate(spaceweather.Paper2020to2024())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("decayreport: simulating the paper-window fleet (takes a few seconds)...")
-	fleet, err := constellation.Run(constellation.PaperFleet(42), weather)
+	fleet, err := constellation.Run(ctx, constellation.PaperFleet(42), weather)
 	if err != nil {
 		log.Fatal(err)
 	}
 	builder := core.NewBuilder(core.DefaultConfig(), weather)
 	builder.AddSamples(fleet.Samples)
-	dataset, err := builder.Build()
+	dataset, err := builder.Build(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

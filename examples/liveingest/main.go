@@ -57,7 +57,7 @@ func main() {
 	}
 	fleetCfg := constellation.May2024Fleet(7)
 	fleetCfg.InitialFleet = 120
-	fleet, err := constellation.Run(fleetCfg, weather)
+	fleet, err := constellation.Run(ctx, fleetCfg, weather)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -136,7 +136,7 @@ func main() {
 	fmt.Printf("liveingest: cached %d historical element sets in %s\n", total, cacheDir)
 
 	// 4. The pipeline.
-	dataset, err := builder.Build()
+	dataset, err := builder.Build(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	devs := dataset.Associate(events, 14)
+	devs := dataset.Associate(ctx, events, 14)
 	cdf, err := core.DeviationCDF(devs)
 	if err != nil {
 		log.Fatal(err)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -20,6 +21,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	start := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
 
 	// 1. Space weather: a quiet year with one -180 nT storm in June.
@@ -45,7 +47,7 @@ func main() {
 	cfg.InitialFleet = 60
 	cfg.SafeModeProbPerStormHour = 0.02 // make the small fleet react visibly
 	cfg.FailProbPerStormHour = 0.002
-	fleet, err := constellation.Run(cfg, weather)
+	fleet, err := constellation.Run(ctx, cfg, weather)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +55,7 @@ func main() {
 	// 3. The pipeline: ingest, clean, associate.
 	builder := core.NewBuilder(core.DefaultConfig(), weather)
 	builder.AddSamples(fleet.Samples)
-	dataset, err := builder.Build()
+	dataset, err := builder.Build(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,7 +69,7 @@ func main() {
 	}
 
 	// 5. Happens-closely-after: orbital shifts within 30 days of each storm.
-	devs := dataset.Associate(events, 30)
+	devs := dataset.Associate(ctx, events, 30)
 	affected := 0
 	for _, dv := range devs {
 		if dv.MaxDevKm > 2 {

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,18 +22,19 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	weather, err := spaceweather.Generate(spaceweather.Paper2020to2024())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("shellcrossing: simulating the paper-window fleet (takes a few seconds)...")
-	fleet, err := constellation.Run(constellation.PaperFleet(42), weather)
+	fleet, err := constellation.Run(ctx, constellation.PaperFleet(42), weather)
 	if err != nil {
 		log.Fatal(err)
 	}
 	builder := core.NewBuilder(core.DefaultConfig(), weather)
 	builder.AddSamples(fleet.Samples)
-	dataset, err := builder.Build()
+	dataset, err := builder.Build(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,7 +43,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	devs := dataset.Associate(events, 30)
+	devs := dataset.Associate(ctx, events, 30)
 
 	gap := constellation.InterShellGapKm
 	// Shell altitudes span 540-570 km; a deviation of ~10 km can reach the

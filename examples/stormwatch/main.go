@@ -28,6 +28,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// The May 2024 scenario: the strongest storm since 2003.
 	weather, err := spaceweather.Generate(spaceweather.May2024())
 	if err != nil {
@@ -35,7 +36,7 @@ func main() {
 	}
 	fleetCfg := constellation.May2024Fleet(7)
 	fleetCfg.InitialFleet = 500 // a subsample is plenty for a demo
-	fleet, err := constellation.Run(fleetCfg, weather)
+	fleet, err := constellation.Run(ctx, fleetCfg, weather)
 	if err != nil {
 		log.Fatal(err)
 	}

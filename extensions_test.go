@@ -5,6 +5,7 @@ package cosmicdance
 // conjunction/Kessler pressure from storm-driven decays.
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -28,7 +29,7 @@ func BenchmarkExtensionLatitudeExposure(b *testing.B) {
 	}
 	cfg := constellation.May2024Fleet(7)
 	cfg.InitialFleet = 1000
-	fleet, err := constellation.Run(cfg, weather)
+	fleet, err := constellation.Run(context.Background(), cfg, weather)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func BenchmarkExtensionIntensityResponse(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		_, _, corr, err := data.IntensityResponse(evs, 30)
+		_, _, corr, err := data.IntensityResponse(context.Background(), evs, 30)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -165,7 +166,7 @@ func BenchmarkExtensionServiceHoles(b *testing.B) {
 	}
 	cfg := constellation.May2024Fleet(7)
 	cfg.InitialFleet = 900
-	fleet, err := constellation.Run(cfg, weather)
+	fleet, err := constellation.Run(context.Background(), cfg, weather)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -13,6 +13,7 @@ package cosmicdance
 // binary.
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -48,16 +49,16 @@ func PaperFixture(tb testing.TB) (*dst.Index, *constellation.Result, *core.Datas
 	tb.Helper()
 	pipe := benchPipeline()
 	weatherCfg := spaceweather.Paper2020to2024()
-	weather, err := pipe.Weather(weatherCfg)
+	weather, err := pipe.Weather(context.Background(), weatherCfg)
 	if err != nil {
 		tb.Fatal(err)
 	}
 	fleetCfg := constellation.PaperFleet(42)
-	fleet, err := pipe.Fleet(weatherCfg, fleetCfg)
+	fleet, err := pipe.Fleet(context.Background(), weatherCfg, fleetCfg)
 	if err != nil {
 		tb.Fatal(err)
 	}
-	data, err := pipe.Dataset(weatherCfg, fleetCfg, core.DefaultConfig())
+	data, err := pipe.Dataset(context.Background(), weatherCfg, fleetCfg, core.DefaultConfig())
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -70,12 +71,12 @@ func May2024Fixture(tb testing.TB) (*dst.Index, *core.Dataset, time.Time) {
 	tb.Helper()
 	pipe := benchPipeline()
 	weatherCfg := spaceweather.May2024()
-	weather, err := pipe.Weather(weatherCfg)
+	weather, err := pipe.Weather(context.Background(), weatherCfg)
 	if err != nil {
 		tb.Fatal(err)
 	}
 	fleetCfg := constellation.May2024Fleet(7)
-	data, err := pipe.Dataset(weatherCfg, fleetCfg, core.DefaultConfig())
+	data, err := pipe.Dataset(context.Background(), weatherCfg, fleetCfg, core.DefaultConfig())
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func May2024Fixture(tb testing.TB) (*dst.Index, *core.Dataset, time.Time) {
 // BenchPaperWeather returns just the paper-window Dst series.
 func BenchPaperWeather(tb testing.TB) *dst.Index {
 	tb.Helper()
-	weather, err := benchPipeline().Weather(spaceweather.Paper2020to2024())
+	weather, err := benchPipeline().Weather(context.Background(), spaceweather.Paper2020to2024())
 	if err != nil {
 		tb.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package artifact
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"log/slog"
 	"os"
@@ -89,7 +90,7 @@ func testFleetCfg() constellation.Config {
 
 func testArchive(t testing.TB, weather *dst.Index) *constellation.Result {
 	t.Helper()
-	res, err := constellation.Run(testFleetCfg(), weather)
+	res, err := constellation.Run(context.Background(), testFleetCfg(), weather)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func testDataset(t testing.TB, weather *dst.Index, res *constellation.Result) *c
 	t.Helper()
 	b := core.NewBuilder(core.DefaultConfig(), weather)
 	b.AddSamples(res.Samples)
-	d, err := b.Build()
+	d, err := b.Build(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -416,12 +417,12 @@ func TestPipelineWarmEqualsCold(t *testing.T) {
 
 	coldPipe := NewPipeline(cache)
 	coldPipe.Log = failLogger(t)
-	cold, err := coldPipe.Dataset(wcfg, fcfg, ccfg)
+	cold, err := coldPipe.Dataset(context.Background(), wcfg, fcfg, ccfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Within one pipeline the dataset is memoized: same pointer.
-	again, err := coldPipe.Dataset(wcfg, fcfg, ccfg)
+	again, err := coldPipe.Dataset(context.Background(), wcfg, fcfg, ccfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -438,7 +439,7 @@ func TestPipelineWarmEqualsCold(t *testing.T) {
 	warmCore.Parallelism = 4
 	warmPipe := NewPipeline(cache)
 	warmPipe.Log = failLogger(t)
-	warm, err := warmPipe.Dataset(wcfg, warmCfgs, warmCore)
+	warm, err := warmPipe.Dataset(context.Background(), wcfg, warmCfgs, warmCore)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -447,22 +448,22 @@ func TestPipelineWarmEqualsCold(t *testing.T) {
 	}
 
 	// Weather and fleet come back identical through their own entries.
-	coldW, err := coldPipe.Weather(wcfg)
+	coldW, err := coldPipe.Weather(context.Background(), wcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	warmW, err := warmPipe.Weather(wcfg)
+	warmW, err := warmPipe.Weather(context.Background(), wcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(encodeWeatherBytes(t, warmW), encodeWeatherBytes(t, coldW)) {
 		t.Fatal("warm weather is not bit-identical")
 	}
-	coldF, err := coldPipe.Fleet(wcfg, fcfg)
+	coldF, err := coldPipe.Fleet(context.Background(), wcfg, fcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	warmF, err := warmPipe.Fleet(wcfg, warmCfgs)
+	warmF, err := warmPipe.Fleet(context.Background(), wcfg, warmCfgs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -473,7 +474,7 @@ func TestPipelineWarmEqualsCold(t *testing.T) {
 
 func TestPipelineWithoutCache(t *testing.T) {
 	pipe := NewPipeline(nil)
-	d, err := pipe.Dataset(testWeatherCfg(), testFleetCfg(), core.DefaultConfig())
+	d, err := pipe.Dataset(context.Background(), testWeatherCfg(), testFleetCfg(), core.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -222,7 +222,7 @@ func (p *Pipeline) EachSegment(ctx context.Context, weatherCfg spaceweather.Conf
 	if chunkSize <= 0 {
 		chunkSize = DefaultChunkSize
 	}
-	weather, err := p.Weather(weatherCfg)
+	weather, err := p.Weather(ctx, weatherCfg)
 	if err != nil {
 		return err
 	}
@@ -252,11 +252,11 @@ func (p *Pipeline) EachSegment(ctx context.Context, weatherCfg spaceweather.Conf
 	chunkCfg.Parallelism = 1
 
 	build := func(i int) ([]byte, error) {
-		res, err := plan.RunChunk(i, weather)
+		res, err := plan.RunChunk(ctx, i, weather)
 		if err != nil {
 			return nil, err
 		}
-		part, err := core.BuildChunkPartial(chunkCfg, res.Samples)
+		part, err := core.BuildChunkPartial(ctx, chunkCfg, res.Samples)
 		if err != nil {
 			return nil, err
 		}
@@ -326,7 +326,7 @@ func (p *Pipeline) EachSegment(ctx context.Context, weatherCfg spaceweather.Conf
 // rerun resumes chunk by chunk instead of all-or-nothing. Callers that want
 // the final dataset cached use Dataset for mid-scale fleets.
 func (p *Pipeline) ChunkedDataset(ctx context.Context, weatherCfg spaceweather.Config, fleetCfg constellation.Config, coreCfg core.Config, opts ChunkedOptions) (*core.Dataset, error) {
-	weather, err := p.Weather(weatherCfg)
+	weather, err := p.Weather(ctx, weatherCfg)
 	if err != nil {
 		return nil, err
 	}

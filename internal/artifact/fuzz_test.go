@@ -2,6 +2,7 @@ package artifact
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"cosmicdance/internal/core"
@@ -70,7 +71,7 @@ func FuzzSegmentRoundTrip(f *testing.F) {
 	res := testArchive(f, w)
 	cfg := core.DefaultConfig()
 	cfg.Parallelism = 1
-	p, err := core.BuildChunkPartial(cfg, res.Samples)
+	p, err := core.BuildChunkPartial(context.Background(), cfg, res.Samples)
 	if err != nil {
 		f.Fatal(err)
 	}

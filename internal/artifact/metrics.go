@@ -11,17 +11,18 @@ import (
 // events (one per cache operation), so the cache's hot path — the decode
 // itself — is untouched.
 var (
-	metricHits         = kindCounters("artifact_cache_hits_total")
-	metricMisses       = kindCounters("artifact_cache_misses_total")
-	metricEvictions    = kindCounters("artifact_cache_corrupt_evictions_total")
+	metricHits         = newKindCounters("artifact_cache_hits_total")
+	metricMisses       = newKindCounters("artifact_cache_misses_total")
+	metricEvictions    = newKindCounters("artifact_cache_corrupt_evictions_total")
+	metricOtherKinds   = obs.Default().Counter("artifact_cache_other_total")
 	metricStoreFails   = obs.Default().Counter("artifact_cache_store_failures_total")
 	metricBytesRead    = obs.Default().Counter("artifact_cache_read_bytes_total")
 	metricBytesWritten = obs.Default().Counter("artifact_cache_written_bytes_total")
 	metricFingerprints = obs.Default().Counter("artifact_fingerprints_total")
 )
 
-// kindCounters registers one counter per snapshot kind.
-func kindCounters(name string) map[Kind]*obs.Counter {
+// newKindCounters registers one counter per snapshot kind.
+func newKindCounters(name string) map[Kind]*obs.Counter {
 	m := make(map[Kind]*obs.Counter, 4)
 	for _, k := range []Kind{KindWeather, KindArchive, KindDataset, KindSegment} {
 		m[k] = obs.Default().Counter(name, "kind", k.String())
@@ -29,14 +30,15 @@ func kindCounters(name string) map[Kind]*obs.Counter {
 	return m
 }
 
-// countKind increments the per-kind counter, registering on first use for a
-// kind outside the built-in three (future-proofing, not a hot path).
+// countKind increments the per-kind counter. A kind outside the built-in
+// set folds into the pre-registered catch-all — registration happens only
+// at package init, never on a cache operation.
 func countKind(m map[Kind]*obs.Counter, k Kind) {
 	if c, ok := m[k]; ok {
 		c.Inc()
 		return
 	}
-	obs.Default().Counter("artifact_cache_other_total", "kind", k.String()).Inc()
+	metricOtherKinds.Inc()
 }
 
 // countingReader counts bytes pulled through it.

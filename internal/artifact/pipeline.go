@@ -1,6 +1,7 @@
 package artifact
 
 import (
+	"context"
 	"log/slog"
 	"sync"
 
@@ -56,13 +57,13 @@ func (p *Pipeline) warn(err error) {
 
 // Weather returns the Dst series for cfg: memoized, then cached, then
 // generated.
-func (p *Pipeline) Weather(cfg spaceweather.Config) (*dst.Index, error) {
+func (p *Pipeline) Weather(ctx context.Context, cfg spaceweather.Config) (*dst.Index, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.weatherLocked(cfg)
+	return p.weatherLocked(ctx, cfg)
 }
 
-func (p *Pipeline) weatherLocked(cfg spaceweather.Config) (*dst.Index, error) {
+func (p *Pipeline) weatherLocked(ctx context.Context, cfg spaceweather.Config) (*dst.Index, error) {
 	sp := p.Trace.Start("weather")
 	defer sp.End()
 	fp := FingerprintWeather(cfg)
@@ -89,13 +90,13 @@ func (p *Pipeline) weatherLocked(cfg spaceweather.Config) (*dst.Index, error) {
 // Fleet returns the constellation run for (weatherCfg, fleetCfg): memoized,
 // then cached, then simulated. fleetCfg.Parallelism only affects how a cold
 // simulation is scheduled, never the result or the cache key.
-func (p *Pipeline) Fleet(weatherCfg spaceweather.Config, fleetCfg constellation.Config) (*constellation.Result, error) {
+func (p *Pipeline) Fleet(ctx context.Context, weatherCfg spaceweather.Config, fleetCfg constellation.Config) (*constellation.Result, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.fleetLocked(weatherCfg, fleetCfg)
+	return p.fleetLocked(ctx, weatherCfg, fleetCfg)
 }
 
-func (p *Pipeline) fleetLocked(weatherCfg spaceweather.Config, fleetCfg constellation.Config) (*constellation.Result, error) {
+func (p *Pipeline) fleetLocked(ctx context.Context, weatherCfg spaceweather.Config, fleetCfg constellation.Config) (*constellation.Result, error) {
 	sp := p.Trace.Start("fleet")
 	defer sp.End()
 	fp := FingerprintFleet(FingerprintWeather(weatherCfg), fleetCfg)
@@ -108,11 +109,11 @@ func (p *Pipeline) fleetLocked(weatherCfg spaceweather.Config, fleetCfg constell
 			return res, nil
 		}
 	}
-	weather, err := p.weatherLocked(weatherCfg)
+	weather, err := p.weatherLocked(ctx, weatherCfg)
 	if err != nil {
 		return nil, err
 	}
-	res, err := constellation.Run(fleetCfg, weather)
+	res, err := constellation.Run(ctx, fleetCfg, weather)
 	if err != nil {
 		return nil, err
 	}
@@ -127,7 +128,7 @@ func (p *Pipeline) fleetLocked(weatherCfg spaceweather.Config, fleetCfg constell
 // cached (the snapshot is self-contained, so a hit skips weather generation
 // and simulation entirely), then built from the upstream stages. coreCfg's
 // Parallelism knob is applied to the returned dataset but never hashed.
-func (p *Pipeline) Dataset(weatherCfg spaceweather.Config, fleetCfg constellation.Config, coreCfg core.Config) (*core.Dataset, error) {
+func (p *Pipeline) Dataset(ctx context.Context, weatherCfg spaceweather.Config, fleetCfg constellation.Config, coreCfg core.Config) (*core.Dataset, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	sp := p.Trace.Start("dataset")
@@ -142,17 +143,17 @@ func (p *Pipeline) Dataset(weatherCfg spaceweather.Config, fleetCfg constellatio
 			return d, nil
 		}
 	}
-	weather, err := p.weatherLocked(weatherCfg)
+	weather, err := p.weatherLocked(ctx, weatherCfg)
 	if err != nil {
 		return nil, err
 	}
-	fleet, err := p.fleetLocked(weatherCfg, fleetCfg)
+	fleet, err := p.fleetLocked(ctx, weatherCfg, fleetCfg)
 	if err != nil {
 		return nil, err
 	}
 	b := core.NewBuilder(coreCfg, weather)
 	b.AddSamples(fleet.Samples)
-	d, err := b.Build()
+	d, err := b.Build(ctx)
 	if err != nil {
 		return nil, err
 	}

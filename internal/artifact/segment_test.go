@@ -2,6 +2,7 @@ package artifact
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"reflect"
 	"testing"
@@ -17,7 +18,7 @@ func testPartial(t testing.TB) *core.ChunkPartial {
 	res := testArchive(t, w)
 	cfg := core.DefaultConfig()
 	cfg.Parallelism = 1
-	p, err := core.BuildChunkPartial(cfg, res.Samples)
+	p, err := core.BuildChunkPartial(context.Background(), cfg, res.Samples)
 	if err != nil {
 		t.Fatal(err)
 	}

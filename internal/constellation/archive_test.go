@@ -2,6 +2,7 @@ package constellation
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -10,7 +11,7 @@ func TestArchiveSaveLoadRoundTrip(t *testing.T) {
 	cfg := smallConfig(24 * 120)
 	first := cfg.FirstCatalog
 	cfg.Scripted = []ScriptedEvent{{Catalog: first, At: simStart.Add(60 * 24 * 3600e9), Action: ScriptFail}}
-	res, err := Run(cfg, quietIndex(cfg.Hours))
+	res, err := Run(context.Background(), cfg, quietIndex(cfg.Hours))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestArchiveLoadRejectsGarbage(t *testing.T) {
 
 func TestArchiveLoadRejectsTruncation(t *testing.T) {
 	cfg := smallConfig(24 * 30)
-	res, err := Run(cfg, quietIndex(cfg.Hours))
+	res, err := Run(context.Background(), cfg, quietIndex(cfg.Hours))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestArchiveLoadRejectsTruncation(t *testing.T) {
 
 func TestArchiveLoadRejectsWrongVersion(t *testing.T) {
 	cfg := smallConfig(24 * 10)
-	res, err := Run(cfg, quietIndex(cfg.Hours))
+	res, err := Run(context.Background(), cfg, quietIndex(cfg.Hours))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -72,7 +72,7 @@ func TestRunChunkedEquivalence(t *testing.T) {
 	weather := stormIndex(hours, 24*10, -250)
 	for _, seed := range []int64{7, 42} {
 		cfg := chunkTestConfig(seed, hours)
-		want, err := Run(cfg, weather)
+		want, err := Run(context.Background(), cfg, weather)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -114,7 +114,7 @@ func TestRunChunkedResearchFleet(t *testing.T) {
 	end := simStart.AddDate(0, 4, 0)
 	cfg := ResearchFleet(3, start, end, 19)
 	weather := stormIndex(cfg.Hours, cfg.Hours/2, -300)
-	want, err := Run(cfg, weather)
+	want, err := Run(context.Background(), cfg, weather)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,10 +176,10 @@ func TestPlanChunksValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := plan.RunChunk(-1, quietIndex(24)); err == nil {
+	if _, err := plan.RunChunk(context.Background(), -1, quietIndex(24)); err == nil {
 		t.Error("negative chunk accepted")
 	}
-	if _, err := plan.RunChunk(plan.NumChunks(), quietIndex(24)); err == nil {
+	if _, err := plan.RunChunk(context.Background(), plan.NumChunks(), quietIndex(24)); err == nil {
 		t.Error("out-of-range chunk accepted")
 	}
 }
@@ -213,7 +213,7 @@ func TestMegaFleetPreset(t *testing.T) {
 		t.Fatalf("MegaShells: %d shells, want %d", got, want)
 	}
 	weather := stormIndex(cfg.Hours, cfg.Hours/2, -350)
-	want, err := Run(cfg, weather)
+	want, err := Run(context.Background(), cfg, weather)
 	if err != nil {
 		t.Fatal(err)
 	}

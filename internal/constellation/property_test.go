@@ -1,6 +1,7 @@
 package constellation
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -27,7 +28,7 @@ func TestArchiveInvariants(t *testing.T) {
 		cfg.SafeModeProbPerStormHour = rng.Float64() * 0.05
 		cfg.FailProbPerStormHour = rng.Float64() * 0.005
 
-		res, err := Run(cfg, weather)
+		res, err := Run(context.Background(), cfg, weather)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -85,7 +86,7 @@ func TestArchiveInvariants(t *testing.T) {
 
 func TestGroupByCatalogPreservesSamples(t *testing.T) {
 	cfg := smallConfig(24 * 120)
-	res, err := Run(cfg, quietIndex(cfg.Hours))
+	res, err := Run(context.Background(), cfg, quietIndex(cfg.Hours))
 	if err != nil {
 		t.Fatal(err)
 	}

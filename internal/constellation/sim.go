@@ -122,7 +122,7 @@ type Result struct {
 // from (cfg.Seed, catalog number), so the archive is bit-identical for every
 // worker count and every goroutine schedule: determinism is a property of
 // the decomposition, not of the scheduler.
-func Run(cfg Config, weather *dst.Index) (*Result, error) {
+func Run(ctx context.Context, cfg Config, weather *dst.Index) (*Result, error) {
 	if err := validateConfig(cfg); err != nil {
 		return nil, err
 	}
@@ -168,7 +168,7 @@ func Run(cfg Config, weather *dst.Index) (*Result, error) {
 			st.launch(launches[launchIdx], now)
 			launchIdx++
 		}
-		if err := st.step(now, d); err != nil {
+		if err := st.step(ctx, now, d); err != nil {
 			return nil, fmt.Errorf("constellation: step at %s: %w", now.Format(time.RFC3339), err)
 		}
 	}
@@ -331,7 +331,7 @@ func (st *simState) newSat(shellIdx int, launchedAt time.Time, stagingAlt float6
 // are updated independently on the worker pool (each owns its state and its
 // RNG stream); the coordinator then collects the samples emitted this hour
 // in satellite order, so the archive layout is identical at every width.
-func (st *simState) step(now time.Time, d units.NanoTesla) error {
+func (st *simState) step(ctx context.Context, now time.Time, d units.NanoTesla) error {
 	enh := st.cfg.Atmosphere.Enhancement(d)
 	stormActive := d <= units.StormThreshold
 	// With proactive mitigation the operator suppresses storm casualties
@@ -346,7 +346,7 @@ func (st *simState) step(now time.Time, d units.NanoTesla) error {
 
 	st.stepNow, st.stepD = now, d
 	st.stepStorm, st.stepDuck, st.stepIntensity = stormActive, duck, intensityScale
-	if err := st.pool.ForEach(context.Background(), len(st.sats), st.stepFn); err != nil {
+	if err := st.pool.ForEach(ctx, len(st.sats), st.stepFn); err != nil {
 		return err
 	}
 

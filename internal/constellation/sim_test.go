@@ -1,6 +1,7 @@
 package constellation
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -58,28 +59,28 @@ func smallConfig(hours int) Config {
 
 func TestRunValidation(t *testing.T) {
 	cfg := smallConfig(0)
-	if _, err := Run(cfg, quietIndex(10)); err == nil {
+	if _, err := Run(context.Background(), cfg, quietIndex(10)); err == nil {
 		t.Error("Hours=0 accepted")
 	}
 	cfg = smallConfig(10)
 	cfg.Shells = nil
-	if _, err := Run(cfg, quietIndex(10)); err == nil {
+	if _, err := Run(context.Background(), cfg, quietIndex(10)); err == nil {
 		t.Error("no shells accepted")
 	}
 	cfg = smallConfig(10)
 	cfg.MeanTLEIntervalHours = 0
-	if _, err := Run(cfg, quietIndex(10)); err == nil {
+	if _, err := Run(context.Background(), cfg, quietIndex(10)); err == nil {
 		t.Error("zero TLE interval accepted")
 	}
 }
 
 func TestRunDeterministic(t *testing.T) {
 	cfg := smallConfig(24 * 30)
-	a, err := Run(cfg, quietIndex(cfg.Hours))
+	a, err := Run(context.Background(), cfg, quietIndex(cfg.Hours))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(cfg, quietIndex(cfg.Hours))
+	b, err := Run(context.Background(), cfg, quietIndex(cfg.Hours))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestLifecycleStagingToOperational(t *testing.T) {
 	// the 550 km target.
 	days := 200
 	cfg := smallConfig(days * 24)
-	res, err := Run(cfg, quietIndex(cfg.Hours))
+	res, err := Run(context.Background(), cfg, quietIndex(cfg.Hours))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestLifecycleStagingToOperational(t *testing.T) {
 
 func TestStationKeepingHoldsDeadband(t *testing.T) {
 	cfg := smallConfig(24 * 300)
-	res, err := Run(cfg, quietIndex(cfg.Hours))
+	res, err := Run(context.Background(), cfg, quietIndex(cfg.Hours))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestScriptedFailDecaysAndReenters(t *testing.T) {
 	cfg.Scripted = []ScriptedEvent{{
 		Catalog: first, At: simStart.Add(200 * 24 * time.Hour), Action: ScriptFail,
 	}}
-	res, err := Run(cfg, quietIndex(cfg.Hours))
+	res, err := Run(context.Background(), cfg, quietIndex(cfg.Hours))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func TestScriptedSafeModeDipsAndRecovers(t *testing.T) {
 	cfg.Scripted = []ScriptedEvent{{
 		Catalog: first, At: eventAt, Action: ScriptSafeMode, DurationDays: 15, DragFactor: 3,
 	}}
-	res, err := Run(cfg, quietIndex(cfg.Hours))
+	res, err := Run(context.Background(), cfg, quietIndex(cfg.Hours))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +231,7 @@ func TestStormTriggersSafeModes(t *testing.T) {
 	cfg.FailProbPerStormHour = 0
 	peakHour := 40 * 24
 	weather := stormIndex(cfg.Hours, peakHour, -250)
-	res, err := Run(cfg, weather)
+	res, err := Run(context.Background(), cfg, weather)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,13 +271,13 @@ func TestProactiveMitigationPreventsLosses(t *testing.T) {
 
 	unprotected := base
 	unprotected.ProactiveDragMitigation = false
-	ru, err := Run(unprotected, weather)
+	ru, err := Run(context.Background(), unprotected, weather)
 	if err != nil {
 		t.Fatal(err)
 	}
 	protected := base
 	protected.ProactiveDragMitigation = true
-	rp, err := Run(protected, weather)
+	rp, err := Run(context.Background(), protected, weather)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +301,7 @@ func TestProactiveMitigationPreventsLosses(t *testing.T) {
 
 func TestTLECadence(t *testing.T) {
 	cfg := smallConfig(24 * 200)
-	res, err := Run(cfg, quietIndex(cfg.Hours))
+	res, err := Run(context.Background(), cfg, quietIndex(cfg.Hours))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,7 +335,7 @@ func TestGrossTrackingErrors(t *testing.T) {
 	cfg := smallConfig(24 * 300)
 	cfg.Launches[0].Count = 50
 	cfg.GrossErrorProb = 0.01
-	res, err := Run(cfg, quietIndex(cfg.Hours))
+	res, err := Run(context.Background(), cfg, quietIndex(cfg.Hours))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -357,7 +358,7 @@ func TestTrackedCount(t *testing.T) {
 	cfg := smallConfig(24 * 400)
 	first := cfg.FirstCatalog
 	cfg.Scripted = []ScriptedEvent{{Catalog: first, At: simStart.Add(100 * 24 * time.Hour), Action: ScriptFail}}
-	res, err := Run(cfg, quietIndex(cfg.Hours))
+	res, err := Run(context.Background(), cfg, quietIndex(cfg.Hours))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,7 +376,7 @@ func TestTrackedCount(t *testing.T) {
 
 func TestRAANRegressionVisible(t *testing.T) {
 	cfg := smallConfig(24 * 100)
-	res, err := Run(cfg, quietIndex(cfg.Hours))
+	res, err := Run(context.Background(), cfg, quietIndex(cfg.Hours))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -406,7 +407,7 @@ func TestRAANRegressionVisible(t *testing.T) {
 
 func TestSamplesAreValidTLEs(t *testing.T) {
 	cfg := smallConfig(24 * 60)
-	res, err := Run(cfg, quietIndex(cfg.Hours))
+	res, err := Run(context.Background(), cfg, quietIndex(cfg.Hours))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -460,7 +461,7 @@ func TestPaperFleetIntegration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(PaperFleet(42), weather)
+	res, err := Run(context.Background(), PaperFleet(42), weather)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -540,7 +541,7 @@ func TestMay2024FleetIntegration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(May2024Fleet(7), weather)
+	res, err := Run(context.Background(), May2024Fleet(7), weather)
 	if err != nil {
 		t.Fatal(err)
 	}

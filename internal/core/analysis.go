@@ -201,7 +201,7 @@ func (d *Dataset) windowTrack(tr *Track, event, end time.Time, opts WindowOption
 // Window computes the deviation curves for the days following an event epoch.
 // Tracks are evaluated independently on the worker pool and merged in track
 // order, so the analysis is identical at every Parallelism setting.
-func (d *Dataset) Window(event time.Time, opts WindowOptions) (*WindowAnalysis, error) {
+func (d *Dataset) Window(ctx context.Context, event time.Time, opts WindowOptions) (*WindowAnalysis, error) {
 	if opts.Days <= 0 {
 		return nil, fmt.Errorf("core: window days must be positive")
 	}
@@ -212,7 +212,7 @@ func (d *Dataset) Window(event time.Time, opts WindowOptions) (*WindowAnalysis, 
 		curve SatCurve
 		kind  windowOutcome
 	}
-	outcomes, err := parallel.Map(context.Background(), d.cfg.Parallelism, len(d.tracks),
+	outcomes, err := parallel.Map(ctx, d.cfg.Parallelism, len(d.tracks),
 		func(i int) (outcome, error) {
 			curve, kind := d.windowTrack(d.tracks[i], event, end, opts)
 			return outcome{curve, kind}, nil
@@ -308,7 +308,7 @@ type Deviation struct {
 // The (event, track) pairs are evaluated independently on the worker pool
 // and merged in (event, track) order, so the deviation list is identical at
 // every Parallelism setting.
-func (d *Dataset) Associate(events []Event, windowDays int) []Deviation {
+func (d *Dataset) Associate(ctx context.Context, events []Event, windowDays int) []Deviation {
 	nt := len(d.tracks)
 	if len(events) == 0 || nt == 0 {
 		return nil
@@ -317,7 +317,7 @@ func (d *Dataset) Associate(events []Event, windowDays int) []Deviation {
 		dev Deviation
 		ok  bool
 	}
-	results, err := parallel.Map(context.Background(), d.cfg.Parallelism, len(events)*nt,
+	results, err := parallel.Map(ctx, d.cfg.Parallelism, len(events)*nt,
 		func(i int) (pairResult, error) {
 			ev, tr := events[i/nt], d.tracks[i%nt]
 			dev, ok := d.associatePair(ev, tr, windowDays)
@@ -379,12 +379,12 @@ func AssociateTrack(cfg Config, ev Event, tr *Track, windowDays int) (Deviation,
 
 // AssociateQuiet runs the same association against quiet control epochs
 // (Fig 5a's "epoch set with no storms around").
-func (d *Dataset) AssociateQuiet(epochs []time.Time, windowDays int) []Deviation {
+func (d *Dataset) AssociateQuiet(ctx context.Context, epochs []time.Time, windowDays int) []Deviation {
 	events := make([]Event, len(epochs))
 	for i, t := range epochs {
 		events[i] = Event{Storm: dst.Storm{Start: t}}
 	}
-	return d.Associate(events, windowDays)
+	return d.Associate(ctx, events, windowDays)
 }
 
 // DeviationCDF folds associations into the altitude-change CDF of Fig 5/6.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -70,7 +71,7 @@ func buildStormDataset(t *testing.T) (*Dataset, time.Time) {
 	dippingTrack(b, 3, 120, 550, 4, 30)  // dips 4 km, recovers
 	decayingTrack(b, 4, 120, 550, 5, 30) // permanent decay after event
 	decayingTrack(b, 5, 120, 550, 5, 10) // already decaying BEFORE event
-	d, err := b.Build()
+	d, err := b.Build(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestQuietEpochsNoneAvailable(t *testing.T) {
 	}
 	b := NewBuilder(DefaultConfig(), dst.FromValues(c0, vals))
 	steadyTrack(b, 1, c0, 60, 550)
-	d, err := b.Build()
+	d, err := b.Build(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestQuietEpochsNoneAvailable(t *testing.T) {
 
 func TestWindowHumpSelection(t *testing.T) {
 	d, event := buildStormDataset(t)
-	wa, err := d.Window(event, WindowOptions{Days: 30, RequireHumpShape: true})
+	wa, err := d.Window(context.Background(), event, WindowOptions{Days: 30, RequireHumpShape: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func catalogsOf(wa *WindowAnalysis) []int {
 
 func TestWindowWithoutHumpKeepsFlatSats(t *testing.T) {
 	d, event := buildStormDataset(t)
-	wa, err := d.Window(event, WindowOptions{Days: 15})
+	wa, err := d.Window(context.Background(), event, WindowOptions{Days: 15})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestWindowWithoutHumpKeepsFlatSats(t *testing.T) {
 	if len(wa.Curves) != 4 {
 		t.Fatalf("curves = %d, want 4", len(wa.Curves))
 	}
-	if _, err := d.Window(event, WindowOptions{Days: 0}); err == nil {
+	if _, err := d.Window(context.Background(), event, WindowOptions{Days: 0}); err == nil {
 		t.Error("Days=0 accepted")
 	}
 }
@@ -214,7 +215,7 @@ func TestWindowWithoutHumpKeepsFlatSats(t *testing.T) {
 func TestAssociateAppliesDecayFilter(t *testing.T) {
 	d, _ := buildStormDataset(t)
 	events := d.Events(units.StormThreshold, 1, 0)
-	devs := d.Associate(events, 30)
+	devs := d.Associate(context.Background(), events, 30)
 	// Sat 5 (already decaying) must be absent.
 	for _, dv := range devs {
 		if dv.Catalog == 5 {
@@ -253,7 +254,7 @@ func TestAssociateQuietIsCalm(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	devs := d.AssociateQuiet(epochs, 15)
+	devs := d.AssociateQuiet(context.Background(), epochs, 15)
 	if len(devs) == 0 {
 		t.Fatal("no quiet associations")
 	}
@@ -315,7 +316,7 @@ func TestSuperStormReport(t *testing.T) {
 			addObs(b, cat, at, 550, bstar)
 		}
 	}
-	d, err := b.Build()
+	d, err := b.Build(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

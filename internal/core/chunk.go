@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"slices"
@@ -35,10 +36,10 @@ type ChunkPartial struct {
 // BuildChunkPartial cleans one chunk's samples into a spillable partial.
 // The samples must cover a contiguous catalog range so partials can later be
 // assembled in catalog order.
-func BuildChunkPartial(cfg Config, samples []constellation.Sample) (*ChunkPartial, error) {
+func BuildChunkPartial(ctx context.Context, cfg Config, samples []constellation.Sample) (*ChunkPartial, error) {
 	b := Builder{cfg: cfg}
 	b.AddSamples(samples)
-	return buildPartial(cfg, b.obs)
+	return buildPartial(ctx, cfg, b.obs)
 }
 
 // canonicalizeRawAlts sorts raw altitudes into the canonical dataset order:

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -65,13 +66,13 @@ func TestChunkedBuildEquivalence(t *testing.T) {
 	coreCfg := DefaultConfig()
 	coreCfg.MaxValidAltKm = 1400 // keep the 1200 km OneWeb shell
 
-	full, err := constellation.Run(cfg, weather)
+	full, err := constellation.Run(context.Background(), cfg, weather)
 	if err != nil {
 		t.Fatal(err)
 	}
 	b := NewBuilder(coreCfg, weather)
 	b.AddSamples(full.Samples)
-	want, err := b.Build()
+	want, err := b.Build(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,11 +84,11 @@ func TestChunkedBuildEquivalence(t *testing.T) {
 		}
 		asm := NewPartialAssembler(coreCfg, weather)
 		for i := 0; i < plan.NumChunks(); i++ {
-			r, err := plan.RunChunk(i, weather)
+			r, err := plan.RunChunk(context.Background(), i, weather)
 			if err != nil {
 				t.Fatal(err)
 			}
-			p, err := BuildChunkPartial(coreCfg, r.Samples)
+			p, err := BuildChunkPartial(context.Background(), coreCfg, r.Samples)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -112,7 +113,7 @@ func TestAssemblerOrderEnforced(t *testing.T) {
 	mk := func(cat int) *ChunkPartial {
 		b := NewBuilder(DefaultConfig(), weather)
 		steadyTrack(b, cat, c0, 20, 550)
-		p, err := buildPartial(b.cfg, b.obs)
+		p, err := buildPartial(context.Background(), b.cfg, b.obs)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -145,7 +146,7 @@ func TestAssemblerEmptyCases(t *testing.T) {
 	asm := NewPartialAssembler(DefaultConfig(), quietWeather(10))
 	b := NewBuilder(DefaultConfig(), quietWeather(10))
 	addObs(b, 900, c0, 90, 4e-4) // below MinValidAltKm: gross error
-	p, err := buildPartial(b.cfg, b.obs)
+	p, err := buildPartial(context.Background(), b.cfg, b.obs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestAssemblerEmptyCases(t *testing.T) {
 	}
 	// An empty partial folds in as a no-op.
 	asm2 := NewPartialAssembler(DefaultConfig(), quietWeather(10))
-	empty, err := BuildChunkPartial(DefaultConfig(), nil)
+	empty, err := BuildChunkPartial(context.Background(), DefaultConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +202,7 @@ func TestExportedTrackHelpersMatchDatasetMethods(t *testing.T) {
 		vals[cfg.Hours/2+k] = -280 + 5*float64(k)
 	}
 	idx := dst.FromValues(c0, vals)
-	res, err := constellation.Run(cfg, idx)
+	res, err := constellation.Run(context.Background(), cfg, idx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestExportedTrackHelpersMatchDatasetMethods(t *testing.T) {
 	coreCfg.MaxValidAltKm = 1400
 	b := NewBuilder(coreCfg, idx)
 	b.AddSamples(res.Samples)
-	d, err := b.Build()
+	d, err := b.Build(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +248,7 @@ func TestExportedTrackHelpersMatchDatasetMethods(t *testing.T) {
 	}
 
 	if len(evs) > 0 {
-		devs := d.Associate(evs, 30)
+		devs := d.Associate(context.Background(), evs, 30)
 		var freeDevs []Deviation
 		for _, ev := range evs {
 			for _, tr := range d.Tracks() {

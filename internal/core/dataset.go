@@ -112,7 +112,7 @@ func (b *Builder) AddSamples(samples []constellation.Sample) {
 //
 // The already-decaying filter is applied per event during analysis, not here,
 // because it depends on the event time.
-func (b *Builder) Build() (*Dataset, error) {
+func (b *Builder) Build(ctx context.Context) (*Dataset, error) {
 	if b.weather == nil || b.weather.Len() == 0 {
 		return nil, fmt.Errorf("core: no solar activity data")
 	}
@@ -123,7 +123,7 @@ func (b *Builder) Build() (*Dataset, error) {
 	// over all observations, folded through the same assembler. Sharing the
 	// path is what makes chunked-vs-unchunked equivalence structural rather
 	// than coincidental.
-	p, err := buildPartial(b.cfg, b.obs)
+	p, err := buildPartial(ctx, b.cfg, b.obs)
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +136,7 @@ func (b *Builder) Build() (*Dataset, error) {
 
 // buildPartial is the cleaning core shared by Build and BuildChunkPartial:
 // gross-error cut, per-catalog grouping, and the per-track clean fan-out.
-func buildPartial(cfg Config, obs []observation) (*ChunkPartial, error) {
+func buildPartial(ctx context.Context, cfg Config, obs []observation) (*ChunkPartial, error) {
 	p := &ChunkPartial{}
 	p.Stats.TotalObservations = len(obs)
 	p.RawAlts = make([]float64, 0, len(obs))
@@ -191,7 +191,7 @@ func buildPartial(cfg Config, obs []observation) (*ChunkPartial, error) {
 	// Per-track parse/clean/dedupe fan-out: every catalog is independent, so
 	// the cleaning pass runs on the worker pool and the results are merged
 	// below in catalog order — the output is identical at every width.
-	cleaned, err := parallel.Map(context.Background(), cfg.Parallelism, len(cats),
+	cleaned, err := parallel.Map(ctx, cfg.Parallelism, len(cats),
 		func(i int) (trackResult, error) {
 			return cleanTrack(cats[i], byCat[cats[i]], cfg), nil
 		})
@@ -280,10 +280,10 @@ func cleanTrack(cat int, obs []observation, cfg Config) trackResult {
 // NewDatasetFromTLEs is the one-call live-data ingest: it cleans and
 // assembles a dataset directly from parsed element sets (the shape a
 // FetchHistories bulk result flattens into).
-func NewDatasetFromTLEs(cfg Config, weather *dst.Index, sets []*tle.TLE) (*Dataset, error) {
+func NewDatasetFromTLEs(ctx context.Context, cfg Config, weather *dst.Index, sets []*tle.TLE) (*Dataset, error) {
 	b := NewBuilder(cfg, weather)
 	b.AddTLEs(sets)
-	return b.Build()
+	return b.Build(ctx)
 }
 
 // Weather returns the Dst index.

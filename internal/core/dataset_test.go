@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -36,15 +37,15 @@ func steadyTrack(b *Builder, cat int, from time.Time, days int, alt float64) {
 }
 
 func TestBuildValidation(t *testing.T) {
-	if _, err := NewBuilder(DefaultConfig(), nil).Build(); err == nil {
+	if _, err := NewBuilder(DefaultConfig(), nil).Build(context.Background()); err == nil {
 		t.Error("nil weather accepted")
 	}
-	if _, err := NewBuilder(DefaultConfig(), quietWeather(1)).Build(); err == nil {
+	if _, err := NewBuilder(DefaultConfig(), quietWeather(1)).Build(context.Background()); err == nil {
 		t.Error("no observations accepted")
 	}
 	b := NewBuilder(DefaultConfig(), quietWeather(10))
 	addObs(b, 1, c0, 40000, 0) // only a gross error: nothing survives
-	if _, err := b.Build(); err == nil {
+	if _, err := b.Build(context.Background()); err == nil {
 		t.Error("all-removed archive accepted")
 	}
 }
@@ -54,7 +55,7 @@ func TestGrossErrorRemoval(t *testing.T) {
 	steadyTrack(b, 1, c0, 30, 550)
 	addObs(b, 1, c0.Add(100*time.Hour), 39000, 4e-4) // tracking error
 	addObs(b, 1, c0.Add(101*time.Hour), 50, 4e-4)    // absurd low fit
-	d, err := b.Build()
+	d, err := b.Build(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestOrbitRaisingPrefixRemoved(t *testing.T) {
 		at = at.Add(12 * time.Hour)
 	}
 	steadyTrack(b, 7, at, 80, 550)
-	d, err := b.Build()
+	d, err := b.Build(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestNonOperationalTrackExcluded(t *testing.T) {
 	steadyTrack(b, 1, c0, 60, 550)
 	// A satellite lost during staging never exceeds 360 km.
 	steadyTrack(b, 2, c0, 10, 355)
-	d, err := b.Build()
+	d, err := b.Build(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestOperationalAltitudeRobustToDecayTail(t *testing.T) {
 		addObs(b, 3, at, alt, 1e-3)
 		at = at.Add(12 * time.Hour)
 	}
-	d, err := b.Build()
+	d, err := b.Build(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestOperationalAltitudeRobustToDecayTail(t *testing.T) {
 func TestTrackAtWindowSpan(t *testing.T) {
 	b := NewBuilder(DefaultConfig(), quietWeather(30))
 	steadyTrack(b, 4, c0, 30, 550)
-	d, err := b.Build()
+	d, err := b.Build(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestAddTLEsPathMatchesSamples(t *testing.T) {
 	}
 	b1 := NewBuilder(DefaultConfig(), weather)
 	b1.AddSamples(samples)
-	d1, err := b1.Build()
+	d1, err := b1.Build(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestAddTLEsPathMatchesSamples(t *testing.T) {
 		}
 		b2.AddTLEs([]*tle.TLE{tl})
 	}
-	d2, err := b2.Build()
+	d2, err := b2.Build(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,13 +252,13 @@ func TestCleaningInvariants(t *testing.T) {
 		cfg.InitialFleet = 10
 		cfg.Launches = []constellation.Launch{{At: c0.Add(24 * time.Hour), Shell: 0, Count: 10}}
 		cfg.GrossErrorProb = 0.005
-		res, err := constellation.Run(cfg, dst.FromValues(c0, make([]float64, cfg.Hours)))
+		res, err := constellation.Run(context.Background(), cfg, dst.FromValues(c0, make([]float64, cfg.Hours)))
 		if err != nil {
 			t.Fatal(err)
 		}
 		b := NewBuilder(DefaultConfig(), weather)
 		b.AddSamples(res.Samples)
-		d, err := b.Build()
+		d, err := b.Build(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -294,14 +295,14 @@ func TestDuplicateObservationsDropped(t *testing.T) {
 	// archive replaying element sets) must produce identical tracks.
 	clean := NewBuilder(DefaultConfig(), quietWeather(30))
 	steadyTrack(clean, 1, c0, 30, 550)
-	want, err := clean.Build()
+	want, err := clean.Build(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	dup := NewBuilder(DefaultConfig(), quietWeather(30))
 	steadyTrack(dup, 1, c0, 30, 550)
 	steadyTrack(dup, 1, c0, 30, 550)
-	got, err := dup.Build()
+	got, err := dup.Build(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +336,7 @@ func TestNewDatasetFromTLEs(t *testing.T) {
 		}
 		sets = append(sets, set)
 	}
-	d, err := NewDatasetFromTLEs(DefaultConfig(), quietWeather(30), sets)
+	d, err := NewDatasetFromTLEs(context.Background(), DefaultConfig(), quietWeather(30), sets)
 	if err != nil {
 		t.Fatal(err)
 	}

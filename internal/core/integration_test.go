@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -21,13 +22,13 @@ func getPaperDataset(t *testing.T) *Dataset {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := constellation.Run(constellation.PaperFleet(42), weather)
+	res, err := constellation.Run(context.Background(), constellation.PaperFleet(42), weather)
 	if err != nil {
 		t.Fatal(err)
 	}
 	b := NewBuilder(DefaultConfig(), weather)
 	b.AddSamples(res.Samples)
-	d, err := b.Build()
+	d, err := b.Build(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestEndToEndFig4StormVsQuiet(t *testing.T) {
 	d := getPaperDataset(t)
 
 	// Fig 4a: the -112 nT event.
-	wa, err := d.Window(spaceweather.Fig4Storm, WindowOptions{Days: 30, RequireHumpShape: true, MinPeakKm: 1})
+	wa, err := d.Window(context.Background(), spaceweather.Fig4Storm, WindowOptions{Days: 30, RequireHumpShape: true, MinPeakKm: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestEndToEndFig4StormVsQuiet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	qa, err := d.Window(quiet[0], WindowOptions{Days: 15})
+	qa, err := d.Window(context.Background(), quiet[0], WindowOptions{Days: 15})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestEndToEndFig5IntensityCDFs(t *testing.T) {
 	if len(events) < 5 {
 		t.Fatalf("high-intensity events = %d", len(events))
 	}
-	stormDevs := d.Associate(events, 30)
+	stormDevs := d.Associate(context.Background(), events, 30)
 	stormCDF, err := DeviationCDF(stormDevs)
 	if err != nil {
 		t.Fatal(err)
@@ -153,7 +154,7 @@ func TestEndToEndFig5IntensityCDFs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	quietCDF, err := DeviationCDF(d.AssociateQuiet(quiet, 15))
+	quietCDF, err := DeviationCDF(d.AssociateQuiet(context.Background(), quiet, 15))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestEndToEndFig5IntensityCDFs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	quietDrag, err := DragChangeCDF(d.AssociateQuiet(quiet, 15))
+	quietDrag, err := DragChangeCDF(d.AssociateQuiet(context.Background(), quiet, 15))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,11 +207,11 @@ func TestEndToEndFig6DurationSplit(t *testing.T) {
 	if len(short) == 0 || len(long) == 0 {
 		t.Fatalf("events: %d short, %d long — need both", len(short), len(long))
 	}
-	shortCDF, err := DeviationCDF(d.Associate(short, 30))
+	shortCDF, err := DeviationCDF(d.Associate(context.Background(), short, 30))
 	if err != nil {
 		t.Fatal(err)
 	}
-	longCDF, err := DeviationCDF(d.Associate(long, 30))
+	longCDF, err := DeviationCDF(d.Associate(context.Background(), long, 30))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,13 +230,13 @@ func TestEndToEndFig7SuperStorm(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := constellation.Run(constellation.May2024Fleet(7), weather)
+	res, err := constellation.Run(context.Background(), constellation.May2024Fleet(7), weather)
 	if err != nil {
 		t.Fatal(err)
 	}
 	b := NewBuilder(DefaultConfig(), weather)
 	b.AddSamples(res.Samples)
-	d, err := b.Build()
+	d, err := b.Build(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +304,7 @@ func TestOneWebGenerality(t *testing.T) {
 	cfg.InitialFleet = 60
 	cfg.GrossErrorProb = 0
 	cfg.DecommissionPerYear = 0
-	fleet, err := constellation.Run(cfg, weather)
+	fleet, err := constellation.Run(context.Background(), cfg, weather)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +315,7 @@ func TestOneWebGenerality(t *testing.T) {
 	pc.MinOperationalAltKm = 1000
 	b := NewBuilder(pc, weather)
 	b.AddSamples(fleet.Samples)
-	d, err := b.Build()
+	d, err := b.Build(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,7 +342,7 @@ func TestOneWebGenerality(t *testing.T) {
 	if len(inWindow) == 0 {
 		t.Skip("no high-intensity events in the first simulated year")
 	}
-	cdf, err := DeviationCDF(d.Associate(inWindow, 30))
+	cdf, err := DeviationCDF(d.Associate(context.Background(), inWindow, 30))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -64,12 +65,12 @@ func (d *Dataset) ManeuverRate(minDeltaKm float64, maxGap time.Duration) float64
 // 95th percentile of its per-satellite deviations) against the event's peak
 // intensity, and the Pearson correlation between the two — a single-number
 // summary of Fig 5's "deeper storms move satellites more".
-func (d *Dataset) IntensityResponse(events []Event, windowDays int) (intensity, response []float64, r float64, err error) {
+func (d *Dataset) IntensityResponse(ctx context.Context, events []Event, windowDays int) (intensity, response []float64, r float64, err error) {
 	if len(events) < 2 {
 		return nil, nil, 0, fmt.Errorf("core: need at least two events for a correlation")
 	}
 	for _, ev := range events {
-		devs := d.Associate([]Event{ev}, windowDays)
+		devs := d.Associate(ctx, []Event{ev}, windowDays)
 		if len(devs) == 0 {
 			continue
 		}

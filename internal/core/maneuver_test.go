@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -21,7 +22,7 @@ func TestManeuversDetectsBoosts(t *testing.T) {
 		addObs(b, 1, at, alt, 4e-4)
 		at = at.Add(24 * time.Hour)
 	}
-	d, err := b.Build()
+	d, err := b.Build(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestManeuversRespectsMaxGap(t *testing.T) {
 	// single maneuver.
 	steadyTrack(b, 1, c0, 20, 550)
 	addObs(b, 1, c0.Add(30*24*time.Hour), 553, 4e-4)
-	d, err := b.Build()
+	d, err := b.Build(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestIntensityResponseCorrelation(t *testing.T) {
 		addObs(b, 2, at, alt-dip, 4e-4)
 		at = at.Add(24 * time.Hour)
 	}
-	d, err := b.Build()
+	d, err := b.Build(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestIntensityResponseCorrelation(t *testing.T) {
 	if len(events) != 3 {
 		t.Fatalf("events = %d", len(events))
 	}
-	intensity, response, r, err := d.IntensityResponse(events, 25)
+	intensity, response, r, err := d.IntensityResponse(context.Background(), events, 25)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,10 +121,10 @@ func TestIntensityResponseCorrelation(t *testing.T) {
 
 func TestIntensityResponseErrors(t *testing.T) {
 	d, _ := buildStormDataset(t)
-	if _, _, _, err := d.IntensityResponse(nil, 30); err == nil {
+	if _, _, _, err := d.IntensityResponse(context.Background(), nil, 30); err == nil {
 		t.Error("no events accepted")
 	}
-	if _, _, _, err := d.IntensityResponse(d.Events(-50, 1, 0), 30); err == nil {
+	if _, _, _, err := d.IntensityResponse(context.Background(), d.Events(-50, 1, 0), 30); err == nil {
 		t.Error("single event accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -44,7 +45,7 @@ func TestDecayOnsetsIgnoresRecoveredDips(t *testing.T) {
 	b := NewBuilder(DefaultConfig(), quietWeather(120))
 	dippingTrack(b, 9, 120, 550, 30, 40) // a deep dip that fully recovers
 	steadyTrack(b, 1, c0, 120, 550)
-	d, err := b.Build()
+	d, err := b.Build(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -45,7 +45,7 @@ func detWorld(t *testing.T) (*spacetrack.ResultArchive, *dst.Index, time.Time) {
 	cfg.InitialFleet = 12
 	cfg.GrossErrorProb = 0
 	cfg.DecommissionPerYear = 0
-	res, err := constellation.Run(cfg, weather)
+	res, err := constellation.Run(context.Background(), cfg, weather)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func ingest(t *testing.T, handler http.Handler, weather *dst.Index, end time.Tim
 	for _, r := range results {
 		all = append(all, r.Sets...)
 	}
-	d, err := core.NewDatasetFromTLEs(core.DefaultConfig(), weather, all)
+	d, err := core.NewDatasetFromTLEs(context.Background(), core.DefaultConfig(), weather, all)
 	if err != nil {
 		return nil, err
 	}
@@ -104,7 +104,7 @@ func ingest(t *testing.T, handler http.Handler, weather *dst.Index, end time.Tim
 	}
 	return &ingestResult{
 		dataset:    d,
-		deviations: d.Associate(events, 14),
+		deviations: d.Associate(context.Background(), events, 14),
 		onsets:     len(d.DecayOnsets(20)),
 	}, nil
 }

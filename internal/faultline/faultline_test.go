@@ -43,17 +43,17 @@ func TestParseScheduleEmpty(t *testing.T) {
 
 func TestParseScheduleErrors(t *testing.T) {
 	cases := []string{
-		"bogus:1/2",       // unknown kind
-		"429",             // missing count/period
-		"429:3",           // missing period
-		"429:x/5",         // bad count
-		"429:3/0",         // zero period
-		"429:5/5",         // nothing ever succeeds
-		"429:7/5",         // count > period
-		"latency:1/5",     // latency without duration
+		"bogus:1/2",        // unknown kind
+		"429",              // missing count/period
+		"429:3",            // missing period
+		"429:x/5",          // bad count
+		"429:3/0",          // zero period
+		"429:5/5",          // nothing ever succeeds
+		"429:7/5",          // count > period
+		"latency:1/5",      // latency without duration
 		"latency:1/5:fast", // bad duration
-		"500:1/5:2ms",     // argument on non-latency rule
-		"500!:1/5",        // ! on non-429
+		"500:1/5:2ms",      // argument on non-latency rule
+		"500!:1/5",         // ! on non-429
 	}
 	for _, in := range cases {
 		if _, err := ParseSchedule(in); err == nil {

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the module-build half of the atomicdiscipline rule: a
+// registry of every struct field the module treats as atomic, either
+// because it is declared with a sync/atomic type (atomic.Int64,
+// atomic.Pointer[T], ...) or because its address is passed to a
+// sync/atomic function somewhere (legacy atomic.AddInt64(&s.n, 1) style).
+// The rule half (rule_atomicdiscipline.go) then flags every plain read or
+// write of a registered field anywhere in the module — one goroutine
+// publishing a field atomically and another reading it plainly is exactly
+// the COW-catalog bug class the serving plane must never regress into.
+
+// fieldKey is the stable identity of a struct field across type-check
+// instances. The same package can be checked twice (as an analysis target
+// and as a dependency of another target), so object identity does not
+// hold; the field's declaration position does, because both checks parse
+// the same file into the same FileSet.
+func fieldKey(fset *token.FileSet, v *types.Var) string {
+	p := fset.Position(v.Pos())
+	return p.Filename + ":" + itoa(p.Line) + ":" + itoa(p.Column) + ":" + v.Name()
+}
+
+// itoa is strconv.Itoa without the import (hot path in a double loop).
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// isAtomicType reports whether t is (an instance of) a type declared in
+// sync/atomic.
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// inModule reports whether obj is declared in one of the analyzed
+// packages' source trees (by filename — see fieldKey for why positions,
+// not objects, are the identity).
+func (m *Module) inModule(fset *token.FileSet, obj types.Object) bool {
+	file := fset.Position(obj.Pos()).Filename
+	for _, pkg := range m.Pkgs {
+		if len(file) > len(pkg.Dir) && file[:len(pkg.Dir)] == pkg.Dir {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAtomic scans one package for the two registration sources:
+// typed-atomic struct fields, and fields whose address feeds a
+// sync/atomic call. The latter also marks the sanctioned selector
+// positions so the rule half does not flag the atomic access itself.
+func (m *Module) collectAtomic(pkg *Package) {
+	info := pkg.Info
+	// Typed fields: walk declared struct types.
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if isAtomicType(f.Type()) {
+				m.atomicFields[fieldKey(pkg.Fset, f)] = pkg.Fset.Position(f.Pos())
+			}
+		}
+	}
+	// Legacy call sites: atomic.AddInt64(&s.n, 1) registers s.n.
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				s, ok := info.Selections[sel]
+				if !ok || s.Kind() != types.FieldVal {
+					continue
+				}
+				v, ok := s.Obj().(*types.Var)
+				if !ok || !m.inModule(pkg.Fset, v) {
+					continue
+				}
+				key := fieldKey(pkg.Fset, v)
+				if _, seen := m.atomicFields[key]; !seen {
+					m.atomicFields[key] = pkg.Fset.Position(sel.Pos())
+				}
+				m.atomicSanctioned[sel.Pos()] = true
+			}
+			return true
+		})
+	}
+}
+
+// atomicWitness returns the registered atomic-access witness position for
+// the field v, if the module treats v atomically anywhere.
+func (m *Module) atomicWitness(fset *token.FileSet, v *types.Var) (token.Position, bool) {
+	pos, ok := m.atomicFields[fieldKey(fset, v)]
+	return pos, ok
+}

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// BaselineEntry identifies one accepted pre-existing finding. Line
+// numbers are deliberately absent: a baseline keyed on (rule, file,
+// message) survives unrelated edits to the file, while still expiring
+// the moment the finding itself is fixed (the stale entry is then
+// reported so the baseline shrinks monotonically).
+type BaselineEntry struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+}
+
+// Baseline is a set of accepted findings, used to land a new rule
+// warn-first: write the baseline, tighten the code, watch the file shrink
+// to empty, delete it.
+type Baseline struct {
+	entries map[BaselineEntry]bool
+}
+
+// baselineKey normalizes a finding to its baseline identity. File paths
+// are stored relative to root with forward slashes so the file is stable
+// across checkouts.
+func baselineKey(root string, f Finding) BaselineEntry {
+	file := f.Pos.Filename
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return BaselineEntry{Rule: f.Rule, File: file, Message: f.Message}
+}
+
+// WriteBaseline saves findings as a baseline file at path (JSON, one
+// entry per finding, sorted and deduplicated).
+func WriteBaseline(path, root string, findings []Finding) error {
+	seen := make(map[BaselineEntry]bool)
+	entries := make([]BaselineEntry, 0, len(findings))
+	for _, f := range findings {
+		e := baselineKey(root, f)
+		if !seen[e] {
+			seen[e] = true
+			entries = append(entries, e)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBaseline loads a baseline file written by WriteBaseline.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []BaselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	b := &Baseline{entries: make(map[BaselineEntry]bool, len(entries))}
+	for _, e := range entries {
+		b.entries[e] = true
+	}
+	return b, nil
+}
+
+// Filter splits findings into the ones not covered by the baseline (new —
+// these fail the run) and the baseline entries that matched nothing
+// (stale — the debt was paid; remove them). Both outputs are
+// deterministically ordered.
+func (b *Baseline) Filter(root string, findings []Finding) (kept []Finding, stale []BaselineEntry) {
+	matched := make(map[BaselineEntry]bool, len(b.entries))
+	for _, f := range findings {
+		e := baselineKey(root, f)
+		if b.entries[e] {
+			matched[e] = true
+			continue
+		}
+		kept = append(kept, f)
+	}
+	for e := range b.entries {
+		if !matched[e] {
+			stale = append(stale, e)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool {
+		a, c := stale[i], stale[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Rule != c.Rule {
+			return a.Rule < c.Rule
+		}
+		return a.Message < c.Message
+	})
+	return kept, stale
+}

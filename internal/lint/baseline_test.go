@@ -1,0 +1,82 @@
+package lint_test
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cosmicdance/internal/lint"
+)
+
+func mkFinding(rule, file string, line int, msg string) lint.Finding {
+	return lint.Finding{
+		Rule:    rule,
+		Pos:     token.Position{Filename: file, Line: line, Column: 1},
+		Message: msg,
+	}
+}
+
+// TestBaselineRoundTrip writes a baseline, reads it back, and checks the
+// filter splits findings into covered and new — with line numbers
+// deliberately ignored, so a finding that merely moved stays covered.
+func TestBaselineRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	path := filepath.Join(root, "lint-baseline.json")
+	old := []lint.Finding{
+		mkFinding("maporder", filepath.Join(root, "a.go"), 10, "map order leaks"),
+		mkFinding("nondet", filepath.Join(root, "b.go"), 20, "time.Now read"),
+		// Duplicate identity: must be written once.
+		mkFinding("nondet", filepath.Join(root, "b.go"), 99, "time.Now read"),
+	}
+	if err := lint.WriteBaseline(path, root, old); err != nil {
+		t.Fatal(err)
+	}
+	bl, err := lint.ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	now := []lint.Finding{
+		// Same identity as the first entry, different line: still covered.
+		mkFinding("maporder", filepath.Join(root, "a.go"), 42, "map order leaks"),
+		// New finding: must be kept.
+		mkFinding("errhygiene", filepath.Join(root, "c.go"), 7, "Close discarded"),
+	}
+	kept, stale := bl.Filter(root, now)
+	if len(kept) != 1 || kept[0].Rule != "errhygiene" {
+		t.Errorf("kept = %v, want just the errhygiene finding", kept)
+	}
+	// The nondet entry matched nothing this run: it is stale and must be
+	// reported so the baseline shrinks.
+	if len(stale) != 1 || stale[0].Rule != "nondet" || stale[0].File != "b.go" {
+		t.Errorf("stale = %v, want the nondet b.go entry", stale)
+	}
+
+	// The file itself is sorted, deduplicated JSON.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(data), "time.Now read"); n != 1 {
+		t.Errorf("duplicate finding written %d times, want 1:\n%s", n, data)
+	}
+	if !strings.Contains(string(data), `"file": "a.go"`) {
+		t.Errorf("baseline paths not root-relative:\n%s", data)
+	}
+}
+
+// TestBaselineErrors covers the driver's exit-2 paths.
+func TestBaselineErrors(t *testing.T) {
+	if _, err := lint.ReadBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("ReadBaseline of a missing file did not error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lint.ReadBaseline(bad); err == nil {
+		t.Error("ReadBaseline of malformed JSON did not error")
+	}
+}

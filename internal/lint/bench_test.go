@@ -1,0 +1,54 @@
+package lint_test
+
+import (
+	"testing"
+	"time"
+
+	"cosmicdance/internal/lint"
+)
+
+// analyzeWholeModule is one full cold run of what `cosmiclint ./...` does:
+// fresh loader (empty importer caches), load + type-check every module
+// package, run every rule.
+func analyzeWholeModule(tb testing.TB) []lint.Finding {
+	tb.Helper()
+	root, err := lint.ModuleRoot(".")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pkgs, err := loader.Load("...")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return lint.Run(pkgs, lint.All())
+}
+
+// BenchmarkAnalyzeModule measures the package-load + analysis cost of a
+// whole-module run, the number the perf guard below keeps bounded.
+func BenchmarkAnalyzeModule(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		analyzeWholeModule(b)
+	}
+}
+
+// TestAnalyzeModuleUnderBudget is the perf guard: a whole-module analysis
+// must stay within a generous absolute ceiling (the importer memoization
+// keeps the real cost at a fraction of this — the ceiling only catches
+// order-of-magnitude regressions like losing the parse cache or importing
+// per target).
+func TestAnalyzeModuleUnderBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	const budget = 30 * time.Second
+	start := time.Now()
+	analyzeWholeModule(t)
+	if elapsed := time.Since(start); elapsed > budget {
+		t.Errorf("whole-module analysis took %v, budget %v", elapsed, budget)
+	}
+}

@@ -1,0 +1,410 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Module is the whole-program view the v2 rules analyze against. It is
+// built once per Run from every loaded package: the call graph powers the
+// transitive nondet rule, and the atomic-field registry powers
+// atomicdiscipline. A fixture loaded on its own forms a one-package
+// module, so the same rules work unchanged under linttest.
+type Module struct {
+	// Path is the module path shared by every package.
+	Path string
+	// Pkgs are the analyzed packages, sorted by import path.
+	Pkgs []*Package
+	// Graph is the module-wide call graph.
+	Graph *CallGraph
+	// atomicFields maps a struct field accessed through sync/atomic
+	// somewhere in the module to the position of one such access (the
+	// witness quoted in atomicdiscipline findings). Keys are stable
+	// strings — see fieldKey — because the same package can be
+	// type-checked twice (once as a target, once as a dependency) and
+	// object identity does not survive that.
+	atomicFields map[string]token.Position
+	// atomicSanctioned marks selector positions that ARE the atomic
+	// access (the &s.f argument of an atomic call, or the receiver of an
+	// atomic.Int64 method), so the plain-access scan can skip them.
+	atomicSanctioned map[token.Pos]bool
+}
+
+// CallGraph is the static call graph over every function and method
+// declared in the analyzed packages. An edge exists for a direct call, a
+// method call on a concrete receiver, a function or method value
+// reference, and an interface-method call (resolved to every in-module
+// implementation of the interface). Dynamic calls through plain function
+// values are not traced — determinism there is the closure author's
+// responsibility, and the value's own creation site is an edge.
+//
+// Nodes are keyed by funcKey, not *types.Func identity: the same package
+// can be type-checked twice — once as a dependency of an earlier target,
+// once as a target itself — and the two checks produce distinct object
+// sets. A caller's Uses entry then points at the dependency-check's
+// object while the node was declared from the target-check's; the stable
+// string key makes both resolve to the same node.
+type CallGraph struct {
+	nodes map[string]*callNode
+	// named holds every named (non-interface) type declared in the
+	// analyzed packages, the candidate set for interface resolution.
+	named []*types.Named
+}
+
+// funcKey is the stable identity of a declared function or method:
+// import path, receiver type name (if any), function name. Go permits no
+// overloading, so this is unique per declaration and survives duplicate
+// type-checks of the same package.
+func funcKey(fn *types.Func) string {
+	key := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		if ptr, isPtr := recv.(*types.Pointer); isPtr {
+			recv = ptr.Elem()
+		}
+		if named, isNamed := recv.(*types.Named); isNamed {
+			key = named.Obj().Name() + "." + key
+		}
+	}
+	if fn.Pkg() != nil {
+		key = fn.Pkg().Path() + "." + key
+	}
+	return key
+}
+
+// callNode is one function in the graph.
+type callNode struct {
+	fn   *types.Func
+	pkg  *Package
+	id   string // stable sort/display key: "pkg.Func" or "pkg.(Recv).Method"
+	out  []callEdge
+	sink []sinkUse
+	// dist is the number of in-module hops to reach a (non-waived)
+	// nondet sink: 0 for a direct user, -1 for "cannot reach".
+	dist int
+	// next is the deterministic witness successor on a shortest path to
+	// a sink; nil when dist <= 0.
+	next *callNode
+	// sinkName is the sink this node's witness path ends in.
+	sinkName string
+}
+
+// callEdge is one caller → callee reference with the source position the
+// reference occurs at.
+type callEdge struct {
+	callee *callNode
+	pos    token.Pos
+	// iface notes that the edge was resolved through an interface method
+	// (findings mention it, since the binding is a static over-approximation).
+	iface bool
+}
+
+// sinkUse is one direct wall-clock / global-rand reference inside a
+// function: the raw material of the nondet rule.
+type sinkUse struct {
+	name string // rendered "time.Now", "rand.Intn", ...
+	pos  token.Pos
+	// waived is true when a cosmiclint:allow nondet directive covers the
+	// use. A waived sink neither fires directly nor taints callers: the
+	// directive's reason vouches for the whole path.
+	waived bool
+}
+
+// nondetSink classifies a function object as a nondeterminism sink and
+// returns its display name.
+func nondetSink(fn *types.Func) (string, bool) {
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return "", false
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClockFuncs[fn.Name()] {
+			return "time." + fn.Name(), true
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			return "rand." + fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+// buildModule assembles the whole-program context from the loaded
+// packages. allowsByPkg carries the already-parsed directives so sink
+// waivers use exactly the same matching rules as Reportf (same line or the
+// line above).
+func buildModule(pkgs []*Package, allowsByPkg map[*Package][]*allowDirective) *Module {
+	m := &Module{
+		Graph:            &CallGraph{nodes: make(map[string]*callNode)},
+		atomicFields:     make(map[string]token.Position),
+		atomicSanctioned: make(map[token.Pos]bool),
+	}
+	if len(pkgs) > 0 {
+		m.Path = pkgs[0].ModulePath
+	}
+	m.Pkgs = append(m.Pkgs, pkgs...)
+	sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].Path < m.Pkgs[j].Path })
+
+	// Pass 1: declare nodes and collect candidate named types.
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				m.Graph.nodes[funcKey(fn)] = &callNode{fn: fn, pkg: pkg, id: nodeID(pkg, fn), dist: -1}
+			}
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			m.Graph.named = append(m.Graph.named, named)
+		}
+	}
+	sort.Slice(m.Graph.named, func(i, j int) bool {
+		return namedID(m.Graph.named[i]) < namedID(m.Graph.named[j])
+	})
+
+	// Pass 2: walk bodies, record edges, sinks and atomic field accesses.
+	for _, pkg := range m.Pkgs {
+		allows := allowsByPkg[pkg]
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				node := m.Graph.nodes[funcKey(fn)]
+				if node == nil {
+					continue
+				}
+				m.walkBody(node, fd.Body, allows)
+			}
+		}
+		m.collectAtomic(pkg)
+	}
+	for _, n := range m.Graph.nodes {
+		sort.Slice(n.out, func(i, j int) bool {
+			if n.out[i].pos != n.out[j].pos {
+				return n.out[i].pos < n.out[j].pos
+			}
+			return n.out[i].callee.id < n.out[j].callee.id
+		})
+		sort.Slice(n.sink, func(i, j int) bool { return n.sink[i].pos < n.sink[j].pos })
+	}
+	m.computeReach()
+	return m
+}
+
+// nodeID renders the stable identifier of fn: module-relative package path
+// plus method receiver, e.g. "internal/core.(*Dataset).Window".
+func nodeID(pkg *Package, fn *types.Func) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(pkg.Path, pkg.ModulePath), "/")
+	if rel == "" {
+		rel = "."
+	}
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		star := ""
+		if ptr, isPtr := recv.(*types.Pointer); isPtr {
+			star, recv = "*", ptr.Elem()
+		}
+		if named, isNamed := recv.(*types.Named); isNamed {
+			name = "(" + star + named.Obj().Name() + ")." + name
+		}
+	}
+	return rel + "." + name
+}
+
+func namedID(n *types.Named) string {
+	if n.Obj().Pkg() != nil {
+		return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+	}
+	return n.Obj().Name()
+}
+
+// walkBody records, for one function body, every reference to another
+// in-module function (edge), every interface-method call (edges to all
+// in-module implementations), and every nondet sink use.
+func (m *Module) walkBody(node *callNode, body ast.Node, allows []*allowDirective) {
+	info := node.pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.Ident:
+			fn, ok := info.Uses[e].(*types.Func)
+			if !ok {
+				return true
+			}
+			if name, isSink := nondetSink(fn); isSink {
+				node.sink = append(node.sink, sinkUse{
+					name:   name,
+					pos:    e.Pos(),
+					waived: allowCovers(allows, "nondet", node.pkg.Fset.Position(e.Pos())),
+				})
+				return true
+			}
+			if callee := m.Graph.nodes[funcKey(fn)]; callee != nil {
+				node.out = append(node.out, callEdge{callee: callee, pos: e.Pos()})
+			}
+		case *ast.SelectorExpr:
+			sel, ok := info.Selections[e]
+			if !ok || sel.Kind() == types.FieldVal {
+				return true
+			}
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return true
+			}
+			recv := sel.Recv()
+			if recv == nil || !types.IsInterface(recv) {
+				return true // concrete method: the Ident case resolved it
+			}
+			iface, ok := recv.Underlying().(*types.Interface)
+			if !ok {
+				return true
+			}
+			for _, impl := range m.resolveInterface(iface, fn.Name()) {
+				node.out = append(node.out, callEdge{callee: impl, pos: e.Sel.Pos(), iface: true})
+			}
+		}
+		return true
+	})
+}
+
+// resolveInterface returns the node of every in-module method that can be
+// the dynamic target of a call to iface's method name — each named module
+// type (or its pointer) that implements the interface contributes its
+// concrete method. The result is in the deterministic named-type order.
+func (m *Module) resolveInterface(iface *types.Interface, name string) []*callNode {
+	var out []*callNode
+	for _, named := range m.Graph.named {
+		var recv types.Type = named
+		if !types.Implements(recv, iface) {
+			recv = types.NewPointer(named)
+			if !types.Implements(recv, iface) {
+				continue
+			}
+		}
+		obj, _, _ := types.LookupFieldOrMethod(recv, true, named.Obj().Pkg(), name)
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		if node := m.Graph.nodes[funcKey(fn)]; node != nil {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// allowCovers reports whether any directive for rule covers position (same
+// line or the line above), marking it used — a waived sink consumes its
+// directive exactly like a suppressed finding does.
+func allowCovers(allows []*allowDirective, rule string, position token.Position) bool {
+	for _, a := range allows {
+		if a.rule != rule || a.file != position.Filename {
+			continue
+		}
+		if a.line == position.Line || a.line == position.Line-1 {
+			a.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// computeReach labels every node with its distance to the nearest
+// non-waived sink and a deterministic witness successor: a reverse BFS
+// from the sink users, with ties broken by node id so the reported path
+// never depends on map order.
+func (m *Module) computeReach() {
+	nodes := make([]*callNode, 0, len(m.Graph.nodes))
+	for _, n := range m.Graph.nodes {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].id < nodes[j].id })
+
+	// Reverse adjacency, deterministic order.
+	callers := make(map[*callNode][]*callNode)
+	var frontier []*callNode
+	for _, n := range nodes {
+		for _, e := range n.out {
+			callers[e.callee] = append(callers[e.callee], n)
+		}
+		for _, s := range n.sink {
+			if !s.waived {
+				n.dist = 0
+				n.sinkName = s.name
+				break
+			}
+		}
+		if n.dist == 0 {
+			frontier = append(frontier, n)
+		}
+	}
+	for len(frontier) > 0 {
+		var next []*callNode
+		for _, n := range frontier {
+			for _, caller := range callers[n] {
+				switch {
+				case caller.dist == -1:
+					caller.dist = n.dist + 1
+					caller.next = n
+					caller.sinkName = n.sinkName
+					next = append(next, caller)
+				case caller.dist == n.dist+1 && caller.next != nil && n.id < caller.next.id:
+					// Same length, lexicographically smaller witness: prefer it
+					// so the path is unique regardless of traversal order.
+					caller.next = n
+					caller.sinkName = n.sinkName
+				}
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i].id < next[j].id })
+		frontier = next
+	}
+}
+
+// ReachesSink reports whether fn can reach a nondet sink through in-module
+// calls, and if so returns the witness path (function ids ending in the
+// sink name, e.g. ["internal/core.helper", "time.Now"]).
+func (m *Module) ReachesSink(fn *types.Func) ([]string, bool) {
+	n := m.Graph.nodes[funcKey(fn)]
+	if n == nil || n.dist < 0 {
+		return nil, false
+	}
+	var path []string
+	for cur := n; cur != nil; cur = cur.next {
+		path = append(path, cur.id)
+		if cur.next == nil {
+			path = append(path, cur.sinkName)
+		}
+	}
+	return path, true
+}
+
+// Node returns the module's graph node for fn, or nil.
+func (m *Module) node(fn *types.Func) *callNode { return m.Graph.nodes[funcKey(fn)] }

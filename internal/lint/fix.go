@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TextEdit replaces the source range [Pos, End) with NewText. Pos == End
+// is a pure insertion.
+type TextEdit struct {
+	Pos, End token.Pos
+	NewText  string
+}
+
+// Fix is a mechanical rewrite that removes a finding. Edits are applied
+// together; AddImports lists import paths the new text needs (inserted
+// only if the file does not already import them). Fixes are only attached
+// where the rewrite is provably behavior-preserving — ctx threading and
+// locking discipline always need human judgment and stay report-only.
+type Fix struct {
+	// Message summarizes the rewrite ("sort keys before ranging").
+	Message string
+	// Edits are the source replacements, non-overlapping within one fix.
+	Edits []TextEdit
+	// AddImports lists import paths the rewritten code references.
+	AddImports []string
+}
+
+// ApplyFixes applies every SuggestedFix in findings to the files on disk
+// and returns the rewritten file names, sorted. Edits are applied
+// per-file in descending offset order so earlier offsets stay valid; when
+// two fixes in one file overlap, the one from the earlier finding wins
+// and the later fix is skipped (findings arrive sorted, so the outcome is
+// deterministic). Each rewritten file is passed through go/format — which
+// also sorts the import block the inserted imports land in — so a fixed
+// tree is gofmt-clean by construction.
+func ApplyFixes(pkgs []*Package, findings []Finding) ([]string, error) {
+	type fileFixes struct {
+		pkg     *Package
+		file    *ast.File
+		edits   []TextEdit
+		imports map[string]bool
+	}
+	byFile := make(map[string]*fileFixes)
+	for _, f := range findings {
+		if f.SuggestedFix == nil {
+			continue
+		}
+		name := f.Pos.Filename
+		ff := byFile[name]
+		if ff == nil {
+			pkg, file := fileFor(pkgs, name)
+			if file == nil {
+				return nil, fmt.Errorf("fix targets %s, which is not among the loaded files", name)
+			}
+			ff = &fileFixes{pkg: pkg, file: file, imports: make(map[string]bool)}
+			byFile[name] = ff
+		}
+		if overlaps(ff.edits, f.SuggestedFix.Edits) {
+			continue
+		}
+		ff.edits = append(ff.edits, f.SuggestedFix.Edits...)
+		for _, imp := range f.SuggestedFix.AddImports {
+			ff.imports[imp] = true
+		}
+	}
+
+	names := make([]string, 0, len(byFile))
+	for name := range byFile {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		ff := byFile[name]
+		fset := ff.pkg.Fset
+		for imp := range ff.imports {
+			if e, needed := importEdit(ff.file, imp); needed {
+				ff.edits = append(ff.edits, e)
+			}
+		}
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		out, err := applyEdits(fset, src, ff.edits)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		formatted, err := format.Source(out)
+		if err != nil {
+			return nil, fmt.Errorf("%s: formatting fixed source: %w", name, err)
+		}
+		if err := os.WriteFile(name, formatted, 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return names, nil
+}
+
+// fileFor locates the parsed file with the given name among pkgs.
+func fileFor(pkgs []*Package, name string) (*Package, *ast.File) {
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			if pkg.Fset.Position(file.Pos()).Filename == name {
+				return pkg, file
+			}
+		}
+	}
+	return nil, nil
+}
+
+// overlaps reports whether any edit in next intersects one in applied.
+func overlaps(applied, next []TextEdit) bool {
+	for _, a := range applied {
+		for _, b := range next {
+			if a.Pos < b.End && b.Pos < a.End {
+				return true
+			}
+			// Two insertions at the same point would interleave
+			// nondeterministically; treat them as a conflict too.
+			if a.Pos == a.End && b.Pos == b.End && a.Pos == b.Pos {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// applyEdits rewrites src with edits, applied in descending offset order.
+func applyEdits(fset *token.FileSet, src []byte, edits []TextEdit) ([]byte, error) {
+	sorted := make([]TextEdit, len(edits))
+	copy(sorted, edits)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Pos != sorted[j].Pos {
+			return sorted[i].Pos > sorted[j].Pos
+		}
+		return sorted[i].End > sorted[j].End
+	})
+	out := src
+	for _, e := range sorted {
+		start := fset.Position(e.Pos).Offset
+		end := start
+		if e.End.IsValid() && e.End > e.Pos {
+			end = fset.Position(e.End).Offset
+		}
+		if start < 0 || end > len(out) || start > end {
+			return nil, fmt.Errorf("edit [%d,%d) out of range (file is %d bytes)", start, end, len(out))
+		}
+		var b []byte
+		b = append(b, out[:start]...)
+		b = append(b, e.NewText...)
+		b = append(b, out[end:]...)
+		out = b
+	}
+	return out, nil
+}
+
+// importEdit builds the edit that adds path to file's imports, or reports
+// that none is needed. The spec is inserted at the start of the first
+// import block (go/format re-sorts the block afterwards); a file with no
+// imports gets a new declaration after the package clause.
+func importEdit(file *ast.File, path string) (TextEdit, bool) {
+	quoted := strconv.Quote(path)
+	for _, imp := range file.Imports {
+		if imp.Path.Value == quoted {
+			return TextEdit{}, false
+		}
+	}
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		if gd.Lparen.IsValid() {
+			pos := gd.Lparen + 1
+			return TextEdit{Pos: pos, End: pos, NewText: "\n" + quoted + ";"}, true
+		}
+		// Single-spec `import "x"`: wrap both into a block.
+		return TextEdit{
+			Pos:     gd.Pos(),
+			End:     gd.End(),
+			NewText: "import (\n" + quoted + "\n" + importDeclText(gd) + "\n)",
+		}, true
+	}
+	pos := file.Name.End()
+	return TextEdit{Pos: pos, End: pos, NewText: "\n\nimport " + quoted}, true
+}
+
+// importDeclText renders the single import spec of an unparenthesized
+// import declaration.
+func importDeclText(gd *ast.GenDecl) string {
+	spec := gd.Specs[0].(*ast.ImportSpec)
+	var b strings.Builder
+	if spec.Name != nil {
+		b.WriteString(spec.Name.Name)
+		b.WriteString(" ")
+	}
+	b.WriteString(spec.Path.Value)
+	return b.String()
+}

@@ -1,0 +1,192 @@
+package lint_test
+
+import (
+	"go/format"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cosmicdance/internal/lint"
+)
+
+// fixInput carries every fixable shape at once: a map-ordered write to an
+// io.Writer (sort-before-range), a direct error type assertion
+// (errors.As) and a discarded Close on a write path (checked Close). The
+// file has a single-spec import declaration on purpose, so the import
+// edit's block-wrapping path runs too.
+const fixInput = `package tmpfix
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+func emit(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintln(w, k, v)
+	}
+}
+
+func classify(err error) string {
+	if pe, ok := err.(*os.PathError); ok {
+		return pe.Path
+	}
+	return ""
+}
+
+func flush(f *os.File) error {
+	f.Close()
+	return nil
+}
+`
+
+// writeFixModule lays out a standalone temp module holding src as its
+// root package and returns its directory.
+func writeFixModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tmpfix\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "fix.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// analyzeModule loads the temp module fresh from disk and runs all rules.
+func analyzeModule(t *testing.T, dir string) ([]lint.Finding, []*lint.Package) {
+	t.Helper()
+	loader, err := lint.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lint.Run(pkgs, lint.All()), pkgs
+}
+
+// TestApplyFixesEndToEnd drives the whole fixer: findings in, rewritten
+// gofmt-clean file out, and a re-analysis that no longer reports the
+// fixable rules.
+func TestApplyFixesEndToEnd(t *testing.T) {
+	dir := writeFixModule(t, fixInput)
+	findings, pkgs := analyzeModule(t, dir)
+	fixable := 0
+	for _, f := range findings {
+		if f.SuggestedFix != nil {
+			fixable++
+		}
+	}
+	if fixable != 3 {
+		t.Fatalf("fixture produced %d fixable findings, want 3: %v", fixable, findings)
+	}
+
+	fixed, err := lint.ApplyFixes(pkgs, findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixed) != 1 || filepath.Base(fixed[0]) != "fix.go" {
+		t.Fatalf("ApplyFixes rewrote %v, want just fix.go", fixed)
+	}
+
+	out, err := os.ReadFile(filepath.Join(dir, "fix.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"slices.Sort(kKeys)",
+		"for _, k := range kKeys",
+		"v := m[k]",
+		"var pe *os.PathError",
+		"if errors.As(err, &pe)",
+		"if err := f.Close(); err != nil {",
+		`"errors"`,
+		`"slices"`,
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("rewritten file lacks %q:\n%s", want, out)
+		}
+	}
+	formatted, err := format.Source(out)
+	if err != nil {
+		t.Fatalf("rewritten file does not parse: %v\n%s", err, out)
+	}
+	if string(formatted) != string(out) {
+		t.Errorf("rewritten file is not gofmt-clean:\n%s", out)
+	}
+
+	// The re-analysis must come up clean: every finding in the fixture was
+	// fixable, and the fixes introduce no new violations.
+	after, _ := analyzeModule(t, dir)
+	if len(after) != 0 {
+		t.Errorf("post-fix analysis still reports: %v", after)
+	}
+}
+
+// TestApplyFixesByteDeterministic runs the identical fix pipeline over
+// two fresh copies and once more over an already-fixed tree: the
+// rewritten bytes must match exactly, and a second pass must change
+// nothing.
+func TestApplyFixesByteDeterministic(t *testing.T) {
+	var outputs [][]byte
+	for i := 0; i < 2; i++ {
+		dir := writeFixModule(t, fixInput)
+		findings, pkgs := analyzeModule(t, dir)
+		if _, err := lint.ApplyFixes(pkgs, findings); err != nil {
+			t.Fatal(err)
+		}
+		out, err := os.ReadFile(filepath.Join(dir, "fix.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, out)
+
+		// Idempotence: re-analyzing the fixed tree yields nothing to apply.
+		again, pkgs2 := analyzeModule(t, dir)
+		fixed, err := lint.ApplyFixes(pkgs2, again)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fixed) != 0 {
+			t.Errorf("second -fix pass rewrote %v, want no changes", fixed)
+		}
+	}
+	if string(outputs[0]) != string(outputs[1]) {
+		t.Errorf("fix output differs between identical runs:\n---a---\n%s\n---b---\n%s", outputs[0], outputs[1])
+	}
+}
+
+// TestApplyFixesSingleImportWrap covers the import-edit path that has to
+// wrap a one-line import declaration into a block.
+func TestApplyFixesSingleImportWrap(t *testing.T) {
+	src := `package tmpfix
+
+import "io"
+
+func emit(w io.Writer, m map[string]int) {
+	for k := range m {
+		w.Write([]byte(k))
+	}
+}
+`
+	dir := writeFixModule(t, src)
+	findings, pkgs := analyzeModule(t, dir)
+	if _, err := lint.ApplyFixes(pkgs, findings); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(filepath.Join(dir, "fix.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "\"slices\"") || !strings.Contains(string(out), "import (") {
+		t.Errorf("single import was not wrapped into a block:\n%s", out)
+	}
+	if formatted, err := format.Source(out); err != nil || string(formatted) != string(out) {
+		t.Errorf("rewritten file not gofmt-clean (err %v):\n%s", err, out)
+	}
+}

@@ -28,6 +28,14 @@ type sourceImporter struct {
 	modRoot  string
 	pkgs     map[string]*types.Package
 	checking map[string]bool
+	// dirFiles and parsed memoize directory listings and parsed files: a
+	// module package is often both a target and a dependency of other
+	// targets in one load, and without the caches each role re-reads and
+	// re-parses the same sources (and bloats fset with duplicate files).
+	// The caches live for the Loader's lifetime; -fix makes a fresh Loader
+	// per pass, so rewritten files are re-read.
+	dirFiles map[string][]string
+	parsed   map[string]*ast.File
 }
 
 func newSourceImporter(fset *token.FileSet, modPath, modRoot string) *sourceImporter {
@@ -40,6 +48,8 @@ func newSourceImporter(fset *token.FileSet, modPath, modRoot string) *sourceImpo
 		modRoot:  modRoot,
 		pkgs:     make(map[string]*types.Package),
 		checking: make(map[string]bool),
+		dirFiles: make(map[string][]string),
+		parsed:   make(map[string]*ast.File),
 	}
 }
 
@@ -94,6 +104,9 @@ func (im *sourceImporter) resolve(path string) (dir string, names []string, err 
 // goFiles lists the non-test .go files in dir that match the build
 // context (build tags, GOOS/GOARCH suffixes).
 func (im *sourceImporter) goFiles(dir string) ([]string, error) {
+	if names, ok := im.dirFiles[dir]; ok {
+		return names, nil
+	}
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -115,16 +128,23 @@ func (im *sourceImporter) goFiles(dir string) ([]string, error) {
 	if len(names) == 0 {
 		return nil, fmt.Errorf("no buildable Go files in %s", dir)
 	}
+	im.dirFiles[dir] = names
 	return names, nil
 }
 
-// parse parses the named files in dir into im.fset.
+// parse parses the named files in dir into im.fset, one parse per path.
 func (im *sourceImporter) parse(dir string, names []string) ([]*ast.File, error) {
 	files := make([]*ast.File, 0, len(names))
 	for _, n := range names {
-		f, err := parser.ParseFile(im.fset, filepath.Join(dir, n), nil, parser.ParseComments)
-		if err != nil {
-			return nil, err
+		path := filepath.Join(dir, n)
+		f, ok := im.parsed[path]
+		if !ok {
+			var err error
+			f, err = parser.ParseFile(im.fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			im.parsed[path] = f
 		}
 		files = append(files, f)
 	}

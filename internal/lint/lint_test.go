@@ -26,11 +26,76 @@ func TestRuleFixtures(t *testing.T) {
 		{"testdata/maporder", "cosmicdance/internal/report"},
 		{"testdata/errhygiene", "cosmicdance/internal/spacetrack"},
 		{"testdata/allow", pipelinePose},
+		{"testdata/ctxflow", pipelinePose},
+		{"testdata/ctxflowmain", "cosmicdance/cmd/cosmicdance"},
+		{"testdata/fleetalloc", "cosmicdance/internal/constellation"},
+		{"testdata/atomicdiscipline", "cosmicdance/internal/spacetrack"},
+		{"testdata/obsregistry", "cosmicdance/internal/spacetrack"},
 	}
 	for _, c := range cases {
 		t.Run(strings.TrimPrefix(c.dir, "testdata/"), func(t *testing.T) {
 			linttest.Run(t, c.dir, c.asPath, lint.All())
 		})
+	}
+}
+
+// TestCallGraphTransitive loads the two-package call-graph fixture as one
+// analysis unit: the pipeline half never touches a sink directly, so
+// every want comment there is a transitive finding — one-hop calls,
+// mutual recursion, cross-package method values and interface dispatch
+// all resolved through the module graph, with waived sinks staying
+// silent.
+func TestCallGraphTransitive(t *testing.T) {
+	linttest.RunPkgs(t, []linttest.Fixture{
+		{Dir: "testdata/callgraph/helper", AsPath: "cosmicdance/internal/cghelper"},
+		{Dir: "testdata/callgraph/pipe", AsPath: pipelinePose},
+	}, lint.All())
+}
+
+// TestCallGraphPathsDeterministic pins that repeated analyses of the
+// same fixture pair produce byte-identical finding lists — the witness
+// paths must not depend on map iteration order anywhere in the graph
+// build.
+func TestCallGraphPathsDeterministic(t *testing.T) {
+	fixtures := []linttest.Fixture{
+		{Dir: "testdata/callgraph/helper", AsPath: "cosmicdance/internal/cghelper"},
+		{Dir: "testdata/callgraph/pipe", AsPath: pipelinePose},
+	}
+	first, err := linttest.LoadPkgs(fixtures, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 {
+		t.Fatal("fixture produced no findings")
+	}
+	for i := 0; i < 3; i++ {
+		again, err := linttest.LoadPkgs(fixtures, lint.All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again) != len(first) {
+			t.Fatalf("run %d produced %d findings, first produced %d", i, len(again), len(first))
+		}
+		for j := range again {
+			if again[j].String() != first[j].String() ||
+				strings.Join(again[j].Path, "→") != strings.Join(first[j].Path, "→") {
+				t.Errorf("run %d finding %d drifted:\n got %s path %v\nwant %s path %v",
+					i, j, again[j], again[j].Path, first[j], first[j].Path)
+			}
+		}
+	}
+}
+
+// TestAllowCoversMultipleFindings pins the multiplicity edge case: one
+// directive suppresses both sinks on its covered line, counts as used,
+// and the whole fixture reports nothing — not even transitively.
+func TestAllowCoversMultipleFindings(t *testing.T) {
+	findings, err := linttest.Load("testdata/allowmulti", pipelinePose, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("allowmulti fixture produced findings, want none: %v", findings)
 	}
 }
 

@@ -33,28 +33,49 @@ type TB interface {
 	Fatalf(format string, args ...any)
 }
 
-// Run loads fixtureDir as a package with import path asPath, applies the
-// rules, and checks findings against the fixture's want comments. asPath
-// controls pipeline scoping: pose the fixture as e.g.
-// "cosmicdance/internal/core" to exercise pipeline-only rules.
+// Fixture names one directory of a (possibly multi-package) fixture and
+// the import path it poses as. AsPath controls pipeline scoping: pose a
+// directory as e.g. "cosmicdance/internal/core" to exercise
+// pipeline-only rules. A fixture posed under the module path can be
+// imported by a later fixture in the same RunPkgs call — list
+// dependencies first.
+type Fixture struct {
+	Dir    string
+	AsPath string
+}
+
+// Run loads fixtureDir as a single package with import path asPath,
+// applies the rules, and checks findings against the fixture's want
+// comments.
 func Run(t TB, fixtureDir, asPath string, rules []lint.Rule) {
 	t.Helper()
-	findings, err := Load(fixtureDir, asPath, rules)
+	RunPkgs(t, []Fixture{{Dir: fixtureDir, AsPath: asPath}}, rules)
+}
+
+// RunPkgs loads several fixture directories as one module-wide analysis
+// unit — the call graph spans all of them, so cross-package transitive
+// findings resolve — and checks the combined findings against every
+// fixture's want comments.
+func RunPkgs(t TB, fixtures []Fixture, rules []lint.Rule) {
+	t.Helper()
+	findings, err := LoadPkgs(fixtures, rules)
 	if err != nil {
 		t.Fatalf("linttest: %v", err)
 		return // reached only under a non-exiting TB (the harness's own tests)
 	}
-	wants, err := parseWants(fixtureDir)
-	if err != nil {
-		t.Fatalf("linttest: %v", err)
-		return
+	ws := &wantSet{}
+	for _, fx := range fixtures {
+		if err := parseWants(fx.Dir, ws); err != nil {
+			t.Fatalf("linttest: %v", err)
+			return
+		}
 	}
 	for _, f := range findings {
-		if !wants.match(f) {
+		if !ws.match(f) {
 			t.Errorf("unexpected finding: %s", f)
 		}
 	}
-	for _, w := range wants.unmatched() {
+	for _, w := range ws.unmatched() {
 		t.Errorf("%s:%d: no finding matched %q", w.file, w.line, w.re)
 	}
 }
@@ -63,7 +84,17 @@ func Run(t TB, fixtureDir, asPath string, rules []lint.Rule) {
 // findings (for tests that assert on findings directly rather than via
 // want comments).
 func Load(fixtureDir, asPath string, rules []lint.Rule) ([]lint.Finding, error) {
-	root, err := lint.ModuleRoot(fixtureDir)
+	return LoadPkgs([]Fixture{{Dir: fixtureDir, AsPath: asPath}}, rules)
+}
+
+// LoadPkgs loads every fixture (in order, so later fixtures can import
+// earlier ones by their posed paths) and runs the rules over the combined
+// package set.
+func LoadPkgs(fixtures []Fixture, rules []lint.Rule) ([]lint.Finding, error) {
+	if len(fixtures) == 0 {
+		return nil, fmt.Errorf("no fixtures given")
+	}
+	root, err := lint.ModuleRoot(fixtures[0].Dir)
 	if err != nil {
 		return nil, err
 	}
@@ -71,15 +102,19 @@ func Load(fixtureDir, asPath string, rules []lint.Rule) ([]lint.Finding, error) 
 	if err != nil {
 		return nil, err
 	}
-	abs, err := filepath.Abs(fixtureDir)
-	if err != nil {
-		return nil, err
+	pkgs := make([]*lint.Package, 0, len(fixtures))
+	for _, fx := range fixtures {
+		abs, err := filepath.Abs(fx.Dir)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := loader.LoadAs(abs, fx.AsPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
 	}
-	pkg, err := loader.LoadAs(abs, asPath)
-	if err != nil {
-		return nil, err
-	}
-	return lint.Run([]*lint.Package{pkg}, rules), nil
+	return lint.Run(pkgs, rules), nil
 }
 
 // want is one expectation: a pattern bound to a file and line.
@@ -121,13 +156,13 @@ func (ws *wantSet) unmatched() []*want {
 // wantRE matches quoted or backquoted patterns after a "// want" marker.
 var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
 
-// parseWants scans every fixture source file for want comments.
-func parseWants(dir string) (*wantSet, error) {
+// parseWants scans every fixture source file in dir for want comments,
+// appending to ws.
+func parseWants(dir string, ws *wantSet) error {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	ws := &wantSet{}
 	for _, e := range ents {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 			continue
@@ -135,7 +170,7 @@ func parseWants(dir string) (*wantSet, error) {
 		path := filepath.Join(dir, e.Name())
 		data, err := os.ReadFile(path)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for i, line := range strings.Split(string(data), "\n") {
 			_, rest, ok := strings.Cut(line, "// want ")
@@ -144,22 +179,22 @@ func parseWants(dir string) (*wantSet, error) {
 			}
 			pats := wantRE.FindAllString(rest, -1)
 			if len(pats) == 0 {
-				return nil, fmt.Errorf("%s:%d: malformed want comment (no quoted pattern)", path, i+1)
+				return fmt.Errorf("%s:%d: malformed want comment (no quoted pattern)", path, i+1)
 			}
 			for _, pat := range pats {
 				unq := strings.Trim(pat, "`")
 				if strings.HasPrefix(pat, `"`) {
 					if unq, err = strconv.Unquote(pat); err != nil {
-						return nil, fmt.Errorf("%s:%d: bad pattern %s: %v", path, i+1, pat, err)
+						return fmt.Errorf("%s:%d: bad pattern %s: %v", path, i+1, pat, err)
 					}
 				}
 				rx, err := regexp.Compile(unq)
 				if err != nil {
-					return nil, fmt.Errorf("%s:%d: bad regexp %s: %v", path, i+1, pat, err)
+					return fmt.Errorf("%s:%d: bad regexp %s: %v", path, i+1, pat, err)
 				}
 				ws.wants = append(ws.wants, &want{file: path, line: i + 1, re: unq, rx: rx})
 			}
 		}
 	}
-	return ws, nil
+	return nil
 }

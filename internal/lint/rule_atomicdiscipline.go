@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkAtomicDiscipline enforces all-or-nothing atomicity per field,
+// module-wide: once any code path touches a struct field through
+// sync/atomic (either a legacy atomic.AddInt64(&s.n, 1) call or a typed
+// atomic.Int64 / atomic.Pointer[T] declaration), every plain read or
+// write of that field anywhere in the module is a data race in waiting —
+// the exact bug class a copy-on-write catalog dies from, where one
+// goroutine publishes a shard pointer atomically and another reads the
+// field without the acquire.
+//
+// The registry of atomic fields comes from the Module (see atomicreg.go);
+// this rule is the per-package scan for undisciplined access. For typed
+// atomic fields a selector is legal as a method receiver (s.n.Load()) or
+// when its address is taken (handing a *atomic.Int64 around); anything
+// else — assignment, copy, comparison — is flagged.
+func checkAtomicDiscipline(p *Pass) {
+	info := p.Package().Info
+	mod := p.Module()
+	for _, file := range p.Files() {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			v, ok := s.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			witness, atomicField := mod.atomicWitness(p.Fset(), v)
+			if !atomicField {
+				return true
+			}
+			if mod.atomicSanctioned[sel.Pos()] {
+				return true // the atomic access itself
+			}
+			if sanctionedUse(stack, sel, isAtomicType(v.Type())) {
+				return true
+			}
+			p.Reportf(sel.Pos(), "field %s is accessed atomically elsewhere in the module (e.g. %s); a plain read/write here races with those atomics — use sync/atomic for every access", v.Name(), shortPos(witness))
+			return true
+		})
+	}
+}
+
+// sanctionedUse decides whether the selector use at the top of stack is a
+// legal way to touch an atomic field. typed marks fields declared with a
+// sync/atomic type (method calls and address-taking are their API);
+// legacy fields are only ever legal inside the &f-argument of a
+// sync/atomic call, which the module build pre-marked.
+func sanctionedUse(stack []ast.Node, sel *ast.SelectorExpr, typed bool) bool {
+	if !typed {
+		return false
+	}
+	// Walk outward past parens.
+	i := len(stack) - 2
+	for i >= 0 {
+		if pe, ok := stack[i].(*ast.ParenExpr); ok && pe.X != nil {
+			i--
+			continue
+		}
+		break
+	}
+	if i < 0 {
+		return false
+	}
+	switch parent := stack[i].(type) {
+	case *ast.SelectorExpr:
+		// s.n.Load(): the field is the receiver of one of its own methods.
+		return parent.X == sel || containsNode(parent.X, sel)
+	case *ast.UnaryExpr:
+		// &s.n: passing the typed atomic by pointer keeps the discipline.
+		return parent.Op == token.AND
+	}
+	return false
+}
+
+// containsNode reports whether needle appears within root (selectors can
+// be nested: a.b.n has the inner selector as parent.X's child).
+func containsNode(root, needle ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == needle {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// shortPos renders a witness position compactly (basename:line).
+func shortPos(p token.Position) string {
+	return baseName(p.Filename) + ":" + itoa(p.Line)
+}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -19,13 +20,30 @@ import (
 func checkErrHygiene(p *Pass) {
 	info := p.Package().Info
 	eachFunc(p, func(fd *ast.FuncDecl) {
+		fixed := make(map[ast.Node]bool)
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
 			switch s := n.(type) {
 			case *ast.ExprStmt:
 				checkDiscardedClose(p, fd, s.X, false)
 			case *ast.DeferStmt:
 				checkDiscardedClose(p, fd, s.Call, true)
+			case *ast.IfStmt:
+				// `if e, ok := err.(*T); ok {` — the one assertion shape
+				// with a mechanical errors.As rewrite. Report it here with
+				// the fix attached and mark the assertion handled, so the
+				// generic case below does not double-report it.
+				if ta, fix := errorsAsFix(p, fd, s); ta != nil {
+					fixed[ta] = true
+					p.Report(Finding{
+						Pos:          p.Fset().Position(ta.Pos()),
+						Message:      "type assertion on an error value misses wrapped errors; use errors.As",
+						SuggestedFix: fix,
+					})
+				}
 			case *ast.TypeAssertExpr:
+				if fixed[s] {
+					return true
+				}
 				if s.Type != nil && isErrorType(info.TypeOf(s.X)) {
 					p.Reportf(s.Pos(), "type assertion on an error value misses wrapped errors; use errors.As")
 				}
@@ -37,6 +55,91 @@ func checkErrHygiene(p *Pass) {
 			return true
 		})
 	})
+}
+
+// errorsAsFix matches `if e, ok := err.(*T); ok { … }` and builds the
+// canonical rewrite:
+//
+//	var e *T
+//	if errors.As(err, &e) { … }
+//
+// It returns the matched assertion (so the caller can report at its
+// position) and the fix, or nil, nil when ifs is not that shape or the
+// rewrite is unsafe: the declaration of e moves one scope out, so the
+// name must not already be taken elsewhere in the function, and ok must
+// be consumed only as the condition. The semantics are preserved either
+// way — on a failed match both forms leave e at its zero value.
+func errorsAsFix(p *Pass, fd *ast.FuncDecl, ifs *ast.IfStmt) (*ast.TypeAssertExpr, *Fix) {
+	info := p.Package().Info
+	assign, ok := ifs.Init.(*ast.AssignStmt)
+	if !ok || assign.Tok != token.DEFINE || len(assign.Lhs) != 2 || len(assign.Rhs) != 1 {
+		return nil, nil
+	}
+	ta, ok := ast.Unparen(assign.Rhs[0]).(*ast.TypeAssertExpr)
+	if !ok || ta.Type == nil || !isErrorType(info.TypeOf(ta.X)) {
+		return nil, nil
+	}
+	target, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok || target.Name == "_" {
+		return nil, nil
+	}
+	okID, ok := assign.Lhs[1].(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	cond, ok := ast.Unparen(ifs.Cond).(*ast.Ident)
+	if !ok || objectOf(info, cond) != info.Defs[okID] {
+		return nil, nil
+	}
+	if !simpleExpr(ta.X) {
+		return nil, nil
+	}
+	targetObj := info.Defs[target]
+	if countUses(info, ifs, info.Defs[okID]) != 1 || nameTakenOutside(info, fd, ifs, target.Name, targetObj) {
+		return nil, nil
+	}
+	return ta, &Fix{
+		Message: "declare the target and match with errors.As",
+		Edits: []TextEdit{{
+			Pos: ifs.Pos(), End: ifs.Body.Lbrace,
+			NewText: "var " + target.Name + " " + types.ExprString(ta.Type) + "\n" +
+				"if errors.As(" + types.ExprString(ta.X) + ", &" + target.Name + ") ",
+		}},
+		AddImports: []string{"errors"},
+	}
+}
+
+// countUses counts identifier uses of obj within root.
+func countUses(info *types.Info, root ast.Node, obj types.Object) int {
+	n := 0
+	ast.Inspect(root, func(node ast.Node) bool {
+		if id, ok := node.(*ast.Ident); ok && info.Uses[id] == obj {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// nameTakenOutside reports whether name resolves to a different object
+// anywhere in fd outside the subtree at inside — pulling a declaration of
+// name out of that subtree would then collide or shadow.
+func nameTakenOutside(info *types.Info, fd *ast.FuncDecl, inside ast.Node, name string, obj types.Object) bool {
+	taken := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if n == inside {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Name != name {
+			return true
+		}
+		if o := objectOf(info, id); o != nil && o != obj {
+			taken = true
+		}
+		return !taken
+	})
+	return taken
 }
 
 // typeSwitchSubject extracts the switched-on expression from
@@ -91,7 +194,40 @@ func checkDiscardedClose(p *Pass, fd *ast.FuncDecl, expr ast.Expr, deferred bool
 		p.Reportf(call.Pos(), "defer discards the error from Close on a write path; close explicitly and check the error (a failed flush surfaces at Close)")
 		return
 	}
-	p.Reportf(call.Pos(), "error from Close discarded on a write path; check it, or assign to _ to make the discard explicit")
+	p.Report(Finding{
+		Pos:          p.Fset().Position(call.Pos()),
+		Message:      "error from Close discarded on a write path; check it, or assign to _ to make the discard explicit",
+		SuggestedFix: checkedCloseFix(p, fd, call),
+	})
+}
+
+// checkedCloseFix rewrites a bare `w.Close()` statement into
+//
+//	if err := w.Close(); err != nil {
+//		return err
+//	}
+//
+// when the enclosing function returns exactly one value of type error —
+// the only shape where the early return is mechanical. Other signatures
+// (multiple results, no error result) stay report-only. The `err` the fix
+// declares lives in the if's own scope, so it cannot collide.
+func checkedCloseFix(p *Pass, fd *ast.FuncDecl, call *ast.CallExpr) *Fix {
+	res := fd.Type.Results
+	if res == nil || len(res.List) != 1 || len(res.List[0].Names) > 1 ||
+		!isErrorType(p.Package().Info.TypeOf(res.List[0].Type)) {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !simpleExpr(sel.X) {
+		return nil
+	}
+	return &Fix{
+		Message: "check the Close error and return it",
+		Edits: []TextEdit{{
+			Pos: call.Pos(), End: call.End(),
+			NewText: "if err := " + types.ExprString(call) + "; err != nil {\nreturn err\n}",
+		}},
+	}
 }
 
 // objectOf resolves an identifier through either Uses or Defs.

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// checkFleetalloc guards the flat-RSS invariant of the mega-constellation
+// scale-out: on the streaming paths (see StreamingPackages) a single
+// allocation must be bounded by a chunk, never by the whole fleet. The
+// check is a reviewed heuristic over the capacity expression of make()
+// and slices.Grow(): an expression that mentions a fleet-scale quantity
+// (an identifier or field whose name contains "fleet", "roster", "sats"
+// or "total", or len() of such a value) without also mentioning a chunk
+// bound ("chunk", "lo", "hi") allocates O(fleet) and is flagged.
+//
+// Plans and reports that are O(fleet) *by design* (a roster entry is a
+// few dozen bytes; the materializing compatibility paths) carry
+// //cosmiclint:allow fleetalloc directives whose reasons say exactly
+// that, so every whole-fleet allocation on a streaming path is a
+// reviewed, justified decision.
+func checkFleetalloc(p *Pass) {
+	info := p.Package().Info
+	eachFunc(p, func(fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !p.InStreaming(call.Pos()) {
+				return true
+			}
+			var sizeArgs []ast.Expr
+			switch {
+			case isBuiltin(info, call, "make"):
+				if len(call.Args) > 1 {
+					sizeArgs = call.Args[1:]
+				}
+			case isPkgFunc(calleeFunc(info, call), "slices", "Grow"):
+				if len(call.Args) == 2 {
+					sizeArgs = call.Args[1:]
+				}
+			default:
+				return true
+			}
+			for _, arg := range sizeArgs {
+				if name, fleetScale := fleetScaleName(arg); fleetScale {
+					p.Reportf(call.Pos(), "allocation sized by %q is O(fleet) on a streaming path; bound it by the chunk (or justify the whole-fleet size with an allow directive)", name)
+					break
+				}
+			}
+			return true
+		})
+	})
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// fleetScaleName scans expr for fleet-scale identifiers. It returns the
+// offending name and true when one is present and no chunk bound is — a
+// min(chunk, total-lo) expression is chunk-bounded and legal.
+func fleetScaleName(expr ast.Expr) (string, bool) {
+	offender, chunkBounded := "", false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		name := strings.ToLower(id.Name)
+		switch {
+		case strings.Contains(name, "chunk"), name == "lo", name == "hi":
+			chunkBounded = true
+		case strings.Contains(name, "fleet"),
+			strings.Contains(name, "roster"),
+			strings.Contains(name, "sats"),
+			strings.Contains(name, "total"):
+			if offender == "" {
+				offender = id.Name
+			}
+		}
+		return true
+	})
+	return offender, offender != "" && !chunkBounded
+}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -28,7 +29,11 @@ func checkMapOrder(p *Pass) {
 				return true
 			}
 			if reason := mapOrderLeak(p, fd, rng); reason != "" {
-				p.Reportf(rng.Pos(), "map iteration order leaks into %s; collect and sort the keys first", reason)
+				p.Report(Finding{
+					Pos:          p.Fset().Position(rng.Pos()),
+					Message:      "map iteration order leaks into " + reason + "; collect and sort the keys first",
+					SuggestedFix: sortBeforeRangeFix(p, fd, rng),
+				})
 			}
 			return true
 		})
@@ -92,6 +97,120 @@ func mapOrderLeak(p *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) string {
 		return true
 	})
 	return reason
+}
+
+// sortBeforeRangeFix builds the canonical rewrite for a leaking map
+// range — collect the keys, sort them, range the sorted slice and index
+// the map — or returns nil when the rewrite is not provably safe. The
+// guards: the key must be a freshly-declared plain identifier, the map a
+// side-effect-free identifier or selector (it gets evaluated three
+// times), the key type a sortable basic type, and the body must not
+// mutate the map (reordering a mutating loop changes which entries it
+// sees).
+func sortBeforeRangeFix(p *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) *Fix {
+	info := p.Package().Info
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || rng.Tok != token.DEFINE {
+		return nil
+	}
+	if !simpleExpr(rng.X) {
+		return nil
+	}
+	t := info.TypeOf(rng.X)
+	if t == nil {
+		return nil
+	}
+	mt, ok := t.Underlying().(*types.Map)
+	if !ok {
+		return nil
+	}
+	basic, ok := mt.Key().(*types.Basic)
+	if !ok || basic.Info()&(types.IsOrdered) == 0 {
+		return nil
+	}
+	if mapMutatedIn(info, rng.Body, rng.X) {
+		return nil
+	}
+	mapText := types.ExprString(rng.X)
+	keys := freshName(fd, key.Name+"Keys")
+	header := "for _, " + key.Name + " := range " + keys + " "
+	collect := keys + " := make([]" + basic.Name() + ", 0, len(" + mapText + "))\n" +
+		"for " + key.Name + " := range " + mapText + " {\n" +
+		keys + " = append(" + keys + ", " + key.Name + ")\n" +
+		"}\n" +
+		"slices.Sort(" + keys + ")\n"
+	edits := []TextEdit{
+		{Pos: rng.Pos(), End: rng.Pos(), NewText: collect},
+		{Pos: rng.For, End: rng.Body.Lbrace, NewText: header},
+	}
+	if val, ok := rng.Value.(*ast.Ident); ok && val.Name != "_" {
+		pos := rng.Body.Lbrace + 1
+		edits = append(edits, TextEdit{
+			Pos: pos, End: pos,
+			NewText: "\n" + val.Name + " := " + mapText + "[" + key.Name + "]\n",
+		})
+	}
+	return &Fix{
+		Message:    "collect, sort and range the keys",
+		Edits:      edits,
+		AddImports: []string{"slices"},
+	}
+}
+
+// simpleExpr reports whether e is an identifier or a selector chain of
+// identifiers — safe to evaluate more than once.
+func simpleExpr(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return simpleExpr(x.X)
+	}
+	return false
+}
+
+// mapMutatedIn reports whether body deletes from or assigns into the
+// ranged map expression (matched textually — conservative is fine here;
+// a false positive only suppresses the autofix, not the finding).
+func mapMutatedIn(info *types.Info, body *ast.BlockStmt, mapExpr ast.Expr) bool {
+	target := types.ExprString(mapExpr)
+	mutated := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltin(info, s, "delete") && len(s.Args) > 0 && types.ExprString(s.Args[0]) == target {
+				mutated = true
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && types.ExprString(ix.X) == target {
+					mutated = true
+				}
+			}
+		}
+		return !mutated
+	})
+	return mutated
+}
+
+// freshName returns base, or base+"2", +"3"… — the first candidate not
+// already used as an identifier anywhere in fd.
+func freshName(fd *ast.FuncDecl, base string) string {
+	used := make(map[string]bool)
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			used[id.Name] = true
+		}
+		return true
+	})
+	if !used[base] {
+		return base
+	}
+	for i := 2; ; i++ {
+		if cand := base + itoa(i); !used[cand] {
+			return cand
+		}
+	}
 }
 
 // appendTarget returns the object of x in `x = append(x, ...)` position i,

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // wallClockFuncs are the time-package functions that read the wall clock
@@ -27,14 +28,19 @@ var randConstructors = map[string]bool{
 }
 
 // checkNondet flags wall-clock reads and global math/rand state in
-// pipeline packages. Per-satellite physics must derive every draw from the
-// seeded, per-stream RNGs and every timestamp from the simulation window,
-// or dataset identity across reruns and worker counts breaks.
+// pipeline packages — directly, and transitively through the module call
+// graph: a pipeline function that calls a helper (any number of in-module
+// hops deep, interface dispatch included) which samples the clock is as
+// nondeterministic as one that samples it itself, so the call site is
+// flagged with the full witness path. An allow directive on the sink
+// waives both the direct finding and the taint: the reason vouches for
+// every path through it.
 func checkNondet(p *Pass) {
 	if !p.InPipeline() {
 		return
 	}
 	info := p.Package().Info
+	mod := p.Module()
 	for _, file := range p.Files() {
 		ast.Inspect(file, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
@@ -62,5 +68,43 @@ func checkNondet(p *Pass) {
 			}
 			return true
 		})
+	}
+
+	// Transitive half: every call edge out of this package's functions
+	// whose callee reaches a sink through in-module calls. Nodes and edges
+	// come pre-sorted from the module build, so the finding order is
+	// position-deterministic.
+	for _, file := range p.Files() {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := info.Defs[fd.Name].(*types.Func)
+			node := mod.node(fn)
+			if node == nil {
+				continue
+			}
+			for _, e := range node.out {
+				if e.callee == node {
+					continue // self-recursion adds no path the body scan missed
+				}
+				path, reaches := mod.ReachesSink(e.callee.fn)
+				if !reaches {
+					continue
+				}
+				via := ""
+				if e.iface {
+					via = " (resolved through interface dispatch)"
+				}
+				p.Report(Finding{
+					Pos: p.Fset().Position(e.pos),
+					Message: "call to " + e.callee.id + " reaches " + path[len(path)-1] +
+						" in a pipeline package" + via + "; path: " + strings.Join(path, " → ") +
+						" — thread the time/clock or seeded RNG through parameters",
+					Path: path,
+				})
+			}
+		}
 	}
 }

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// checkObsRegistry keeps metric registration off the hot paths: the
+// Counter/Gauge/Histogram methods of internal/obs.Registry take a
+// registry lock and build label keys, so calling them per-event turns a
+// cheap atomic increment into a mutex acquisition under load. Metrics
+// must be registered once — in a package-level var initializer, an
+// init() function, or a constructor (New*/new*) — and the returned
+// handle stored. A registration call anywhere else is flagged.
+//
+// internal/obs itself is exempt: it defines the registration machinery.
+func checkObsRegistry(p *Pass) {
+	if p.relPath() == "internal/obs" {
+		return
+	}
+	info := p.Package().Info
+	obsPath := p.Package().ModulePath + "/internal/obs"
+	eachFunc(p, func(fd *ast.FuncDecl) {
+		if registrationSite(fd) {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != obsPath {
+				return true
+			}
+			switch fn.Name() {
+			case "Counter", "Gauge", "Histogram":
+			default:
+				return true
+			}
+			recv := fn.Type().(*types.Signature).Recv()
+			if recv == nil {
+				return true
+			}
+			p.Reportf(call.Pos(), "%s registers a metric inside %s; registration locks the registry — register once in a package var, init() or a New* constructor and reuse the handle", fn.Name(), funcLabel(fd))
+			return true
+		})
+	})
+}
+
+// registrationSite reports whether fd is a sanctioned place to register
+// metrics: init(), or a constructor whose name starts with New/new.
+// Package-level var initializers never reach here (eachFunc only visits
+// function declarations), so they are sanctioned by construction.
+func registrationSite(fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	if fd.Recv == nil && name == "init" {
+		return true
+	}
+	return strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new")
+}

@@ -15,7 +15,7 @@ func All() []Rule {
 	rules := []Rule{
 		{
 			Name:  "nondet",
-			Doc:   "pipeline packages must not read wall clock or the global math/rand state",
+			Doc:   "pipeline packages must not reach wall clock or global math/rand state, directly or through in-module calls",
 			Check: checkNondet,
 		},
 		{
@@ -32,6 +32,26 @@ func All() []Rule {
 			Name:  "errhygiene",
 			Doc:   "Close errors on write paths must be handled and error matching must use errors.As",
 			Check: checkErrHygiene,
+		},
+		{
+			Name:  "ctxflow",
+			Doc:   "pipeline functions that fan out via internal/parallel must take and forward a context.Context",
+			Check: checkCtxflow,
+		},
+		{
+			Name:  "fleetalloc",
+			Doc:   "streaming paths must allocate O(chunk), never O(fleet)",
+			Check: checkFleetalloc,
+		},
+		{
+			Name:  "atomicdiscipline",
+			Doc:   "a field accessed via sync/atomic anywhere must never be read or written plainly",
+			Check: checkAtomicDiscipline,
+		},
+		{
+			Name:  "obsregistry",
+			Doc:   "metric registration is allowed only in package vars, init() or New* constructors",
+			Check: checkObsRegistry,
 		},
 	}
 	sort.Slice(rules, func(i, j int) bool { return rules[i].Name < rules[j].Name })

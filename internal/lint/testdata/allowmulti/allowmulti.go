@@ -1,0 +1,16 @@
+// Package allowmulti pins the directive contract's multiplicity edge
+// case: one directive suppresses EVERY finding of its rule on the
+// covered line — two sinks need one directive, not two — and is counted
+// used by the first, so nothing here reports.
+package allowmulti
+
+import "time"
+
+func twoOnOneLine() (time.Time, time.Time) {
+	//cosmiclint:allow nondet fixture: both reads on the next line are sanctioned together
+	return time.Now(), time.Now()
+}
+
+func trailing() time.Time {
+	return time.Now() //cosmiclint:allow nondet fixture: trailing directive covers its own line
+}

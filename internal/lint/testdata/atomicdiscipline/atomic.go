@@ -1,0 +1,41 @@
+// Package atomicfix exercises the all-or-nothing atomicity rule: once a
+// field is touched through sync/atomic anywhere, every plain access of
+// it is a race in waiting.
+package atomicfix
+
+import "sync/atomic"
+
+type stats struct {
+	legacy int64
+	typed  atomic.Int64
+	plain  int
+}
+
+// record establishes both fields as atomic: legacy via a sync/atomic
+// call, typed by its declared type.
+func (s *stats) record() {
+	atomic.AddInt64(&s.legacy, 1)
+	s.typed.Add(1)
+}
+
+func (s *stats) badLegacyRead() int64 {
+	return s.legacy // want `field legacy is accessed atomically elsewhere in the module`
+}
+
+func (s *stats) badLegacyWrite() {
+	s.legacy = 0 // want `field legacy is accessed atomically elsewhere in the module`
+}
+
+func (s *stats) badTypedCopy() int64 {
+	snapshot := s.typed // want `field typed is accessed atomically elsewhere in the module`
+	return snapshot.Load()
+}
+
+// okUses: typed atomics may be method receivers or have their address
+// taken; legacy fields are fine inside sync/atomic calls; plain fields
+// are unconstrained.
+func (s *stats) okUses() (int64, int) {
+	p := &s.typed
+	n := p.Load() + s.typed.Load() + atomic.LoadInt64(&s.legacy)
+	return n, s.plain
+}

@@ -1,0 +1,61 @@
+// Package cghelper is the dependency half of the call-graph fixture. It
+// is posed as a NON-pipeline module package, so its direct sink uses are
+// legal here — the point is that pipeline callers (see ../pipe) are still
+// flagged transitively.
+package cghelper
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock directly: any pipeline caller is one hop
+// from a sink.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Ping and Pong are mutually recursive; Pong carries the sink, so both
+// reach it and the cycle must not hang the reachability pass.
+func Ping(n int) time.Time {
+	if n > 0 {
+		return Pong(n - 1)
+	}
+	return time.Time{}
+}
+
+func Pong(n int) time.Time {
+	if n > 0 {
+		return Ping(n - 1)
+	}
+	return time.Now()
+}
+
+// Clock.Read is the cross-package method-value case: a pipeline function
+// that captures c.Read as a value is tainted even though it never writes
+// a direct call expression.
+type Clock struct{}
+
+func (Clock) Read() time.Time {
+	return time.Now()
+}
+
+// GlobalSampler implements the pipe fixture's Sampler interface with a
+// global-rand body: interface dispatch in the pipeline must resolve here.
+type GlobalSampler struct{}
+
+func (GlobalSampler) Sample() float64 {
+	return rand.Float64()
+}
+
+// WaivedStamp's sink carries an allow directive: the reason vouches for
+// every path through it, so pipeline callers stay silent.
+func WaivedStamp() time.Time {
+	return time.Now() //cosmiclint:allow nondet fixture: waived sink must not taint transitive callers
+}
+
+// Pure is sink-free: calling it from the pipeline proves absence of
+// false positives.
+func Pure(x int) int {
+	return x * 2
+}

@@ -1,0 +1,53 @@
+// Package pipe is the pipeline half of the call-graph fixture (posed as
+// cosmicdance/internal/core). Nothing here touches a sink directly —
+// every finding is transitive, resolved through the module call graph.
+package pipe
+
+import (
+	"time"
+
+	"cosmicdance/internal/cghelper"
+)
+
+// oneHop: direct cross-package call to a sink user.
+func oneHop() time.Time {
+	return cghelper.Stamp() // want `call to internal/cghelper\.Stamp reaches time\.Now .*path: internal/cghelper\.Stamp → time\.Now`
+}
+
+// mutualRecursion: the callee reaches the sink through a cycle.
+func mutualRecursion() time.Time {
+	return cghelper.Ping(3) // want `call to internal/cghelper\.Ping reaches time\.Now`
+}
+
+// methodValue: capturing a method value is an edge like any call.
+func methodValue() time.Time {
+	var c cghelper.Clock
+	f := c.Read // want `call to internal/cghelper\.\(Clock\)\.Read reaches time\.Now`
+	return f()
+}
+
+// Sampler is implemented (only) by cghelper.GlobalSampler; the dynamic
+// call below must resolve to it.
+type Sampler interface {
+	Sample() float64
+}
+
+func dispatch(s Sampler) float64 {
+	return s.Sample() // want `reaches rand\.Float64 in a pipeline package \(resolved through interface dispatch\)`
+}
+
+// localHop: a two-hop path through an in-package helper — the local
+// helper is flagged at its own call into cghelper, and this caller is
+// flagged with the longer witness path.
+func localHop() time.Time {
+	return localHelper() // want `call to internal/core\.localHelper reaches time\.Now .*path: internal/core\.localHelper → internal/cghelper\.Stamp → time\.Now`
+}
+
+func localHelper() time.Time {
+	return cghelper.Stamp() // want `call to internal/cghelper\.Stamp reaches time\.Now`
+}
+
+// clean: a waived sink and a pure helper produce no findings.
+func clean() (time.Time, int) {
+	return cghelper.WaivedStamp(), cghelper.Pure(21)
+}

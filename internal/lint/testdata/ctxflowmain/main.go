@@ -1,0 +1,24 @@
+// Package main exercises the ctxflow root carve-out: main and run of a
+// command are where the context chain legitimately starts, so Background
+// is legal there — and only there.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background() // no finding: main is a sanctioned root
+	_ = run(ctx)
+}
+
+func run(parent context.Context) error {
+	_ = parent
+	ctx := context.Background() // no finding: run of a command is a sanctioned root
+	helper(ctx)
+	return nil
+}
+
+func helper(ctx context.Context) {
+	_ = ctx
+	fresh := context.TODO() // want `context\.TODO severs cancellation`
+	_ = fresh
+}

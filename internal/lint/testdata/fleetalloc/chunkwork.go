@@ -1,0 +1,37 @@
+// Package fleetfix exercises the O(chunk) allocation rule. This file's
+// name contains "chunk", putting it on the streaming path when the
+// package is posed as cosmicdance/internal/constellation (see
+// StreamingPackages' "internal/constellation#chunk" entry).
+package fleetfix
+
+import "slices"
+
+func badFleet(totalSats int) []float64 {
+	return make([]float64, 0, totalSats) // want `allocation sized by "totalSats" is O\(fleet\) on a streaming path`
+}
+
+func badRoster(rosterLen int, buf []int) []int {
+	return slices.Grow(buf, rosterLen) // want `allocation sized by "rosterLen" is O\(fleet\) on a streaming path`
+}
+
+func badMap(fleetSize int) map[int]bool {
+	return make(map[int]bool, fleetSize) // want `allocation sized by "fleetSize" is O\(fleet\) on a streaming path`
+}
+
+func goodChunk(chunkSize int) []float64 {
+	return make([]float64, 0, chunkSize)
+}
+
+func goodBounded(lo, hi int) []int {
+	return make([]int, hi-lo)
+}
+
+// goodMin mentions a fleet-scale name but is bounded by the chunk — the
+// min() shape every real chunk loop uses.
+func goodMin(chunk, total int) []int {
+	return make([]int, 0, min(chunk, total))
+}
+
+func goodUnsized() []int {
+	return make([]int, 0)
+}

@@ -1,0 +1,9 @@
+package fleetfix
+
+// materialize is whole-fleet by name, but this file is NOT on the
+// streaming path (its name carries no "chunk" fragment), so the rule
+// stays silent: fleetalloc is scoped to streaming files, not the whole
+// package, for constellation/core/artifact.
+func materialize(nSats int) []int {
+	return make([]int, 0, nSats)
+}

@@ -1,0 +1,32 @@
+// Package obsfix exercises the metric-registration rule: registration
+// (Counter/Gauge/Histogram) locks the registry, so it belongs in package
+// vars, init() or constructors — never on a per-event path.
+package obsfix
+
+import "cosmicdance/internal/obs"
+
+// Package-var registration: sanctioned by construction.
+var hits = obs.Default().Counter("obsfix_hits_total")
+
+// init registration: sanctioned.
+func init() {
+	obs.Default().Gauge("obsfix_depth").Set(0)
+}
+
+// Constructor registration: sanctioned (New* prefix).
+func NewProbe() *obs.Counter {
+	return obs.Default().Counter("obsfix_probe_total", "kind", "probe")
+}
+
+func newQuietProbe() *obs.Counter {
+	return obs.Default().Counter("obsfix_quiet_total")
+}
+
+// hotLoop registers per event: every call is a mutex acquisition.
+func hotLoop(n int) {
+	for i := 0; i < n; i++ {
+		obs.Default().Counter("obsfix_hot_total").Inc() // want `Counter registers a metric inside hotLoop`
+	}
+	obs.Default().Histogram("obsfix_lat_seconds", nil).Observe(1) // want `Histogram registers a metric inside hotLoop`
+	hits.Inc()                                                    // reusing a registered handle is the point
+}

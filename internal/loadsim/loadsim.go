@@ -107,7 +107,7 @@ type sim struct {
 
 // Run executes one load run and returns its report. The error path covers
 // configuration problems only; request-level failures are data, not errors.
-func Run(cfg Config) (*Report, error) {
+func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if cfg.Duration <= 0 {
 		return nil, fmt.Errorf("loadsim: duration must be positive")
 	}
@@ -136,7 +136,7 @@ func Run(cfg Config) (*Report, error) {
 	for i := range vals {
 		vals[i] = -10
 	}
-	res, err := constellation.Run(ccfg, dst.FromValues(start, vals))
+	res, err := constellation.Run(ctx, ccfg, dst.FromValues(start, vals))
 	if err != nil {
 		return nil, err
 	}
@@ -217,13 +217,13 @@ func Run(cfg Config) (*Report, error) {
 		stream++
 	}
 
-	s.loop()
+	s.loop(ctx)
 	return s.report(), nil
 }
 
 // loop drains the event heap: each turn runs one actor operation to
 // completion on the virtual clock and schedules the actor's next turn.
-func (s *sim) loop() {
+func (s *sim) loop(ctx context.Context) {
 	var h eventHeap
 	var seq int64
 	schedule := func(a *actor, at time.Time) {
@@ -242,7 +242,6 @@ func (s *sim) loop() {
 			schedule(a, s.end.Add(a.rng.between(0, 5*time.Second)))
 		}
 	}
-	ctx := context.Background()
 	for h.Len() > 0 {
 		ev := heap.Pop(&h).(event)
 		s.clock.AdvanceTo(ev.at)

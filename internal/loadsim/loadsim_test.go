@@ -2,6 +2,7 @@ package loadsim
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"net/http"
@@ -31,7 +32,7 @@ func stormConfig(seed int64) Config {
 
 func mustRun(t *testing.T, cfg Config) *Report {
 	t.Helper()
-	rep, err := Run(cfg)
+	rep, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,13 +114,13 @@ func TestStormSpikeBackpressure(t *testing.T) {
 }
 
 func TestRunRejectsBadConfig(t *testing.T) {
-	if _, err := Run(Config{Duration: 0, Poll: 1}); err == nil {
+	if _, err := Run(context.Background(), Config{Duration: 0, Poll: 1}); err == nil {
 		t.Error("zero duration accepted")
 	}
-	if _, err := Run(Config{Duration: time.Minute}); err == nil {
+	if _, err := Run(context.Background(), Config{Duration: time.Minute}); err == nil {
 		t.Error("empty mix accepted")
 	}
-	if _, err := Run(Config{Duration: time.Minute, Poll: 1, FaultSchedule: "bogus"}); err == nil {
+	if _, err := Run(context.Background(), Config{Duration: time.Minute, Poll: 1, FaultSchedule: "bogus"}); err == nil {
 		t.Error("bad fault schedule accepted")
 	}
 }

@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -53,7 +54,7 @@ func smallDataset(t *testing.T) *core.Dataset {
 			Catalog: 3, Epoch: at.Unix(), AltKm: float32(alt), BStar: 8e-4, Inclination: 53,
 		}})
 	}
-	d, err := b.Build()
+	d, err := b.Build(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestFig3Render(t *testing.T) {
 
 func TestFig4Render(t *testing.T) {
 	d := smallDataset(t)
-	wa, err := d.Window(r0.Add(30*24*time.Hour), core.WindowOptions{Days: 10})
+	wa, err := d.Window(context.Background(), r0.Add(30*24*time.Hour), core.WindowOptions{Days: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestExtensionRenders(t *testing.T) {
 
 func TestWindowToCSVAndSuperStormToCSV(t *testing.T) {
 	d := smallDataset(t)
-	wa, err := d.Window(r0.Add(30*24*time.Hour), core.WindowOptions{Days: 5})
+	wa, err := d.Window(context.Background(), r0.Add(30*24*time.Hour), core.WindowOptions{Days: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

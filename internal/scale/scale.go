@@ -169,7 +169,7 @@ func Run(ctx context.Context, spec Spec) (*Report, error) {
 	pipe := artifact.NewPipeline(cache)
 
 	wcfg, fcfg, ccfg := WeatherConfig(spec), FleetConfig(spec), CoreConfig()
-	weather, err := pipe.Weather(wcfg)
+	weather, err := pipe.Weather(ctx, wcfg)
 	if err != nil {
 		return nil, err
 	}

@@ -85,7 +85,7 @@ func TestReportMatchesMaterializedDataset(t *testing.T) {
 	}
 
 	pipe := artifact.NewPipeline(nil)
-	d, err := pipe.Dataset(WeatherConfig(spec), FleetConfig(spec), CoreConfig())
+	d, err := pipe.Dataset(context.Background(), WeatherConfig(spec), FleetConfig(spec), CoreConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestReportMatchesMaterializedDataset(t *testing.T) {
 	if rep.Events == 0 {
 		t.Fatal("scale scenario produced no high-intensity events")
 	}
-	devs := d.Associate(events, windowDays)
+	devs := d.Associate(context.Background(), events, windowDays)
 	if rep.Deviations != len(devs) {
 		t.Fatalf("deviations %d, dataset has %d", rep.Deviations, len(devs))
 	}

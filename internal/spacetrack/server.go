@@ -147,7 +147,7 @@ func (b *bucket) take(now time.Time, rate, burst float64) (bool, time.Duration) 
 func NewServer(archive Archive, now time.Time) *Server {
 	s := &Server{archive: archive}
 	if now.IsZero() {
-		s.Now = time.Now
+		s.Now = time.Now //cosmiclint:allow nondet zero-time is the documented opt-in for wall clock; simulation runs always pin now
 	} else {
 		s.Now = func() time.Time { return now }
 	}
@@ -188,7 +188,7 @@ func (s *Server) now() time.Time {
 	if s.Now != nil {
 		return s.Now()
 	}
-	return time.Now()
+	return time.Now() //cosmiclint:allow nondet fallback for bare struct literals only; NewServer always injects a clock
 }
 
 // granularity returns the validator quantum.

@@ -28,7 +28,7 @@ func buildArchive(t *testing.T, days int) (*ResultArchive, *constellation.Result
 	for i := range vals {
 		vals[i] = -10
 	}
-	res, err := constellation.Run(cfg, dst.FromValues(stStart, vals))
+	res, err := constellation.Run(context.Background(), cfg, dst.FromValues(stStart, vals))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -75,7 +75,7 @@ func buildDataset(t *testing.T, altBump float64) *core.Dataset {
 	}
 	b := core.NewBuilder(core.DefaultConfig(), weather)
 	b.AddSamples(samples)
-	d, err := b.Build()
+	d, err := b.Build(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ package cosmicdance
 // simulator speed).
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -104,7 +105,7 @@ func BenchmarkConstellationYear(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
-		if _, err := constellation.Run(cfg, weather); err != nil {
+		if _, err := constellation.Run(context.Background(), cfg, weather); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -120,7 +121,7 @@ func BenchmarkPipelineBuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		builder := NewBuilder(DefaultPipelineConfig(), weather)
 		builder.AddSamples(fleet.Samples)
-		if _, err := builder.Build(); err != nil {
+		if _, err := builder.Build(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}

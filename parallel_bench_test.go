@@ -1,6 +1,7 @@
 package cosmicdance_test
 
 import (
+	"context"
 	"testing"
 
 	"cosmicdance"
@@ -18,7 +19,7 @@ func BenchmarkFleetSim(b *testing.B) {
 	sats := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := constellation.Run(cfg, weather)
+		res, err := constellation.Run(context.Background(), cfg, weather)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -32,7 +33,7 @@ func BenchmarkFleetSim(b *testing.B) {
 func BenchmarkDatasetBuild(b *testing.B) {
 	b.ReportAllocs()
 	weather := cosmicdance.BenchPaperWeather(b)
-	res, err := constellation.Run(cosmicdance.ResearchFleetConfig(weather, 42), weather)
+	res, err := constellation.Run(context.Background(), cosmicdance.ResearchFleetConfig(weather, 42), weather)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func BenchmarkDatasetBuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		builder := core.NewBuilder(core.DefaultConfig(), weather)
 		builder.AddSamples(res.Samples)
-		d, err := builder.Build()
+		d, err := builder.Build(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -54,13 +55,13 @@ func BenchmarkDatasetBuild(b *testing.B) {
 func BenchmarkAssociate(b *testing.B) {
 	b.ReportAllocs()
 	weather := cosmicdance.BenchPaperWeather(b)
-	res, err := constellation.Run(cosmicdance.ResearchFleetConfig(weather, 42), weather)
+	res, err := constellation.Run(context.Background(), cosmicdance.ResearchFleetConfig(weather, 42), weather)
 	if err != nil {
 		b.Fatal(err)
 	}
 	builder := core.NewBuilder(core.DefaultConfig(), weather)
 	builder.AddSamples(res.Samples)
-	d, err := builder.Build()
+	d, err := builder.Build(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func BenchmarkAssociate(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if devs := d.Associate(events, 30); len(devs) == 0 && len(events) > 0 {
+		if devs := d.Associate(context.Background(), events, 30); len(devs) == 0 && len(events) > 0 {
 			b.Fatal("association produced nothing")
 		}
 	}

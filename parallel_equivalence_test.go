@@ -1,6 +1,7 @@
 package cosmicdance_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -28,7 +29,7 @@ func runPipeline(t testing.TB, weather *dst.Index, seed int64, parallelism int) 
 	start := weather.Start()
 	fleetCfg := constellation.ResearchFleet(seed, start, start.AddDate(1, 0, 0), 10)
 	fleetCfg.Parallelism = parallelism
-	res, err := constellation.Run(fleetCfg, weather)
+	res, err := constellation.Run(context.Background(), fleetCfg, weather)
 	if err != nil {
 		t.Fatalf("parallelism %d: constellation: %v", parallelism, err)
 	}
@@ -36,7 +37,7 @@ func runPipeline(t testing.TB, weather *dst.Index, seed int64, parallelism int) 
 	coreCfg.Parallelism = parallelism
 	b := core.NewBuilder(coreCfg, weather)
 	b.AddSamples(res.Samples)
-	d, err := b.Build()
+	d, err := b.Build(context.Background())
 	if err != nil {
 		t.Fatalf("parallelism %d: build: %v", parallelism, err)
 	}
@@ -46,7 +47,7 @@ func runPipeline(t testing.TB, weather *dst.Index, seed int64, parallelism int) 
 	}
 	return pipelineRun{
 		dataset: d,
-		devs:    d.Associate(events, 30),
+		devs:    d.Associate(context.Background(), events, 30),
 		onsets:  d.DecayOnsets(5),
 	}
 }
@@ -67,11 +68,11 @@ func runChunkedPipeline(t testing.TB, weather *dst.Index, seed int64, parallelis
 	coreCfg.Parallelism = 1
 	asm := core.NewPartialAssembler(coreCfg, weather)
 	for i := 0; i < plan.NumChunks(); i++ {
-		res, err := plan.RunChunk(i, weather)
+		res, err := plan.RunChunk(context.Background(), i, weather)
 		if err != nil {
 			t.Fatalf("chunk %d/%d: run: %v", i, chunkSize, err)
 		}
-		part, err := core.BuildChunkPartial(coreCfg, res.Samples)
+		part, err := core.BuildChunkPartial(context.Background(), coreCfg, res.Samples)
 		if err != nil {
 			t.Fatalf("chunk %d/%d: partial: %v", i, chunkSize, err)
 		}
@@ -89,7 +90,7 @@ func runChunkedPipeline(t testing.TB, weather *dst.Index, seed int64, parallelis
 	}
 	return pipelineRun{
 		dataset: d,
-		devs:    d.Associate(events, 30),
+		devs:    d.Associate(context.Background(), events, 30),
 		onsets:  d.DecayOnsets(5),
 	}
 }
@@ -182,13 +183,13 @@ func TestDatasetConcurrentReaders(t *testing.T) {
 					}
 				case 1:
 					ev := events[(g+i)%len(events)]
-					if _, err := d.Window(ev.Epoch(), core.WindowOptions{Days: 30}); err != nil {
+					if _, err := d.Window(context.Background(), ev.Epoch(), core.WindowOptions{Days: 30}); err != nil {
 						t.Errorf("Window: %v", err)
 					}
 				case 2:
 					// Associate itself fans out on the worker pool, so this
 					// also exercises nested pool use under contention.
-					d.Associate(events, 30)
+					d.Associate(context.Background(), events, 30)
 				case 3:
 					if _, err := d.RawAltitudeCDF(); err != nil {
 						t.Errorf("RawAltitudeCDF: %v", err)
