@@ -9,16 +9,18 @@
 // Usage:
 //
 //	spaceload [-seed S] [-duration 10m] [-bulk N] [-poll N] [-spike N] [-ingesters N]
-//	          [-rate R] [-burst B] [-capacity C] [-capacity-burst CB] [-max-inflight M]
-//	          [-faults SCHED] [-days D] [-o FILE]
+//	          [-feed N] [-rate R] [-burst B] [-capacity C] [-capacity-burst CB]
+//	          [-max-inflight M] [-faults SCHED] [-days D] [-o FILE]
 //
-// The client mix models the three serving workloads: bulk-history crawlers
+// The client mix models the serving workloads: bulk-history crawlers
 // pulling multi-day windows, incremental pollers revalidating with
-// ETag/If-None-Match, and a storm spike that wakes at one third of the run
+// ETag/If-None-Match, a storm spike that wakes at one third of the run
 // and hammers the group endpoint — the scenario admission control exists
-// for. -faults threads a faultline schedule (e.g. '429:1/31,reset:1/37') in
-// front of the server. The report (p50/p99 virtual latency, throughput,
-// status mix, ingest loss) goes to stdout or -o FILE.
+// for — and incremental-feed subscribers that revalidate the decay-risk
+// view and drain its delta stream from a saved cursor. -faults threads a
+// faultline schedule (e.g. '429:1/31,reset:1/37') in front of the server.
+// The report (p50/p99 virtual latency, throughput, status mix, ingest loss)
+// goes to stdout or -o FILE.
 package main
 
 import (
@@ -50,6 +52,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	poll := fs.Int("poll", 4, "incremental conditional-poll clients")
 	spike := fs.Int("spike", 6, "storm-spike clients (burst window at one third of the run)")
 	ingesters := fs.Int("ingesters", 2, "live ingest writers")
+	feed := fs.Int("feed", 2, "incremental-feed subscribers (risk view + delta stream)")
 	rate := fs.Float64("rate", 20, "per-client rate limit in requests/second (0 disables)")
 	burst := fs.Float64("burst", 10, "per-client burst size")
 	capacity := fs.Float64("capacity", 8, "global capacity in requests/second (0 disables)")
@@ -69,6 +72,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Poll:           *poll,
 		Spike:          *spike,
 		Ingesters:      *ingesters,
+		Feed:           *feed,
 		FaultSchedule:  *faults,
 		RatePerSec:     *rate,
 		Burst:          *burst,

@@ -6,7 +6,15 @@
 //	GET  /NORAD/elements/gp.php?GROUP=starlink&FORMAT=3le   current catalog
 //	GET  /history?catalog=N&from=RFC3339&to=RFC3339         per-object history
 //	POST /ingest?group=starlink                             live element-set ingest
+//	GET  /v1/risk                                           materialized decay-risk view
+//	GET  /v1/risk/stream                                    delta events as SSE
+//	POST /v1/dst?start=RFC3339                              live Dst-hour ingest
 //	GET  /healthz
+//
+// Every accepted /ingest batch also folds into the incremental decay-risk
+// engine in O(delta): /v1/risk serves its materialized view (ETag'd on the
+// engine version), and /v1/risk/stream pushes track/storm/deviation delta
+// events as server-sent events with cursor resume.
 //
 // Usage:
 //
@@ -48,9 +56,11 @@ import (
 
 	"cosmicdance/internal/constellation"
 	"cosmicdance/internal/faultline"
+	"cosmicdance/internal/incremental"
 	"cosmicdance/internal/obs"
 	"cosmicdance/internal/spacetrack"
 	"cosmicdance/internal/spaceweather"
+	"cosmicdance/internal/tle"
 	"cosmicdance/internal/wdc"
 )
 
@@ -137,10 +147,26 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	boot := time.Now()
 	srv.Now = func() time.Time { return end.Add(time.Since(boot)) }
 
+	// The live decay-risk feed: the incremental engine is seeded with the
+	// simulation archive and weather, then every accepted /ingest batch folds
+	// in through the server hook in O(delta). /v1/risk serves the
+	// materialized view and /v1/risk/stream pushes delta events as SSE.
+	feed := incremental.NewFeed(incremental.New(incremental.DefaultConfig()), 0)
+	feed.IngestSamples(res.Samples)
+	if _, err := feed.WeatherIndex(weather); err != nil {
+		return err
+	}
+	srv.OnIngest = func(group string, sets []*tle.TLE, applied int) {
+		feed.IngestTLEs(sets)
+		feed.SetWatermarkLag(srv.Now())
+	}
+	feed.SetWatermarkLag(srv.Now())
+
 	// The WDC-style Dst endpoint rides alongside the tracking API, so one
 	// process simulates both of CosmicDance's upstream services.
 	mux := http.NewServeMux()
 	mux.Handle("/dst", wdc.NewServer(weather).Handler())
+	mux.Handle("/v1/", feed.Handler())
 	mux.Handle("/", srv.Handler())
 
 	var handler http.Handler = mux
@@ -211,6 +237,8 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		"rate_limited", srv.RateLimited(),
 		"overloaded", srv.Overloaded(),
 		"ingested_sets", catalog.DeltaSets(),
+		"feed_deltas", feed.Engine().Seq(),
+		"feed_version", feed.Engine().Version(),
 		"faults_injected", faultsInjected)
 	if *metricsJSON != "" {
 		f, err := os.Create(*metricsJSON)

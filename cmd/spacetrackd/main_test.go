@@ -259,6 +259,39 @@ func TestDaemonLiveIngestAndGoroutineHygiene(t *testing.T) {
 		t.Fatal("ingested satellite missing from the served catalog")
 	}
 
+	// The same ingest must have advanced the live decay-risk feed: the view
+	// reflects the seeded archive plus the new batch, and the delta stream
+	// drains cleanly.
+	riskResp, err := http.Get(base + "/v1/risk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var risk struct {
+		Version      uint64 `json:"version"`
+		Seq          uint64 `json:"seq"`
+		Tracks       int    `json:"tracks"`
+		Observations int    `json:"observations"`
+	}
+	if err := json.NewDecoder(riskResp.Body).Decode(&risk); err != nil {
+		t.Fatal(err)
+	}
+	riskResp.Body.Close()
+	if riskResp.StatusCode != http.StatusOK || riskResp.Header.Get("ETag") == "" {
+		t.Fatalf("risk view: %d (ETag %q)", riskResp.StatusCode, riskResp.Header.Get("ETag"))
+	}
+	if risk.Tracks == 0 || risk.Version == 0 || risk.Observations == 0 {
+		t.Fatalf("thin risk view after ingest: %+v", risk)
+	}
+	streamResp, err := http.Get(base + "/v1/risk/stream?nowait=1&limit=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, _ := io.ReadAll(streamResp.Body)
+	streamResp.Body.Close()
+	if streamResp.StatusCode != http.StatusOK || !strings.Contains(string(stream), "id: ") {
+		t.Fatalf("risk stream: %d %q", streamResp.StatusCode, stream)
+	}
+
 	cancel()
 	select {
 	case err := <-errc:

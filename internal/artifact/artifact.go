@@ -59,6 +59,10 @@ const (
 	// KindSegment is one chunk's share of a dataset build (core.ChunkPartial)
 	// — the spillable unit of the chunked streaming pipeline.
 	KindSegment Kind = 4
+	// KindIncremental is a live incremental engine's resumable state
+	// (incremental.EngineState): the raw ingest streams plus stream cursors,
+	// with all derived analysis re-derived on restore.
+	KindIncremental Kind = 5
 )
 
 // String implements fmt.Stringer.
@@ -72,6 +76,8 @@ func (k Kind) String() string {
 		return "dataset"
 	case KindSegment:
 		return "segment"
+	case KindIncremental:
+		return "incremental"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint16(k))
 	}

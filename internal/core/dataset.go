@@ -52,20 +52,22 @@ type Dataset struct {
 	stats     CleaningStats
 }
 
-// observation is the ingest-format-independent record.
-type observation struct {
-	catalog int
-	epoch   int64
-	altKm   float64
-	bstar   float64
-	incl    float64
+// Observation is the ingest-format-independent record: one satellite state
+// row, whatever the transport (parsed TLE, simulator sample, or a live feed
+// batch folded into the incremental engine).
+type Observation struct {
+	Catalog int
+	Epoch   int64 // Unix seconds
+	AltKm   float64
+	BStar   float64
+	Incl    float64
 }
 
 // Builder accumulates observations before cleaning.
 type Builder struct {
 	cfg     Config
 	weather *dst.Index
-	obs     []observation
+	obs     []Observation
 }
 
 // NewBuilder starts a dataset build with the given parameters and solar
@@ -78,13 +80,7 @@ func NewBuilder(cfg Config, weather *dst.Index) *Builder {
 func (b *Builder) AddTLEs(sets []*tle.TLE) {
 	b.obs = slices.Grow(b.obs, len(sets))
 	for _, t := range sets {
-		b.obs = append(b.obs, observation{
-			catalog: t.CatalogNumber,
-			epoch:   t.Epoch.Unix(),
-			altKm:   float64(t.Altitude()),
-			bstar:   t.BStar,
-			incl:    float64(t.Inclination),
-		})
+		b.obs = append(b.obs, ObservationFromTLE(t))
 	}
 }
 
@@ -93,13 +89,37 @@ func (b *Builder) AddTLEs(sets []*tle.TLE) {
 func (b *Builder) AddSamples(samples []constellation.Sample) {
 	b.obs = slices.Grow(b.obs, len(samples))
 	for _, s := range samples {
-		b.obs = append(b.obs, observation{
-			catalog: int(s.Catalog),
-			epoch:   s.Epoch,
-			altKm:   float64(s.AltKm),
-			bstar:   float64(s.BStar),
-			incl:    float64(s.Inclination),
-		})
+		b.obs = append(b.obs, ObservationFromSample(s))
+	}
+}
+
+// AddObservations ingests pre-converted records (the incremental engine's
+// replay path; identical semantics to AddTLEs).
+func (b *Builder) AddObservations(obs []Observation) {
+	b.obs = append(b.obs, obs...)
+}
+
+// ObservationFromTLE converts a parsed element set to the ingest record,
+// with exactly AddTLEs' field semantics.
+func ObservationFromTLE(t *tle.TLE) Observation {
+	return Observation{
+		Catalog: t.CatalogNumber,
+		Epoch:   t.Epoch.Unix(),
+		AltKm:   float64(t.Altitude()),
+		BStar:   t.BStar,
+		Incl:    float64(t.Inclination),
+	}
+}
+
+// ObservationFromSample converts a simulator sample to the ingest record,
+// with exactly AddSamples' field semantics.
+func ObservationFromSample(s constellation.Sample) Observation {
+	return Observation{
+		Catalog: int(s.Catalog),
+		Epoch:   s.Epoch,
+		AltKm:   float64(s.AltKm),
+		BStar:   float64(s.BStar),
+		Incl:    float64(s.Inclination),
 	}
 }
 
@@ -136,7 +156,7 @@ func (b *Builder) Build(ctx context.Context) (*Dataset, error) {
 
 // buildPartial is the cleaning core shared by Build and BuildChunkPartial:
 // gross-error cut, per-catalog grouping, and the per-track clean fan-out.
-func buildPartial(ctx context.Context, cfg Config, obs []observation) (*ChunkPartial, error) {
+func buildPartial(ctx context.Context, cfg Config, obs []Observation) (*ChunkPartial, error) {
 	p := &ChunkPartial{}
 	p.Stats.TotalObservations = len(obs)
 	p.RawAlts = make([]float64, 0, len(obs))
@@ -150,12 +170,12 @@ func buildPartial(ctx context.Context, cfg Config, obs []observation) (*ChunkPar
 	counts := make(map[int]int)
 	valid := 0
 	for _, o := range obs {
-		p.RawAlts = append(p.RawAlts, o.altKm)
-		if o.altKm > cfg.MaxValidAltKm || o.altKm < cfg.MinValidAltKm {
+		p.RawAlts = append(p.RawAlts, o.AltKm)
+		if o.AltKm > cfg.MaxValidAltKm || o.AltKm < cfg.MinValidAltKm {
 			p.Stats.GrossErrors++
 			continue
 		}
-		counts[o.catalog]++
+		counts[o.Catalog]++
 		valid++
 	}
 	canonicalizeRawAlts(p.RawAlts)
@@ -166,21 +186,21 @@ func buildPartial(ctx context.Context, cfg Config, obs []observation) (*ChunkPar
 	}
 	sort.Ints(cats)
 
-	arena := make([]observation, valid)
+	arena := make([]Observation, valid)
 	cursor := make(map[int]int, len(cats)) // catalog → next free arena slot
 	off := 0
 	for _, c := range cats {
 		cursor[c] = off
 		off += counts[c]
 	}
-	byCat := make(map[int][]observation, len(cats))
+	byCat := make(map[int][]Observation, len(cats))
 	for _, o := range obs {
-		if o.altKm > cfg.MaxValidAltKm || o.altKm < cfg.MinValidAltKm {
+		if o.AltKm > cfg.MaxValidAltKm || o.AltKm < cfg.MinValidAltKm {
 			continue
 		}
-		i := cursor[o.catalog]
+		i := cursor[o.Catalog]
 		arena[i] = o
-		cursor[o.catalog] = i + 1
+		cursor[o.Catalog] = i + 1
 	}
 	off = 0
 	for _, c := range cats {
@@ -192,8 +212,8 @@ func buildPartial(ctx context.Context, cfg Config, obs []observation) (*ChunkPar
 	// the cleaning pass runs on the worker pool and the results are merged
 	// below in catalog order — the output is identical at every width.
 	cleaned, err := parallel.Map(ctx, cfg.Parallelism, len(cats),
-		func(i int) (trackResult, error) {
-			return cleanTrack(cats[i], byCat[cats[i]], cfg), nil
+		func(i int) (CleanedTrack, error) {
+			return CleanTrack(cats[i], byCat[cats[i]], cfg), nil
 		})
 	if err != nil {
 		return nil, err
@@ -203,56 +223,59 @@ func buildPartial(ctx context.Context, cfg Config, obs []observation) (*ChunkPar
 	// appended. Sized up front so the merge itself never reallocates.
 	nTracks := 0
 	for _, res := range cleaned {
-		if res.track != nil {
+		if res.Track != nil {
 			nTracks++
 		}
 	}
 	p.Tracks = make([]*Track, 0, nTracks)
 	for _, res := range cleaned {
-		p.Stats.Duplicates += res.duplicates
-		if res.track == nil {
+		p.Stats.Duplicates += res.Duplicates
+		if res.Track == nil {
 			p.Stats.NonOperational++
 			continue
 		}
-		p.Stats.RaisingRemoved += res.track.RaisingRemoved
-		p.Tracks = append(p.Tracks, res.track)
+		p.Stats.RaisingRemoved += res.Track.RaisingRemoved
+		p.Tracks = append(p.Tracks, res.Track)
 	}
 	return p, nil
 }
 
-// trackResult is one catalog's cleaning outcome: a track, or nil when the
-// satellite never reached an operational shell.
-type trackResult struct {
-	track      *Track
-	duplicates int
+// CleanedTrack is one catalog's cleaning outcome: a track (nil when the
+// satellite never reached an operational shell) plus the number of repeated
+// epochs dropped.
+type CleanedTrack struct {
+	Track      *Track
+	Duplicates int
 }
 
-// cleanTrack sorts, dedupes and cleans one satellite's observations — the
-// per-track unit of work the Build fan-out distributes.
-func cleanTrack(cat int, obs []observation, cfg Config) trackResult {
+// CleanTrack sorts, dedupes and cleans one satellite's observations — the
+// per-track unit of work the Build fan-out distributes, exported so the
+// incremental engine recomputes exactly the batch cleaning when a track's
+// watermark advances. It sorts obs in place (stable, by epoch).
+func CleanTrack(cat int, obs []Observation, cfg Config) CleanedTrack {
 	// Stable sort + drop repeated epochs (keep first): flaky archives
 	// replay element sets, and a duplicated observation must not change
 	// the analysis relative to a clean ingest of the same data. The
 	// comparator-typed sort avoids the interface boxing sort.SliceStable
 	// pays per element; stability pins the same order either way.
-	slices.SortStableFunc(obs, func(a, b observation) int {
+	slices.SortStableFunc(obs, func(a, b Observation) int {
 		switch {
-		case a.epoch < b.epoch:
+		case a.Epoch < b.Epoch:
 			return -1
-		case a.epoch > b.epoch:
+		case a.Epoch > b.Epoch:
 			return 1
 		default:
 			return 0
 		}
 	})
-	var res trackResult
+	var res CleanedTrack
 	points := make([]TrackPoint, 0, len(obs))
 	for i, o := range obs {
-		if i > 0 && o.epoch == obs[i-1].epoch {
-			res.duplicates++
+		if i > 0 && o.Epoch == obs[i-1].Epoch {
+			res.Duplicates++
 			continue
 		}
-		points = append(points, TrackPoint{Epoch: o.epoch, AltKm: float32(o.altKm), BStar: float32(o.bstar), Incl: float32(o.incl)})
+		points = append(points, TrackPoint{Epoch: o.Epoch, AltKm: float32(o.AltKm), BStar: float32(o.BStar), Incl: float32(o.Incl)})
 	}
 	opAlt := operationalAltitude(points, 10)
 	if opAlt < cfg.MinOperationalAltKm {
@@ -268,7 +291,7 @@ func cleanTrack(cat int, obs []observation, cfg Config) trackResult {
 	if cut == len(points) {
 		return res
 	}
-	res.track = &Track{
+	res.Track = &Track{
 		Catalog:          cat,
 		Points:           points[cut:],
 		OperationalAltKm: opAlt,

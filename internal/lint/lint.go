@@ -92,6 +92,7 @@ var PipelinePackages = []string{
 	"internal/constellation",
 	"internal/core",
 	"internal/groundtrack",
+	"internal/incremental",
 	"internal/loadsim",
 	"internal/obs",
 	"internal/orbit",

@@ -1,6 +1,7 @@
 package loadsim
 
 import (
+	"bufio"
 	"bytes"
 	"container/heap"
 	"context"
@@ -8,11 +9,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"cosmicdance/internal/constellation"
 	"cosmicdance/internal/dst"
 	"cosmicdance/internal/faultline"
+	"cosmicdance/internal/incremental"
 	"cosmicdance/internal/spacetrack"
 	"cosmicdance/internal/tle"
 )
@@ -32,6 +36,10 @@ type Config struct {
 	// Ingesters inject live element sets through POST /ingest while the
 	// read load runs.
 	Ingesters int
+	// Feed sizes the incremental-feed subscribers: clients that revalidate
+	// the materialized decay-risk view (GET /v1/risk with If-None-Match) and
+	// drain the delta stream (GET /v1/risk/stream) from a saved cursor.
+	Feed int
 	// FaultSchedule is a faultline schedule DSL string ("429:3/7,reset:1/9")
 	// injected in front of the server; empty disables.
 	FaultSchedule string
@@ -86,9 +94,11 @@ type actor struct {
 	template    *tle.TLE  // ingest: element set to clone
 	nextCatalog int       // ingest: next synthetic catalog number
 	until       time.Time // spike: end of the burst window
+	cursor      uint64    // feed: last delta sequence seen on the stream
 
 	ops, failures, notModified  int64
 	attempted, applied, dropped int64
+	streamEvents                int64
 	latencies                   []time.Duration
 }
 
@@ -111,7 +121,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if cfg.Duration <= 0 {
 		return nil, fmt.Errorf("loadsim: duration must be positive")
 	}
-	if cfg.Bulk+cfg.Poll+cfg.Spike+cfg.Ingesters == 0 {
+	if cfg.Bulk+cfg.Poll+cfg.Spike+cfg.Ingesters+cfg.Feed == 0 {
 		return nil, fmt.Errorf("loadsim: empty client mix")
 	}
 	sched, err := faultline.ParseSchedule(cfg.FaultSchedule)
@@ -152,7 +162,24 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	srv.CapacityBurst = cfg.CapacityBurst
 	srv.MaxInFlight = cfg.MaxInFlight
 
-	var handler http.Handler = srv.Handler()
+	// The live decay-risk feed rides alongside the tracking endpoints,
+	// exactly as in spacetrackd: seeded from the archive, advanced in
+	// O(delta) by every accepted ingest batch.
+	feed := incremental.NewFeed(incremental.New(incremental.DefaultConfig()), 0)
+	feed.IngestSamples(res.Samples)
+	if _, err := feed.WeatherIndex(dst.FromValues(start, vals)); err != nil {
+		return nil, err
+	}
+	srv.OnIngest = func(group string, sets []*tle.TLE, applied int) {
+		feed.IngestTLEs(sets)
+		feed.SetWatermarkLag(clock.Now())
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", feed.Handler())
+	mux.Handle("/", srv.Handler())
+
+	var handler http.Handler = mux
 	var injector *faultline.Injector
 	if len(sched.Rules) > 0 {
 		injector = faultline.New(handler, sched, cfg.Seed)
@@ -216,6 +243,10 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		s.actors = append(s.actors, a)
 		stream++
 	}
+	for i := 0; i < cfg.Feed; i++ {
+		s.actors = append(s.actors, mk("feed", i, stream))
+		stream++
+	}
 
 	s.loop(ctx)
 	return s.report(), nil
@@ -270,6 +301,8 @@ func (a *actor) think() time.Duration {
 		return a.rng.between(10*time.Second, 30*time.Second)
 	case "spike":
 		return a.rng.between(200*time.Millisecond, time.Second)
+	case "feed":
+		return a.rng.between(5*time.Second, 15*time.Second)
 	default: // ingest
 		return a.rng.between(15*time.Second, 45*time.Second)
 	}
@@ -289,9 +322,75 @@ func (a *actor) step(ctx context.Context, s *sim) bool {
 		// so the last queued turn may fire just after — still counted.
 		_, err := a.client.FetchGroup(ctx, group)
 		return err == nil
+	case "feed":
+		return a.stepFeed(ctx)
 	default:
 		return a.stepIngest(ctx, s)
 	}
+}
+
+// stepFeed alternates the incremental-feed subscriber's two operations:
+// revalidate the materialized decay-risk view with the saved ETag, then
+// drain the delta stream from the saved cursor (nowait — the virtual
+// transport runs each request to completion, so the subscriber polls the
+// stream instead of holding it open).
+func (a *actor) stepFeed(ctx context.Context) bool {
+	if a.ops%2 == 0 {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://spacetrackd.sim/v1/risk", nil)
+		if err != nil {
+			return false
+		}
+		req.Header.Set("X-Client-Id", a.id)
+		if a.etag != "" {
+			req.Header.Set("If-None-Match", a.etag)
+		}
+		resp, err := a.httpc.Do(req)
+		if err != nil {
+			return false
+		}
+		_, rerr := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusNotModified:
+			a.notModified++
+			return true
+		case resp.StatusCode == http.StatusOK && rerr == nil:
+			a.etag = resp.Header.Get("ETag")
+			return true
+		default:
+			return false
+		}
+	}
+	url := fmt.Sprintf("http://spacetrackd.sim/v1/risk/stream?nowait=1&cursor=%d", a.cursor)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false
+	}
+	req.Header.Set("X-Client-Id", a.id)
+	resp, err := a.httpc.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining a failed response
+		return false
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		id, ok := strings.CutPrefix(sc.Text(), "id: ")
+		if !ok {
+			continue
+		}
+		seq, perr := strconv.ParseUint(id, 10, 64)
+		if perr != nil {
+			return false
+		}
+		a.cursor = seq
+		a.streamEvents++
+	}
+	return sc.Err() == nil
 }
 
 // stepBulk crawls: the first turn learns the catalog from the group

@@ -41,6 +41,7 @@ func mustRun(t *testing.T, cfg Config) *Report {
 
 func TestRunSameSeedByteIdentical(t *testing.T) {
 	cfg := stormConfig(7)
+	cfg.Feed = 2
 	cfg.FaultSchedule = "429:1/31,reset:1/37"
 	a, err := mustRun(t, cfg).Marshal()
 	if err != nil {
@@ -63,6 +64,46 @@ func TestRunSameSeedByteIdentical(t *testing.T) {
 	}
 	if bytes.Equal(a, c) {
 		t.Fatal("different seeds produced identical reports")
+	}
+}
+
+// TestIncrementalFeedWorkload drives the feed subscribers against live
+// ingest: the risk view must revalidate (304s), the delta stream must carry
+// the ingest-driven events, and with no admission pressure the subscriber
+// never fails.
+func TestIncrementalFeedWorkload(t *testing.T) {
+	rep := mustRun(t, Config{
+		Seed:        11,
+		Duration:    10 * time.Minute,
+		Ingesters:   2,
+		Feed:        3,
+		RatePerSec:  50,
+		Burst:       50,
+		ArchiveDays: 10,
+	})
+	var feed *WorkloadStats
+	for i := range rep.Workloads {
+		if rep.Workloads[i].Name == "feed" {
+			feed = &rep.Workloads[i]
+		}
+	}
+	if feed == nil {
+		t.Fatalf("no feed workload in report: %+v", rep.Workloads)
+	}
+	if feed.Clients != 3 || feed.Ops == 0 {
+		t.Fatalf("feed workload did not run: %+v", feed)
+	}
+	if feed.Failures != 0 {
+		t.Fatalf("feed subscribers failed without admission pressure: %+v", feed)
+	}
+	if feed.StreamEvents == 0 {
+		t.Fatalf("delta stream carried no events despite live ingest: %+v", feed)
+	}
+	if feed.NotModified == 0 {
+		t.Fatalf("risk view never revalidated: %+v", feed)
+	}
+	if rep.Ingest.Applied == 0 {
+		t.Fatalf("ingest workload idle: %+v", rep.Ingest)
 	}
 }
 

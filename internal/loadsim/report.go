@@ -35,6 +35,7 @@ type MixCounts struct {
 	Poll      int `json:"poll"`
 	Spike     int `json:"spike"`
 	Ingesters int `json:"ingesters"`
+	Feed      int `json:"feed"`
 }
 
 // StatusCount is one HTTP status' frequency on the wire.
@@ -54,14 +55,15 @@ type ServerCounts struct {
 // Latency percentiles are virtual milliseconds over complete operations
 // (including every retry and backpressure wait inside one operation).
 type WorkloadStats struct {
-	Name        string  `json:"name"`
-	Clients     int     `json:"clients"`
-	Ops         int64   `json:"ops"`
-	Failures    int64   `json:"failures"`
-	NotModified int64   `json:"not_modified,omitempty"`
-	P50Ms       float64 `json:"p50_ms"`
-	P99Ms       float64 `json:"p99_ms"`
-	PerSec      float64 `json:"throughput_per_sec"`
+	Name         string  `json:"name"`
+	Clients      int     `json:"clients"`
+	Ops          int64   `json:"ops"`
+	Failures     int64   `json:"failures"`
+	NotModified  int64   `json:"not_modified,omitempty"`
+	StreamEvents int64   `json:"stream_events,omitempty"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	PerSec       float64 `json:"throughput_per_sec"`
 }
 
 // IngestStats tracks the live-write side: a dropped set is one the client
@@ -95,7 +97,8 @@ func (s *sim) report() *Report {
 		Seed:            s.cfg.Seed,
 		VirtualDuration: s.cfg.Duration.String(),
 		Mix: MixCounts{
-			Bulk: s.cfg.Bulk, Poll: s.cfg.Poll, Spike: s.cfg.Spike, Ingesters: s.cfg.Ingesters,
+			Bulk: s.cfg.Bulk, Poll: s.cfg.Poll, Spike: s.cfg.Spike,
+			Ingesters: s.cfg.Ingesters, Feed: s.cfg.Feed,
 		},
 		FaultSchedule: s.cfg.FaultSchedule,
 		Requests:      s.transport.requests,
@@ -128,6 +131,7 @@ func (s *sim) report() *Report {
 		w.Ops += a.ops
 		w.Failures += a.failures
 		w.NotModified += a.notModified
+		w.StreamEvents += a.streamEvents
 		latByKind[a.kind] = append(latByKind[a.kind], a.latencies...)
 		r.Ingest.Attempted += a.attempted
 		r.Ingest.Applied += a.applied

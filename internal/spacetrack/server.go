@@ -82,6 +82,11 @@ type Server struct {
 	// it is a field so tests and replay servers can pin it.
 	Now func() time.Time
 
+	// OnIngest, when set, observes every accepted /ingest batch after the
+	// archive merge — the hook the live decay-risk feed hangs off so element
+	// sets fold into the incremental engine as they arrive.
+	OnIngest func(group string, sets []*tle.TLE, applied int)
+
 	served     atomic.Int64
 	rejected   atomic.Int64
 	overloaded atomic.Int64
@@ -509,6 +514,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	applied := ia.Ingest(group, sets, s.now())
+	if s.OnIngest != nil {
+		s.OnIngest(group, sets, applied)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, "{\"received\":%d,\"applied\":%d}\n", len(sets), applied)
 }

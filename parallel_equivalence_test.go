@@ -9,6 +9,7 @@ import (
 	"cosmicdance/internal/constellation"
 	"cosmicdance/internal/core"
 	"cosmicdance/internal/dst"
+	"cosmicdance/internal/incremental"
 	"cosmicdance/internal/spaceweather"
 	"cosmicdance/internal/testkit"
 )
@@ -95,12 +96,49 @@ func runChunkedPipeline(t testing.TB, weather *dst.Index, seed int64, parallelis
 	}
 }
 
+// runIncrementalPrefix replays the first nObs observations and nHours Dst
+// hours through the incremental engine, and builds the batch pipeline at
+// exactly the same watermark (fixed-threshold events, the engine's event
+// model). Byte-identity between the two is the live-feed determinism
+// invariant: an engine is always some prefix replay of the stream.
+func runIncrementalPrefix(t *testing.T, weather *dst.Index, obs []core.Observation, nObs, nHours int) (got, ref pipelineRun) {
+	t.Helper()
+	vals := weather.Hourly().Values()[:nHours]
+	cfg := incremental.DefaultConfig()
+
+	eng := incremental.New(cfg)
+	eng.IngestObservations(obs[:nObs])
+	if _, err := eng.IngestDst(weather.Start(), vals); err != nil {
+		t.Fatalf("prefix %d/%d: ingest dst: %v", nObs, nHours, err)
+	}
+	d, err := eng.Dataset()
+	if err != nil {
+		t.Fatalf("prefix %d/%d: engine dataset: %v", nObs, nHours, err)
+	}
+	got = pipelineRun{dataset: d, devs: eng.Deviations(), onsets: eng.Onsets()}
+
+	b := core.NewBuilder(cfg.Core, dst.FromValues(weather.Start(), vals))
+	b.AddObservations(obs[:nObs])
+	bd, err := b.Build(context.Background())
+	if err != nil {
+		t.Fatalf("prefix %d/%d: batch build: %v", nObs, nHours, err)
+	}
+	events := bd.Events(cfg.MaxPeak, cfg.MinHours, cfg.MaxHours)
+	ref = pipelineRun{
+		dataset: bd,
+		devs:    bd.Associate(context.Background(), events, cfg.WindowDays),
+		onsets:  bd.DecayOnsets(cfg.MinDropKm),
+	}
+	return got, ref
+}
+
 // TestParallelEquivalence is the headline invariant of the worker-pool
-// pipeline: at every Parallelism setting — and at every chunk size of the
-// chunked streaming path — the simulated archive, the cleaned dataset, the
-// deviation list, and the decay-onset set are identical to the sequential
-// unchunked run — across several seeds, so the property does not hinge on
-// one lucky schedule.
+// pipeline: at every Parallelism setting — at every chunk size of the
+// chunked streaming path — and at every stream prefix of the incremental
+// engine — the simulated archive, the cleaned dataset, the deviation list,
+// and the decay-onset set are identical to the sequential unchunked run —
+// across several seeds, so the property does not hinge on one lucky
+// schedule.
 func TestParallelEquivalence(t *testing.T) {
 	weather, err := spaceweather.Generate(spaceweather.Paper2020to2024())
 	if err != nil {
@@ -131,6 +169,25 @@ func TestParallelEquivalence(t *testing.T) {
 			for _, chunkSize := range []int{16, 64, 1 << 20} {
 				got := runChunkedPipeline(t, weather, seed, 4, chunkSize)
 				diffRun(t, fmt.Sprintf("chunk %d", chunkSize), ref, got)
+			}
+			// Prefix dimension: replaying any prefix of the event stream
+			// through the incremental engine equals the batch pipeline at
+			// the same watermark. (The engine's fixed-threshold event model
+			// differs from the percentile reference above, so the batch
+			// side is rebuilt per prefix rather than reusing ref.)
+			start := weather.Start()
+			fleetCfg := constellation.ResearchFleet(seed, start, start.AddDate(1, 0, 0), 10)
+			res, err := constellation.Run(context.Background(), fleetCfg, weather)
+			if err != nil {
+				t.Fatalf("prefix fleet: %v", err)
+			}
+			obs := make([]core.Observation, len(res.Samples))
+			for i, s := range res.Samples {
+				obs[i] = core.ObservationFromSample(s)
+			}
+			for _, den := range []int{4, 2, 1} {
+				got, ref := runIncrementalPrefix(t, weather, obs, len(obs)/den, weather.Len()/den)
+				diffRun(t, fmt.Sprintf("prefix 1/%d", den), ref, got)
 			}
 		})
 	}

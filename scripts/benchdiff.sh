@@ -1,8 +1,11 @@
 #!/bin/sh
 # benchdiff.sh — the performance-regression gate behind `make bench-diff`:
 # rerun the pinned fan-out benchmarks and fail if any of them regressed
-# more than 10% against the committed baseline (BENCH_PR7.json, override
-# with $1) in ns/op or allocs/op. When the baseline carries a scale_sweep
+# more than 10% against the committed baseline (BENCH_PR9.json, override
+# with $1) in ns/op or allocs/op. The incremental-engine pair is gated
+# twice: as ordinary benchmarks, and as the O(delta) ratio — one append
+# must stay under 1% of a cold rebuild, whatever the absolute numbers do.
+# When the baseline carries a scale_sweep
 # section, the 100k-satellite chunked run is also replayed and gated:
 # peak RSS may grow at most 25% and throughput may drop at most 25%
 # (wall-clock tolerances are wider than ns/op because the sweep times a
@@ -19,7 +22,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-baseline="${1:-BENCH_PR7.json}"
+baseline="${1:-BENCH_PR9.json}"
 count="${BENCHCOUNT:-4}"
 benchtime="${BENCHTIME:-3x}"
 
@@ -37,9 +40,9 @@ fi
 raw="$(mktemp -t cosmicdance-benchdiff.XXXXXX)"
 trap 'rm -f "$raw"' EXIT
 
-echo "== go test -bench (FleetSim|DatasetBuild|Associate|PipelineBuild) -benchmem -benchtime $benchtime -count $count (GOMAXPROCS=$maxprocs)"
+echo "== go test -bench (FleetSim|DatasetBuild|Associate|PipelineBuild|IncrementalAppend|IncrementalColdRebuild) -benchmem -benchtime $benchtime -count $count (GOMAXPROCS=$maxprocs)"
 GOMAXPROCS="$maxprocs" go test -run '^$' \
-    -bench '^(BenchmarkFleetSim|BenchmarkDatasetBuild|BenchmarkAssociate|BenchmarkPipelineBuild)$' \
+    -bench '^(BenchmarkFleetSim|BenchmarkDatasetBuild|BenchmarkAssociate|BenchmarkPipelineBuild|BenchmarkIncrementalAppend|BenchmarkIncrementalColdRebuild)$' \
     -benchmem -benchtime "$benchtime" -count "$count" . | tee "$raw"
 
 awk -v limit=1.10 '
@@ -68,7 +71,7 @@ NR == FNR {
 }
 END {
     fail = 0
-    n = split("FleetSim DatasetBuild Associate PipelineBuild", names, " ")
+    n = split("FleetSim DatasetBuild Associate PipelineBuild IncrementalColdRebuild", names, " ")
     for (k = 1; k <= n; k++) {
         name = names[k]
         if (!(name in ns)) { printf "benchdiff: %s did not run\n", name; fail = 1; continue }
@@ -83,6 +86,16 @@ END {
             printf "benchdiff: %-13s allocs/op %12d vs %12d  (%.3fx) %s\n", name, al[name], base_al[name], ra, verdict
             if (ra > limit) fail = 1
         }
+    }
+    # The O(delta) claim itself: one append (microseconds, too jittery for
+    # a 10% ns/op gate) must stay under 1% of a cold rebuild.
+    if (!("IncrementalAppend" in ns) || !("IncrementalColdRebuild" in ns)) {
+        print "benchdiff: incremental benchmarks did not run"; fail = 1
+    } else {
+        pct = 100 * ns["IncrementalAppend"] / ns["IncrementalColdRebuild"]
+        verdict = pct >= 1 ? "FAIL" : "ok"
+        printf "benchdiff: IncrementalAppend is %.4f%% of a cold rebuild (ceiling 1%%) %s\n", pct, verdict
+        if (pct >= 1) fail = 1
     }
     if (fail) { print "benchdiff: FAIL — a benchmark regressed more than 10% against " ARGV[1]; exit 1 }
     print "benchdiff: OK"

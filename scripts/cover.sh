@@ -19,7 +19,10 @@
 #   8. fail if internal/core (chunk partials, the ordered assembler,
 #      and every cleaning invariant the equivalence matrix leans on)
 #      covers < 80%,
-#   9. fail if the module-wide total covers < 70%.
+#   9. fail if internal/incremental (the watermark engine behind the live
+#      decay-risk feed — its prefix-replay determinism is load-bearing)
+#      covers < 80%,
+#  10. fail if the module-wide total covers < 70%.
 #
 # The floors are deliberately asymmetric: the linter and the codec are
 # small and pure logic, so they are held to a higher bar than the
@@ -110,6 +113,15 @@ if [ -z "$corepct" ]; then
     exit 1
 fi
 floor "internal/core" "$corepct" 80
+
+incrementalpct="$(printf '%s\n' "$out" | awk '$2 == "cosmicdance/internal/incremental" {
+    for (i = 1; i <= NF; i++) if ($i ~ /%$/) { sub(/%/, "", $i); print $i }
+}')"
+if [ -z "$incrementalpct" ]; then
+    echo "cover: no coverage line for cosmicdance/internal/incremental" >&2
+    exit 1
+fi
+floor "internal/incremental" "$incrementalpct" 80
 
 totalpct="$(go tool cover -func="$profile" | awk '/^total:/ {
     for (i = 1; i <= NF; i++) if ($i ~ /%$/) { sub(/%/, "", $i); print $i }

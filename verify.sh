@@ -6,7 +6,10 @@
 #   3. the entire test suite under the race detector,
 #   4. the parallel-equivalence suite at GOMAXPROCS=1 and GOMAXPROCS=4
 #      (worker-pool output must be bit-identical regardless of how many
-#      CPUs the scheduler actually has),
+#      CPUs the scheduler actually has; the suite's prefix dimension is
+#      the live-feed gate — the incremental engine replayed over any
+#      prefix of the event stream must equal the batch pipeline at the
+#      same watermark),
 #   5. the artifact-cache identity gate: the same analyze run, cold then
 #      warm over one cache dir, must print byte-identical output (a cache
 #      hit is the cold build, bit for bit),
@@ -21,7 +24,10 @@
 #   9. the flat-RSS gate: a 100k-satellite run must peak under 128 MiB of
 #      resident memory — the streaming pipeline holds O(chunk), not
 #      O(fleet),
-#  10. every fuzz target, seeds + 10s of new coverage each.
+#  10. the benchdiff gate against the pinned BENCH_PR9.json baseline,
+#      including the O(delta) ratio: one incremental append must stay
+#      under 1% of a cold rebuild at 100k satellites,
+#  11. every fuzz target, seeds + 10s of new coverage each.
 #
 # Pass -short as $1 to run the fast tier (skips the year-long substrate
 # builds and the fuzz sessions).
@@ -47,7 +53,7 @@ go build ./...
 echo "== go test -race $SHORT ./..."
 go test -race $SHORT ./...
 
-echo "== parallel equivalence at GOMAXPROCS=1 and GOMAXPROCS=4"
+echo "== parallel equivalence (widths, chunks, incremental prefix replay) at GOMAXPROCS=1 and GOMAXPROCS=4"
 GOMAXPROCS=1 go test -count=1 -run 'TestParallelEquivalence|TestDatasetConcurrentReaders' .
 GOMAXPROCS=4 go test -count=1 -run 'TestParallelEquivalence|TestDatasetConcurrentReaders' .
 
@@ -103,6 +109,9 @@ if [ -z "$SHORT" ]; then
         exit 1
     fi
     echo "verify: 100k satellites peaked at $rss bytes (ceiling 134217728)"
+
+    echo "== benchdiff gate against BENCH_PR9.json (fan-outs + O(delta) append ratio)"
+    ./scripts/benchdiff.sh
 fi
 
 if [ "$FUZZ" = 1 ]; then
