@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short race vet lint lint-fix cover fuzz verify verify-short golden bench bench-baseline bench-diff obs-overhead loadtest scale-sweep
+.PHONY: build test test-short race vet lint lint-fix cover fuzz verify verify-short golden bench bench-baseline bench-diff obs-overhead loadtest slo-report scale-sweep
 
 build:
 	$(GO) build ./...
@@ -26,7 +26,7 @@ lint-fix:
 	exit $$status
 
 # Coverage floors: internal/lint >= 85%, internal/artifact >= 80%,
-# internal/obs >= 85%, internal/spacetrack >= 80%, internal/loadsim >= 80%,
+# internal/obs >= 88%, internal/spacetrack >= 80%, internal/loadsim >= 80%,
 # internal/constellation >= 80%, internal/core >= 80%,
 # internal/incremental >= 80%, module total >= 70%.
 cover:
@@ -36,6 +36,12 @@ cover:
 # against the storm-spike scenario (see EXPERIMENTS.md "Serving under load").
 loadtest:
 	$(GO) run ./cmd/spaceload -seed 42 -duration 10m -days 10
+
+# The same baseline run rendered as the SLO burn-rate verdict table: one
+# row per endpoint (ops, errors, burn rate, p50/p99 vs target, pass/fail)
+# plus the flight-recorder reject summary and an overall verdict.
+slo-report:
+	$(GO) run ./cmd/spaceload -seed 42 -duration 10m -days 10 -slo-report
 
 test:
 	$(GO) test ./...

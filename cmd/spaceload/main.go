@@ -10,7 +10,7 @@
 //
 //	spaceload [-seed S] [-duration 10m] [-bulk N] [-poll N] [-spike N] [-ingesters N]
 //	          [-feed N] [-rate R] [-burst B] [-capacity C] [-capacity-burst CB]
-//	          [-max-inflight M] [-faults SCHED] [-days D] [-o FILE]
+//	          [-max-inflight M] [-faults SCHED] [-days D] [-o FILE] [-slo-report]
 //
 // The client mix models the serving workloads: bulk-history crawlers
 // pulling multi-day windows, incremental pollers revalidating with
@@ -19,16 +19,19 @@
 // for — and incremental-feed subscribers that revalidate the decay-risk
 // view and drain its delta stream from a saved cursor. -faults threads a
 // faultline schedule (e.g. '429:1/31,reset:1/37') in front of the server.
-// The report (p50/p99 virtual latency, throughput, status mix, ingest loss)
-// goes to stdout or -o FILE.
+// The report (p50/p99 virtual latency, throughput, status mix, ingest loss,
+// SLO burn-rate verdicts, flight-recorder reject summary) goes to stdout or
+// -o FILE; -slo-report renders the SLO verdicts as a text table instead.
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"text/tabwriter"
 	"time"
 
 	"cosmicdance/internal/loadsim"
@@ -61,6 +64,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	faults := fs.String("faults", "", "fault schedule, e.g. '429:1/31,reset:1/37' (see internal/faultline)")
 	days := fs.Int("days", 10, "simulated archive span in days")
 	output := fs.String("o", "", "write the report to FILE instead of stdout")
+	sloReport := fs.Bool("slo-report", false, "render the SLO verdicts as a text table instead of the JSON report")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,9 +92,36 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *sloReport {
+		data = renderSLO(report)
+	}
 	if *output != "" {
 		return os.WriteFile(*output, data, 0o644)
 	}
 	_, err = out.Write(data)
 	return err
+}
+
+// renderSLO formats the report's SLO verdicts as an aligned text table —
+// the `make slo-report` view. The rows come straight from the deterministic
+// report, so the table is as reproducible as the JSON.
+func renderSLO(report *loadsim.Report) []byte {
+	var buf bytes.Buffer
+	tw := tabwriter.NewWriter(&buf, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "ENDPOINT\tOPS\tERRORS\tBURN\tP50_MS\tP99_MS\tTARGET_MS\tVERDICT")
+	overall := "pass"
+	for _, r := range report.SLO {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%g\t%g\t%g\t%g\t%s\n",
+			r.Endpoint, r.Ops, r.Errors, r.BurnRate, r.P50Ms, r.P99Ms, r.P99TargetMs, r.Verdict)
+		if r.Verdict != "pass" {
+			overall = "fail"
+		}
+	}
+	tw.Flush()
+	if report.Flight != nil {
+		fmt.Fprintf(&buf, "rejects: %d (%d distinct traces)\n",
+			report.Flight.Rejects, len(report.Flight.RejectedTraces))
+	}
+	fmt.Fprintf(&buf, "overall: %s\n", overall)
+	return buf.Bytes()
 }

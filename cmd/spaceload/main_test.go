@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"strings"
 	"testing"
 )
 
@@ -31,6 +32,44 @@ func TestDoubleRunByteIdentical(t *testing.T) {
 	}
 	if report["schema"] != "spaceload/v1" {
 		t.Fatalf("schema = %v", report["schema"])
+	}
+	// The observability sections — SLO verdicts and the flight-recorder
+	// summary, trace IDs included — are part of the byte-identity contract.
+	if _, ok := report["slo"]; !ok {
+		t.Fatal("report has no slo section")
+	}
+	if _, ok := report["flight"]; !ok {
+		t.Fatal("report has no flight section")
+	}
+}
+
+// TestSLOReportText pins the -slo-report text table: one row per endpoint,
+// an overall verdict, and determinism (it renders from the same report).
+func TestSLOReportText(t *testing.T) {
+	args := []string{
+		"-seed", "7", "-duration", "5m",
+		"-bulk", "0", "-poll", "2", "-spike", "0", "-ingesters", "1", "-feed", "0",
+		"-rate", "100", "-burst", "100", "-capacity", "0",
+		"-days", "5", "-slo-report",
+	}
+	var a, b bytes.Buffer
+	if err := run(context.Background(), args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("slo-report diverged:\n%s\n---\n%s", a.Bytes(), b.Bytes())
+	}
+	text := a.String()
+	for _, want := range []string{"ENDPOINT", "VERDICT", "group", "ingest", "overall: pass"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("slo-report missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "\"schema\"") {
+		t.Fatal("-slo-report still emitted the JSON report")
 	}
 }
 

@@ -20,6 +20,7 @@
 //
 //	spacetrackd [-addr :8044] [-fleet small|paper|may2024] [-seed S] [-faults SCHED]
 //	            [-rate R] [-burst B] [-capacity C] [-max-inflight M]
+//	            [-slo SPEC] [-flight-ring N] [-flight-dump FILE] [-burst-threshold N]
 //	            [-pprof] [-metrics-json FILE]
 //
 // The archive is served through a sharded copy-on-write catalog, so /ingest
@@ -33,11 +34,23 @@
 // for exercising client fault tolerance against a degraded service.
 //
 // Introspection: /metrics serves the process metrics in Prometheus text
-// format and /healthz answers liveness probes; both bypass the fault
-// injector, so a deliberately degraded service still reports honestly.
-// -pprof additionally exposes the runtime profiles under /debug/pprof/.
-// On graceful shutdown the daemon logs its final counters and, with
-// -metrics-json FILE, flushes the full metrics snapshot to FILE.
+// format (SLO burn-rate gauges refresh at scrape time), /healthz answers
+// liveness probes with the catalog epoch per group, the incremental
+// watermark frontier and build info, and /debug/flightrecorder dumps the
+// flight recorder's ring — recent request outcomes, admission rejections
+// with their Cosmic-Trace IDs, ingest batches, feed deltas and SSE resyncs.
+// All of them bypass the fault injector, so a deliberately degraded service
+// still reports honestly. -pprof additionally exposes the runtime profiles
+// under /debug/pprof/.
+//
+// Every request is traced: an arriving Cosmic-Trace header is honoured and
+// echoed, header-less requests get an ID minted from a seeded stream.
+// -slo sets the error-budget objectives ("endpoint:availability%:p99ms[:window]",
+// comma-separated; "default" uses the built-ins, "" disables). -flight-dump
+// FILE auto-writes the flight-recorder dump when -burst-threshold rejects
+// land within ten seconds, and again on shutdown. On graceful shutdown the
+// daemon logs its final counters and SLO verdicts and, with -metrics-json
+// FILE, flushes the full metrics snapshot to FILE.
 package main
 
 import (
@@ -51,6 +64,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -90,6 +105,10 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	capacity := fs.Float64("capacity", 0, "global capacity in requests/second, shed with 503 (0 disables)")
 	maxInflight := fs.Int64("max-inflight", 0, "max concurrently served requests, excess gets 503 (0 disables)")
 	faults := fs.String("faults", "", "fault schedule, e.g. '429:3/7,truncate:1/6' (see internal/faultline)")
+	sloSpec := fs.String("slo", "default", "SLO objectives 'endpoint:availability%:p99ms[:window],...'; 'default' uses built-ins, '' disables")
+	flightRing := fs.Int("flight-ring", 1024, "flight recorder ring size in events")
+	flightDump := fs.String("flight-dump", "", "write the flight-recorder dump to FILE on overload bursts and shutdown")
+	burstThreshold := fs.Int("burst-threshold", 10, "rejects within 10s that trigger a flight-recorder auto-dump (0 disables)")
 	pprofFlag := fs.Bool("pprof", false, "expose runtime profiles under /debug/pprof/")
 	metricsJSON := fs.String("metrics-json", "", "flush the final metrics snapshot (JSON) to FILE on shutdown")
 	if err := fs.Parse(args); err != nil {
@@ -98,6 +117,12 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	sched, err := faultline.ParseSchedule(*faults)
 	if err != nil {
 		return err
+	}
+	sloObjectives := obs.DefaultObjectives()
+	if *sloSpec != "" && *sloSpec != "default" {
+		if sloObjectives, err = obs.ParseObjectives(*sloSpec); err != nil {
+			return err
+		}
 	}
 
 	var (
@@ -147,6 +172,43 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	boot := time.Now()
 	srv.Now = func() time.Time { return end.Add(time.Since(boot)) }
 
+	// The serving-plane black box and error budgets, all on the boot-anchored
+	// service clock: trace IDs for header-less requests come from a stream
+	// seeded with -seed, the flight recorder rings the last -flight-ring
+	// events, and the SLO tracker's burn-rate gauges refresh on every
+	// /metrics scrape.
+	srv.Trace = obs.NewIDStream(uint64(*seed), 0)
+	flight := obs.NewFlightRecorder(*flightRing, srv.Now)
+	srv.Flight = flight
+	var slo *obs.SLOTracker
+	if *sloSpec != "" {
+		slo = obs.NewSLOTracker(obs.Default(), sloObjectives, srv.Now)
+		srv.SLO = slo
+	}
+	dumpFlight := func(reason string) {
+		if *flightDump == "" {
+			return
+		}
+		f, cerr := os.Create(*flightDump)
+		if cerr != nil {
+			logger.Error("flight dump failed", "stage", "daemon", "err", cerr)
+			return
+		}
+		werr := flight.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			logger.Error("flight dump failed", "stage", "daemon", "err", werr)
+			return
+		}
+		logger.Info("flight recorder dumped", "stage", "daemon",
+			"reason", reason, "file", *flightDump, "events", flight.Len())
+	}
+	if *burstThreshold > 0 {
+		flight.SetBurstHook(*burstThreshold, 10*time.Second, func() { dumpFlight("burst") })
+	}
+
 	// The live decay-risk feed: the incremental engine is seeded with the
 	// simulation archive and weather, then every accepted /ingest batch folds
 	// in through the server hook in O(delta). /v1/risk serves the
@@ -156,11 +218,29 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	if _, err := feed.WeatherIndex(weather); err != nil {
 		return err
 	}
-	srv.OnIngest = func(group string, sets []*tle.TLE, applied int) {
-		feed.IngestTLEs(sets)
+	feed.SetFlight(flight)
+	srv.OnIngest = func(group string, sets []*tle.TLE, applied int, trace obs.TraceID) {
+		feed.IngestTLEsTraced(sets, trace)
 		feed.SetWatermarkLag(srv.Now())
 	}
 	feed.SetWatermarkLag(srv.Now())
+
+	// /healthz carries the facts an operator wants first: which fleet, which
+	// build, and how fresh the incremental plane is (feed epoch + weather
+	// watermark). The catalog epoch per group comes from the server itself.
+	srv.HealthInfo = func() map[string]string {
+		v := feed.Risk()
+		info := map[string]string{
+			"fleet":        *fleet,
+			"go":           runtime.Version(),
+			"feed_version": strconv.FormatUint(v.Version, 10),
+			"feed_seq":     strconv.FormatUint(v.Seq, 10),
+		}
+		if v.WeatherWatermark != 0 {
+			info["weather_watermark"] = time.Unix(v.WeatherWatermark, 0).UTC().Format(time.RFC3339)
+		}
+		return info
+	}
 
 	// The WDC-style Dst endpoint rides alongside the tracking API, so one
 	// process simulates both of CosmicDance's upstream services.
@@ -182,7 +262,12 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	// degraded data plane must not corrupt its own diagnostics, and /healthz
 	// still routes through the tracking server so its request counter ticks.
 	outer := http.NewServeMux()
-	outer.Handle("/metrics", obs.Handler(obs.Default()))
+	metrics := obs.Handler(obs.Default())
+	outer.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		slo.Publish() // refresh the burn-rate gauges at scrape time (nil-safe)
+		metrics.ServeHTTP(w, r)
+	}))
+	outer.Handle("/debug/flightrecorder", flight.Handler())
 	outer.Handle("/healthz", mux)
 	if *pprofFlag {
 		outer.HandleFunc("/debug/pprof/", pprof.Index)
@@ -240,6 +325,13 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		"feed_deltas", feed.Engine().Seq(),
 		"feed_version", feed.Engine().Version(),
 		"faults_injected", faultsInjected)
+	for _, res := range slo.Report() {
+		logger.Info("slo verdict", "stage", "daemon",
+			"endpoint", res.Endpoint, "verdict", res.Verdict,
+			"ops", res.Ops, "errors", res.Errors,
+			"burn_rate", res.BurnRate, "p99_ms", res.P99Ms)
+	}
+	dumpFlight("shutdown")
 	if *metricsJSON != "" {
 		f, err := os.Create(*metricsJSON)
 		if err != nil {

@@ -313,11 +313,167 @@ func TestDaemonLiveIngestAndGoroutineHygiene(t *testing.T) {
 		before, runtime.NumGoroutine())
 }
 
+// TestDaemonObservabilityPlane drives the serving-plane black box end to
+// end: traced requests echo their Cosmic-Trace IDs and appear in
+// /debug/flightrecorder, a 429 storm past -burst-threshold auto-dumps the
+// ring naming every rejected trace, /healthz carries the daemon facts, and
+// /metrics publishes the SLO burn-rate gauges at scrape time. Shutdown
+// rewrites the dump.
+func TestDaemonObservabilityPlane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a year-long fleet")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	dumpPath := filepath.Join(t.TempDir(), "flight.json")
+	base, errc := startDaemon(t, ctx,
+		"-rate", "1", "-burst", "2", "-burst-threshold", "3", "-flight-dump", dumpPath)
+
+	get := func(path, trace string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trace != "" {
+			req.Header.Set(obs.TraceHeader, trace)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	// /healthz carries the catalog epoch and the daemon-contributed facts.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health spacetrack.HealthStatus
+	err = json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || len(health.Groups) == 0 || health.Groups[0].Group != "starlink" {
+		t.Fatalf("healthz = %+v", health)
+	}
+	for _, key := range []string{"fleet", "go", "feed_version", "feed_seq"} {
+		if health.Info[key] == "" {
+			t.Fatalf("healthz info missing %q: %+v", key, health.Info)
+		}
+	}
+
+	// Hammer the group endpoint past burst 2 with traced requests: the
+	// per-client bucket rejects the excess and the burst hook (threshold 3)
+	// auto-dumps the ring.
+	const path = "/NORAD/elements/gp.php?GROUP=starlink&FORMAT=tle"
+	stream := obs.NewIDStream(99, 1)
+	var rejected []string
+	for i := 0; i < 7; i++ {
+		id := stream.Next().String()
+		r := get(path, id)
+		if got := r.Header.Get(obs.TraceHeader); got != id {
+			t.Fatalf("request %d echoed trace %q, want %q", i, got, id)
+		}
+		if r.StatusCode == http.StatusTooManyRequests {
+			rejected = append(rejected, id)
+		}
+	}
+	if len(rejected) < 3 {
+		t.Fatalf("only %d rejects of 7 rapid requests at rate 1 burst 2", len(rejected))
+	}
+
+	// The live endpoint and the auto-dumped file agree, and both name every
+	// rejected trace.
+	checkDump := func(data []byte, where string, want []string) {
+		t.Helper()
+		var dump obs.FlightDump
+		if err := json.Unmarshal(data, &dump); err != nil {
+			t.Fatalf("%s: %v", where, err)
+		}
+		if dump.Schema != "flightrecorder/v1" {
+			t.Fatalf("%s schema = %q", where, dump.Schema)
+		}
+		named := map[string]bool{}
+		for _, ev := range dump.Events {
+			if ev.Kind == "reject" {
+				named[ev.Trace] = true
+			}
+		}
+		for _, id := range want {
+			if !named[id] {
+				t.Fatalf("%s does not name rejected trace %s", where, id)
+			}
+		}
+	}
+	resp, err = http.Get(base + "/debug/flightrecorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("flightrecorder endpoint: %d %v", resp.StatusCode, err)
+	}
+	checkDump(live, "/debug/flightrecorder", rejected)
+	// The auto-dump fires at the trip point, so it names the rejects seen up
+	// to the threshold; later rejects arrive in the shutdown dump.
+	burstDump, err := os.ReadFile(dumpPath)
+	if err != nil {
+		t.Fatalf("burst auto-dump missing: %v", err)
+	}
+	checkDump(burstDump, "burst auto-dump", rejected[:3])
+
+	// /metrics publishes the SLO gauges at scrape time.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`spacetrack_slo_burn_rate{endpoint="group"}`,
+		`spacetrack_slo_p99_ms{endpoint="group"}`,
+		`spacetrack_slo_pass{endpoint="ingest"}`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Shutdown rewrites the dump with the final ring.
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown returned %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down after cancellation")
+	}
+	finalDump, err := os.ReadFile(dumpPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDump(finalDump, "shutdown dump", rejected)
+}
+
 func TestDaemonRejectsBadFlags(t *testing.T) {
 	for _, args := range [][]string{
 		{"-fleet", "bogus"},
 		{"-faults", "nonsense:1/2"},
 		{"-faults", "429:9/3"},
+		{"-slo", "group:200:400"},
+		{"-slo", "group:99"},
 	} {
 		if err := run(context.Background(), args, nil); err == nil {
 			t.Errorf("run(%v) accepted", args)

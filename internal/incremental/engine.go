@@ -94,7 +94,10 @@ const (
 )
 
 // Delta is one incremental state transition, the unit of the live feed.
-// Times are Unix seconds so the wire form is deterministic.
+// Times are Unix seconds so the wire form is deterministic. Trace, when
+// present, is the trace ID (16-hex form) of the ingest request that provoked
+// the transition, so a feed consumer can join a delta back to the /ingest
+// POST — and its admission decision — that caused it.
 type Delta struct {
 	Seq     uint64  `json:"seq"`
 	Kind    Kind    `json:"kind"`
@@ -107,6 +110,7 @@ type Delta struct {
 	DragER  float64 `json:"drag_er,omitempty"`
 	RateKmD float64 `json:"rate_km_day,omitempty"`
 	DropKm  float64 `json:"drop_km,omitempty"`
+	Trace   string  `json:"trace,omitempty"`
 }
 
 // IngestStats reports what one ingest batch did.
@@ -159,6 +163,11 @@ type Engine struct {
 	seq     uint64
 	version uint64
 	onDelta func(Delta)
+	// batchTrace tags every delta emitted while the current traced ingest
+	// batch runs. It is transient call-scoped context, never part of the
+	// engine's replayable state: a prefix replay without traces emits the
+	// same deltas minus the tag.
+	batchTrace string
 
 	matVersion uint64
 	matData    *core.Dataset
@@ -210,6 +219,7 @@ func (e *Engine) LastObservationEpoch() int64 { return e.lastEpoch }
 func (e *Engine) emit(d Delta) {
 	e.seq++
 	d.Seq = e.seq
+	d.Trace = e.batchTrace
 	metricDeltas.Inc()
 	if e.onDelta != nil {
 		e.onDelta(d)
@@ -223,6 +233,17 @@ func (e *Engine) IngestTLEs(sets []*tle.TLE) IngestStats {
 		batch[i] = core.ObservationFromTLE(t)
 	}
 	return e.IngestObservations(batch)
+}
+
+// IngestTLEsTraced is IngestTLEs carrying the originating request's trace
+// ID: every delta the batch provokes names the /ingest POST that caused it.
+// A zero trace is plain IngestTLEs.
+func (e *Engine) IngestTLEsTraced(sets []*tle.TLE, trace obs.TraceID) IngestStats {
+	if trace != 0 {
+		e.batchTrace = trace.String()
+		defer func() { e.batchTrace = "" }()
+	}
+	return e.IngestTLEs(sets)
 }
 
 // IngestSamples folds simulator samples into the engine (the bulk seeding

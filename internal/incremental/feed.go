@@ -78,6 +78,7 @@ type Feed struct {
 	ring   []Delta
 	cap    int
 	notify chan struct{} // closed and swapped whenever deltas append
+	flight *obs.FlightRecorder
 }
 
 // NewFeed wraps an engine. ringCap bounds the delta backlog a slow stream
@@ -92,8 +93,19 @@ func NewFeed(eng *Engine, ringCap int) *Feed {
 		if len(f.ring) > f.cap {
 			f.ring = f.ring[len(f.ring)-f.cap:]
 		}
+		f.flight.Record(obs.FlightEvent{Kind: "delta", Trace: d.Trace, Detail: string(d.Kind)})
 	})
 	return f
+}
+
+// SetFlight points the feed at the serving plane's flight recorder: delta
+// emissions, traced ingests, and SSE resyncs land in the ring alongside the
+// server's request events. Call before serving begins; a nil recorder (the
+// default) records nothing.
+func (f *Feed) SetFlight(rec *obs.FlightRecorder) {
+	f.mu.Lock()
+	f.flight = rec
+	f.mu.Unlock()
 }
 
 // Engine returns the wrapped engine. Callers must not use it concurrently
@@ -108,9 +120,25 @@ func (f *Feed) broadcast() {
 
 // IngestTLEs folds element sets into the engine under the feed lock.
 func (f *Feed) IngestTLEs(sets []*tle.TLE) IngestStats {
+	return f.IngestTLEsTraced(sets, 0)
+}
+
+// IngestTLEsTraced folds element sets into the engine under the feed lock,
+// tagging every provoked delta with the originating request's trace ID and
+// recording the batch as an "ingest" flight event.
+func (f *Feed) IngestTLEsTraced(sets []*tle.TLE, trace obs.TraceID) IngestStats {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	st := f.eng.IngestTLEs(sets)
+	st := f.eng.IngestTLEsTraced(sets, trace)
+	var ts string
+	if trace != 0 {
+		ts = trace.String()
+	}
+	f.flight.Record(obs.FlightEvent{
+		Kind:   "ingest",
+		Trace:  ts,
+		Detail: fmt.Sprintf("sets=%d applied=%d dup=%d gross=%d", len(sets), st.Applied, st.Duplicates, st.GrossErrors),
+	})
 	f.broadcast()
 	return st
 }
@@ -283,6 +311,7 @@ func (f *Feed) handleStream(w http.ResponseWriter, r *http.Request) {
 		if oldest > cursor+1 {
 			// The ring dropped deltas the cursor still wanted: tell the
 			// client to resync from a fresh /v1/risk snapshot.
+			f.recordResync(cursor, oldest)
 			fmt.Fprintf(w, "event: resync\ndata: {\"oldest\":%d}\n\n", oldest)
 			cursor = oldest - 1
 			if flusher != nil {
@@ -317,6 +346,15 @@ func (f *Feed) handleStream(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+}
+
+// recordResync logs an SSE consumer falling off the delta ring — the
+// overflow shape the flight recorder exists to post-mortem.
+func (f *Feed) recordResync(cursor, oldest uint64) {
+	f.mu.Lock()
+	rec := f.flight
+	f.mu.Unlock()
+	rec.Record(obs.FlightEvent{Kind: "resync", Detail: fmt.Sprintf("cursor=%d oldest=%d", cursor, oldest)})
 }
 
 // after returns a copy of the buffered deltas with Seq > cursor, the oldest

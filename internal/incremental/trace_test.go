@@ -1,0 +1,122 @@
+package incremental
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cosmicdance/internal/obs"
+	"cosmicdance/internal/tle"
+)
+
+// traceTLE builds a LEO element set for catalog at epoch. Mean motion 15.05
+// rev/day sits near 550 km, squarely in the engine's operational band.
+func traceTLE(catalog int, epoch time.Time) *tle.TLE {
+	return &tle.TLE{CatalogNumber: catalog, Epoch: epoch.UTC(), MeanMotion: 15.05, Inclination: 53}
+}
+
+// TestDeltasCarryIngestTrace pins the delta-tagging contract: every delta a
+// traced ingest batch provokes names the originating request's trace ID, an
+// untraced batch leaves the field empty, and the tag never outlives its call
+// — it is transient, not replayable state.
+func TestDeltasCarryIngestTrace(t *testing.T) {
+	eng := New(DefaultConfig())
+	var deltas []Delta
+	eng.OnDelta(func(d Delta) { deltas = append(deltas, d) })
+
+	epoch := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+	trace := obs.TraceID(0xabcdef0123456789)
+	st := eng.IngestTLEsTraced([]*tle.TLE{traceTLE(70001, epoch)}, trace)
+	if st.Applied != 1 || len(deltas) == 0 {
+		t.Fatalf("traced ingest applied %d, %d deltas", st.Applied, len(deltas))
+	}
+	for _, d := range deltas {
+		if d.Trace != trace.String() {
+			t.Fatalf("delta %+v missing trace %s", d, trace)
+		}
+	}
+
+	// The next, untraced batch must not inherit the tag.
+	deltas = deltas[:0]
+	eng.IngestTLEs([]*tle.TLE{traceTLE(70002, epoch.Add(time.Hour))})
+	if len(deltas) == 0 {
+		t.Fatal("untraced ingest emitted no deltas")
+	}
+	for _, d := range deltas {
+		if d.Trace != "" {
+			t.Fatalf("untraced delta inherited trace %q", d.Trace)
+		}
+	}
+
+	// Zero is the no-trace sentinel, same as the untraced path.
+	deltas = deltas[:0]
+	eng.IngestTLEsTraced([]*tle.TLE{traceTLE(70003, epoch.Add(2*time.Hour))}, 0)
+	for _, d := range deltas {
+		if d.Trace != "" {
+			t.Fatalf("zero-trace delta tagged %q", d.Trace)
+		}
+	}
+}
+
+// TestFeedFlightEvents pins the feed's flight-recorder surface: a traced
+// ingest lands as an "ingest" event with its batch stats, the provoked
+// deltas as "delta" events carrying the same trace, and an overflowed stream
+// cursor as a "resync" event.
+func TestFeedFlightEvents(t *testing.T) {
+	clock := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+	flight := obs.NewFlightRecorder(64, func() time.Time { return clock })
+
+	f := seedFeed(t, 4) // tiny ring so a stale cursor forces a resync
+	f.SetFlight(flight)
+
+	trace := obs.TraceID(0x1111222233334444)
+	epoch := time.Unix(f.Engine().LastObservationEpoch(), 0).Add(time.Hour)
+	st := f.IngestTLEsTraced([]*tle.TLE{traceTLE(80001, epoch)}, trace)
+	if st.Applied != 1 {
+		t.Fatalf("ingest applied %d", st.Applied)
+	}
+
+	var ingests, deltas int
+	for _, ev := range flight.Dump() {
+		switch ev.Kind {
+		case "ingest":
+			ingests++
+			if ev.Trace != trace.String() || !strings.Contains(ev.Detail, "sets=1 applied=1") {
+				t.Fatalf("ingest event = %+v", ev)
+			}
+		case "delta":
+			deltas++
+			if ev.Trace != trace.String() || ev.Detail == "" {
+				t.Fatalf("delta event = %+v", ev)
+			}
+		}
+	}
+	if ingests != 1 || deltas == 0 {
+		t.Fatalf("flight holds %d ingest / %d delta events", ingests, deltas)
+	}
+
+	// Cursor 1 predates the 4-entry ring: the stream resyncs, and the resync
+	// lands in the flight recorder.
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/risk/stream?nowait=1&cursor=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+	}
+	found := false
+	for _, ev := range flight.Dump() {
+		if ev.Kind == "resync" && strings.Contains(ev.Detail, "cursor=1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no resync flight event after overflowed cursor; dump: %+v", flight.Dump())
+	}
+}

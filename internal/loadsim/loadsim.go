@@ -17,6 +17,7 @@ import (
 	"cosmicdance/internal/dst"
 	"cosmicdance/internal/faultline"
 	"cosmicdance/internal/incremental"
+	"cosmicdance/internal/obs"
 	"cosmicdance/internal/spacetrack"
 	"cosmicdance/internal/tle"
 )
@@ -87,6 +88,7 @@ type actor struct {
 	client *spacetrack.Client
 	httpc  *http.Client
 	rng    *rng
+	trace  *obs.IDStream // per-actor trace-ID stream (seed, stream) — see mk
 
 	catalogs    []int     // bulk: catalog numbers learned from the group fetch
 	etag        string    // poll: saved validators
@@ -109,6 +111,8 @@ type sim struct {
 	transport *Transport
 	srv       *spacetrack.Server
 	injector  *faultline.Injector
+	flight    *obs.FlightRecorder
+	slo       *obs.SLOTracker
 	start     time.Time // archive window start
 	end       time.Time // archive frontier == virtual run start
 	stop      time.Time // virtual run end
@@ -162,6 +166,17 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	srv.CapacityBurst = cfg.CapacityBurst
 	srv.MaxInFlight = cfg.MaxInFlight
 
+	// The observability plane rides the virtual clock: every trace ID comes
+	// from a seeded stream and every flight/SLO timestamp from the simulated
+	// timeline, so the report — traces included — stays byte-identical across
+	// same-seed runs. Stream 0 is the server's (for requests arriving without
+	// a Cosmic-Trace header); actors use streams 1..n, assigned below.
+	flight := obs.NewFlightRecorder(4096, clock.Now)
+	slo := obs.NewSLOTracker(nil, obs.DefaultObjectives(), clock.Now)
+	srv.Trace = obs.NewIDStream(uint64(cfg.Seed), 0)
+	srv.Flight = flight
+	srv.SLO = slo
+
 	// The live decay-risk feed rides alongside the tracking endpoints,
 	// exactly as in spacetrackd: seeded from the archive, advanced in
 	// O(delta) by every accepted ingest batch.
@@ -170,8 +185,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if _, err := feed.WeatherIndex(dst.FromValues(start, vals)); err != nil {
 		return nil, err
 	}
-	srv.OnIngest = func(group string, sets []*tle.TLE, applied int) {
-		feed.IngestTLEs(sets)
+	feed.SetFlight(flight)
+	srv.OnIngest = func(group string, sets []*tle.TLE, applied int, trace obs.TraceID) {
+		feed.IngestTLEsTraced(sets, trace)
 		feed.SetWatermarkLag(clock.Now())
 	}
 
@@ -190,6 +206,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		Clock:      clock,
 		PerRequest: cfg.PerRequest,
 		PerByte:    cfg.PerByte,
+		Flight:     flight,
 	}
 
 	s := &sim{
@@ -198,6 +215,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		transport: transport,
 		srv:       srv,
 		injector:  injector,
+		flight:    flight,
+		slo:       slo,
 		start:     start,
 		end:       end,
 		stop:      end.Add(cfg.Duration),
@@ -209,6 +228,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			kind:  kind,
 			id:    fmt.Sprintf("%s-%d", kind, i),
 			rng:   newRNG(cfg.Seed, uint64(stream)),
+			trace: obs.NewIDStream(uint64(cfg.Seed), uint64(stream)),
 			httpc: httpc,
 		}
 		client, cerr := spacetrack.NewClient("http://spacetrackd.sim", httpc)
@@ -218,6 +238,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		client.ClientID = a.id
 		client.Seed = cfg.Seed + int64(stream)
 		client.Sleep = clock.Sleep
+		client.Trace = a.trace
 		a.client = client
 		return a
 	}
@@ -341,6 +362,7 @@ func (a *actor) stepFeed(ctx context.Context) bool {
 			return false
 		}
 		req.Header.Set("X-Client-Id", a.id)
+		req.Header.Set(obs.TraceHeader, a.trace.Next().String())
 		if a.etag != "" {
 			req.Header.Set("If-None-Match", a.etag)
 		}
@@ -367,6 +389,7 @@ func (a *actor) stepFeed(ctx context.Context) bool {
 		return false
 	}
 	req.Header.Set("X-Client-Id", a.id)
+	req.Header.Set(obs.TraceHeader, a.trace.Next().String())
 	resp, err := a.httpc.Do(req)
 	if err != nil {
 		return false
@@ -459,6 +482,10 @@ func (a *actor) stepIngest(ctx context.Context, s *sim) bool {
 	}
 	a.attempted += batch
 
+	// One trace ID per logical batch, reused across retries: the flight
+	// recorder then shows the same trace rejected and later applied, which is
+	// exactly the story a storm post-mortem wants to read.
+	trace := a.trace.Next().String()
 	for attempt := 0; attempt <= 6; attempt++ {
 		if attempt > 0 {
 			s.clock.Advance(500 * time.Millisecond)
@@ -470,6 +497,7 @@ func (a *actor) stepIngest(ctx context.Context, s *sim) bool {
 		}
 		req.Header.Set("X-Client-Id", a.id)
 		req.Header.Set("Content-Type", "text/plain")
+		req.Header.Set(obs.TraceHeader, trace)
 		resp, err := a.httpc.Do(req)
 		if err != nil {
 			continue // reset fault: retry the batch, ingest dedupes replays

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"cosmicdance/internal/faultline"
+	"cosmicdance/internal/obs"
 )
 
 // Report is one run's benchdiff-style baseline. Every field derives from
@@ -27,6 +28,8 @@ type Report struct {
 	Workloads       []WorkloadStats `json:"workloads"`
 	Ingest          IngestStats     `json:"ingest"`
 	FaultsInjected  []FaultCount    `json:"faults_injected,omitempty"`
+	SLO             []obs.SLOResult `json:"slo,omitempty"`
+	Flight          *FlightSummary  `json:"flight,omitempty"`
 }
 
 // MixCounts echoes the client mix the run was configured with.
@@ -78,6 +81,16 @@ type IngestStats struct {
 type FaultCount struct {
 	Kind  string `json:"kind"`
 	Count int64  `json:"count"`
+}
+
+// FlightSummary condenses the run's flight-recorder ring: how many events it
+// retained, how many of those are rejects, and the sorted trace IDs of every
+// rejected request still in the ring — server-side admission sheds and
+// injector-origin 429/503s alike.
+type FlightSummary struct {
+	Events         int      `json:"events"`
+	Rejects        int      `json:"rejects"`
+	RejectedTraces []string `json:"rejected_traces,omitempty"`
 }
 
 // Marshal renders the report as stable, indented JSON with a trailing
@@ -151,6 +164,21 @@ func (s *sim) report() *Report {
 		w.P99Ms = percentileMs(lat, 99)
 		w.PerSec = round3(float64(w.Ops) / secs)
 		r.Workloads = append(r.Workloads, *w)
+	}
+	r.SLO = s.slo.Report()
+	if s.flight != nil {
+		rejects := 0
+		events := s.flight.Dump()
+		for _, ev := range events {
+			if ev.Kind == "reject" {
+				rejects++
+			}
+		}
+		r.Flight = &FlightSummary{
+			Events:         len(events),
+			Rejects:        rejects,
+			RejectedTraces: s.flight.RejectedTraces(),
+		}
 	}
 	if s.injector != nil {
 		stats := s.injector.Stats()

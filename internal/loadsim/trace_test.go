@@ -1,0 +1,104 @@
+package loadsim
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"cosmicdance/internal/obs"
+)
+
+// TestFaultBurstNamesRejectedTraces is the storm post-mortem acceptance
+// gate: under a 503-burst schedule plus admission pressure, every shed
+// request on the wire — server-side admission rejects and injector-origin
+// 503s alike — lands in the flight recorder as a reject event, and the
+// report names the rejected trace IDs.
+func TestFaultBurstNamesRejectedTraces(t *testing.T) {
+	rep := mustRun(t, Config{
+		Seed:           9,
+		Duration:       5 * time.Minute,
+		Poll:           2,
+		Spike:          3,
+		Ingesters:      1,
+		Feed:           1,
+		RatePerSec:     30,
+		Burst:          10,
+		CapacityPerSec: 10,
+		CapacityBurst:  5,
+		ArchiveDays:    10,
+		FaultSchedule:  "503:1/5",
+	})
+	if rep.Flight == nil {
+		t.Fatal("report has no flight section")
+	}
+	var shed int64
+	for _, sc := range rep.Statuses {
+		if sc.Code == http.StatusTooManyRequests || sc.Code == http.StatusServiceUnavailable {
+			shed += sc.Count
+		}
+	}
+	if shed == 0 {
+		t.Fatal("schedule produced no 429/503s — the gate is vacuous")
+	}
+	// The equality below only holds while the ring retains everything.
+	if rep.Flight.Events >= 4096 {
+		t.Fatalf("flight ring overflowed (%d events); shrink the run", rep.Flight.Events)
+	}
+	if int64(rep.Flight.Rejects) != shed {
+		t.Fatalf("flight recorded %d rejects, wire saw %d 429/503s", rep.Flight.Rejects, shed)
+	}
+	if len(rep.Flight.RejectedTraces) == 0 {
+		t.Fatal("no rejected traces named")
+	}
+	for _, id := range rep.Flight.RejectedTraces {
+		if obs.ParseTraceID(id) == 0 {
+			t.Fatalf("rejected trace %q is not a valid trace ID", id)
+		}
+	}
+	// Retries reuse their request's ID, so distinct traces never exceed
+	// reject events.
+	if len(rep.Flight.RejectedTraces) > rep.Flight.Rejects {
+		t.Fatalf("%d distinct rejected traces > %d reject events",
+			len(rep.Flight.RejectedTraces), rep.Flight.Rejects)
+	}
+}
+
+// TestReportCarriesSLOVerdicts pins the report's SLO section: the default
+// objectives cover the three data endpoints, verdicts are pass/fail, and an
+// unpressured run passes.
+func TestReportCarriesSLOVerdicts(t *testing.T) {
+	rep := mustRun(t, Config{
+		Seed:        5,
+		Duration:    5 * time.Minute,
+		Poll:        2,
+		Ingesters:   1,
+		RatePerSec:  100,
+		Burst:       100,
+		ArchiveDays: 10,
+	})
+	if len(rep.SLO) == 0 {
+		t.Fatal("report has no SLO section")
+	}
+	seen := map[string]bool{}
+	for _, r := range rep.SLO {
+		seen[r.Endpoint] = true
+		if r.Verdict != "pass" && r.Verdict != "fail" {
+			t.Fatalf("endpoint %s verdict %q", r.Endpoint, r.Verdict)
+		}
+		if r.Ops > 0 && r.Verdict != "pass" {
+			t.Fatalf("unpressured run failed its SLO: %+v", r)
+		}
+	}
+	if !seen["group"] || !seen["history"] || !seen["ingest"] {
+		t.Fatalf("SLO endpoints = %v, want group/history/ingest", seen)
+	}
+	var groupOps int64
+	for _, r := range rep.SLO {
+		if r.Endpoint == "group" {
+			groupOps = r.Ops
+		}
+	}
+	if groupOps == 0 {
+		t.Fatal("pollers ran but the group SLO saw no operations")
+	}
+}

@@ -8,7 +8,10 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
+
+	"cosmicdance/internal/obs"
 )
 
 // errReset is what the transport surfaces for an aborted handler — the
@@ -32,6 +35,13 @@ type Transport struct {
 	Clock      *Clock
 	PerRequest time.Duration // per round trip (default 2ms)
 	PerByte    time.Duration // per wire byte (default 500ns, ~2 MB/s)
+
+	// Flight, when set, records injector-origin rejections — 429/503s the
+	// fault injector short-circuits before the server's admission layer ever
+	// sees them. The server echoes Cosmic-Trace before admission, so a reject
+	// without the echo can only have come from the injector; recording it here
+	// keeps the flight recorder's "who got shed" list complete.
+	Flight *obs.FlightRecorder
 
 	requests   int64
 	wireBytes  int64
@@ -108,6 +118,15 @@ func (t *Transport) RoundTrip(req *http.Request) (resp *http.Response, err error
 	if rec.code == http.StatusNotModified {
 		t.notModOnly++
 	}
+	if (rec.code == http.StatusTooManyRequests || rec.code == http.StatusServiceUnavailable) &&
+		rec.header.Get(obs.TraceHeader) == "" {
+		t.Flight.RecordReject(obs.FlightEvent{
+			Trace:    out.Header.Get(obs.TraceHeader),
+			Endpoint: endpointOf(out.URL.Path),
+			Status:   rec.code,
+			Detail:   "injected",
+		})
+	}
 
 	body := rec.body.Bytes()
 	declared := len(body)
@@ -158,6 +177,22 @@ func inflate(body []byte) ([]byte, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// endpointOf maps a request path to the endpoint label the server's own
+// telemetry uses, so transport-recorded rejects aggregate with server ones.
+func endpointOf(path string) string {
+	switch {
+	case strings.HasPrefix(path, "/v1/"):
+		return "feed"
+	case path == "/ingest":
+		return "ingest"
+	case path == "/history":
+		return "history"
+	case strings.HasPrefix(path, "/NORAD/"):
+		return "group"
+	}
+	return "other"
 }
 
 func (t *Transport) perRequest() time.Duration {

@@ -54,7 +54,7 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 			if i < len(h.Bounds) {
 				le = formatFloat(h.Bounds[i])
 			}
-			if _, err := fmt.Fprintf(w, "%s %d\n", series(h.Name+"_bucket", joinLabels(h.Labels, `le=`+strconv.Quote(le))), cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n", series(h.Name+"_bucket", joinLabels(h.Labels, `le="`+le+`"`)), cum); err != nil {
 				return err
 			}
 		}

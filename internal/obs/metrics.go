@@ -67,15 +67,49 @@ func metricID(name string, labels []string) (id, labelstr string) {
 		pairs = append(pairs, kv{labels[i], labels[i+1]})
 	}
 	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].k == pairs[i-1].k {
+			panic(fmt.Sprintf("obs: metric %q repeats label key %q (duplicate keys are illegal in the exposition)", name, pairs[i].k))
+		}
+	}
 	var b strings.Builder
 	for i, p := range pairs {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteByte('"')
 	}
 	labelstr = b.String()
 	return name + "{" + labelstr + "}", labelstr
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text-exposition
+// grammar: exactly backslash, double-quote, and newline get a backslash;
+// every other byte passes through verbatim. (strconv.Quote is close but
+// over-escapes — a tab would render as \t, which a conformant parser reads
+// as a literal 't'.)
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
 }
 
 // Counter is a monotonically increasing metric. Handles are shared: two
@@ -165,13 +199,14 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 // bucket at the end. The layout is fixed at registration so snapshots and
 // expositions are stable across runs.
 type Histogram struct {
-	name   string
-	labels string
-	on     *atomic.Bool
-	bounds []float64
-	counts []atomic.Int64 // len(bounds)+1; the last is the +Inf bucket
-	count  atomic.Int64
-	sum    atomic.Uint64 // float64 bits, CAS-add
+	name      string
+	labels    string
+	on        *atomic.Bool
+	bounds    []float64
+	counts    []atomic.Int64 // len(bounds)+1; the last is the +Inf bucket
+	count     atomic.Int64
+	sum       atomic.Uint64   // float64 bits, CAS-add
+	exemplars []atomic.Uint64 // per-bucket TraceID bits, last-writer-wins
 }
 
 // Histogram returns (registering if needed) the histogram for name and
@@ -199,11 +234,12 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *H
 		return h
 	}
 	h := &Histogram{
-		name:   name,
-		labels: labelstr,
-		on:     &r.enabled,
-		bounds: append([]float64(nil), bounds...),
-		counts: make([]atomic.Int64, len(bounds)+1),
+		name:      name,
+		labels:    labelstr,
+		on:        &r.enabled,
+		bounds:    append([]float64(nil), bounds...),
+		counts:    make([]atomic.Int64, len(bounds)+1),
+		exemplars: make([]atomic.Uint64, len(bounds)+1),
 	}
 	r.histograms[id] = h
 	return h
@@ -236,6 +272,25 @@ func (h *Histogram) ObserveN(v float64, n int64) {
 	}
 }
 
+// ObserveExemplar records v like Observe and additionally pins trace as the
+// exemplar of the bucket v lands in (last writer wins, one atomic store).
+// Exemplars surface in the JSON snapshot only: the text exposition is format
+// 0.0.4, which predates exemplar syntax, so /metrics stays grammar-clean.
+func (h *Histogram) ObserveExemplar(v float64, trace TraceID) {
+	if !h.on.Load() {
+		return
+	}
+	h.ObserveN(v, 1)
+	if trace == 0 {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.exemplars[i].Store(uint64(trace))
+}
+
 // Count returns how many observations the histogram holds.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
@@ -258,13 +313,18 @@ type GaugeValue struct {
 
 // HistogramValue is one histogram in a snapshot. Counts has one entry per
 // bound plus a final +Inf bucket; entries are per-bucket (not cumulative).
+// Exemplars, when present, holds one trace ID (16-hex form) per bucket, ""
+// for buckets without one; the field is omitted entirely when no bucket has
+// an exemplar, so histograms observed without ObserveExemplar render as
+// before.
 type HistogramValue struct {
-	Name   string    `json:"name"`
-	Labels string    `json:"labels,omitempty"`
-	Count  int64     `json:"count"`
-	Sum    float64   `json:"sum"`
-	Bounds []float64 `json:"bounds"`
-	Counts []int64   `json:"counts"`
+	Name      string    `json:"name"`
+	Labels    string    `json:"labels,omitempty"`
+	Count     int64     `json:"count"`
+	Sum       float64   `json:"sum"`
+	Bounds    []float64 `json:"bounds"`
+	Counts    []int64   `json:"counts"`
+	Exemplars []string  `json:"exemplars,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of a registry, sorted by (name, labels)
@@ -309,6 +369,14 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 		for i := range h.counts {
 			hv.Counts[i] = h.counts[i].Load()
+		}
+		for i := range h.exemplars {
+			if x := h.exemplars[i].Load(); x != 0 {
+				if hv.Exemplars == nil {
+					hv.Exemplars = make([]string, len(h.exemplars))
+				}
+				hv.Exemplars[i] = TraceID(x).String()
+			}
 		}
 		s.Histograms = append(s.Histograms, hv)
 	}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"context"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader is the HTTP header that carries a request's trace ID from
+// client to server. The value is the TraceID's 16-hex-digit rendering; the
+// server echoes it back on the response so either side of a wire capture can
+// be joined against the flight recorder.
+const TraceHeader = "Cosmic-Trace"
+
+// TraceID identifies one logical request end to end. IDs are drawn from a
+// seeded splitmix64 stream (see IDStream), never from crypto/rand or any
+// other ambient entropy: the same seed and request sequence must yield the
+// same IDs, because trace IDs appear in the spaceload report and that report
+// is gated byte-identical across same-seed runs. Zero means "no trace".
+type TraceID uint64
+
+// String renders the ID as 16 lowercase hex digits (zero-padded), the wire
+// and report form.
+func (t TraceID) String() string {
+	const hexdigits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexdigits[t&0xf]
+		t >>= 4
+	}
+	return string(b[:])
+}
+
+// ParseTraceID parses the 16-hex-digit wire form. It returns 0 (the "no
+// trace" sentinel) for anything malformed: a bad header must degrade to an
+// untraced request, never an error path.
+func ParseTraceID(s string) TraceID {
+	if len(s) != 16 {
+		return 0
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0
+	}
+	return TraceID(v)
+}
+
+// IDStream mints TraceIDs from a seeded splitmix64 sequence. Distinct actors
+// get distinct streams (the stream index perturbs the seed the same way the
+// loadsim per-actor RNG does), so IDs are unique across the fleet without
+// any coordination, and replaying a run re-mints the same IDs in the same
+// order. Next is safe for concurrent use; the sequence is then unique but
+// interleaving-dependent, so deterministic harnesses should mint from a
+// single goroutine.
+type IDStream struct {
+	state atomic.Uint64
+}
+
+// NewIDStream returns a stream derived from seed and a stream index. The
+// mixing constants match internal/loadsim's per-actor RNG derivation so the
+// two families of streams stay disjoint for distinct (seed, stream) pairs.
+func NewIDStream(seed uint64, stream uint64) *IDStream {
+	s := &IDStream{}
+	s.state.Store(seed*0x9E3779B97F4A7C15 + stream*0xD1B54A32D192ED03 + 0x632BE59BD9B4E019)
+	return s
+}
+
+// Next mints the stream's next TraceID. It never returns zero: zero is the
+// "no trace" sentinel, so a zero output is re-rolled.
+func (s *IDStream) Next() TraceID {
+	for {
+		z := s.state.Add(0x9E3779B97F4A7C15)
+		z ^= z >> 30
+		z *= 0xBF58476D1CE4E5B9
+		z ^= z >> 27
+		z *= 0x94D049BB133111EB
+		z ^= z >> 31
+		if z != 0 {
+			return TraceID(z)
+		}
+	}
+}
+
+// ReqSpan is one timed phase inside a request: admission, catalog_read,
+// gzip, feed_append. Spans are flat and sequential (a request handler is one
+// goroutine), so there is no parent pointer; order of appearance is the
+// nesting.
+type ReqSpan struct {
+	Name    string `json:"name"`
+	StartNS int64  `json:"start_ns"`
+	EndNS   int64  `json:"end_ns"`
+}
+
+// ReqTrace collects the spans of one request on an injected clock. It is
+// owned by the request's goroutine and is not safe for concurrent use; the
+// zero cost of that restriction is exactly why span starts are two appends
+// and a clock read. A nil *ReqTrace is a valid no-op receiver so untraced
+// code paths need no branches.
+type ReqTrace struct {
+	id    TraceID
+	now   func() time.Time
+	start time.Time
+	spans []ReqSpan
+	open  int // index+1 of the currently open span, 0 if none
+}
+
+// NewReqTrace starts a trace for id on clock now. The clock must be the
+// serving plane's injected clock (virtual under loadsim, boot-anchored under
+// spacetrackd) — never time.Now directly, which would leak wall-clock jitter
+// into flight-recorder dumps.
+func NewReqTrace(id TraceID, now func() time.Time) *ReqTrace {
+	if now == nil {
+		panic("obs: NewReqTrace requires an injected clock")
+	}
+	return &ReqTrace{id: id, now: now, start: now(), spans: make([]ReqSpan, 0, 4)}
+}
+
+// ID returns the trace's ID (0 for a nil trace).
+func (t *ReqTrace) ID() TraceID {
+	if t == nil {
+		return 0
+	}
+	return t.id
+}
+
+// StartSpan opens a named span at the current clock reading. An already-open
+// span is closed first: request phases are sequential, so overlapping spans
+// indicate a handler bug and are flattened rather than nested.
+func (t *ReqTrace) StartSpan(name string) {
+	if t == nil {
+		return
+	}
+	t.EndSpan()
+	t.spans = append(t.spans, ReqSpan{Name: name, StartNS: t.now().Sub(t.start).Nanoseconds()})
+	t.open = len(t.spans)
+}
+
+// EndSpan closes the currently open span, if any.
+func (t *ReqTrace) EndSpan() {
+	if t == nil || t.open == 0 {
+		return
+	}
+	t.spans[t.open-1].EndNS = t.now().Sub(t.start).Nanoseconds()
+	t.open = 0
+}
+
+// Spans returns the recorded spans (closing any still-open one). The slice
+// is the trace's own backing store; callers treat it as read-only.
+func (t *ReqTrace) Spans() []ReqSpan {
+	if t == nil {
+		return nil
+	}
+	t.EndSpan()
+	return t.spans
+}
+
+type reqTraceKey struct{}
+
+// WithReqTrace returns a context carrying t, for handlers to pass the
+// request's trace down to the catalog/gzip/feed layers.
+func WithReqTrace(ctx context.Context, t *ReqTrace) context.Context {
+	return context.WithValue(ctx, reqTraceKey{}, t)
+}
+
+// ReqTraceFrom returns the context's trace, or nil (a valid no-op receiver)
+// when the request is untraced.
+func ReqTraceFrom(ctx context.Context) *ReqTrace {
+	t, _ := ctx.Value(reqTraceKey{}).(*ReqTrace)
+	return t
+}

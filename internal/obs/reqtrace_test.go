@@ -1,0 +1,135 @@
+package obs_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"cosmicdance/internal/obs"
+	"cosmicdance/internal/testkit"
+)
+
+func TestTraceIDWireForm(t *testing.T) {
+	for _, tc := range []struct {
+		id   obs.TraceID
+		want string
+	}{
+		{0, "0000000000000000"},
+		{0xdeadbeef, "00000000deadbeef"},
+		{0xffffffffffffffff, "ffffffffffffffff"},
+		{0x0123456789abcdef, "0123456789abcdef"},
+	} {
+		if got := tc.id.String(); got != tc.want {
+			t.Fatalf("TraceID(%#x).String() = %q, want %q", uint64(tc.id), got, tc.want)
+		}
+		if back := obs.ParseTraceID(tc.id.String()); back != tc.id {
+			t.Fatalf("round trip of %#x gave %#x", uint64(tc.id), uint64(back))
+		}
+	}
+}
+
+func TestParseTraceIDMalformed(t *testing.T) {
+	for _, s := range []string{"", "deadbeef", "00000000deadbee", "00000000deadbeef0", "zzzzzzzzzzzzzzzz", "00000000DEADBEEF-"} {
+		if got := obs.ParseTraceID(s); got != 0 {
+			t.Fatalf("ParseTraceID(%q) = %#x, want 0", s, uint64(got))
+		}
+	}
+}
+
+// TestIDStreamDeterministic pins the property the byte-identical report gate
+// leans on: same (seed, stream) mints the same IDs in the same order, and
+// distinct streams stay disjoint.
+func TestIDStreamDeterministic(t *testing.T) {
+	a := obs.NewIDStream(42, 7)
+	b := obs.NewIDStream(42, 7)
+	other := obs.NewIDStream(42, 8)
+	seen := make(map[obs.TraceID]bool)
+	for i := 0; i < 1000; i++ {
+		ida, idb := a.Next(), b.Next()
+		if ida != idb {
+			t.Fatalf("iteration %d: same-seed streams diverged: %s vs %s", i, ida, idb)
+		}
+		if ida == 0 {
+			t.Fatalf("iteration %d: minted the zero sentinel", i)
+		}
+		if seen[ida] {
+			t.Fatalf("iteration %d: duplicate ID %s within one stream", i, ida)
+		}
+		seen[ida] = true
+		if o := other.Next(); seen[o] {
+			t.Fatalf("iteration %d: stream 8 collided with stream 7 on %s", i, o)
+		}
+	}
+}
+
+func TestReqTraceSpans(t *testing.T) {
+	clock := testkit.NewClock(time.Date(2024, 5, 10, 0, 0, 0, 0, time.UTC))
+	tr := obs.NewReqTrace(obs.TraceID(0xabc), clock.Now)
+	if tr.ID() != 0xabc {
+		t.Fatalf("ID = %v", tr.ID())
+	}
+	clock.Advance(time.Millisecond)
+	tr.StartSpan("admission")
+	clock.Advance(2 * time.Millisecond)
+	tr.StartSpan("catalog_read") // implicitly closes admission
+	clock.Advance(3 * time.Millisecond)
+	tr.EndSpan()
+	tr.EndSpan() // double-close is a no-op
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans: %+v", len(spans), spans)
+	}
+	ms := int64(time.Millisecond)
+	want := []obs.ReqSpan{
+		{Name: "admission", StartNS: 1 * ms, EndNS: 3 * ms},
+		{Name: "catalog_read", StartNS: 3 * ms, EndNS: 6 * ms},
+	}
+	for i := range want {
+		if spans[i] != want[i] {
+			t.Fatalf("span %d = %+v, want %+v", i, spans[i], want[i])
+		}
+	}
+}
+
+// TestReqTraceSpansClosesOpen pins that Spans() closes a dangling span so a
+// handler that returns mid-phase still records a complete dump.
+func TestReqTraceSpansClosesOpen(t *testing.T) {
+	clock := testkit.NewClock(time.Unix(0, 0).UTC())
+	tr := obs.NewReqTrace(1, clock.Now)
+	tr.StartSpan("gzip")
+	clock.Advance(time.Second)
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].EndNS != int64(time.Second) {
+		t.Fatalf("spans = %+v", spans)
+	}
+}
+
+func TestReqTraceNilSafe(t *testing.T) {
+	var tr *obs.ReqTrace
+	tr.StartSpan("x")
+	tr.EndSpan()
+	if tr.ID() != 0 || tr.Spans() != nil {
+		t.Fatal("nil ReqTrace is not a no-op")
+	}
+}
+
+func TestReqTraceContext(t *testing.T) {
+	if got := obs.ReqTraceFrom(context.Background()); got != nil {
+		t.Fatalf("empty context carried a trace: %v", got)
+	}
+	clock := testkit.NewClock(time.Unix(0, 0).UTC())
+	tr := obs.NewReqTrace(9, clock.Now)
+	ctx := obs.WithReqTrace(context.Background(), tr)
+	if got := obs.ReqTraceFrom(ctx); got != tr {
+		t.Fatal("context did not round-trip the trace")
+	}
+}
+
+func TestNewReqTraceRequiresClock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil clock did not panic")
+		}
+	}()
+	obs.NewReqTrace(1, nil)
+}

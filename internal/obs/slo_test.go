@@ -1,0 +1,185 @@
+package obs_test
+
+import (
+	"testing"
+	"time"
+
+	"cosmicdance/internal/obs"
+	"cosmicdance/internal/testkit"
+)
+
+func TestParseObjectives(t *testing.T) {
+	objs, err := obs.ParseObjectives("group:99:400,ingest:99.5:500:10m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 {
+		t.Fatalf("parsed %d objectives", len(objs))
+	}
+	if objs[0].Endpoint != "group" || objs[0].Availability != 0.99 || objs[0].LatencyP99Ms != 400 || objs[0].Window != 5*time.Minute {
+		t.Fatalf("objs[0] = %+v", objs[0])
+	}
+	if objs[1].Availability != 0.995 || objs[1].Window != 10*time.Minute {
+		t.Fatalf("objs[1] = %+v", objs[1])
+	}
+
+	for _, bad := range []string{
+		"",
+		"group",
+		"group:99",
+		"group:0:400",
+		"group:100:400",
+		"group:x:400",
+		"group:99:0",
+		"group:99:400:nope",
+		"group:99:400:-5m",
+		"group:99:400:5m:extra",
+	} {
+		if _, err := obs.ParseObjectives(bad); err == nil {
+			t.Fatalf("ParseObjectives(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDefaultObjectivesConstruct(t *testing.T) {
+	clock := testkit.NewClock(time.Unix(0, 0).UTC())
+	tr := obs.NewSLOTracker(obs.NewRegistry(), obs.DefaultObjectives(), clock.Now)
+	if got := len(tr.Report()); got != 3 {
+		t.Fatalf("default objectives report %d endpoints, want 3", got)
+	}
+}
+
+// TestSLOBurnRate pins the burn-rate math: with a 99% availability target
+// the error budget is 1%, so a 5% in-window error rate burns 5×.
+func TestSLOBurnRate(t *testing.T) {
+	clock := testkit.NewClock(time.Unix(0, 0).UTC())
+	tr := obs.NewSLOTracker(nil, []obs.Objective{
+		{Endpoint: "group", Availability: 0.99, LatencyP99Ms: 100, Window: time.Minute},
+	}, clock.Now)
+	for i := 0; i < 100; i++ {
+		clock.Advance(time.Millisecond)
+		tr.Record("group", 10*time.Millisecond, i < 5)
+	}
+	tr.Record("unknown", time.Second, true) // no objective: dropped
+
+	rep := tr.Report()
+	if len(rep) != 1 {
+		t.Fatalf("report has %d entries", len(rep))
+	}
+	r := rep[0]
+	if r.Ops != 100 || r.Errors != 5 {
+		t.Fatalf("ops/errors = %d/%d", r.Ops, r.Errors)
+	}
+	if r.ErrorRate != 0.05 || r.BurnRate != 5 {
+		t.Fatalf("error rate %v, burn %v; want 0.05, 5", r.ErrorRate, r.BurnRate)
+	}
+	if r.P50Ms != 10 || r.P99Ms != 10 {
+		t.Fatalf("p50 %v p99 %v", r.P50Ms, r.P99Ms)
+	}
+	if r.AvailabilityPass || !r.LatencyPass || r.Verdict != "fail" {
+		t.Fatalf("verdict %+v", r)
+	}
+}
+
+// TestSLOWindowSlides pins the sliding window: errors older than the window
+// stop burning budget, while lifetime Ops/Errors keep counting.
+func TestSLOWindowSlides(t *testing.T) {
+	clock := testkit.NewClock(time.Unix(0, 0).UTC())
+	tr := obs.NewSLOTracker(nil, []obs.Objective{
+		{Endpoint: "group", Availability: 0.99, LatencyP99Ms: 100, Window: time.Minute},
+	}, clock.Now)
+	for i := 0; i < 10; i++ {
+		tr.Record("group", 5*time.Millisecond, true) // a burst of failures at t=0
+	}
+	clock.Advance(2 * time.Minute) // the burst ages out
+	for i := 0; i < 10; i++ {
+		tr.Record("group", 5*time.Millisecond, false)
+	}
+	r := tr.Report()[0]
+	if r.Ops != 20 || r.Errors != 10 {
+		t.Fatalf("lifetime ops/errors = %d/%d, want 20/10", r.Ops, r.Errors)
+	}
+	if r.BurnRate != 0 || r.Verdict != "pass" {
+		t.Fatalf("aged-out burst still burning: %+v", r)
+	}
+}
+
+func TestSLOLatencyVerdict(t *testing.T) {
+	clock := testkit.NewClock(time.Unix(0, 0).UTC())
+	tr := obs.NewSLOTracker(nil, []obs.Objective{
+		{Endpoint: "group", Availability: 0.99, LatencyP99Ms: 50, Window: time.Minute},
+	}, clock.Now)
+	for i := 0; i < 98; i++ {
+		tr.Record("group", 10*time.Millisecond, false)
+	}
+	// Two stragglers: nearest-rank p99 of 100 samples reads the 99th
+	// smallest, so a single outlier would hide below the rank.
+	tr.Record("group", 500*time.Millisecond, false)
+	tr.Record("group", 500*time.Millisecond, false)
+	r := tr.Report()[0]
+	if r.P50Ms != 10 || r.P99Ms != 500 {
+		t.Fatalf("p50 %v p99 %v", r.P50Ms, r.P99Ms)
+	}
+	if !r.AvailabilityPass || r.LatencyPass || r.Verdict != "fail" {
+		t.Fatalf("verdict %+v", r)
+	}
+}
+
+func TestSLOPublishGauges(t *testing.T) {
+	clock := testkit.NewClock(time.Unix(0, 0).UTC())
+	reg := obs.NewRegistry()
+	tr := obs.NewSLOTracker(reg, []obs.Objective{
+		{Endpoint: "group", Availability: 0.99, LatencyP99Ms: 100, Window: time.Minute},
+	}, clock.Now)
+	for i := 0; i < 10; i++ {
+		tr.Record("group", 20*time.Millisecond, i == 0)
+	}
+	tr.Publish()
+	if got := reg.Gauge("spacetrack_slo_burn_rate", "endpoint", "group").Value(); got != 10 {
+		t.Fatalf("burn gauge %v, want 10", got)
+	}
+	if got := reg.Gauge("spacetrack_slo_p99_ms", "endpoint", "group").Value(); got != 20 {
+		t.Fatalf("p99 gauge %v, want 20", got)
+	}
+	if got := reg.Gauge("spacetrack_slo_pass", "endpoint", "group").Value(); got != 0 {
+		t.Fatalf("pass gauge %v, want 0", got)
+	}
+}
+
+func TestSLOTrackerNilSafe(t *testing.T) {
+	var tr *obs.SLOTracker
+	tr.Record("group", time.Second, true)
+	tr.Publish()
+	if tr.Report() != nil {
+		t.Fatal("nil tracker reported")
+	}
+}
+
+func TestSLOTrackerRejectsBadObjectives(t *testing.T) {
+	clock := testkit.NewClock(time.Unix(0, 0).UTC())
+	for name, objs := range map[string][]obs.Objective{
+		"empty endpoint":  {{Endpoint: "", Availability: 0.99, LatencyP99Ms: 1, Window: time.Minute}},
+		"availability=1":  {{Endpoint: "g", Availability: 1, LatencyP99Ms: 1, Window: time.Minute}},
+		"zero p99 target": {{Endpoint: "g", Availability: 0.99, LatencyP99Ms: 0, Window: time.Minute}},
+		"zero window":     {{Endpoint: "g", Availability: 0.99, LatencyP99Ms: 1, Window: 0}},
+		"duplicate": {
+			{Endpoint: "g", Availability: 0.99, LatencyP99Ms: 1, Window: time.Minute},
+			{Endpoint: "g", Availability: 0.98, LatencyP99Ms: 2, Window: time.Minute},
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			obs.NewSLOTracker(nil, objs, clock.Now)
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("nil clock did not panic")
+		}
+	}()
+	obs.NewSLOTracker(nil, obs.DefaultObjectives(), nil)
+}

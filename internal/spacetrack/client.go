@@ -120,6 +120,11 @@ type Client struct {
 	// Sleep is the delay hook; tests swap in a deterministic clock
 	// (testkit.Clock.Sleep). Nil sleeps in real time.
 	Sleep func(ctx context.Context, d time.Duration) error
+	// Trace, when set, mints one trace ID per logical request and sends it
+	// as the Cosmic-Trace header. Every retry of a request reuses its ID, so
+	// a storm post-mortem sees one trace hitting admission N times rather
+	// than N unrelated requests.
+	Trace *obs.IDStream
 
 	reqs atomic.Int64 // per-client request counter, part of the jitter input
 }
@@ -222,6 +227,10 @@ func (c *Client) getConditional(ctx context.Context, path string, query url.Valu
 	u.RawQuery = query.Encode()
 	reqID := c.reqs.Add(1)
 	metricClientRequests.Inc()
+	var trace obs.TraceID
+	if c.Trace != nil {
+		trace = c.Trace.Next()
+	}
 
 	var last error
 	attempts := 0
@@ -236,7 +245,7 @@ func (c *Client) getConditional(ctx context.Context, path string, query url.Valu
 			}
 		}
 		attempts++
-		res, err := c.attempt(ctx, u.String(), cond, verify)
+		res, err := c.attempt(ctx, u.String(), cond, trace, verify)
 		if err == nil {
 			return res, nil
 		}
@@ -308,13 +317,16 @@ func unwrapDelay(err error) error {
 
 // attempt performs one GET. Retryable faults come back wrapped in
 // *retryableError; anything else is permanent.
-func (c *Client) attempt(ctx context.Context, url string, cond conditional, verify func([]byte) error) (*fetchResult, error) {
+func (c *Client) attempt(ctx context.Context, url string, cond conditional, trace obs.TraceID, verify func([]byte) error) (*fetchResult, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
 	}
 	if c.ClientID != "" {
 		req.Header.Set("X-Client-Id", c.ClientID)
+	}
+	if trace != 0 {
+		req.Header.Set(obs.TraceHeader, trace.String())
 	}
 	if cond.etag != "" {
 		req.Header.Set("If-None-Match", cond.etag)

@@ -2,11 +2,13 @@ package spacetrack
 
 import (
 	"compress/gzip"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
 	"net"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -84,8 +86,24 @@ type Server struct {
 
 	// OnIngest, when set, observes every accepted /ingest batch after the
 	// archive merge — the hook the live decay-risk feed hangs off so element
-	// sets fold into the incremental engine as they arrive.
-	OnIngest func(group string, sets []*tle.TLE, applied int)
+	// sets fold into the incremental engine as they arrive. trace is the
+	// originating request's trace ID (0 for untraced requests) so the feed's
+	// deltas can name the ingest that caused them.
+	OnIngest func(group string, sets []*tle.TLE, applied int, trace obs.TraceID)
+
+	// Trace, when set, mints trace IDs for requests that arrive without a
+	// Cosmic-Trace header; requests carrying the header keep their ID either
+	// way. Nil leaves header-less requests untraced.
+	Trace *obs.IDStream
+	// Flight, when set, records request outcomes and admission rejections —
+	// the serving plane's black box. Nil disables recording (the nil
+	// *FlightRecorder is a no-op receiver).
+	Flight *obs.FlightRecorder
+	// SLO, when set, tallies per-endpoint latency and error-budget burn.
+	SLO *obs.SLOTracker
+	// HealthInfo, when set, contributes daemon-level facts (incremental
+	// watermark frontier, build info) to the /healthz body.
+	HealthInfo func() map[string]string
 
 	served     atomic.Int64
 	rejected   atomic.Int64
@@ -167,12 +185,61 @@ func (s *Server) Handler() http.Handler {
 	if _, ok := s.archive.(IngestArchive); ok {
 		mux.HandleFunc("/ingest", s.admit("ingest", s.handleIngest))
 	}
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		s.served.Add(1)
-		metricServedHealthz.Inc()
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
+}
+
+// GroupHealth is one group's catalog epoch in the /healthz body.
+type GroupHealth struct {
+	Group     string `json:"group"`
+	Version   uint64 `json:"version"`
+	UpdatedAt string `json:"updated_at"`
+}
+
+// HealthStatus is the /healthz body: liveness plus the facts an operator
+// reaches for first in a storm — the service clock, each group's catalog
+// epoch (version + last mutation), and daemon-contributed info such as the
+// incremental watermark frontier and build identity. Groups are sorted and
+// Info is a JSON map (encoding/json orders keys), so the body is
+// deterministic for identical state.
+type HealthStatus struct {
+	Status string            `json:"status"`
+	Now    string            `json:"now"`
+	Groups []GroupHealth     `json:"groups,omitempty"`
+	Info   map[string]string `json:"info,omitempty"`
+}
+
+// Health assembles the current HealthStatus — exported so the daemon's
+// shutdown log and tests share the handler's view.
+func (s *Server) Health() HealthStatus {
+	hs := HealthStatus{Status: "ok", Now: s.now().UTC().Format(time.RFC3339)}
+	if va, ok := s.archive.(VersionedArchive); ok {
+		groups := append([]string(nil), s.archive.Groups()...)
+		sort.Strings(groups)
+		for _, g := range groups {
+			if v, mod, known := va.GroupVersion(g); known {
+				hs.Groups = append(hs.Groups, GroupHealth{
+					Group:     g,
+					Version:   v,
+					UpdatedAt: mod.UTC().Format(time.RFC3339),
+				})
+			}
+		}
+	}
+	if s.HealthInfo != nil {
+		hs.Info = s.HealthInfo()
+	}
+	return hs
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.served.Add(1)
+	metricServedHealthz.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// A short read is the client's problem; the status line is already out.
+	_ = enc.Encode(s.Health())
 }
 
 // RequestsServed reports how many requests completed admission and reached a
@@ -277,13 +344,51 @@ func (s *Server) admitCapacity() (bool, time.Duration) {
 	return s.capacity.take(s.now(), s.CapacityPerSec, s.CapacityBurst)
 }
 
+// statusRecorder captures the status a handler writes so admit() can judge
+// the request for the SLO tracker and the flight recorder. An unwritten
+// status is 200, matching net/http's implicit WriteHeader.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// traceString renders a TraceID for a flight event: "" for untraced.
+func traceString(t obs.TraceID) string {
+	if t == 0 {
+		return ""
+	}
+	return t.String()
+}
+
 // admit wraps a data-plane handler with the three admission layers and the
-// per-endpoint telemetry.
+// per-endpoint telemetry. It is also where a request's trace begins: the
+// Cosmic-Trace header is honoured when present (and echoed on the response),
+// s.Trace mints an ID otherwise, and the resulting ReqTrace rides the
+// request context so handlers can mark their catalog-read/gzip/feed-append
+// phases. Shed requests (503/429) land in the flight recorder with their
+// trace IDs — the storm post-mortem's primary key.
 func (s *Server) admit(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	served := map[string]*obs.Counter{
 		"group": metricServedGroup, "history": metricServedHistory, "ingest": metricServedIngest,
 	}[endpoint]
 	return func(w http.ResponseWriter, r *http.Request) {
+		trace := obs.ParseTraceID(r.Header.Get(obs.TraceHeader))
+		if trace == 0 && s.Trace != nil {
+			trace = s.Trace.Next()
+		}
+		if trace != 0 {
+			w.Header().Set(obs.TraceHeader, trace.String())
+		}
+		var tr *obs.ReqTrace
+		if trace != 0 {
+			tr = obs.NewReqTrace(trace, s.now)
+		}
+		tr.StartSpan("admission")
 		if s.MaxInFlight > 0 {
 			if n := s.inflight.Add(1); n > s.MaxInFlight {
 				s.inflight.Add(-1)
@@ -291,6 +396,8 @@ func (s *Server) admit(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 				metricAdmitted["inflight"].Inc()
 				w.Header().Set("Retry-After", "1")
 				http.Error(w, "server saturated", http.StatusServiceUnavailable)
+				s.Flight.RecordReject(obs.FlightEvent{Trace: traceString(trace), Endpoint: endpoint, Status: http.StatusServiceUnavailable, Detail: "inflight"})
+				s.SLO.Record(endpoint, 0, true)
 				return
 			}
 			defer s.inflight.Add(-1)
@@ -300,6 +407,8 @@ func (s *Server) admit(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 			metricAdmitted["capacity"].Inc()
 			w.Header().Set("Retry-After", retryAfterSeconds(wait))
 			http.Error(w, "over capacity", http.StatusServiceUnavailable)
+			s.Flight.RecordReject(obs.FlightEvent{Trace: traceString(trace), Endpoint: endpoint, Status: http.StatusServiceUnavailable, Detail: "capacity"})
+			s.SLO.Record(endpoint, 0, true)
 			return
 		}
 		if ok, wait := s.admitClient(clientKey(r)); !ok {
@@ -308,14 +417,33 @@ func (s *Server) admit(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 			metricAdmitted["per_client"].Inc()
 			w.Header().Set("Retry-After", retryAfterSeconds(wait))
 			http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+			s.Flight.RecordReject(obs.FlightEvent{Trace: traceString(trace), Endpoint: endpoint, Status: http.StatusTooManyRequests, Detail: "per_client"})
+			s.SLO.Record(endpoint, 0, true)
 			return
 		}
+		tr.EndSpan()
 		s.served.Add(1)
 		served.Inc()
 		metricAdmitted["accepted"].Inc()
+		if tr != nil {
+			r = r.WithContext(obs.WithReqTrace(r.Context(), tr))
+		}
+		sw := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := s.now()
-		h(w, r)
-		metricLatency[endpoint].Observe(s.now().Sub(start).Seconds())
+		h(sw, r)
+		elapsed := s.now().Sub(start)
+		metricLatency[endpoint].ObserveExemplar(elapsed.Seconds(), trace)
+		s.SLO.Record(endpoint, elapsed, sw.status >= 500)
+		if s.Flight != nil {
+			s.Flight.Record(obs.FlightEvent{
+				Kind:       "request",
+				Trace:      traceString(trace),
+				Endpoint:   endpoint,
+				Status:     sw.status,
+				DurationNS: elapsed.Nanoseconds(),
+				Spans:      tr.Spans(),
+			})
+		}
 	}
 }
 
@@ -395,10 +523,15 @@ func (s *Server) handleGroup(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
+	tr := obs.ReqTraceFrom(r.Context())
+	tr.StartSpan("catalog_read")
 	sets := s.archive.GroupLatest(group, s.now())
+	tr.EndSpan()
 	if format == "json" {
 		// Space-Track's OMM JSON shape.
 		w.Header().Set("Content-Type", "application/json")
+		tr.StartSpan("gzip")
+		defer tr.EndSpan()
 		out, finish := compressed(w, r)
 		if err := tle.WriteOMM(out, sets); err != nil {
 			return
@@ -413,6 +546,8 @@ func (s *Server) handleGroup(w http.ResponseWriter, r *http.Request) {
 		sets = stripNames(sets)
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	tr.StartSpan("gzip")
+	defer tr.EndSpan()
 	out, finish := compressed(w, r)
 	if err := tle.Write(out, sets); err != nil {
 		// Too late for a status change; the client will see a short read.
@@ -447,9 +582,14 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "to precedes from", http.StatusBadRequest)
 		return
 	}
+	tr := obs.ReqTraceFrom(r.Context())
 	if q.Get("format") == "json" {
+		tr.StartSpan("catalog_read")
 		sets := s.archive.History(catalog, from, to)
+		tr.EndSpan()
 		w.Header().Set("Content-Type", "application/json")
+		tr.StartSpan("gzip")
+		defer tr.EndSpan()
 		out, finish := compressed(w, r)
 		if err := tle.WriteOMM(out, sets); err != nil {
 			return
@@ -460,6 +600,8 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	tr.StartSpan("catalog_read")
+	defer tr.EndSpan()
 	out, finish := compressed(w, r)
 	if sa, ok := s.archive.(StreamingArchive); ok {
 		one := make([]*tle.TLE, 1)
@@ -513,9 +655,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("%d unparseable element sets", reader.Skipped()), http.StatusBadRequest)
 		return
 	}
+	tr := obs.ReqTraceFrom(r.Context())
+	tr.StartSpan("catalog_read")
 	applied := ia.Ingest(group, sets, s.now())
+	tr.EndSpan()
 	if s.OnIngest != nil {
-		s.OnIngest(group, sets, applied)
+		tr.StartSpan("feed_append")
+		s.OnIngest(group, sets, applied, tr.ID())
+		tr.EndSpan()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, "{\"received\":%d,\"applied\":%d}\n", len(sets), applied)

@@ -1,9 +1,16 @@
 package cosmicdance_test
 
 import (
+	"context"
+	"net/http"
+	"net/http/httptest"
 	"testing"
+	"time"
 
+	"cosmicdance/internal/constellation"
+	"cosmicdance/internal/dst"
 	"cosmicdance/internal/obs"
+	"cosmicdance/internal/spacetrack"
 )
 
 // The telemetry-overhead gate (scripts/obs_overhead.sh) compares each
@@ -41,3 +48,64 @@ func BenchmarkAssociateObsOff(b *testing.B)     { withObs(b, false, BenchmarkAss
 func BenchmarkAssociateObsOn(b *testing.B)      { withObs(b, true, BenchmarkAssociate) }
 func BenchmarkAssociateObsOnB(b *testing.B)     { withObs(b, true, BenchmarkAssociate) }
 func BenchmarkAssociateObsOffB(b *testing.B)    { withObs(b, false, BenchmarkAssociate) }
+
+// benchServeGroup measures the group-endpoint serving path. The wired
+// variant carries the full serving-plane observability config — a
+// client-minted Cosmic-Trace header, request spans, flight-recorder
+// events, SLO accounting, latency exemplars — so its quartet bounds the
+// whole plane against a bare server, not just the counter writes.
+func benchServeGroup(b *testing.B, wired bool) {
+	b.ReportAllocs()
+	start := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+	ccfg := constellation.DefaultConfig()
+	ccfg.Start = start
+	ccfg.Hours = 5 * 24
+	ccfg.InitialFleet = 100
+	ccfg.GrossErrorProb = 0
+	ccfg.DecommissionPerYear = 0
+	vals := make([]float64, ccfg.Hours)
+	for i := range vals {
+		vals[i] = -10
+	}
+	res, err := constellation.Run(context.Background(), ccfg, dst.FromValues(start, vals))
+	if err != nil {
+		b.Fatal(err)
+	}
+	end := start.Add(time.Duration(ccfg.Hours) * time.Hour)
+	srv := spacetrack.NewServer(spacetrack.NewResultArchive("starlink", res), end)
+	srv.Now = func() time.Time { return end }
+	var stream *obs.IDStream
+	if wired {
+		srv.Trace = obs.NewIDStream(42, 0)
+		srv.Flight = obs.NewFlightRecorder(1024, srv.Now)
+		srv.SLO = obs.NewSLOTracker(nil, obs.DefaultObjectives(), srv.Now)
+		stream = obs.NewIDStream(42, 1)
+	}
+	h := srv.Handler()
+	const path = "/NORAD/elements/gp.php?GROUP=starlink&FORMAT=tle"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		if stream != nil {
+			req.Header.Set(obs.TraceHeader, stream.Next().String())
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
+func BenchmarkServeGroupObsOff(b *testing.B) {
+	withObs(b, false, func(b *testing.B) { benchServeGroup(b, false) })
+}
+func BenchmarkServeGroupObsOn(b *testing.B) {
+	withObs(b, true, func(b *testing.B) { benchServeGroup(b, true) })
+}
+func BenchmarkServeGroupObsOnB(b *testing.B) {
+	withObs(b, true, func(b *testing.B) { benchServeGroup(b, true) })
+}
+func BenchmarkServeGroupObsOffB(b *testing.B) {
+	withObs(b, false, func(b *testing.B) { benchServeGroup(b, false) })
+}

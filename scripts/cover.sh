@@ -7,8 +7,8 @@
 #   3. fail if internal/artifact (the snapshot codec that must fail
 #      closed on every malformed input) covers < 80% of its statements,
 #   4. fail if internal/obs (the telemetry layer every pipeline package
-#      links against — a bug here corrupts every diagnosis) covers < 85%
-#      of its statements,
+#      links against — a bug here corrupts every diagnosis; now also the
+#      trace/flight-recorder/SLO plane) covers < 88% of its statements,
 #   5. fail if internal/spacetrack (the serving plane: COW catalog,
 #      admission control, conditional fetch) covers < 80%,
 #   6. fail if internal/loadsim (the deterministic load harness whose
@@ -76,7 +76,7 @@ if [ -z "$obspct" ]; then
     echo "cover: no coverage line for cosmicdance/internal/obs" >&2
     exit 1
 fi
-floor "internal/obs" "$obspct" 85
+floor "internal/obs" "$obspct" 88
 
 spacetrackpct="$(printf '%s\n' "$out" | awk '$2 == "cosmicdance/internal/spacetrack" {
     for (i = 1; i <= NF; i++) if ($i ~ /%$/) { sub(/%/, "", $i); print $i }

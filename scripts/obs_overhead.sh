@@ -1,7 +1,12 @@
 #!/bin/sh
 # obs_overhead.sh — the telemetry inertness gate: the instrumented hot
-# paths (fleet simulation, dataset build, association) may cost at most 2%
-# more with metrics enabled than with the registry disabled.
+# paths (fleet simulation, dataset build, association, group serving) may
+# cost at most 2% more with metrics enabled than with the registry
+# disabled. The ServeGroup quartet compares the full serving-plane config
+# — Cosmic-Trace propagation, request spans, flight recorder, SLO
+# accounting, latency exemplars — against a bare server, so the bound
+# covers the whole observability plane on the serving path, not just the
+# counter writes.
 #
 # The off side is the floor the telemetry layer promises: with the
 # registry disabled every counter write is one atomic-bool load. The on
@@ -36,10 +41,13 @@ count="${BENCHCOUNT:-5}"
 inner="${INNERCOUNT:-12}"
 benchtime="${BENCHTIME:-3x}"
 assoctime="${ASSOC_BENCHTIME:-300x}"
+servetime="${SERVE_BENCHTIME:-300x}"
 bench_ab='^Benchmark(FleetSim|DatasetBuild)Obs(Off|On)$'
 bench_ba='^Benchmark(FleetSim|DatasetBuild)Obs(OnB|OffB)$'
 assoc_ab='^BenchmarkAssociateObs(Off|On)$'
 assoc_ba='^BenchmarkAssociateObs(OnB|OffB)$'
+serve_ab='^BenchmarkServeGroupObs(Off|On)$'
+serve_ba='^BenchmarkServeGroupObs(OnB|OffB)$'
 
 raw="$(mktemp -t cosmicdance-obs.XXXXXX)"
 trap 'rm -f "$raw"' EXIT
@@ -54,6 +62,8 @@ while [ "$i" -lt "$count" ]; do
     go test -run '^$' -bench "$bench_ba" -benchtime "$benchtime" -count "$inner" . >> "$raw"
     go test -run '^$' -bench "$assoc_ab" -benchtime "$assoctime" -count "$inner" . >> "$raw"
     go test -run '^$' -bench "$assoc_ba" -benchtime "$assoctime" -count "$inner" . >> "$raw"
+    go test -run '^$' -bench "$serve_ab" -benchtime "$servetime" -count "$inner" . >> "$raw"
+    go test -run '^$' -bench "$serve_ba" -benchtime "$servetime" -count "$inner" . >> "$raw"
     i=$((i + 1))
 done
 
@@ -73,7 +83,7 @@ awk -v limit=1.02 '
 }
 END {
     fail = 0
-    n = split("FleetSim DatasetBuild Associate", names, " ")
+    n = split("FleetSim DatasetBuild Associate ServeGroup", names, " ")
     for (k = 1; k <= n; k++) {
         name = names[k]
         if (!((name SUBSEP "off") in floor_ns) || !((name SUBSEP "on") in floor_ns)) {

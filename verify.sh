@@ -16,8 +16,11 @@
 #   6. the spaceload determinism gate: the closed-loop load harness, run
 #      twice with one seed/mix/fault schedule, must emit byte-identical
 #      reports (a report diff is a behaviour change, never noise),
-#   7. the telemetry-overhead gate: the instrumented hot paths may cost at
-#      most 2% more than a COSMICDANCE_OBS=off run,
+#   7. the telemetry-overhead gate: the instrumented hot paths — the group
+#      serving path with tracing, flight recorder and SLO accounting
+#      enabled included — may cost at most 2% more than a
+#      COSMICDANCE_OBS=off run (the short tier smoke-runs the serving
+#      quartet; the long tier enforces the bound),
 #   8. the chunk-equivalence gate: a 30k-satellite chunked run must print
 #      byte-identical reports at two different chunk sizes (the scale-out
 #      refactor may not change a single output bit),
@@ -68,6 +71,14 @@ cmp "$cold" "$warm" || {
     echo "verify: warm-cache analyze output differs from the cold build" >&2
     exit 1
 }
+
+if [ -n "$SHORT" ]; then
+    # The full floor-pooling gate needs the long tier; the short tier still
+    # proves the serving-path quartet — the full flight-recorder + trace +
+    # SLO config — builds and runs on both sides.
+    echo "== telemetry overhead smoke (ServeGroup quartet, one round)"
+    go test -run '^$' -bench '^BenchmarkServeGroupObs(Off|On|OnB|OffB)$' -benchtime 20x . > /dev/null
+fi
 
 if [ -z "$SHORT" ]; then
     echo "== spaceload determinism (same seed/mix/schedule -> identical report bytes)"
